@@ -1,0 +1,135 @@
+//! The Table 3 roster: every baseline behind one trait.
+
+use crate::cenet::Cenet;
+use crate::cygnet::CyGnet;
+use crate::regcn::{Cen, SkeletonModel, TiRgn};
+use crate::renet::ReNet;
+use crate::retia_rpc::LineGraphModel;
+use crate::static_kg::{StaticKg, StaticKind};
+use crate::util::FitConfig;
+use crate::xerte::Xerte;
+use hisres::ExtrapolationModel;
+use hisres_data::DatasetSplits;
+
+/// A trainable Table 3 baseline.
+pub trait Baseline: ExtrapolationModel {
+    /// Trains the model on the dataset's training split.
+    fn fit(&mut self, data: &DatasetSplits, fit: &FitConfig);
+}
+
+macro_rules! impl_baseline {
+    ($ty:ty) => {
+        impl Baseline for $ty {
+            fn fit(&mut self, data: &DatasetSplits, fit: &FitConfig) {
+                <$ty>::fit(self, data, fit)
+            }
+        }
+    };
+}
+
+impl_baseline!(StaticKg);
+impl_baseline!(CyGnet);
+impl_baseline!(Cenet);
+impl_baseline!(ReNet);
+impl_baseline!(SkeletonModel);
+impl_baseline!(Cen);
+impl_baseline!(TiRgn);
+impl_baseline!(LineGraphModel);
+impl_baseline!(Xerte);
+
+/// Scale parameters shared by the whole roster.
+#[derive(Clone, Copy, Debug)]
+pub struct RosterConfig {
+    /// Embedding width (even).
+    pub dim: usize,
+    /// History window for temporal models.
+    pub history_len: usize,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl Default for RosterConfig {
+    fn default() -> Self {
+        Self { dim: 32, history_len: 3, seed: 2024 }
+    }
+}
+
+/// Builds the full Table 3 baseline roster (paper row order), untrained.
+pub fn all_baselines(ne: usize, nr: usize, rc: &RosterConfig) -> Vec<Box<dyn Baseline>> {
+    let d = rc.dim;
+    let l = rc.history_len;
+    let s = rc.seed;
+    vec![
+        Box::new(StaticKg::new(StaticKind::DistMult, ne, nr, d, s)),
+        Box::new(StaticKg::new(StaticKind::ComplEx, ne, nr, d, s + 1)),
+        Box::new(StaticKg::new(StaticKind::ConvE, ne, nr, d, s + 2)),
+        Box::new(StaticKg::new(StaticKind::ConvTransE, ne, nr, d, s + 3)),
+        Box::new(StaticKg::new(StaticKind::RotatE, ne, nr, d, s + 4)),
+        Box::new(ReNet::new(ne, nr, d, l, s + 5)),
+        Box::new(CyGnet::new(ne, nr, d, s + 6)),
+        Box::new(Xerte::new(ne, nr, d, l, s + 7)),
+        Box::new(SkeletonModel::regcn(ne, nr, d, l, s + 8)),
+        Box::new(Cen::new(ne, nr, d, l.max(3), s + 9)),
+        Box::new(TiRgn::new(ne, nr, d, l, s + 10)),
+        Box::new(Cenet::new(ne, nr, d, s + 11)),
+        Box::new(LineGraphModel::retia(ne, nr, d, l, s + 12)),
+        Box::new(LineGraphModel::rpc(ne, nr, d, l, s + 13)),
+        Box::new(SkeletonModel::logcl(ne, nr, d, l, s + 14)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres::HistoryCtx;
+    use hisres_graph::{GlobalHistoryIndex, Quad, Snapshot, Tkg};
+
+    #[test]
+    fn roster_matches_table3_row_order() {
+        let roster = all_baselines(10, 2, &RosterConfig { dim: 8, history_len: 2, seed: 0 });
+        let names: Vec<String> = roster.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "DistMult", "ComplEx", "ConvE", "ConvTransE", "RotatE", "RE-NET", "CyGNet",
+                "xERTE", "RE-GCN", "CEN", "TiRGN", "CENET", "RETIA", "RPC", "LogCL"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_roster_model_scores_correct_shape() {
+        let roster = all_baselines(10, 2, &RosterConfig { dim: 8, history_len: 2, seed: 0 });
+        let snaps = vec![
+            Snapshot { t: 0, triples: vec![(0, 0, 1), (2, 1, 3)] },
+            Snapshot { t: 1, triples: vec![(1, 0, 2)] },
+        ];
+        let mut global = GlobalHistoryIndex::new();
+        for s in &snaps {
+            global.add_snapshot(s, 2);
+        }
+        let ctx = HistoryCtx {
+            snapshots: &snaps,
+            t: 2,
+            global: &global,
+            num_entities: 10,
+            num_relations: 2,
+        };
+        for m in &roster {
+            let s = m.score(&ctx, &[(0, 0), (3, 3)]);
+            assert_eq!(s.shape(), (2, 10), "model {}", m.name());
+            assert!(!s.has_non_finite(), "model {}", m.name());
+        }
+    }
+
+    #[test]
+    fn roster_models_train_one_epoch() {
+        let quads: Vec<Quad> = (0..30).map(|t| Quad::new(t % 5, t % 2, (t + 1) % 5, t)).collect();
+        let data = hisres_data::DatasetSplits::from_tkg("t", "1 step", &Tkg::new(5, 2, quads));
+        let mut roster = all_baselines(5, 2, &RosterConfig { dim: 8, history_len: 2, seed: 1 });
+        let fit = FitConfig { epochs: 1, lr: 0.01, ..Default::default() };
+        for m in &mut roster {
+            m.fit(&data, &fit);
+        }
+    }
+}

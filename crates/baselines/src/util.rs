@@ -1,0 +1,196 @@
+//! Shared training scaffolding for the baselines.
+
+use hisres_data::DatasetSplits;
+use hisres_graph::{GlobalHistoryIndex, Quad, Snapshot};
+use hisres_tensor::{clip_grad_norm, Adam, NdArray, ParamStore, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-baseline optimisation schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct FitConfig {
+    /// Epochs over the training stream.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global-norm gradient clip.
+    pub grad_clip: f32,
+    /// RNG seed for shuffling/dropout.
+    pub seed: u64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { epochs: 10, lr: 0.01, grad_clip: 1.0, seed: 11 }
+    }
+}
+
+/// Training quads with inverse directions appended (the standard protocol:
+/// every model sees both orientations).
+pub fn with_inverses(quads: &[Quad], num_relations: usize) -> Vec<Quad> {
+    let nr = num_relations as u32;
+    let mut out = Vec::with_capacity(quads.len() * 2);
+    for q in quads {
+        out.push(*q);
+        out.push(q.inverse(nr));
+    }
+    out
+}
+
+/// Minibatch training over time-agnostic quads (static models): shuffles
+/// `(s, r) → o` samples each epoch and minimises cross-entropy with the
+/// supplied batch-scoring closure.
+pub fn train_static(
+    store: &ParamStore,
+    data: &DatasetSplits,
+    fit: &FitConfig,
+    batch_size: usize,
+    mut score_batch: impl FnMut(&[(u32, u32)], bool, &mut StdRng) -> Tensor,
+) {
+    let mut opt = Adam::new(store.params().cloned().collect(), fit.lr);
+    let mut rng = StdRng::seed_from_u64(fit.seed);
+    let samples = with_inverses(&data.train.quads, data.num_relations());
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    for _ in 0..fit.epochs {
+        // Fisher–Yates shuffle
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for chunk in order.chunks(batch_size) {
+            let queries: Vec<(u32, u32)> = chunk.iter().map(|&i| (samples[i].s, samples[i].r)).collect();
+            let targets: Vec<u32> = chunk.iter().map(|&i| samples[i].o).collect();
+            opt.zero_grad();
+            let logits = score_batch(&queries, true, &mut rng);
+            logits.softmax_cross_entropy(&targets).backward();
+            clip_grad_norm(store.params(), fit.grad_clip);
+            opt.step();
+        }
+    }
+}
+
+/// Sequential training over the timeline (temporal models): walks the
+/// training snapshots in order, calling `loss_at` for each non-empty
+/// snapshot with the dense history prefix and an incrementally built
+/// global-history index, and stepping the optimiser.
+pub fn train_sequential(
+    store: &ParamStore,
+    data: &DatasetSplits,
+    fit: &FitConfig,
+    mut loss_at: impl FnMut(&[Snapshot], &Snapshot, &GlobalHistoryIndex, &mut StdRng) -> Tensor,
+) {
+    let mut opt = Adam::new(store.params().cloned().collect(), fit.lr);
+    let mut rng = StdRng::seed_from_u64(fit.seed);
+    let snaps = hisres_graph::snapshot::partition(&data.train);
+    let nr = data.num_relations();
+    for _ in 0..fit.epochs {
+        let mut global = GlobalHistoryIndex::new();
+        for t in 0..snaps.len() {
+            let target = &snaps[t];
+            if target.triples.is_empty() {
+                continue;
+            }
+            if t == 0 {
+                global.add_snapshot(target, nr);
+                continue;
+            }
+            opt.zero_grad();
+            let loss = loss_at(&snaps[..t], target, &global, &mut rng);
+            loss.backward();
+            clip_grad_norm(store.params(), fit.grad_clip);
+            opt.step();
+            global.add_snapshot(target, nr);
+        }
+    }
+}
+
+/// Builds the `[queries, num_entities]` 0/1 historical-vocabulary mask
+/// matrix for a query batch.
+pub fn mask_matrix(
+    global: &GlobalHistoryIndex,
+    queries: &[(u32, u32)],
+    num_entities: usize,
+) -> NdArray {
+    let mut m = NdArray::zeros(queries.len(), num_entities);
+    for (i, &(s, r)) in queries.iter().enumerate() {
+        if let Some(objs) = global.objects(s, r) {
+            let row = m.row_mut(i);
+            for o in objs {
+                row[o as usize] = 1.0;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres_data::DatasetSplits;
+    use hisres_graph::Tkg;
+
+    fn tiny() -> DatasetSplits {
+        let quads: Vec<Quad> = (0..20).map(|t| Quad::new(t % 4, 0, (t + 1) % 4, t)).collect();
+        DatasetSplits::from_tkg("t", "1 step", &Tkg::new(4, 1, quads))
+    }
+
+    #[test]
+    fn with_inverses_doubles_and_offsets() {
+        let qs = with_inverses(&[Quad::new(0, 0, 1, 5)], 3);
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1], Quad::new(1, 3, 0, 5));
+    }
+
+    #[test]
+    fn mask_matrix_marks_seen_objects() {
+        let mut g = GlobalHistoryIndex::new();
+        g.add_triple(0, 0, 2);
+        let m = mask_matrix(&g, &[(0, 0), (1, 0)], 4);
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0; 4]);
+    }
+
+    #[test]
+    fn train_static_reduces_loss() {
+        // trivial model: a trainable [4*1*2 -> per-pair logit table]
+        let mut store = ParamStore::new();
+        let table = store.param("t", NdArray::zeros(8, 4)); // (s, r) pairs × entities
+        let data = tiny();
+        let fit = FitConfig { epochs: 30, lr: 0.1, ..Default::default() };
+        let t2 = table.clone();
+        train_static(&store, &data, &fit, 8, move |queries, _train, _rng| {
+            let ids: Vec<u32> = queries.iter().map(|&(s, r)| s + 4 * r.min(1)).collect();
+            t2.gather_rows(&ids)
+        });
+        // after training, the table rows should prefer the right objects:
+        // relation 0 maps s -> s+1 mod 4
+        let v = table.value_clone();
+        for s in 0..4usize {
+            let row = &v.as_slice()[s * 4..(s + 1) * 4];
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(best, (s + 1) % 4, "row {s}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn train_sequential_visits_every_nonempty_snapshot() {
+        let data = tiny();
+        let mut store = ParamStore::new();
+        let p = store.param("p", NdArray::scalar(0.0));
+        let mut visits = 0usize;
+        let fit = FitConfig { epochs: 2, ..Default::default() };
+        train_sequential(&store, &data, &fit, |hist, target, _g, _rng| {
+            visits += 1;
+            assert!(!target.triples.is_empty());
+            assert_eq!(hist.len(), target.t as usize);
+            p.mul(&p) // dummy differentiable loss
+        });
+        // 16 train timestamps; t=0 skipped; 2 epochs
+        assert_eq!(visits, 2 * (data.train.timestamps().len() - 1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Encoder-level benchmarks: the runtime cost of the three global
+//! aggregators the paper compares in Table 4 part 3 (ConvGAT vs CompGCN
+//! vs RGAT) on the same graph, plus one full evolutionary-encoder step.
+//! This is the ablation bench for the "attention is worth its cost"
+//! design choice called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hisres_graph::{EdgeList, Snapshot};
+use hisres_nn::{CompGcnLayer, ConvGatLayer, GruCell, RgatLayer};
+use hisres_tensor::{init, ParamStore, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_graph(rng: &mut StdRng, nodes: usize, edges: usize, rels: usize) -> EdgeList {
+    let mut e = EdgeList::new();
+    for _ in 0..edges {
+        e.push(
+            rng.gen_range(0..nodes as u32),
+            rng.gen_range(0..rels as u32),
+            rng.gen_range(0..nodes as u32),
+        );
+    }
+    e
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let (n, m, r2, d) = (200usize, 600usize, 40usize, 32usize);
+    let graph = random_graph(&mut rng, n, m, r2);
+    let ents = Tensor::constant(init::xavier_normal(n, d, &mut rng));
+    let rels = Tensor::constant(init::xavier_normal(r2, d, &mut rng));
+
+    let mut store = ParamStore::new();
+    let convgat = ConvGatLayer::new(&mut store, "cg", d, 3, &mut rng);
+    let compgcn = CompGcnLayer::new(&mut store, "cc", d, true, &mut rng);
+    let rgat = RgatLayer::new(&mut store, "rg", d, &mut rng);
+
+    c.bench_function("convgat_forward_600e", |b| {
+        b.iter(|| convgat.forward(black_box(&ents), black_box(&rels), black_box(&graph)))
+    });
+    c.bench_function("compgcn_forward_600e", |b| {
+        b.iter(|| compgcn.forward(black_box(&ents), black_box(&rels), black_box(&graph)))
+    });
+    c.bench_function("rgat_forward_600e", |b| {
+        b.iter(|| rgat.forward(black_box(&ents), black_box(&rels), black_box(&graph)))
+    });
+
+    // one evolutionary step: aggregate a snapshot then evolve through GRU
+    let gru = GruCell::new(&mut store, "gru", d, &mut rng);
+    let snap = Snapshot {
+        t: 0,
+        triples: (0..300)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n as u32),
+                    rng.gen_range(0..(r2 / 2) as u32),
+                    rng.gen_range(0..n as u32),
+                )
+            })
+            .collect(),
+    };
+    let snap_edges = EdgeList::from_snapshot(&snap, r2 / 2);
+    c.bench_function("evolution_step_300triples", |b| {
+        b.iter(|| {
+            let (agg, _r) = compgcn.forward(&ents, &rels, &snap_edges);
+            gru.forward(&agg, &ents)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_encoders
+}
+criterion_main!(benches);

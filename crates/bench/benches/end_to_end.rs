@@ -1,0 +1,68 @@
+//! End-to-end benchmarks: one HisRES training step (encode + joint loss +
+//! backward + Adam) and one evaluation step (encode + score a query batch)
+//! at icews14s-syn scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hisres::trainer::query_pairs;
+use hisres::{HisRes, HisResConfig};
+use hisres_graph::GlobalHistoryIndex;
+use hisres_tensor::{clip_grad_norm, no_grad, Adam};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = hisres_data::datasets::load("icews14s-syn");
+    let cfg = HisResConfig {
+        dim: 32,
+        conv_channels: 8,
+        history_len: 3,
+        ..Default::default()
+    };
+    let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
+    let snaps = hisres_graph::snapshot::partition(&data.train);
+    let nr = data.num_relations();
+
+    // pick a mid-timeline step with full history
+    let t = 50usize;
+    let target = &snaps[t];
+    assert!(!target.triples.is_empty());
+    let history = &snaps[t - 3..t];
+    let mut global = GlobalHistoryIndex::new();
+    for s in &snaps[..t] {
+        global.add_snapshot(s, nr);
+    }
+    let queries = query_pairs(&target.triples, nr);
+    let g_edges = global.relevant_graph(&queries);
+
+    let mut opt = Adam::new(model.store.params().cloned().collect(), 1e-3);
+    let mut rng = StdRng::seed_from_u64(0);
+    c.bench_function("hisres_train_step", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            let loss = model.loss_at(history, target.t, &target.triples, &g_edges, &mut rng);
+            loss.backward();
+            clip_grad_norm(model.store.params(), 1.0);
+            opt.step();
+        })
+    });
+
+    c.bench_function("hisres_eval_step", |b| {
+        b.iter(|| {
+            no_grad(|| {
+                let enc = model.encode(history, target.t as u32, &g_edges, false, &mut rng);
+                model.score_objects(&enc, &queries, false, &mut rng).value_clone()
+            })
+        })
+    });
+
+    c.bench_function("global_graph_construction", |b| {
+        b.iter(|| global.relevant_graph(&queries))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the tensor operators on the hot path of HisRES
+//! training: matmul (entity transform), gather/scatter (message passing),
+//! segment softmax (ConvGAT attention), 1-D convolution (decoders), and
+//! the fused cross-entropy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hisres_tensor::{NdArray, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_nd(rng: &mut StdRng, r: usize, c: usize) -> NdArray {
+    NdArray::from_vec((0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[r, c])
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let n = 200;
+    let d = 32;
+    let m = 800; // edges
+
+    let ents = rand_nd(&mut rng, n, d);
+    let w = rand_nd(&mut rng, d, d);
+    c.bench_function("matmul_200x32x32", |b| {
+        b.iter(|| black_box(&ents).matmul(black_box(&w)))
+    });
+
+    let table = rand_nd(&mut rng, n, d);
+    let idx: Vec<u32> = (0..m).map(|_| rng.gen_range(0..n as u32)).collect();
+    c.bench_function("gather_800_rows", |b| {
+        b.iter(|| black_box(&table).gather_rows(black_box(&idx)))
+    });
+
+    let msgs = rand_nd(&mut rng, m, d);
+    c.bench_function("scatter_add_800_rows", |b| {
+        b.iter(|| black_box(&msgs).scatter_add_rows(black_box(&idx), n))
+    });
+
+    let scores = Tensor::constant(rand_nd(&mut rng, m, 1));
+    let segs = idx.clone();
+    c.bench_function("segment_softmax_800_edges", |b| {
+        b.iter(|| black_box(&scores).segment_softmax(black_box(&segs), n))
+    });
+
+    let batch = Tensor::constant(rand_nd(&mut rng, 64, 2 * d));
+    let kernels = Tensor::constant(rand_nd(&mut rng, 8, 6));
+    c.bench_function("conv1d_64x2x32_8ch", |b| {
+        b.iter(|| black_box(&batch).conv1d_same(black_box(&kernels), 2, 3))
+    });
+
+    let logits = Tensor::param(rand_nd(&mut rng, 64, n));
+    let targets: Vec<u32> = (0..64).map(|_| rng.gen_range(0..n as u32)).collect();
+    c.bench_function("softmax_ce_64x200", |b| {
+        b.iter(|| black_box(&logits).softmax_cross_entropy(black_box(&targets)))
+    });
+
+    // backward through a small MLP — the tape overhead itself
+    let x = Tensor::param(rand_nd(&mut rng, 64, d));
+    let w1 = Tensor::param(rand_nd(&mut rng, d, d));
+    c.bench_function("forward_backward_mlp", |b| {
+        b.iter(|| {
+            let loss = x.matmul(&w1).tanh_act().sum_all();
+            loss.backward();
+            x.zero_grad();
+            w1.zero_grad();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Figure 5(a): sensitivity of HisRES to the granularity
+//! level (how many adjacent snapshots the inter-snapshot branch merges)
+//! on the ICEWS14s analog. The paper reports a near-flat curve with the
+//! best value at 2.
+//!
+//! `cargo run --release -p hisres-bench --bin fig5a` (append `--quick`).
+
+use hisres_bench::harness::{run_hisres, BenchSettings};
+use hisres_bench::paper::FIG5A_BEST_GRANULARITY;
+use hisres_data::datasets::load;
+
+fn main() {
+    let settings = BenchSettings::from_env();
+    let data = load("icews14s-syn");
+    println!("Figure 5(a) — granularity-level sweep on icews14s-syn");
+    println!("(paper: near-flat MRR, maximum at granularity {FIG5A_BEST_GRANULARITY})");
+    println!();
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "granularity", "MRR", "H@1", "H@3", "H@10");
+    let mut series = Vec::new();
+    for g in 1..=5usize {
+        let mut cfg = settings.hisres_config();
+        cfg.granularity = g;
+        // a window of g snapshots needs at least g of history to differ
+        cfg.history_len = settings.history_len.max(g + 1);
+        let row = run_hisres(&cfg, &data, &settings);
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            g, row.metrics[0], row.metrics[1], row.metrics[2], row.metrics[3]
+        );
+        series.push((g, row.metrics[0]));
+    }
+    let best = series.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    println!();
+    println!("measured best granularity: {} (MRR {:.2})", best.0, best.1);
+}

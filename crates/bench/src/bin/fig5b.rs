@@ -1,0 +1,33 @@
+//! Regenerates Figure 5(b): sensitivity of HisRES to the number of GNN
+//! hidden layers (CompGCN in the evolutionary encoder, ConvGAT in the
+//! global encoder) on the ICEWS14s analog. The paper reports 2 layers
+//! beating both 1 (too shallow for 2-hop structure) and 3 (oversmoothing).
+//!
+//! `cargo run --release -p hisres-bench --bin fig5b` (append `--quick`).
+
+use hisres_bench::harness::{run_hisres, BenchSettings};
+use hisres_bench::paper::FIG5B_BEST_LAYERS;
+use hisres_data::datasets::load;
+
+fn main() {
+    let settings = BenchSettings::from_env();
+    let data = load("icews14s-syn");
+    println!("Figure 5(b) — GNN hidden-layer sweep on icews14s-syn");
+    println!("(paper: best at {FIG5B_BEST_LAYERS} layers)");
+    println!();
+    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "layers", "MRR", "H@1", "H@3", "H@10");
+    let mut series = Vec::new();
+    for layers in 1..=3usize {
+        let mut cfg = settings.hisres_config();
+        cfg.gnn_layers = layers;
+        let row = run_hisres(&cfg, &data, &settings);
+        println!(
+            "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            layers, row.metrics[0], row.metrics[1], row.metrics[2], row.metrics[3]
+        );
+        series.push((layers, row.metrics[0]));
+    }
+    let best = series.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    println!();
+    println!("measured best layer count: {} (MRR {:.2})", best.0, best.1);
+}

@@ -1,0 +1,44 @@
+//! Supplementary experiment: sensitivity of HisRES to the local history
+//! length `l` at CPU-scale hyper-parameters.
+//!
+//! The paper grid-searches `l` per dataset (9/9/10/7 at d = 200 with
+//! lr = 1e-3, §4.1.3). At the lr = 1e-2 this reproduction's small step
+//! budget requires, longer windows deepen the BPTT chains and can
+//! destabilise training — this sweep makes that trade-off visible
+//! (test MRR and final-epoch training loss per window length), backing
+//! the grid-search note in EXPERIMENTS.md.
+//!
+//! `cargo run --release -p hisres-bench --bin history_sweep`
+
+use hisres::eval::{evaluate, Split};
+use hisres::trainer::{train, HisResEval};
+use hisres::HisRes;
+use hisres_bench::harness::BenchSettings;
+use hisres_data::datasets::load;
+
+fn main() {
+    let settings = BenchSettings::from_env();
+    let data = load("icews14s-syn");
+    println!("History-length sweep on icews14s-syn (HisRES, lr = {}, {} epochs)", settings.lr, settings.epochs);
+    println!("(paper grid-searches l per dataset at lr = 1e-3; see EXPERIMENTS.md)");
+    println!();
+    println!("{:<4} {:>8} {:>8} {:>12} {:>12}", "l", "MRR", "H@1", "first loss", "final loss");
+    for l in 1..=6usize {
+        let mut cfg = settings.hisres_config();
+        cfg.history_len = l;
+        let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
+        let report = train(&model, &data, &settings.train_config());
+        let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
+        println!(
+            "{:<4} {:>8.2} {:>8.2} {:>12.3} {:>12.3}",
+            l,
+            r.mrr,
+            r.hits[0],
+            report.epoch_losses.first().copied().unwrap_or(f32::NAN),
+            report.epoch_losses.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+    println!();
+    println!("a rising final loss at larger l marks the BPTT-depth instability");
+    println!("that made the paper's l = 9-10 settings untransferable at this lr.");
+}

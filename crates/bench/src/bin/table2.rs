@@ -1,0 +1,45 @@
+//! Regenerates Table 2: statistics of the four benchmark datasets
+//! (synthetic analogs), printed next to the paper's real-data numbers.
+
+use hisres_bench::paper::TABLE2;
+use hisres_data::analysis;
+use hisres_data::datasets::benchmark_suite;
+use hisres_data::stats::{header, DatasetStats};
+
+fn main() {
+    println!("Table 2 — dataset statistics");
+    println!();
+    println!("Paper (real datasets):");
+    println!("{}", header());
+    for row in TABLE2 {
+        let s = row.stats;
+        println!(
+            "{:<16} {:>9} {:>10} {:>15} {:>17} {:>14} {:>12}   {}",
+            row.dataset, s[0], s[1], s[2], s[3], s[4], s[5], row.granularity
+        );
+    }
+    println!();
+    println!("This reproduction (synthetic analogs, ~20-60x scaled down):");
+    println!("{}", header());
+    let suite = benchmark_suite();
+    for data in &suite {
+        println!("{}", DatasetStats::compute(data).row());
+    }
+
+    println!();
+    println!("Test-split characterisation (fraction of test facts that are ...):");
+    println!(
+        "{:<16} {:>22} {:>22} {:>22}",
+        "Dataset", "seen before (global)", "seen in last 3 steps", "1-step causal followup"
+    );
+    for data in &suite {
+        let p = analysis::profile(data);
+        println!(
+            "{:<16} {:>21.1}% {:>21.1}% {:>21.1}%",
+            data.name,
+            100.0 * p.repetition,
+            100.0 * p.recency,
+            100.0 * p.causal
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates Table 3: time-filtered entity extrapolation of the full
+//! model roster (5 static + 10 temporal baselines + HisRES) on the four
+//! benchmark analogs, with the paper's numbers side by side and the
+//! improvement-Δ row.
+//!
+//! Full run: `cargo run --release -p hisres-bench --bin table3`
+//! (a few minutes with the default thread pool). Smoke run: append
+//! `--quick`. Restrict datasets: `--datasets icews14s-syn,gdelt-syn`.
+//! Thread count: `--jobs N` (default: available parallelism, capped at 8).
+
+use hisres_bench::harness::{format_comparison, improvement_delta, run_table3_dataset_parallel, BenchSettings};
+use hisres_bench::paper::{TABLE3, TABLE3_ANALOGS, TABLE3_DATASETS};
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .skip_while(|a| a != "--jobs")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4)
+        });
+    let selected: Vec<String> = std::env::args()
+        .skip_while(|a| a != "--datasets")
+        .nth(1)
+        .map(|v| v.split(',').map(str::to_owned).collect())
+        .unwrap_or_else(|| TABLE3_ANALOGS.iter().map(|s| s.to_string()).collect());
+
+    println!("Table 3 — entity extrapolation, time-filtered metrics x100");
+    {
+        let s = BenchSettings::from_env();
+        println!(
+            "(paper columns `p*`: real datasets at d=200 on A800; measured `m*`: synthetic analogs at d={}, {} epochs)",
+            s.dim, s.epochs
+        );
+    }
+    println!();
+
+    for (di, analog) in TABLE3_ANALOGS.iter().enumerate() {
+        if !selected.iter().any(|s| s == analog) {
+            continue;
+        }
+        eprintln!("running {analog} ...");
+        let settings = BenchSettings::for_dataset(analog);
+        let measured = run_table3_dataset_parallel(analog, &settings, jobs);
+        let paper: Vec<(&str, Option<[f64; 4]>)> =
+            TABLE3.iter().map(|r| (r.model, r.datasets[di])).collect();
+        println!(
+            "{}",
+            format_comparison(
+                &format!("{} (analog: {analog})", TABLE3_DATASETS[di]),
+                &paper,
+                &measured
+            )
+        );
+        let d = improvement_delta(&measured);
+        println!(
+            "{:<22} | {:>35} | {:>6.2}% {:>6.2}% {:>6.2}% {:>6.2}%",
+            "improvement Δ", "(HisRES vs best baseline)", d[0], d[1], d[2], d[3]
+        );
+        println!();
+    }
+}

@@ -1,0 +1,253 @@
+//! Shared machinery for the table/figure binaries.
+
+use hisres::trainer::HisResEval;
+use hisres::{evaluate, EvalResult, HisRes, HisResConfig, Split, TrainConfig};
+use hisres_baselines::registry::{all_baselines, RosterConfig};
+use hisres_baselines::util::FitConfig;
+use hisres_data::datasets::load;
+use hisres_data::DatasetSplits;
+use std::time::Instant;
+
+/// Scale settings shared by every harness binary. `quick()` (env var
+/// `HISRES_QUICK=1` or `--quick`) trims epochs for smoke runs.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchSettings {
+    /// Embedding width.
+    pub dim: usize,
+    /// History window for all temporal models.
+    pub history_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate (scaled up from the paper's 1e-3 for the small step
+    /// budget of CPU-scale runs).
+    pub lr: f32,
+    /// Seed for parameter init / training.
+    pub seed: u64,
+}
+
+impl Default for BenchSettings {
+    fn default() -> Self {
+        Self { dim: 32, history_len: 3, epochs: 8, lr: 0.01, seed: 2024 }
+    }
+}
+
+impl BenchSettings {
+    /// Reduced-cost settings for smoke runs.
+    pub fn quick() -> Self {
+        Self { epochs: 2, ..Default::default() }
+    }
+
+    /// Resolves settings from the process arguments/environment.
+    pub fn from_env() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("HISRES_QUICK").is_ok_and(|v| v == "1");
+        if quick {
+            Self::quick()
+        } else {
+            Self::default()
+        }
+    }
+
+    /// Per-dataset settings. The paper grid-searches the history length
+    /// per dataset (9/9/10/7 at d = 200 with lr = 1e-3, §4.1.3); we
+    /// replicated that sweep at this scale and found that windows longer
+    /// than 3 *destabilise* several recurrent models at the lr = 1e-2 the
+    /// small step budget requires (losses oscillate through the deeper
+    /// BPTT chains; see EXPERIMENTS.md, "grid-search note"). The stable
+    /// uniform configuration is therefore used for every dataset — and,
+    /// importantly, for every model alike.
+    pub fn for_dataset(_name: &str) -> Self {
+        Self::from_env()
+    }
+
+    /// The HisRES configuration at these settings.
+    pub fn hisres_config(&self) -> HisResConfig {
+        HisResConfig {
+            dim: self.dim,
+            conv_channels: (self.dim / 4).max(2),
+            history_len: self.history_len,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// The training schedule at these settings.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            lr: self.lr,
+            patience: 0,
+            grad_clip: 1.0,
+            verbose: false,
+            seed: self.seed,
+        }
+    }
+
+    /// The baseline fit schedule at these settings.
+    pub fn fit_config(&self) -> FitConfig {
+        FitConfig { epochs: self.epochs, lr: self.lr, grad_clip: 1.0, seed: self.seed }
+    }
+}
+
+/// One measured row: model name + the four metrics.
+#[derive(Clone, Debug)]
+pub struct MetricRow {
+    /// Model name.
+    pub model: String,
+    /// `[MRR, H@1, H@3, H@10]` ×100.
+    pub metrics: [f64; 4],
+    /// Wall-clock seconds spent training + evaluating.
+    pub seconds: f64,
+}
+
+impl From<(EvalResult, f64)> for MetricRow {
+    fn from((r, seconds): (EvalResult, f64)) -> Self {
+        MetricRow { model: r.model, metrics: [r.mrr, r.hits[0], r.hits[1], r.hits[2]], seconds }
+    }
+}
+
+/// Trains HisRES with `cfg` on `data` and evaluates on test.
+pub fn run_hisres(cfg: &HisResConfig, data: &DatasetSplits, s: &BenchSettings) -> MetricRow {
+    let t0 = Instant::now();
+    let model = HisRes::new(cfg, data.num_entities(), data.num_relations());
+    hisres::train(&model, data, &s.train_config());
+    let res = evaluate(&HisResEval { model: &model }, data, Split::Test);
+    (res, t0.elapsed().as_secs_f64()).into()
+}
+
+/// Trains and evaluates the entire Table 3 roster (baselines + HisRES) on
+/// one dataset, reporting progress on stderr.
+pub fn run_table3_dataset(name: &str, s: &BenchSettings) -> Vec<MetricRow> {
+    let data = load(name);
+    let rc = RosterConfig { dim: s.dim, history_len: s.history_len, seed: s.seed };
+    let mut rows = Vec::new();
+    for mut baseline in all_baselines(data.num_entities(), data.num_relations(), &rc) {
+        let t0 = Instant::now();
+        baseline.fit(&data, &s.fit_config());
+        let res = evaluate(&baseline, &data, Split::Test);
+        eprintln!("  {name}: {} done ({:.1}s)", res.model, t0.elapsed().as_secs_f64());
+        rows.push((res, t0.elapsed().as_secs_f64()).into());
+    }
+    let row = run_hisres(&s.hisres_config(), &data, s);
+    eprintln!("  {name}: HisRES done ({:.1}s)", row.seconds);
+    rows.push(row);
+    rows
+}
+
+/// Like [`run_table3_dataset`], but trains the roster's models on
+/// `workers` threads. Every model is built, trained and evaluated entirely
+/// inside one thread (the autograd tape is thread-local), so results are
+/// bit-identical to the sequential run regardless of thread count.
+pub fn run_table3_dataset_parallel(name: &str, s: &BenchSettings, workers: usize) -> Vec<MetricRow> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let data = load(name);
+    let rc = RosterConfig { dim: s.dim, history_len: s.history_len, seed: s.seed };
+    let total = 16usize; // 15 baselines + HisRES
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, MetricRow)>> = Mutex::new(Vec::with_capacity(total));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let t0 = Instant::now();
+                let row: MetricRow = if i < 15 {
+                    let mut baseline = all_baselines(data.num_entities(), data.num_relations(), &rc)
+                        .swap_remove(i);
+                    baseline.fit(&data, &s.fit_config());
+                    let res = evaluate(&baseline, &data, Split::Test);
+                    (res, t0.elapsed().as_secs_f64()).into()
+                } else {
+                    run_hisres(&s.hisres_config(), &data, s)
+                };
+                eprintln!("  {name}: {} done ({:.1}s)", row.model, row.seconds);
+                results.lock().unwrap().push((i, row));
+            });
+        }
+    });
+
+    let mut rows = results.into_inner().unwrap();
+    rows.sort_by_key(|(i, _)| *i);
+    rows.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Formats a paper-vs-measured block for one dataset.
+pub fn format_comparison(
+    title: &str,
+    paper: &[(&str, Option<[f64; 4]>)],
+    measured: &[MetricRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {title} ===\n"));
+    out.push_str(&format!(
+        "{:<22} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}\n",
+        "Model", "pMRR", "pH@1", "pH@3", "pH@10", "mMRR", "mH@1", "mH@3", "mH@10"
+    ));
+    for (i, row) in measured.iter().enumerate() {
+        let p = paper.get(i).and_then(|(_, m)| *m);
+        let pstr = match p {
+            Some(m) => format!("{:>7.2} {:>7.2} {:>7.2} {:>7.2}", m[0], m[1], m[2], m[3]),
+            None => format!("{:>7} {:>7} {:>7} {:>7}", "-", "-", "-", "-"),
+        };
+        out.push_str(&format!(
+            "{:<22} | {} | {:>7.2} {:>7.2} {:>7.2} {:>7.2}\n",
+            row.model, pstr, row.metrics[0], row.metrics[1], row.metrics[2], row.metrics[3]
+        ));
+    }
+    out
+}
+
+/// The paper's improvement-Δ row: HisRES vs the best non-HisRES model,
+/// per metric, in percent.
+pub fn improvement_delta(measured: &[MetricRow]) -> [f64; 4] {
+    let hisres = measured.last().expect("HisRES row last");
+    let mut best = [f64::NEG_INFINITY; 4];
+    for row in &measured[..measured.len() - 1] {
+        for (b, &m) in best.iter_mut().zip(&row.metrics) {
+            *b = b.max(m);
+        }
+    }
+    std::array::from_fn(|k| 100.0 * (hisres.metrics[k] - best[k]) / best[k].max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_settings_trim_epochs() {
+        assert!(BenchSettings::quick().epochs < BenchSettings::default().epochs);
+    }
+
+    #[test]
+    fn hisres_config_is_valid() {
+        BenchSettings::default().hisres_config().validate().unwrap();
+    }
+
+    #[test]
+    fn improvement_delta_compares_to_best_runner_up() {
+        let rows = vec![
+            MetricRow { model: "a".into(), metrics: [40.0, 30.0, 45.0, 60.0], seconds: 0.0 },
+            MetricRow { model: "b".into(), metrics: [20.0, 35.0, 20.0, 20.0], seconds: 0.0 },
+            MetricRow { model: "HisRES".into(), metrics: [44.0, 38.5, 49.5, 66.0], seconds: 0.0 },
+        ];
+        let d = improvement_delta(&rows);
+        assert!((d[0] - 10.0).abs() < 1e-9);
+        assert!((d[1] - 10.0).abs() < 1e-9);
+        assert!((d[2] - 10.0).abs() < 1e-9);
+        assert!((d[3] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_comparison_handles_missing_paper_rows() {
+        let rows = vec![MetricRow { model: "RPC".into(), metrics: [1.0; 4], seconds: 0.0 }];
+        let s = format_comparison("t", &[("RPC", None)], &rows);
+        assert!(s.contains("RPC"));
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,153 @@
+//! A minimal dependency-free argument parser: one positional subcommand
+//! followed by `--key value` pairs and bare `--flag`s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Argument errors with user-facing messages.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut it = args.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `hisres help`".into()))?;
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a subcommand first, got option {command:?}; try `hisres help`"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {tok:?}")));
+            };
+            if key.is_empty() {
+                return Err(ArgError("empty option name `--`".into()));
+            }
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    options.insert(key.to_owned(), it.next().unwrap());
+                }
+                _ => flags.push(key.to_owned()),
+            }
+        }
+        Ok(Args { command, options, flags, consumed: Default::default() })
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(key.to_owned());
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// A parsed option with a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.consumed.borrow_mut().push(key.to_owned());
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Errors on options/flags the command never looked at (typo guard).
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !consumed.contains(key) {
+                return Err(ArgError(format!(
+                    "unknown option --{key} for `{}`",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("train --epochs 8 --verbose --lr 0.01").unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("epochs"), Some("8"));
+        assert_eq!(a.get("lr"), Some("0.01"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse("").is_err());
+        assert!(parse("--epochs 3").is_err());
+    }
+
+    #[test]
+    fn get_parse_applies_default_and_validates() {
+        let a = parse("x --n 5").unwrap();
+        assert_eq!(a.get_parse("n", 1usize).unwrap(), 5);
+        assert_eq!(a.get_parse("m", 7usize).unwrap(), 7);
+        let b = parse("x --n abc").unwrap();
+        assert!(b.get_parse("n", 1usize).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing_option() {
+        let a = parse("x").unwrap();
+        assert!(a.require("out").unwrap_err().to_string().contains("--out"));
+    }
+
+    #[test]
+    fn reject_unknown_catches_typos() {
+        let a = parse("x --epohcs 3").unwrap();
+        let _ = a.get("epochs");
+        assert!(a.reject_unknown().unwrap_err().to_string().contains("epohcs"));
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert!(parse("train extra").is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Implementations of the CLI subcommands.
+
+use crate::args::Args;
+use hisres::trainer::{train as train_model, HisResEval};
+use hisres::{
+    evaluate, evaluate_relations, HisRes, HisResConfig, Split, TrainConfig,
+};
+use hisres_data::datasets::{load as load_builtin, DatasetSplits};
+use hisres_data::loader::load_dir;
+use hisres_data::stats::{header, DatasetStats};
+use hisres_graph::{GlobalHistoryIndex, Quad, Tkg};
+use hisres_tensor::no_grad;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+const BUILTIN: [&str; 4] = ["icews14s-syn", "icews18-syn", "icews0515-syn", "gdelt-syn"];
+
+/// Resolves `--data` to a dataset: a built-in analog name or a directory.
+fn resolve_data(spec: &str) -> Result<DatasetSplits, Box<dyn std::error::Error>> {
+    if BUILTIN.contains(&spec) {
+        return Ok(load_builtin(spec));
+    }
+    let path = std::path::Path::new(spec);
+    if path.is_dir() {
+        return Ok(load_dir(path, spec, 1)?);
+    }
+    Err(format!(
+        "--data {spec:?} is neither a built-in dataset ({}) nor a directory",
+        BUILTIN.join(", ")
+    )
+    .into())
+}
+
+/// `hisres generate` — export a synthetic analog as a TSV directory.
+pub fn generate(args: &Args) -> CmdResult {
+    let name = args.require("dataset")?.to_owned();
+    let out = std::path::PathBuf::from(args.require("out")?);
+    args.reject_unknown()?;
+    if !BUILTIN.contains(&name.as_str()) {
+        return Err(format!("unknown dataset {name:?}; options: {}", BUILTIN.join(", ")).into());
+    }
+    let data = load_builtin(&name);
+    std::fs::create_dir_all(&out)?;
+    let dump = |quads: &[Quad]| {
+        quads
+            .iter()
+            .map(|q| format!("{}\t{}\t{}\t{}\n", q.s, q.r, q.o, q.t))
+            .collect::<String>()
+    };
+    std::fs::write(out.join("train.txt"), dump(&data.train.quads))?;
+    std::fs::write(out.join("valid.txt"), dump(&data.valid.quads))?;
+    std::fs::write(out.join("test.txt"), dump(&data.test.quads))?;
+    std::fs::write(
+        out.join("stat.txt"),
+        format!("{} {}\n", data.num_entities(), data.num_relations()),
+    )?;
+    println!(
+        "wrote {name} ({} train / {} valid / {} test facts) to {}",
+        data.train.len(),
+        data.valid.len(),
+        data.test.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `hisres stats` — Table 2 columns for a dataset.
+pub fn stats(args: &Args) -> CmdResult {
+    let data = resolve_data(args.require("data")?)?;
+    args.reject_unknown()?;
+    println!("{}", header());
+    println!("{}", DatasetStats::compute(&data).row());
+    Ok(())
+}
+
+/// `hisres train` — fit a model and save a checkpoint.
+pub fn train_cmd(args: &Args) -> CmdResult {
+    let data = resolve_data(args.require("data")?)?;
+    let out = args.require("out")?.to_owned();
+    let mut cfg = match args.get("ablation") {
+        Some(v) => HisResConfig::ablation(v),
+        None => HisResConfig::default(),
+    };
+    cfg.dim = args.get_parse("dim", 32usize)?;
+    cfg.conv_channels = (cfg.dim / 4).max(2);
+    cfg.history_len = args.get_parse("history", 3usize)?;
+    cfg.granularity = args.get_parse("granularity", cfg.granularity)?;
+    cfg.gnn_layers = args.get_parse("layers", cfg.gnn_layers)?;
+    cfg.seed = args.get_parse("seed", 42u64)?;
+    cfg.use_two_phase = args.flag("two-phase");
+    if let Some(k) = args.get("prune-topk") {
+        cfg.global_prune_topk = Some(
+            k.parse()
+                .map_err(|_| format!("--prune-topk: cannot parse {k:?}"))?,
+        );
+    }
+    let tc = TrainConfig {
+        epochs: args.get_parse("epochs", 8usize)?,
+        lr: args.get_parse("lr", 0.01f32)?,
+        patience: args.get_parse("patience", 3usize)?,
+        verbose: !args.flag("quiet"),
+        ..Default::default()
+    };
+    args.reject_unknown()?;
+    cfg.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+
+    let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
+    eprintln!(
+        "training on {} ({} entities, {} relations, {} params)",
+        data.name,
+        data.num_entities(),
+        data.num_relations(),
+        model.store.num_scalars()
+    );
+    let report = train_model(&model, &data, &tc);
+    model.save_checkpoint(&out)?;
+    println!(
+        "trained {} epochs (best valid MRR {:.2}); checkpoint written to {out}",
+        report.epochs_run, report.best_val_mrr
+    );
+    Ok(())
+}
+
+/// `hisres eval` — time-aware filtered metrics of a checkpoint.
+pub fn eval_cmd(args: &Args) -> CmdResult {
+    let model = HisRes::load_checkpoint(args.require("model")?)?;
+    let data = resolve_data(args.require("data")?)?;
+    let split = match args.get("split").unwrap_or("test") {
+        "test" => Split::Test,
+        "valid" => Split::Valid,
+        other => return Err(format!("--split must be test or valid, got {other:?}").into()),
+    };
+    let relations = args.flag("relations");
+    args.reject_unknown()?;
+    if model.num_entities() != data.num_entities() {
+        return Err(format!(
+            "checkpoint was trained for {} entities but the dataset has {}",
+            model.num_entities(),
+            data.num_entities()
+        )
+        .into());
+    }
+    let r = evaluate(&HisResEval { model: &model }, &data, split);
+    println!(
+        "entity prediction   MRR {:.2}  H@1 {:.2}  H@3 {:.2}  H@10 {:.2}  ({} queries)",
+        r.mrr, r.hits[0], r.hits[1], r.hits[2], r.queries
+    );
+    if relations {
+        let r = evaluate_relations(&model, &data, split);
+        println!(
+            "relation prediction MRR {:.2}  H@1 {:.2}  H@3 {:.2}  H@10 {:.2}  ({} queries)",
+            r.mrr, r.hits[0], r.hits[1], r.hits[2], r.queries
+        );
+    }
+    Ok(())
+}
+
+/// `hisres predict` — rank objects for one query after the known timeline.
+pub fn predict(args: &Args) -> CmdResult {
+    let model = HisRes::load_checkpoint(args.require("model")?)?;
+    let data = resolve_data(args.require("data")?)?;
+    let s: u32 = args.require("subject")?.parse().map_err(|_| "--subject must be an id")?;
+    let r: u32 = args.require("relation")?.parse().map_err(|_| "--relation must be an id")?;
+    let topk = args.get_parse("topk", 10usize)?;
+    let explain = args.flag("explain");
+    args.reject_unknown()?;
+    if s as usize >= data.num_entities() {
+        return Err(format!("subject {s} out of {} entities", data.num_entities()).into());
+    }
+    if r as usize >= 2 * data.num_relations() {
+        return Err(format!(
+            "relation {r} out of {} (raw + inverse)",
+            2 * data.num_relations()
+        )
+        .into());
+    }
+
+    // history = the entire known timeline
+    let all = Tkg::new(data.num_entities(), data.num_relations(), data.all_quads());
+    let snaps = hisres_graph::snapshot::partition(&all);
+    let predict_t = snaps.len() as u32;
+    let start = snaps.len().saturating_sub(model.cfg.history_len);
+    let mut global = GlobalHistoryIndex::new();
+    for snap in &snaps {
+        global.add_snapshot(snap, data.num_relations());
+    }
+    let queries = vec![(s, r)];
+    let k = model.cfg.global_prune_topk.unwrap_or(usize::MAX);
+    let g_edges = global.relevant_graph_pruned(&queries, k);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let scores = no_grad(|| {
+        let enc = model.encode(&snaps[start..], predict_t, &g_edges, false, &mut rng);
+        model.score_objects(&enc, &[(s, r)], false, &mut rng).value_clone()
+    });
+    let mut ranked: Vec<(usize, f32)> = scores.row(0).iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("query ({s}, {r}, ?, t={predict_t}) — top {topk}:");
+    for (rank, (o, score)) in ranked.iter().take(topk).enumerate() {
+        println!("  {:>3}. entity {:>5}  score {score:.4}", rank + 1, o);
+    }
+    if explain {
+        match model.explain_global(&snaps[start..], predict_t, &g_edges) {
+            Some(att) => {
+                let mut edges: Vec<(usize, f32)> = att.into_iter().enumerate().collect();
+                edges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                println!("most attended historical facts:");
+                for (i, w) in edges.iter().take(5) {
+                    println!(
+                        "  θ={w:.3}  ({}, {}, {})",
+                        g_edges.src[*i], g_edges.rel[*i], g_edges.dst[*i]
+                    );
+                }
+            }
+            None => println!("(no attention available: global encoder disabled or graph empty)"),
+        }
+    }
+    Ok(())
+}
+
+pub use eval_cmd as eval;
+pub use train_cmd as train;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned)).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hisres_cli_{}_{}", name, std::process::id()))
+    }
+
+    #[test]
+    fn resolve_data_accepts_builtin_names() {
+        let d = resolve_data("icews14s-syn").unwrap();
+        assert_eq!(d.num_entities(), 120);
+    }
+
+    #[test]
+    fn resolve_data_rejects_nonsense() {
+        assert!(resolve_data("does-not-exist").is_err());
+    }
+
+    #[test]
+    fn generate_then_stats_round_trip() {
+        let dir = tmp("gen");
+        let a = parse(&format!("generate --dataset icews14s-syn --out {}", dir.display()));
+        generate(&a).unwrap();
+        let d = resolve_data(dir.to_str().unwrap()).unwrap();
+        assert_eq!(d.num_entities(), 120);
+        assert!(d.train.len() > 1000);
+        let s = parse(&format!("stats --data {}", dir.display()));
+        stats(&s).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_eval_predict_round_trip() {
+        let data_dir = tmp("data");
+        generate(&parse(&format!(
+            "generate --dataset icews14s-syn --out {}",
+            data_dir.display()
+        )))
+        .unwrap();
+        let ckpt = tmp("model.ckpt");
+        train_cmd(&parse(&format!(
+            "train --data {} --out {} --epochs 1 --dim 8 --patience 0 --quiet",
+            data_dir.display(),
+            ckpt.display()
+        )))
+        .unwrap();
+        eval_cmd(&parse(&format!(
+            "eval --model {} --data {} --relations",
+            ckpt.display(),
+            data_dir.display()
+        )))
+        .unwrap();
+        predict(&parse(&format!(
+            "predict --model {} --data {} --subject 0 --relation 0 --topk 3 --explain",
+            ckpt.display(),
+            data_dir.display()
+        )))
+        .unwrap();
+        std::fs::remove_dir_all(&data_dir).ok();
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn train_rejects_unknown_option() {
+        let a = parse("train --data icews14s-syn --out /tmp/x --epohcs 1");
+        assert!(train_cmd(&a).unwrap_err().to_string().contains("epohcs"));
+    }
+
+    #[test]
+    fn eval_rejects_vocabulary_mismatch() {
+        let ckpt = tmp("mismatch.ckpt");
+        let cfg = HisResConfig { dim: 8, conv_channels: 2, ..Default::default() };
+        let m = HisRes::new(&cfg, 5, 2); // 5 entities, not 120
+        m.save_checkpoint(&ckpt).unwrap();
+        let a = parse(&format!("eval --model {} --data icews14s-syn", ckpt.display()));
+        let err = eval_cmd(&a).unwrap_err().to_string();
+        std::fs::remove_file(&ckpt).ok();
+        assert!(err.contains("entities"), "{err}");
+    }
+}

@@ -1,0 +1,73 @@
+//! `hisres` — command-line interface for the HisRES reproduction.
+//!
+//! ```text
+//! hisres generate --dataset icews14s-syn --out data/      # export analog as TSV
+//! hisres stats    --data data/                            # Table 2 style stats
+//! hisres train    --data data/ --epochs 8 --out model.ckpt
+//! hisres eval     --model model.ckpt --data data/ [--relations]
+//! hisres predict  --model model.ckpt --data data/ --subject 3 --relation 1
+//! ```
+//!
+//! `--data` accepts either a benchmark directory (`train.txt` etc.) or the
+//! name of a built-in synthetic analog (`icews14s-syn`, `icews18-syn`,
+//! `icews0515-syn`, `gdelt-syn`).
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+hisres — Historically Relevant Event Structuring for TKG reasoning
+
+USAGE: hisres <COMMAND> [OPTIONS]
+
+COMMANDS:
+  generate   Export a synthetic benchmark analog as a TSV directory
+             --dataset NAME --out DIR
+  stats      Print dataset statistics (Table 2 columns)
+             --data DIR|NAME
+  train      Train a HisRES model
+             --data DIR|NAME --out FILE [--epochs N=8] [--lr F=0.01]
+             [--dim N=32] [--history N=3] [--granularity N=2] [--layers N=2]
+             [--patience N=3] [--seed N=42] [--ablation VARIANT]
+             [--prune-topk N] [--two-phase] [--quiet]
+  eval       Evaluate a trained model (time-aware filtered metrics)
+             --model FILE --data DIR|NAME [--split test|valid] [--relations]
+  predict    Rank objects for a query at the end of the known timeline
+             --model FILE --data DIR|NAME --subject ID --relation ID
+             [--topk N=10] [--explain]
+  help       Show this message
+
+Built-in dataset names: icews14s-syn, icews18-syn, icews0515-syn, gdelt-syn";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" || argv[0] == "-h" {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "stats" => commands::stats(&args),
+        "train" => commands::train(&args),
+        "eval" => commands::eval(&args),
+        "predict" => commands::predict(&args),
+        other => Err(format!("unknown command {other:?}; try `hisres help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

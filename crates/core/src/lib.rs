@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # hisres
+//!
+//! A from-scratch Rust reproduction of **HisRES** — *Historically Relevant
+//! Event Structuring for Temporal Knowledge Graph Reasoning* (ICDE 2025).
+//!
+//! HisRES predicts future events `(subject, relation, ?, t)` over a
+//! temporal knowledge graph by combining:
+//!
+//! * a **multi-granularity evolutionary encoder** over the most recent
+//!   snapshots — per-snapshot CompGCN aggregation evolved by a GRU, plus a
+//!   second branch over *merged adjacent snapshots* that exposes 2-hop
+//!   causal chains across timestamps (§3.2);
+//! * a **global relevance encoder** over the *globally relevant graph*
+//!   (all historical facts matching the current query pairs), aggregated
+//!   with the attention layer **ConvGAT** (§3.4);
+//! * **self-gating** fusion of the resulting entity matrices (§3.3) and a
+//!   **ConvTransE** decoder trained with a joint entity/relation
+//!   objective (§3.5–3.6).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hisres::{HisRes, HisResConfig, TrainConfig};
+//! use hisres::trainer::{train, HisResEval};
+//! use hisres::eval::{evaluate, Split};
+//! use hisres_data::synthetic::{generate, SyntheticConfig};
+//! use hisres_data::DatasetSplits;
+//!
+//! // a tiny synthetic temporal knowledge graph
+//! let syn = generate(&SyntheticConfig {
+//!     num_entities: 20, num_relations: 4, num_timestamps: 25,
+//!     ..Default::default()
+//! });
+//! let data = DatasetSplits::from_tkg("demo", "1 step", &syn.tkg);
+//!
+//! // build and train
+//! let cfg = HisResConfig { dim: 8, conv_channels: 2, ..Default::default() };
+//! let model = HisRes::new(&cfg, 20, 4);
+//! let tc = TrainConfig { epochs: 1, patience: 0, ..Default::default() };
+//! train(&model, &data, &tc);
+//!
+//! // time-aware filtered evaluation
+//! let result = evaluate(&HisResEval { model: &model }, &data, Split::Test);
+//! println!("MRR {:.2}, Hits@1 {:.2}", result.mrr, result.hits[0]);
+//! ```
+//!
+//! The crates beneath this one are reusable on their own:
+//! `hisres-tensor` (autograd), `hisres-graph` (TKG structures),
+//! `hisres-data` (datasets), `hisres-nn` (layers), and `hisres-baselines`
+//! (the comparison models of Table 3).
+
+pub mod config;
+pub mod eval;
+pub mod model;
+pub mod multistep;
+pub mod trainer;
+
+pub use config::{GlobalAggregator, HisResConfig, TrainConfig};
+pub use eval::{evaluate, evaluate_relations, EvalResult, ExtrapolationModel, HistoryCtx, Split};
+pub use model::{Encoded, HisRes};
+pub use multistep::evaluate_multistep;
+pub use trainer::{train, HisResEval, TrainReport};

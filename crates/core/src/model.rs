@@ -1,0 +1,721 @@
+//! The HisRES model (paper §3).
+//!
+//! The model follows the encoder–decoder architecture of Figure 2:
+//!
+//! 1. **Multi-granularity evolutionary encoder** (§3.2) — walks the `l`
+//!    most recent snapshots twice: once per snapshot (intra-snapshot
+//!    CompGCN + GRU evolution with time encoding and relation updating,
+//!    eq. 1–6) and once over merged windows of `granularity` adjacent
+//!    snapshots (inter-snapshot, eq. 7), then fuses the two entity
+//!    matrices with a self-gate (eq. 8–9).
+//! 2. **Global relevance encoder** (§3.4) — aggregates the globally
+//!    relevant graph `G_t^H` (all historical facts matching the current
+//!    query pairs) with ConvGAT (eq. 10–11), and fuses with the local
+//!    encoding through a second self-gate (eq. 13–14).
+//! 3. **ConvTransE decoders** (eq. 12) for entity prediction and —
+//!    mirroring the joint objective of eq. 15 — relation prediction.
+//!
+//! Deviations from the paper, all documented in `DESIGN.md`: RReLU uses
+//! its deterministic expected slope; the raw and inverse query sets are
+//! processed in one combined pass rather than LogCL's two-phase schedule;
+//! the static graph module is a gated trainable table because the
+//! synthetic analogs carry no static side information.
+
+use crate::config::{GlobalAggregator, HisResConfig};
+use hisres_graph::{EdgeList, Snapshot};
+use hisres_nn::{
+    gating, CompGcnLayer, ConvGatLayer, ConvTransE, Embedding, GruCell, RgatLayer, SelfGating,
+    TimeEncoding,
+};
+use hisres_tensor::{NdArray, ParamStore, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The aggregator stack of the global relevance encoder.
+enum GlobalStack {
+    ConvGat(Vec<ConvGatLayer>),
+    CompGcn(Vec<CompGcnLayer>),
+    Rgat(Vec<RgatLayer>),
+}
+
+/// Output of the encoders: the fused entity matrix `E_t^φ` and the evolved
+/// relation matrix `R_t`.
+pub struct Encoded {
+    /// `[num_entities, d]` fused entity representations (eq. 13).
+    pub entities: Tensor,
+    /// `[2·num_relations, d]` relation representations (eq. 6).
+    pub relations: Tensor,
+}
+
+/// The HisRES model. All trainable parameters live in [`HisRes::store`].
+pub struct HisRes {
+    /// Hyper-parameters this model was built with.
+    pub cfg: HisResConfig,
+    /// Registry of every trainable parameter.
+    pub store: ParamStore,
+    num_entities: usize,
+    num_relations: usize,
+    ent_emb: Embedding,
+    static_emb: Option<Embedding>,
+    static_gate: Option<SelfGating>,
+    rel_emb: Embedding,
+    time_enc: Option<TimeEncoding>,
+    intra_layers: Vec<CompGcnLayer>,
+    ent_gru: GruCell,
+    rel_gru: GruCell,
+    inter_layers: Vec<CompGcnLayer>,
+    inter_gru: GruCell,
+    sg_local: SelfGating,
+    global_stack: GlobalStack,
+    sg_global: SelfGating,
+    dec_ent: ConvTransE,
+    dec_rel: ConvTransE,
+}
+
+impl HisRes {
+    /// Builds a model for a dataset with `num_entities` entities and
+    /// `num_relations` raw relations (inverse relations are added
+    /// internally).
+    pub fn new(cfg: &HisResConfig, num_entities: usize, num_relations: usize) -> Self {
+        cfg.validate().expect("invalid HisRES configuration");
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let d = cfg.dim;
+        let r2 = 2 * num_relations;
+
+        let ent_emb = Embedding::new(&mut store, "ent_emb", num_entities, d, &mut rng);
+        let (static_emb, static_gate) = if cfg.use_static {
+            (
+                Some(Embedding::new(&mut store, "static_emb", num_entities, d, &mut rng)),
+                Some(SelfGating::new(&mut store, "static_gate", d, &mut rng)),
+            )
+        } else {
+            (None, None)
+        };
+        let rel_emb = Embedding::new(&mut store, "rel_emb", r2, d, &mut rng);
+        let time_enc = cfg
+            .use_time_encoding
+            .then(|| TimeEncoding::new(&mut store, "time", d, &mut rng));
+
+        let intra_layers = (0..cfg.gnn_layers)
+            .map(|i| {
+                CompGcnLayer::new(
+                    &mut store,
+                    &format!("intra{i}"),
+                    d,
+                    cfg.use_relation_update,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let ent_gru = GruCell::new(&mut store, "ent_gru", d, &mut rng);
+        let rel_gru = GruCell::new(&mut store, "rel_gru", d, &mut rng);
+
+        // Inter-snapshot branch: CompGCN without relation updating or time
+        // encoding (§3.2.2), separate parameters.
+        let inter_layers = (0..cfg.gnn_layers)
+            .map(|i| CompGcnLayer::new(&mut store, &format!("inter{i}"), d, false, &mut rng))
+            .collect();
+        let inter_gru = GruCell::new(&mut store, "inter_gru", d, &mut rng);
+        let sg_local = SelfGating::new(&mut store, "sg_local", d, &mut rng);
+
+        let global_stack = match cfg.global_aggregator {
+            GlobalAggregator::ConvGat => GlobalStack::ConvGat(
+                (0..cfg.gnn_layers)
+                    .map(|i| {
+                        ConvGatLayer::new(
+                            &mut store,
+                            &format!("global{i}"),
+                            d,
+                            cfg.convgat_kernel,
+                            &mut rng,
+                        )
+                    })
+                    .collect(),
+            ),
+            GlobalAggregator::CompGcn => GlobalStack::CompGcn(
+                (0..cfg.gnn_layers)
+                    .map(|i| {
+                        CompGcnLayer::new(&mut store, &format!("global{i}"), d, false, &mut rng)
+                    })
+                    .collect(),
+            ),
+            GlobalAggregator::Rgat => GlobalStack::Rgat(
+                (0..cfg.gnn_layers)
+                    .map(|i| RgatLayer::new(&mut store, &format!("global{i}"), d, &mut rng))
+                    .collect(),
+            ),
+        };
+        let sg_global = SelfGating::new(&mut store, "sg_global", d, &mut rng);
+
+        let dec_ent = ConvTransE::new(
+            &mut store,
+            "dec_ent",
+            d,
+            cfg.conv_channels,
+            cfg.conv_kernel,
+            cfg.dropout,
+            &mut rng,
+        );
+        let dec_rel = ConvTransE::new(
+            &mut store,
+            "dec_rel",
+            d,
+            cfg.conv_channels,
+            cfg.conv_kernel,
+            cfg.dropout,
+            &mut rng,
+        );
+
+        Self {
+            cfg: cfg.clone(),
+            store,
+            num_entities,
+            num_relations,
+            ent_emb,
+            static_emb,
+            static_gate,
+            rel_emb,
+            time_enc,
+            intra_layers,
+            ent_gru,
+            rel_gru,
+            inter_layers,
+            inter_gru,
+            sg_local,
+            global_stack,
+            sg_global,
+            dec_ent,
+            dec_rel,
+        }
+    }
+
+    /// Entity count the model was built for.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Raw relation count the model was built for.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Initial entity matrix: the trainable table, statically enhanced when
+    /// configured.
+    fn initial_entities(&self) -> Tensor {
+        match (&self.static_emb, &self.static_gate) {
+            (Some(se), Some(gate)) => gate.fuse(&self.ent_emb.table, &se.table),
+            _ => self.ent_emb.table.clone(),
+        }
+    }
+
+    /// Mean-pools, per relation, the embeddings of the subject entities of
+    /// that relation's edges — the `pooling(E^R)` of eq. 6. Relations
+    /// absent from the snapshot get zero rows.
+    fn relation_pooled(&self, entities: &Tensor, edges: &EdgeList) -> Tensor {
+        let r2 = 2 * self.num_relations;
+        if edges.is_empty() {
+            return Tensor::constant(NdArray::zeros(r2, self.cfg.dim));
+        }
+        let subj = entities.gather_rows(&edges.src);
+        let summed = subj.scatter_add_rows(&edges.rel, r2);
+        // divide by per-relation counts
+        let mut counts = vec![0.0f32; r2];
+        for &r in &edges.rel {
+            counts[r as usize] += 1.0;
+        }
+        let inv: Vec<f32> = counts.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect();
+        summed.mul_col(&Tensor::constant(NdArray::from_vec(inv, &[r2, 1])))
+    }
+
+    /// Runs both encoders for a prediction at `predict_t`.
+    ///
+    /// * `history` — the most recent snapshots, chronological (the caller
+    ///   passes up to `cfg.history_len`; fewer is fine early in the
+    ///   timeline);
+    /// * `global_graph` — the globally relevant graph `G_t^H` built from
+    ///   the current query pairs (pass an empty list to skip);
+    /// * `training` — enables dropout (with `rng`).
+    pub fn encode<R: Rng>(
+        &self,
+        history: &[Snapshot],
+        predict_t: u32,
+        global_graph: &EdgeList,
+        _training: bool,
+        _rng: &mut R,
+    ) -> Encoded {
+        let e0 = self.initial_entities();
+        let mut rels = self.rel_emb.table.clone();
+
+        let local = if self.cfg.use_evolutionary && !history.is_empty() {
+            // --- intra-snapshot evolution (eq. 1–6) ---
+            let mut h = e0.clone();
+            for snap in history {
+                let gap = (predict_t.saturating_sub(snap.t)) as f32;
+                let e_in = match &self.time_enc {
+                    Some(te) => te.apply(&h, gap),
+                    None => h.clone(),
+                };
+                let edges = EdgeList::from_snapshot(snap, self.num_relations);
+                let mut e_agg = e_in.clone();
+                let mut r_agg = rels.clone();
+                for layer in &self.intra_layers {
+                    let (e, r) = layer.forward(&e_agg, &r_agg, &edges);
+                    e_agg = e;
+                    r_agg = r;
+                }
+                h = self.ent_gru.forward(&e_agg, &e_in);
+                let pooled = self.relation_pooled(&e_in, &edges);
+                rels = self.rel_gru.forward(&r_agg, &pooled);
+            }
+            let e_g = h;
+
+            if self.cfg.use_inter_snapshot {
+                // --- inter-snapshot evolution (eq. 7) ---
+                let mut hgg = e0.clone();
+                for window in history.chunks(self.cfg.granularity) {
+                    let refs: Vec<&Snapshot> = window.iter().collect();
+                    let edges = EdgeList::from_merged_snapshots(&refs, self.num_relations);
+                    let mut e_agg = hgg.clone();
+                    let mut r_pass = self.rel_emb.table.clone();
+                    for layer in &self.inter_layers {
+                        let (e, r) = layer.forward(&e_agg, &r_pass, &edges);
+                        e_agg = e;
+                        r_pass = r;
+                    }
+                    hgg = self.inter_gru.forward(&e_agg, &hgg);
+                }
+                if self.cfg.use_self_gating_local {
+                    self.sg_local.fuse(&e_g, &hgg)
+                } else {
+                    gating::sum_fusion(&e_g, &hgg)
+                }
+            } else {
+                e_g
+            }
+        } else {
+            e0
+        };
+
+        let entities = if self.cfg.use_global && !global_graph.is_empty() {
+            let mut eh = local.clone();
+            match &self.global_stack {
+                GlobalStack::ConvGat(layers) => {
+                    for l in layers {
+                        eh = l.forward(&eh, &rels, global_graph);
+                    }
+                }
+                GlobalStack::CompGcn(layers) => {
+                    for l in layers {
+                        let (e, _r) = l.forward(&eh, &rels, global_graph);
+                        eh = e;
+                    }
+                }
+                GlobalStack::Rgat(layers) => {
+                    for l in layers {
+                        eh = l.forward(&eh, &rels, global_graph);
+                    }
+                }
+            }
+            if self.cfg.use_self_gating_global {
+                self.sg_global.fuse(&eh, &local)
+            } else {
+                gating::sum_fusion(&eh, &local)
+            }
+        } else {
+            local
+        };
+
+        Encoded { entities, relations: rels }
+    }
+
+    /// Scores every entity as the object of each `(s, r)` query (eq. 12):
+    /// returns `[num_queries, num_entities]` logits.
+    pub fn score_objects<R: Rng>(
+        &self,
+        enc: &Encoded,
+        queries: &[(u32, u32)],
+        training: bool,
+        rng: &mut R,
+    ) -> Tensor {
+        let s_ids: Vec<u32> = queries.iter().map(|&(s, _)| s).collect();
+        let r_ids: Vec<u32> = queries.iter().map(|&(_, r)| r).collect();
+        let s_emb = enc.entities.gather_rows(&s_ids);
+        let r_emb = enc.relations.gather_rows(&r_ids);
+        self.dec_ent.score(&s_emb, &r_emb, &enc.entities, training, rng)
+    }
+
+    /// Scores every relation for each `(s, o)` pair (the relation
+    /// prediction task of eq. 15): returns `[num_queries, 2R]` logits.
+    pub fn score_relations<R: Rng>(
+        &self,
+        enc: &Encoded,
+        pairs: &[(u32, u32)],
+        training: bool,
+        rng: &mut R,
+    ) -> Tensor {
+        let s_ids: Vec<u32> = pairs.iter().map(|&(s, _)| s).collect();
+        let o_ids: Vec<u32> = pairs.iter().map(|&(_, o)| o).collect();
+        let s_emb = enc.entities.gather_rows(&s_ids);
+        let o_emb = enc.entities.gather_rows(&o_ids);
+        self.dec_rel.score(&s_emb, &o_emb, &enc.relations, training, rng)
+    }
+
+    /// The joint training loss at one timestamp (eq. 15).
+    ///
+    /// `triples` are the ground-truth events of the target snapshot; the
+    /// raw and inverse query sets are built internally.
+    pub fn loss_at<R: Rng>(
+        &self,
+        history: &[Snapshot],
+        predict_t: u32,
+        triples: &[(u32, u32, u32)],
+        global_graph: &EdgeList,
+        rng: &mut R,
+    ) -> Tensor {
+        assert!(!triples.is_empty(), "loss on an empty snapshot");
+        let nr = self.num_relations as u32;
+        let enc = self.encode(history, predict_t, global_graph, true, rng);
+
+        // entity prediction: raw + inverse queries
+        let mut queries: Vec<(u32, u32)> = Vec::with_capacity(triples.len() * 2);
+        let mut targets: Vec<u32> = Vec::with_capacity(triples.len() * 2);
+        for &(s, r, o) in triples {
+            queries.push((s, r));
+            targets.push(o);
+            queries.push((o, r + nr));
+            targets.push(s);
+        }
+        let ent_logits = self.score_objects(&enc, &queries, true, rng);
+        let ent_loss = ent_logits.softmax_cross_entropy(&targets);
+
+        // relation prediction: both orientations
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(triples.len() * 2);
+        let mut rel_targets: Vec<u32> = Vec::with_capacity(triples.len() * 2);
+        for &(s, r, o) in triples {
+            pairs.push((s, o));
+            rel_targets.push(r);
+            pairs.push((o, s));
+            rel_targets.push(r + nr);
+        }
+        let rel_logits = self.score_relations(&enc, &pairs, true, rng);
+        let rel_loss = rel_logits.softmax_cross_entropy(&rel_targets);
+
+        ent_loss
+            .scale(self.cfg.alpha)
+            .add(&rel_loss.scale(1.0 - self.cfg.alpha))
+    }
+
+    /// The joint loss under two-phase propagation (§4.1.3): the raw and
+    /// inverse query sets are encoded separately, each against its own
+    /// globally relevant graph. The two phase losses are averaged so the
+    /// objective's scale matches [`HisRes::loss_at`].
+    pub fn loss_at_two_phase<R: Rng>(
+        &self,
+        history: &[Snapshot],
+        predict_t: u32,
+        triples: &[(u32, u32, u32)],
+        raw_graph: &EdgeList,
+        inv_graph: &EdgeList,
+        rng: &mut R,
+    ) -> Tensor {
+        assert!(!triples.is_empty(), "loss on an empty snapshot");
+        let nr = self.num_relations as u32;
+
+        let phase = |graph: &EdgeList,
+                     queries: Vec<(u32, u32)>,
+                     targets: Vec<u32>,
+                     pairs: Vec<(u32, u32)>,
+                     rel_targets: Vec<u32>,
+                     rng: &mut R| {
+            let enc = self.encode(history, predict_t, graph, true, rng);
+            let ent = self
+                .score_objects(&enc, &queries, true, rng)
+                .softmax_cross_entropy(&targets);
+            let rel = self
+                .score_relations(&enc, &pairs, true, rng)
+                .softmax_cross_entropy(&rel_targets);
+            ent.scale(self.cfg.alpha).add(&rel.scale(1.0 - self.cfg.alpha))
+        };
+
+        let raw_loss = phase(
+            raw_graph,
+            triples.iter().map(|&(s, r, _)| (s, r)).collect(),
+            triples.iter().map(|&(_, _, o)| o).collect(),
+            triples.iter().map(|&(s, _, o)| (s, o)).collect(),
+            triples.iter().map(|&(_, r, _)| r).collect(),
+            rng,
+        );
+        let inv_loss = phase(
+            inv_graph,
+            triples.iter().map(|&(_, r, o)| (o, r + nr)).collect(),
+            triples.iter().map(|&(s, _, _)| s).collect(),
+            triples.iter().map(|&(s, _, o)| (o, s)).collect(),
+            triples.iter().map(|&(_, r, _)| r + nr).collect(),
+            rng,
+        );
+        raw_loss.add(&inv_loss).scale(0.5)
+    }
+
+    /// Saves a self-contained checkpoint (configuration + vocabulary sizes
+    /// + all parameter values) as JSON.
+    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let ckpt = serde_json::json!({
+            "format": "hisres-checkpoint-v1",
+            "config": self.cfg,
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "params": serde_json::from_str::<serde_json::Value>(&self.store.to_json())
+                .expect("param store serialises to valid JSON"),
+        });
+        std::fs::write(path, serde_json::to_string(&ckpt).expect("checkpoint serialisation"))
+    }
+
+    /// Rebuilds a model from a [`HisRes::save_checkpoint`] file.
+    pub fn load_checkpoint(path: impl AsRef<std::path::Path>) -> std::io::Result<HisRes> {
+        let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        let text = std::fs::read_to_string(path)?;
+        let v: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| bad(format!("invalid checkpoint: {e}")))?;
+        if v["format"] != "hisres-checkpoint-v1" {
+            return Err(bad(format!("unknown checkpoint format {}", v["format"])));
+        }
+        let cfg: HisResConfig = serde_json::from_value(v["config"].clone())
+            .map_err(|e| bad(format!("invalid config: {e}")))?;
+        let ne = v["num_entities"]
+            .as_u64()
+            .ok_or_else(|| bad("missing num_entities".into()))? as usize;
+        let nr = v["num_relations"]
+            .as_u64()
+            .ok_or_else(|| bad("missing num_relations".into()))? as usize;
+        let model = HisRes::new(&cfg, ne, nr);
+        model
+            .store
+            .load_json(&v["params"].to_string())
+            .map_err(|e| bad(format!("invalid parameters: {e}")))?;
+        Ok(model)
+    }
+
+    /// ConvGAT attention weights over the edges of `global_graph` for the
+    /// current encoding state (first global layer) — the explanation
+    /// signal used by the `event_forecasting` example. Returns `None` when
+    /// the global encoder is disabled or uses a non-attention aggregator.
+    pub fn explain_global(
+        &self,
+        history: &[Snapshot],
+        predict_t: u32,
+        global_graph: &EdgeList,
+    ) -> Option<Vec<f32>> {
+        if !self.cfg.use_global || global_graph.is_empty() {
+            return None;
+        }
+        let GlobalStack::ConvGat(layers) = &self.global_stack else {
+            return None;
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        hisres_tensor::no_grad(|| {
+            let enc_local =
+                self.encode(history, predict_t, &EdgeList::new(), false, &mut rng);
+            let att = layers[0].attention(&enc_local.entities, &enc_local.relations, global_graph);
+            Some(att.value_clone().into_vec())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres_graph::GlobalHistoryIndex;
+
+    fn toy_snapshots() -> Vec<Snapshot> {
+        vec![
+            Snapshot { t: 0, triples: vec![(0, 0, 1), (1, 1, 2)] },
+            Snapshot { t: 1, triples: vec![(1, 0, 2), (2, 1, 3)] },
+            Snapshot { t: 2, triples: vec![(0, 1, 3)] },
+        ]
+    }
+
+    fn small_cfg() -> HisResConfig {
+        HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() }
+    }
+
+    fn build() -> HisRes {
+        HisRes::new(&small_cfg(), 4, 2)
+    }
+
+    fn global_graph(snaps: &[Snapshot], queries: &[(u32, u32)]) -> EdgeList {
+        let mut idx = GlobalHistoryIndex::new();
+        for s in snaps {
+            idx.add_snapshot(s, 2);
+        }
+        idx.relevant_graph(queries)
+    }
+
+    #[test]
+    fn encode_produces_full_matrices() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = global_graph(&snaps, &[(0, 0), (1, 1)]);
+        let enc = m.encode(&snaps, 3, &g, false, &mut rng);
+        assert_eq!(enc.entities.shape(), (4, 8));
+        assert_eq!(enc.relations.shape(), (4, 8));
+    }
+
+    #[test]
+    fn encode_handles_empty_history_and_graph() {
+        let m = build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = m.encode(&[], 0, &EdgeList::new(), false, &mut rng);
+        assert_eq!(enc.entities.shape(), (4, 8));
+    }
+
+    #[test]
+    fn score_objects_shape() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = m.encode(&snaps, 3, &EdgeList::new(), false, &mut rng);
+        let s = m.score_objects(&enc, &[(0, 0), (2, 3)], false, &mut rng);
+        assert_eq!(s.shape(), (2, 4));
+    }
+
+    #[test]
+    fn score_relations_shape_covers_inverses() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = m.encode(&snaps, 3, &EdgeList::new(), false, &mut rng);
+        let s = m.score_relations(&enc, &[(0, 1)], false, &mut rng);
+        assert_eq!(s.shape(), (1, 4)); // 2 raw + 2 inverse relations
+    }
+
+    #[test]
+    fn loss_is_finite_and_backpropagates() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = global_graph(&snaps[..2], &[(0, 1)]);
+        let loss = m.loss_at(&snaps[..2], 2, &snaps[2].triples, &g, &mut rng);
+        let v = loss.value().item();
+        assert!(v.is_finite() && v > 0.0, "loss {v}");
+        loss.backward();
+        // the embedding tables must receive gradients
+        assert!(m.ent_emb.table.grad().is_some());
+        assert!(m.rel_emb.table.grad().is_some());
+    }
+
+    #[test]
+    fn every_parameter_gets_gradient_from_joint_loss() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let mut rng = StdRng::seed_from_u64(1);
+        // raw + inverse query pairs, as the trainer builds them
+        let queries: Vec<(u32, u32)> = snaps[2]
+            .triples
+            .iter()
+            .flat_map(|&(s, r, o)| [(s, r), (o, r + 2)])
+            .collect();
+        let g = global_graph(&snaps[..2], &queries);
+        assert!(!g.is_empty(), "test needs a non-empty global graph");
+        let loss = m.loss_at(&snaps[..2], 2, &snaps[2].triples, &g, &mut rng);
+        loss.backward();
+        let missing: Vec<&str> = m
+            .store
+            .named_params()
+            .filter(|(_, p)| p.grad().is_none())
+            .map(|(n, _)| n)
+            .collect();
+        assert!(missing.is_empty(), "parameters without gradient: {missing:?}");
+    }
+
+    #[test]
+    fn ablated_variants_encode_without_panic() {
+        for name in [
+            "HisRES-w/o-G",
+            "HisRES-w/o-GH",
+            "HisRES-w/o-MG",
+            "HisRES-w/o-SG1",
+            "HisRES-w/o-SG2",
+            "HisRES-w/o-RU",
+            "HisRES-w/-CompGCN",
+            "HisRES-w/-RGAT",
+        ] {
+            let mut cfg = HisResConfig::ablation(name);
+            cfg.dim = 8;
+            cfg.conv_channels = 2;
+            let m = HisRes::new(&cfg, 4, 2);
+            let snaps = toy_snapshots();
+            let mut rng = StdRng::seed_from_u64(0);
+            let g = global_graph(&snaps, &[(0, 0)]);
+            let enc = m.encode(&snaps, 3, &g, false, &mut rng);
+            assert_eq!(enc.entities.shape(), (4, 8), "variant {name}");
+        }
+    }
+
+    #[test]
+    fn explain_global_returns_normalised_attention() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let queries = vec![(0u32, 0u32), (1, 0), (1, 1)];
+        let g = global_graph(&snaps, &queries);
+        assert!(!g.is_empty());
+        let att = m.explain_global(&snaps, 3, &g).unwrap();
+        assert_eq!(att.len(), g.len());
+        assert!(att.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn explain_global_is_none_for_compgcn_aggregator() {
+        let mut cfg = small_cfg();
+        cfg.global_aggregator = GlobalAggregator::CompGcn;
+        let m = HisRes::new(&cfg, 4, 2);
+        let snaps = toy_snapshots();
+        let g = global_graph(&snaps, &[(0, 0)]);
+        assert!(m.explain_global(&snaps, 3, &g).is_none());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_model() {
+        let m = build();
+        let path = std::env::temp_dir()
+            .join(format!("hisres_model_ckpt_{}.json", std::process::id()));
+        m.save_checkpoint(&path).unwrap();
+        let back = HisRes::load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.num_entities(), m.num_entities());
+        assert_eq!(back.cfg.dim, m.cfg.dim);
+        // identical parameters => identical encodings
+        let snaps = toy_snapshots();
+        let mut r1 = StdRng::seed_from_u64(0);
+        let mut r2 = StdRng::seed_from_u64(0);
+        let a = m.encode(&snaps, 3, &EdgeList::new(), false, &mut r1);
+        let b = back.encode(&snaps, 3, &EdgeList::new(), false, &mut r2);
+        assert_eq!(a.entities.value_clone(), b.entities.value_clone());
+    }
+
+    #[test]
+    fn load_checkpoint_rejects_garbage() {
+        let path = std::env::temp_dir()
+            .join(format!("hisres_bad_ckpt_{}.json", std::process::id()));
+        std::fs::write(&path, "{\"format\": \"other\"}").unwrap();
+        let err = match HisRes::load_checkpoint(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage checkpoint loaded successfully"),
+        };
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("unknown checkpoint format"));
+    }
+
+    #[test]
+    fn eval_encoding_is_deterministic() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let g = global_graph(&snaps, &[(0, 0)]);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let a = m.encode(&snaps, 3, &g, false, &mut r1).entities.value_clone();
+        let b = m.encode(&snaps, 3, &g, false, &mut r2).entities.value_clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the TSV loader and the synthetic generator.
+
+use hisres_data::loader::{parse_named_quads, parse_quads};
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_graph::{Quad, Vocab};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn id_quads_round_trip_through_text(
+        quads in proptest::collection::vec((0u32..50, 0u32..10, 0u32..50, 0u32..100), 1..40)
+    ) {
+        let text: String = quads
+            .iter()
+            .map(|(s, r, o, t)| format!("{s}\t{r}\t{o}\t{t}\n"))
+            .collect();
+        let parsed = parse_quads(&text, 1).unwrap();
+        let expected: Vec<Quad> = quads
+            .iter()
+            .map(|&(s, r, o, t)| Quad::new(s, r, o, t))
+            .collect();
+        prop_assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn time_unit_division_floors(
+        raw_t in 0u32..10_000,
+        unit in 1u32..100,
+    ) {
+        let text = format!("0 0 1 {raw_t}\n");
+        let parsed = parse_quads(&text, unit).unwrap();
+        prop_assert_eq!(parsed[0].t, raw_t / unit);
+    }
+
+    #[test]
+    fn garbage_tokens_never_panic(line in "[a-z0-9 \\t.]{0,40}") {
+        // must return Ok or Err, never panic
+        let _ = parse_quads(&line, 1);
+    }
+
+    #[test]
+    fn named_quads_share_ids_for_equal_names(
+        names in proptest::collection::vec("[a-c]{1,2}", 4..20)
+    ) {
+        // build lines cycling through the small name pool
+        let text: String = names
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .enumerate()
+            .map(|(i, c)| format!("{}\trel\t{}\t{}\n", c[0], c[1], i))
+            .collect();
+        let mut ents = Vocab::new();
+        let mut rels = Vocab::new();
+        let quads = parse_named_quads(&text, &mut ents, &mut rels).unwrap();
+        // id count equals distinct names
+        let mut distinct: Vec<&String> = names.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert!(ents.len() <= distinct.len());
+        // every id maps back to a name that reproduces the id
+        for q in &quads {
+            let name = ents.name(q.s).unwrap().to_owned();
+            prop_assert_eq!(ents.get(&name), Some(q.s));
+        }
+    }
+
+    #[test]
+    fn generator_respects_configured_bounds(
+        ne in 3usize..30,
+        nr in 2usize..8,
+        nt in 2usize..30,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SyntheticConfig {
+            num_entities: ne,
+            num_relations: nr,
+            num_timestamps: nt,
+            periodic_patterns: 5,
+            period_range: (1, 4),
+            causal_rules: 1,
+            trigger_events_per_t: 2,
+            recency_draws_per_t: 1,
+            noise_events_per_t: 1,
+            seed,
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        prop_assert_eq!(g.tkg.num_entities, ne);
+        prop_assert_eq!(g.tkg.num_relations, nr);
+        prop_assert!(g.tkg.num_timestamps() <= nt);
+        for q in &g.tkg.quads {
+            prop_assert!((q.s as usize) < ne && (q.o as usize) < ne);
+            prop_assert!((q.r as usize) < nr);
+            prop_assert!((q.t as usize) < nt);
+        }
+    }
+
+    #[test]
+    fn generator_snapshots_have_no_duplicate_triples(seed in 0u64..200) {
+        let cfg = SyntheticConfig {
+            num_entities: 15,
+            num_relations: 4,
+            num_timestamps: 20,
+            seed,
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        let snaps = hisres_graph::snapshot::partition(&g.tkg);
+        for s in snaps {
+            let mut t = s.triples.clone();
+            t.dedup();
+            prop_assert_eq!(t.len(), s.triples.len());
+        }
+    }
+}

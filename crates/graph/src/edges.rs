@@ -1,0 +1,160 @@
+//! Flat edge lists — the format GNN layers consume.
+
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// A multigraph as three parallel arrays. Edge `i` runs
+/// `src[i] --rel[i]--> dst[i]`. Layers gather source/relation embeddings by
+/// index, transform the resulting message matrix densely, and scatter-add
+/// into destinations — so this layout *is* the message-passing plan.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeList {
+    /// Source entity per edge.
+    pub src: Vec<u32>,
+    /// Relation per edge (may include inverse ids `>= num_relations`).
+    pub rel: Vec<u32>,
+    /// Destination entity per edge.
+    pub dst: Vec<u32>,
+}
+
+impl EdgeList {
+    /// Empty edge list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// True when there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Appends one edge.
+    pub fn push(&mut self, s: u32, r: u32, d: u32) {
+        self.src.push(s);
+        self.rel.push(r);
+        self.dst.push(d);
+    }
+
+    /// Builds the *augmented* edge list of one snapshot: every triple
+    /// `(s, r, o)` contributes the raw edge plus its inverse
+    /// `(o, r + num_relations, s)`, the standard CompGCN/RE-GCN treatment
+    /// that lets information flow both ways.
+    pub fn from_snapshot(snap: &Snapshot, num_relations: usize) -> Self {
+        let mut e = EdgeList::new();
+        for &(s, r, o) in &snap.triples {
+            e.push(s, r, o);
+            e.push(o, r + num_relations as u32, s);
+        }
+        e
+    }
+
+    /// Builds one merged, deduplicated edge list from several adjacent
+    /// snapshots — the paper's *inter-snapshot* graph (§3.2.2), which makes
+    /// 2-hop causal chains across neighbouring timestamps reachable by a
+    /// 2-layer GNN.
+    pub fn from_merged_snapshots(snaps: &[&Snapshot], num_relations: usize) -> Self {
+        let mut triples: Vec<(u32, u32, u32)> = snaps
+            .iter()
+            .flat_map(|s| s.triples.iter().copied())
+            .collect();
+        triples.sort_unstable();
+        triples.dedup();
+        let merged = Snapshot { t: snaps.last().map_or(0, |s| s.t), triples };
+        Self::from_snapshot(&merged, num_relations)
+    }
+
+    /// In-degree of every destination node (for mean-style normalisation).
+    pub fn in_degrees(&self, num_nodes: usize) -> Vec<u32> {
+        let mut deg = vec![0u32; num_nodes];
+        for &d in &self.dst {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Per-edge normalisation factor `1 / in_degree(dst)` — the `c_o`
+    /// coefficient RE-GCN applies inside eq. 3's sum to keep aggregation
+    /// scale-free across nodes of very different degree.
+    pub fn inv_in_degree_per_edge(&self, num_nodes: usize) -> Vec<f32> {
+        let deg = self.in_degrees(num_nodes);
+        self.dst
+            .iter()
+            .map(|&d| 1.0 / deg[d as usize].max(1) as f32)
+            .collect()
+    }
+
+    /// The distinct node ids touched by any edge.
+    pub fn active_nodes(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.src.iter().chain(&self.dst).copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: u32, triples: Vec<(u32, u32, u32)>) -> Snapshot {
+        Snapshot { t, triples }
+    }
+
+    #[test]
+    fn from_snapshot_adds_inverses() {
+        let e = EdgeList::from_snapshot(&snap(0, vec![(0, 1, 2)]), 3);
+        assert_eq!(e.len(), 2);
+        assert_eq!((e.src[0], e.rel[0], e.dst[0]), (0, 1, 2));
+        assert_eq!((e.src[1], e.rel[1], e.dst[1]), (2, 4, 0));
+    }
+
+    #[test]
+    fn merged_snapshots_deduplicate() {
+        let a = snap(0, vec![(0, 0, 1), (1, 0, 2)]);
+        let b = snap(1, vec![(1, 0, 2), (2, 0, 3)]);
+        let e = EdgeList::from_merged_snapshots(&[&a, &b], 1);
+        // 3 unique triples, each with an inverse
+        assert_eq!(e.len(), 6);
+    }
+
+    #[test]
+    fn merged_snapshot_connects_across_time() {
+        // (0 -r-> 1) at t and (1 -r-> 2) at t+1: in the merged graph node 2
+        // is 2 hops from node 0 — the Figure 1 red-link pattern.
+        let a = snap(0, vec![(0, 0, 1)]);
+        let b = snap(1, vec![(1, 0, 2)]);
+        let e = EdgeList::from_merged_snapshots(&[&a, &b], 1);
+        assert!(e.src.contains(&0) && e.dst.contains(&2));
+    }
+
+    #[test]
+    fn in_degrees_count_incoming() {
+        let mut e = EdgeList::new();
+        e.push(0, 0, 2);
+        e.push(1, 0, 2);
+        e.push(2, 0, 0);
+        assert_eq!(e.in_degrees(3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn inv_in_degree_is_reciprocal() {
+        let mut e = EdgeList::new();
+        e.push(0, 0, 1);
+        e.push(2, 0, 1);
+        let norms = e.inv_in_degree_per_edge(3);
+        assert_eq!(norms, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn active_nodes_unique_sorted() {
+        let mut e = EdgeList::new();
+        e.push(3, 0, 1);
+        e.push(1, 0, 3);
+        assert_eq!(e.active_nodes(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Time-aware filtered evaluation (§4.1.4).
+//!
+//! When ranking the true object of `(s, r, ?, t)` against all entities, the
+//! *time-aware filtered* protocol removes every other entity `o'` such that
+//! `(s, r, o', t)` is also a true fact **at the same timestamp** — unlike
+//! the static filtered setting, facts from other timestamps are *not*
+//! removed, because an event that held yesterday may legitimately compete
+//! today.
+
+use crate::quad::Quad;
+use std::collections::HashMap;
+
+/// Index from `(s, r, t)` to the set of true objects at that timestamp.
+#[derive(Clone, Debug, Default)]
+pub struct TimeFilter {
+    map: HashMap<(u32, u32, u32), Vec<u32>>,
+}
+
+impl TimeFilter {
+    /// Builds the filter from every quad of the full dataset (train + valid
+    /// + test, both directions if the caller adds inverse quads).
+    pub fn from_quads<'a>(quads: impl IntoIterator<Item = &'a Quad>) -> Self {
+        let mut map: HashMap<(u32, u32, u32), Vec<u32>> = HashMap::new();
+        for q in quads {
+            let v = map.entry((q.s, q.r, q.t)).or_default();
+            if !v.contains(&q.o) {
+                v.push(q.o);
+            }
+        }
+        Self { map }
+    }
+
+    /// The other true objects of `(s, r, t)` (including `o` itself).
+    pub fn true_objects(&self, s: u32, r: u32, t: u32) -> &[u32] {
+        self.map.get(&(s, r, t)).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Time-filtered rank of the gold object: 1 + the number of entities
+    /// scoring strictly higher than gold, after the scores of other true
+    /// objects at the same timestamp are ignored. Ties ahead of gold are
+    /// averaged (standard `(strictly_higher + ties/2)` midpoint), which
+    /// avoids rewarding models that emit constant scores.
+    pub fn filtered_rank(&self, scores: &[f32], q: &Quad) -> f64 {
+        let gold = q.o as usize;
+        let gold_score = scores[gold];
+        let truth = self.true_objects(q.s, q.r, q.t);
+        let mut higher = 0usize;
+        let mut ties = 0usize;
+        for (i, &sc) in scores.iter().enumerate() {
+            if i == gold || truth.contains(&(i as u32)) {
+                continue;
+            }
+            if sc > gold_score {
+                higher += 1;
+            } else if sc == gold_score {
+                ties += 1;
+            }
+        }
+        1.0 + higher as f64 + ties as f64 / 2.0
+    }
+}
+
+/// Accumulates MRR and Hits@k from a stream of ranks.
+#[derive(Clone, Debug, Default)]
+pub struct RankMetrics {
+    /// Sum of reciprocal ranks.
+    pub rr_sum: f64,
+    /// Hit counters for the thresholds in [`RankMetrics::HITS_AT`].
+    pub hits: [usize; 3],
+    /// Number of ranked queries.
+    pub count: usize,
+}
+
+impl RankMetrics {
+    /// The Hits@k thresholds reported by the paper: 1, 3, 10.
+    pub const HITS_AT: [usize; 3] = [1, 3, 10];
+
+    /// Records one rank.
+    pub fn push(&mut self, rank: f64) {
+        self.rr_sum += 1.0 / rank;
+        for (slot, &k) in self.hits.iter_mut().zip(Self::HITS_AT.iter()) {
+            if rank <= k as f64 {
+                *slot += 1;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Mean reciprocal rank (×100, as the paper reports).
+    pub fn mrr(&self) -> f64 {
+        100.0 * self.rr_sum / self.count.max(1) as f64
+    }
+
+    /// Hits@{1,3,10} (×100).
+    pub fn hits_at(&self) -> [f64; 3] {
+        let n = self.count.max(1) as f64;
+        [
+            100.0 * self.hits[0] as f64 / n,
+            100.0 * self.hits[1] as f64 / n,
+            100.0 * self.hits[2] as f64 / n,
+        ]
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RankMetrics) {
+        self.rr_sum += other.rr_sum;
+        for (a, b) in self.hits.iter_mut().zip(other.hits) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_one_when_gold_scores_highest() {
+        let f = TimeFilter::from_quads(&[Quad::new(0, 0, 1, 0)]);
+        let rank = f.filtered_rank(&[0.1, 0.9, 0.2], &Quad::new(0, 0, 1, 0));
+        assert_eq!(rank, 1.0);
+    }
+
+    #[test]
+    fn other_true_objects_are_filtered_out() {
+        // both 1 and 2 are true at t=0; entity 2 scores above gold 1 but is
+        // removed by the time filter.
+        let truth = vec![Quad::new(0, 0, 1, 0), Quad::new(0, 0, 2, 0)];
+        let f = TimeFilter::from_quads(&truth);
+        let rank = f.filtered_rank(&[0.0, 0.5, 0.9], &Quad::new(0, 0, 1, 0));
+        assert_eq!(rank, 1.0);
+    }
+
+    #[test]
+    fn same_fact_other_timestamp_still_competes() {
+        // (0,0,2) is only true at t=1, so at t=0 entity 2 is NOT filtered.
+        let truth = vec![Quad::new(0, 0, 1, 0), Quad::new(0, 0, 2, 1)];
+        let f = TimeFilter::from_quads(&truth);
+        let rank = f.filtered_rank(&[0.0, 0.5, 0.9], &Quad::new(0, 0, 1, 0));
+        assert_eq!(rank, 2.0);
+    }
+
+    #[test]
+    fn ties_are_averaged() {
+        let f = TimeFilter::from_quads(&[Quad::new(0, 0, 0, 0)]);
+        // all-equal scores over 5 entities: expected rank (1 + 5)/2 = 3
+        let rank = f.filtered_rank(&[0.5; 5], &Quad::new(0, 0, 0, 0));
+        assert_eq!(rank, 3.0);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut m = RankMetrics::default();
+        m.push(1.0);
+        m.push(4.0);
+        m.push(20.0);
+        assert_eq!(m.count, 3);
+        assert!((m.mrr() - 100.0 * (1.0 + 0.25 + 0.05) / 3.0).abs() < 1e-9);
+        let h = m.hits_at();
+        assert!((h[0] - 100.0 / 3.0).abs() < 1e-9);
+        assert!((h[1] - 100.0 / 3.0).abs() < 1e-9);
+        assert!((h[2] - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_merge_equals_combined_stream() {
+        let mut a = RankMetrics::default();
+        a.push(1.0);
+        a.push(2.0);
+        let mut b = RankMetrics::default();
+        b.push(3.0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut all = RankMetrics::default();
+        for r in [1.0, 2.0, 3.0] {
+            all.push(r);
+        }
+        assert!((merged.mrr() - all.mrr()).abs() < 1e-12);
+        assert_eq!(merged.hits, all.hits);
+    }
+}

@@ -1,0 +1,284 @@
+//! Global history: the `(s, r) → {o}` index behind the paper's *globally
+//! relevant graph* `G_t^H` (§3.4.1) and the historical-vocabulary masks of
+//! the copy-generation baselines.
+//!
+//! The index is built incrementally as the timeline advances (`add_quad` /
+//! `add_snapshot`), so constructing `G_t^H` for the queries at time `t`
+//! never rescans the whole history.
+
+use crate::edges::EdgeList;
+use crate::quad::Quad;
+use crate::snapshot::Snapshot;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Incremental index of all facts strictly before the current prediction
+/// time, keyed by query pair `(s, r)`. Each object also remembers the
+/// timestamp it was last observed at, enabling the recency-pruned global
+/// graph (the paper's future-work extension, §5).
+#[derive(Clone, Debug, Default)]
+pub struct GlobalHistoryIndex {
+    /// `(s, r) → objects` sorted by object id; `last_seen` parallel.
+    map: HashMap<(u32, u32), Vec<(u32, u32)>>,
+    num_facts: usize,
+}
+
+impl GlobalHistoryIndex {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one historical fact at its own timestamp.
+    pub fn add_quad(&mut self, q: &Quad) {
+        self.add_triple_at(q.s, q.r, q.o, q.t);
+    }
+
+    /// Records one historical `(s, r, o)` triple (deduplicated per pair)
+    /// with an unknown timestamp (recorded as 0).
+    pub fn add_triple(&mut self, s: u32, r: u32, o: u32) {
+        self.add_triple_at(s, r, o, 0);
+    }
+
+    /// Records one historical `(s, r, o)` triple observed at time `t`;
+    /// repeated observations keep the most recent timestamp.
+    pub fn add_triple_at(&mut self, s: u32, r: u32, o: u32, t: u32) {
+        match self.map.entry((s, r)) {
+            Entry::Occupied(mut e) => {
+                let v = e.get_mut();
+                match v.binary_search_by_key(&o, |&(obj, _)| obj) {
+                    Ok(pos) => v[pos].1 = v[pos].1.max(t),
+                    Err(pos) => {
+                        v.insert(pos, (o, t));
+                        self.num_facts += 1;
+                    }
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(vec![(o, t)]);
+                self.num_facts += 1;
+            }
+        }
+    }
+
+    /// Records every triple of a snapshot, raw and inverse direction, so
+    /// queries from the inverse phase also find their history.
+    pub fn add_snapshot(&mut self, snap: &Snapshot, num_relations: usize) {
+        for &(s, r, o) in &snap.triples {
+            self.add_triple_at(s, r, o, snap.t);
+            self.add_triple_at(o, r + num_relations as u32, s, snap.t);
+        }
+    }
+
+    /// Distinct `(s, r, o)` facts recorded.
+    pub fn len(&self) -> usize {
+        self.num_facts
+    }
+
+    /// True when no history has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.num_facts == 0
+    }
+
+    /// The historical objects of a query pair, if any (sorted by id).
+    pub fn objects(&self, s: u32, r: u32) -> Option<Vec<u32>> {
+        self.map
+            .get(&(s, r))
+            .map(|v| v.iter().map(|&(o, _)| o).collect())
+    }
+
+    /// The historical objects of a query pair with their most recent
+    /// observation timestamps.
+    pub fn objects_with_recency(&self, s: u32, r: u32) -> Option<&[(u32, u32)]> {
+        self.map.get(&(s, r)).map(|v| v.as_slice())
+    }
+
+    /// Builds the globally relevant graph `G_t^H`: the union of all
+    /// historical facts whose `(s, r)` pair occurs in `queries`
+    /// (deduplicated). This is the paper's expansion of historical
+    /// statistics into an actual graph — only query-relevant facts enter,
+    /// keeping the graph much smaller than HGLS-style full-history graphs.
+    pub fn relevant_graph(&self, queries: &[(u32, u32)]) -> EdgeList {
+        self.relevant_graph_pruned(queries, usize::MAX)
+    }
+
+    /// [`GlobalHistoryIndex::relevant_graph`] with recency pruning — the
+    /// paper's future-work direction ("exploring pruning techniques for
+    /// global relevance"): only the `top_k` most recently observed objects
+    /// of each query pair contribute edges. `usize::MAX` disables pruning.
+    pub fn relevant_graph_pruned(&self, queries: &[(u32, u32)], top_k: usize) -> EdgeList {
+        let mut seen: Vec<(u32, u32, u32)> = Vec::new();
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for &(s, r) in queries {
+            if let Some(objs) = self.map.get(&(s, r)) {
+                if objs.len() <= top_k {
+                    for &(o, _) in objs {
+                        seen.push((s, r, o));
+                    }
+                } else {
+                    scratch.clear();
+                    scratch.extend_from_slice(objs);
+                    // most recent first; ties broken by object id for
+                    // determinism
+                    scratch.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    for &(o, _) in scratch.iter().take(top_k) {
+                        seen.push((s, r, o));
+                    }
+                }
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        let mut e = EdgeList::new();
+        for (s, r, o) in seen {
+            e.push(s, r, o);
+        }
+        e
+    }
+
+    /// CyGNet/TiRGN-style historical vocabulary mask for one query: a dense
+    /// `num_entities` 0/1 vector marking objects seen with `(s, r)` before.
+    pub fn mask(&self, s: u32, r: u32, num_entities: usize) -> HistoryMask {
+        let mut m = vec![0.0f32; num_entities];
+        if let Some(objs) = self.map.get(&(s, r)) {
+            for &(o, _) in objs {
+                m[o as usize] = 1.0;
+            }
+        }
+        HistoryMask(m)
+    }
+}
+
+/// Dense 0/1 historical-vocabulary vector for one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryMask(pub Vec<f32>);
+
+impl HistoryMask {
+    /// Number of historical objects marked.
+    pub fn count(&self) -> usize {
+        self.0.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_triple_deduplicates() {
+        let mut h = GlobalHistoryIndex::new();
+        h.add_triple(0, 1, 2);
+        h.add_triple(0, 1, 2);
+        h.add_triple(0, 1, 3);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.objects(0, 1).unwrap(), &[2, 3]);
+    }
+
+    #[test]
+    fn snapshot_recording_includes_inverses() {
+        let mut h = GlobalHistoryIndex::new();
+        let snap = Snapshot { t: 0, triples: vec![(1, 0, 2)] };
+        h.add_snapshot(&snap, 5);
+        assert_eq!(h.objects(1, 0).unwrap(), &[2]);
+        assert_eq!(h.objects(2, 5).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn relevant_graph_contains_only_query_pairs() {
+        let mut h = GlobalHistoryIndex::new();
+        h.add_triple(0, 0, 1);
+        h.add_triple(0, 0, 2);
+        h.add_triple(5, 1, 6); // irrelevant to the query set
+        let g = h.relevant_graph(&[(0, 0)]);
+        assert_eq!(g.len(), 2);
+        assert!(g.src.iter().all(|&s| s == 0));
+        assert!(!g.dst.contains(&6));
+    }
+
+    #[test]
+    fn relevant_graph_deduplicates_repeated_queries() {
+        let mut h = GlobalHistoryIndex::new();
+        h.add_triple(0, 0, 1);
+        let g = h.relevant_graph(&[(0, 0), (0, 0), (0, 0)]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn relevant_graph_empty_for_unseen_queries() {
+        let h = GlobalHistoryIndex::new();
+        assert!(h.relevant_graph(&[(9, 9)]).is_empty());
+    }
+
+    #[test]
+    fn mask_marks_historical_objects() {
+        let mut h = GlobalHistoryIndex::new();
+        h.add_triple(0, 0, 3);
+        let m = h.mask(0, 0, 5);
+        assert_eq!(m.0, vec![0.0, 0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(m.count(), 1);
+        assert_eq!(h.mask(4, 0, 5).count(), 0);
+    }
+
+    #[test]
+    fn pruned_graph_keeps_most_recent_objects() {
+        let mut h = GlobalHistoryIndex::new();
+        h.add_triple_at(0, 0, 1, 5);
+        h.add_triple_at(0, 0, 2, 9);
+        h.add_triple_at(0, 0, 3, 1);
+        let g = h.relevant_graph_pruned(&[(0, 0)], 2);
+        assert_eq!(g.len(), 2);
+        assert!(g.dst.contains(&2), "t=9 object kept");
+        assert!(g.dst.contains(&1), "t=5 object kept");
+        assert!(!g.dst.contains(&3), "t=1 object pruned");
+    }
+
+    #[test]
+    fn pruning_with_max_k_equals_unpruned() {
+        let mut h = GlobalHistoryIndex::new();
+        for (o, t) in [(1, 3), (2, 1), (4, 7)] {
+            h.add_triple_at(0, 0, o, t);
+        }
+        assert_eq!(
+            h.relevant_graph(&[(0, 0)]),
+            h.relevant_graph_pruned(&[(0, 0)], usize::MAX)
+        );
+    }
+
+    #[test]
+    fn repeated_observation_refreshes_recency() {
+        let mut h = GlobalHistoryIndex::new();
+        h.add_triple_at(0, 0, 1, 1);
+        h.add_triple_at(0, 0, 2, 5);
+        h.add_triple_at(0, 0, 1, 9); // object 1 re-observed later
+        let g = h.relevant_graph_pruned(&[(0, 0)], 1);
+        assert_eq!(g.dst, vec![1]);
+    }
+
+    #[test]
+    fn prune_ties_break_deterministically() {
+        let mut h = GlobalHistoryIndex::new();
+        h.add_triple_at(0, 0, 7, 4);
+        h.add_triple_at(0, 0, 3, 4);
+        let g = h.relevant_graph_pruned(&[(0, 0)], 1);
+        assert_eq!(g.dst, vec![3], "lowest object id wins ties");
+    }
+
+    #[test]
+    fn incremental_growth_matches_batch() {
+        // building incrementally over snapshots equals indexing everything
+        let snaps = vec![
+            Snapshot { t: 0, triples: vec![(0, 0, 1), (1, 1, 2)] },
+            Snapshot { t: 1, triples: vec![(0, 0, 2)] },
+        ];
+        let mut inc = GlobalHistoryIndex::new();
+        for s in &snaps {
+            inc.add_snapshot(s, 2);
+        }
+        let mut batch = GlobalHistoryIndex::new();
+        for s in &snaps {
+            batch.add_snapshot(s, 2);
+        }
+        assert_eq!(inc.objects(0, 0), batch.objects(0, 0));
+        assert_eq!(inc.len(), batch.len());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # hisres-graph
+//!
+//! Temporal-knowledge-graph data structures shared by the HisRES model, the
+//! baselines and the benchmark harness:
+//!
+//! * [`Quad`] / [`Tkg`] — timestamped event quadruples and a dataset of them
+//!   partitioned into per-timestamp [`Snapshot`]s;
+//! * [`EdgeList`] — the flat `(src, rel, dst)` triple arrays GNN layers
+//!   consume, with inverse-relation augmentation and adjacent-snapshot
+//!   merging (the paper's *inter-snapshot* granularity, §3.2.2);
+//! * [`GlobalHistoryIndex`] — incremental `(s, r) → {o}` history used to
+//!   build the *globally relevant graph* `G_t^H` (§3.4.1) and the
+//!   historical-vocabulary masks of the CyGNet/TiRGN baselines;
+//! * [`TimeFilter`] — time-aware filtered evaluation support (the metric of
+//!   §4.1.4);
+//! * [`Vocab`] — string-interning vocabulary for loading real datasets.
+//!
+//! Everything here is plain data with no tensor dependencies, so it can be
+//! property-tested exhaustively and reused by any model.
+
+pub mod edges;
+pub mod filter;
+pub mod global;
+pub mod quad;
+pub mod snapshot;
+pub mod vocab;
+
+pub use edges::EdgeList;
+pub use filter::{RankMetrics, TimeFilter};
+pub use global::{GlobalHistoryIndex, HistoryMask};
+pub use quad::{Quad, Tkg};
+pub use snapshot::Snapshot;
+pub use vocab::Vocab;

@@ -1,0 +1,187 @@
+//! Event quadruples and whole datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// One timestamped event `(subject, relation, object, timestamp)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Quad {
+    /// Subject entity id.
+    pub s: u32,
+    /// Relation id (raw relations occupy `0..num_relations`; inverse
+    /// relations, when materialised, occupy `num_relations..2*num_relations`).
+    pub r: u32,
+    /// Object entity id.
+    pub o: u32,
+    /// Timestamp index (dense, `0..num_timestamps`).
+    pub t: u32,
+}
+
+impl Quad {
+    /// Convenience constructor.
+    pub fn new(s: u32, r: u32, o: u32, t: u32) -> Self {
+        Self { s, r, o, t }
+    }
+
+    /// The inverse event `(o, r + num_relations, s, t)` used for the
+    /// two-phase raw/inverse propagation (§4.1.3).
+    pub fn inverse(self, num_relations: u32) -> Quad {
+        Quad { s: self.o, r: self.r + num_relations, o: self.s, t: self.t }
+    }
+}
+
+/// A temporal knowledge graph: an entity/relation vocabulary size plus a
+/// time-sorted list of events.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Tkg {
+    /// Number of distinct entities `|E|`.
+    pub num_entities: usize,
+    /// Number of *raw* relations `|R|` (excluding inverses).
+    pub num_relations: usize,
+    /// Events sorted by timestamp (ties in arbitrary but stable order).
+    pub quads: Vec<Quad>,
+}
+
+impl Tkg {
+    /// Builds a dataset, sorting events by time and validating ids.
+    pub fn new(num_entities: usize, num_relations: usize, mut quads: Vec<Quad>) -> Self {
+        for q in &quads {
+            assert!((q.s as usize) < num_entities, "subject {} out of range", q.s);
+            assert!((q.o as usize) < num_entities, "object {} out of range", q.o);
+            assert!((q.r as usize) < num_relations, "relation {} out of range", q.r);
+        }
+        quads.sort_by_key(|q| (q.t, q.s, q.r, q.o));
+        Self { num_entities, num_relations, quads }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.quads.len()
+    }
+
+    /// True when the dataset holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.quads.is_empty()
+    }
+
+    /// Largest timestamp + 1, or 0 when empty.
+    pub fn num_timestamps(&self) -> usize {
+        self.quads.last().map_or(0, |q| q.t as usize + 1)
+    }
+
+    /// The distinct timestamps that actually carry events, ascending.
+    pub fn timestamps(&self) -> Vec<u32> {
+        let mut ts: Vec<u32> = Vec::new();
+        for q in &self.quads {
+            if ts.last() != Some(&q.t) {
+                ts.push(q.t);
+            }
+        }
+        ts
+    }
+
+    /// Chronological split by *timestamp* (not by event count): the first
+    /// `train` fraction of distinct timestamps goes to train, the next
+    /// `valid` fraction to validation, the rest to test — matching the
+    /// 80/10/10 protocol of §4.1.1.
+    pub fn split_chronological(&self, train: f64, valid: f64) -> (Tkg, Tkg, Tkg) {
+        assert!(train > 0.0 && valid >= 0.0 && train + valid < 1.0 + 1e-9);
+        let ts = self.timestamps();
+        let n = ts.len();
+        let train_end = ((n as f64) * train).round() as usize;
+        let valid_end = ((n as f64) * (train + valid)).round() as usize;
+        let train_cut = ts.get(train_end.saturating_sub(1)).copied().unwrap_or(0);
+        let valid_cut = ts
+            .get(valid_end.saturating_sub(1))
+            .copied()
+            .unwrap_or(train_cut);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        for q in &self.quads {
+            if q.t <= train_cut {
+                a.push(*q);
+            } else if q.t <= valid_cut {
+                b.push(*q);
+            } else {
+                c.push(*q);
+            }
+        }
+        (
+            Tkg { num_entities: self.num_entities, num_relations: self.num_relations, quads: a },
+            Tkg { num_entities: self.num_entities, num_relations: self.num_relations, quads: b },
+            Tkg { num_entities: self.num_entities, num_relations: self.num_relations, quads: c },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Tkg {
+        Tkg::new(
+            4,
+            2,
+            vec![
+                Quad::new(0, 0, 1, 2),
+                Quad::new(1, 1, 2, 0),
+                Quad::new(2, 0, 3, 1),
+                Quad::new(3, 1, 0, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn quads_are_time_sorted() {
+        let g = toy();
+        let ts: Vec<u32> = g.quads.iter().map(|q| q.t).collect();
+        assert_eq!(ts, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn inverse_offsets_relation() {
+        let q = Quad::new(1, 0, 2, 5).inverse(7);
+        assert_eq!(q, Quad::new(2, 7, 1, 5));
+    }
+
+    #[test]
+    fn num_timestamps_counts_from_zero() {
+        assert_eq!(toy().num_timestamps(), 3);
+        let empty = Tkg::new(1, 1, vec![]);
+        assert_eq!(empty.num_timestamps(), 0);
+    }
+
+    #[test]
+    fn timestamps_lists_distinct() {
+        assert_eq!(toy().timestamps(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_entity_rejected() {
+        Tkg::new(2, 1, vec![Quad::new(0, 0, 5, 0)]);
+    }
+
+    #[test]
+    fn chronological_split_partitions_by_time() {
+        // 10 timestamps, one quad each
+        let quads: Vec<Quad> = (0..10).map(|t| Quad::new(0, 0, 1, t)).collect();
+        let g = Tkg::new(2, 1, quads);
+        let (tr, va, te) = g.split_chronological(0.8, 0.1);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(va.len(), 1);
+        assert_eq!(te.len(), 1);
+        let tr_max = tr.quads.iter().map(|q| q.t).max().unwrap();
+        let va_min = va.quads.iter().map(|q| q.t).min().unwrap();
+        let te_min = te.quads.iter().map(|q| q.t).min().unwrap();
+        assert!(tr_max < va_min && va_min < te_min);
+    }
+
+    #[test]
+    fn split_keeps_all_events() {
+        let quads: Vec<Quad> = (0..37).map(|i| Quad::new(0, 0, 1, i / 3)).collect();
+        let g = Tkg::new(2, 1, quads);
+        let (a, b, c) = g.split_chronological(0.8, 0.1);
+        assert_eq!(a.len() + b.len() + c.len(), 37);
+    }
+}

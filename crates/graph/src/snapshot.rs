@@ -1,0 +1,135 @@
+//! Per-timestamp snapshots `G_t`.
+
+use crate::quad::{Quad, Tkg};
+use serde::{Deserialize, Serialize};
+
+/// All concurrent events of one timestamp — the paper's `G_t`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The timestamp this snapshot covers.
+    pub t: u32,
+    /// Events at `t`, as `(s, r, o)` triples (deduplicated).
+    pub triples: Vec<(u32, u32, u32)>,
+}
+
+impl Snapshot {
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the snapshot carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The distinct entities appearing in this snapshot.
+    pub fn active_entities(&self) -> Vec<u32> {
+        let mut es: Vec<u32> = self
+            .triples
+            .iter()
+            .flat_map(|&(s, _, o)| [s, o])
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        es
+    }
+}
+
+/// Partitions a dataset into snapshots over the *dense* timeline
+/// `0..num_timestamps()`: timestamps without events yield empty snapshots,
+/// preserving the paper's fixed time granularity (one snapshot per day /
+/// 15-minute bucket).
+pub fn partition(tkg: &Tkg) -> Vec<Snapshot> {
+    let n = tkg.num_timestamps();
+    let mut snaps: Vec<Snapshot> = (0..n as u32)
+        .map(|t| Snapshot { t, triples: Vec::new() })
+        .collect();
+    for q in &tkg.quads {
+        snaps[q.t as usize].triples.push((q.s, q.r, q.o));
+    }
+    for s in &mut snaps {
+        s.triples.sort_unstable();
+        s.triples.dedup();
+    }
+    snaps
+}
+
+/// Partitions only the events of `tkg`, indexed by their own timestamps but
+/// skipping empty ones — convenient for iterating test sets.
+pub fn partition_nonempty(tkg: &Tkg) -> Vec<Snapshot> {
+    let mut out: Vec<Snapshot> = Vec::new();
+    for q in &tkg.quads {
+        if out.last().map(|s: &Snapshot| s.t) != Some(q.t) {
+            out.push(Snapshot { t: q.t, triples: Vec::new() });
+        }
+        out.last_mut().unwrap().triples.push((q.s, q.r, q.o));
+    }
+    for s in &mut out {
+        s.triples.sort_unstable();
+        s.triples.dedup();
+    }
+    out
+}
+
+/// Converts a snapshot back to quads (for history replay in evaluators).
+pub fn to_quads(snap: &Snapshot) -> Vec<Quad> {
+    snap.triples
+        .iter()
+        .map(|&(s, r, o)| Quad::new(s, r, o, snap.t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Tkg {
+        Tkg::new(
+            5,
+            2,
+            vec![
+                Quad::new(0, 0, 1, 0),
+                Quad::new(1, 1, 2, 0),
+                Quad::new(1, 1, 2, 0), // duplicate
+                Quad::new(3, 0, 4, 2), // note: t=1 empty
+            ],
+        )
+    }
+
+    #[test]
+    fn partition_covers_dense_timeline() {
+        let snaps = partition(&toy());
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].len(), 2);
+        assert!(snaps[1].is_empty());
+        assert_eq!(snaps[2].len(), 1);
+    }
+
+    #[test]
+    fn partition_deduplicates() {
+        let snaps = partition(&toy());
+        assert_eq!(snaps[0].triples, vec![(0, 0, 1), (1, 1, 2)]);
+    }
+
+    #[test]
+    fn partition_nonempty_skips_gaps() {
+        let snaps = partition_nonempty(&toy());
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].t, 0);
+        assert_eq!(snaps[1].t, 2);
+    }
+
+    #[test]
+    fn active_entities_are_sorted_unique() {
+        let snaps = partition(&toy());
+        assert_eq!(snaps[0].active_entities(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn to_quads_round_trips() {
+        let snaps = partition_nonempty(&toy());
+        let qs = to_quads(&snaps[1]);
+        assert_eq!(qs, vec![Quad::new(3, 0, 4, 2)]);
+    }
+}

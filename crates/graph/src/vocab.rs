@@ -1,0 +1,108 @@
+//! String-interning vocabulary for entity and relation names.
+//!
+//! Real event datasets (ICEWS/GDELT dumps) identify entities by name;
+//! models work with dense integer ids. `Vocab` provides the bidirectional
+//! mapping and is what the TSV loader in `hisres-data` builds.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bidirectional `name ↔ id` mapping with insertion-order ids.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of an id.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuilds the lookup index after deserialisation (the map is skipped
+    /// by serde to keep checkpoints compact).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("Barack_Obama");
+        let b = v.intern("Barack_Obama");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut v = Vocab::new();
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("b"), 1);
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("c"), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut v = Vocab::new();
+        let id = v.intern("Host_a_visit");
+        assert_eq!(v.name(id), Some("Host_a_visit"));
+        assert_eq!(v.get("Host_a_visit"), Some(id));
+        assert_eq!(v.name(99), None);
+    }
+
+    #[test]
+    fn serde_round_trip_with_index_rebuild() {
+        let mut v = Vocab::new();
+        v.intern("x");
+        v.intern("y");
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.get("y"), Some(1));
+    }
+}

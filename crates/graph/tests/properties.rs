@@ -1,0 +1,169 @@
+//! Property-based invariants of the graph structures.
+
+use hisres_graph::{
+    EdgeList, GlobalHistoryIndex, Quad, Snapshot, TimeFilter, Tkg,
+};
+use proptest::prelude::*;
+
+fn arb_quads(ne: u32, nr: u32, nt: u32, max_len: usize) -> impl Strategy<Value = Vec<Quad>> {
+    proptest::collection::vec((0..ne, 0..nr, 0..ne, 0..nt), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(s, r, o, t)| Quad::new(s, r, o, t)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tkg_quads_always_time_sorted(quads in arb_quads(10, 4, 20, 50)) {
+        let g = Tkg::new(10, 4, quads);
+        for w in g.quads.windows(2) {
+            prop_assert!(w[0].t <= w[1].t);
+        }
+    }
+
+    #[test]
+    fn chronological_split_is_a_partition(quads in arb_quads(10, 4, 30, 80)) {
+        let g = Tkg::new(10, 4, quads.clone());
+        let (a, b, c) = g.split_chronological(0.8, 0.1);
+        prop_assert_eq!(a.len() + b.len() + c.len(), quads.len());
+        let a_max = a.quads.iter().map(|q| q.t).max();
+        let b_min = b.quads.iter().map(|q| q.t).min();
+        let b_max = b.quads.iter().map(|q| q.t).max();
+        let c_min = c.quads.iter().map(|q| q.t).min();
+        if let (Some(am), Some(bm)) = (a_max, b_min) {
+            prop_assert!(am < bm);
+        }
+        if let (Some(bm), Some(cm)) = (b_max, c_min) {
+            prop_assert!(bm < cm);
+        }
+    }
+
+    #[test]
+    fn snapshot_partition_preserves_unique_triples(quads in arb_quads(8, 3, 15, 60)) {
+        let g = Tkg::new(8, 3, quads.clone());
+        let snaps = hisres_graph::snapshot::partition(&g);
+        let total: usize = snaps.iter().map(|s| s.len()).sum();
+        let mut unique: Vec<Quad> = g.quads.clone();
+        unique.dedup();
+        prop_assert_eq!(total, unique.len());
+        // every original quad is findable in its snapshot
+        for q in &g.quads {
+            prop_assert!(snaps[q.t as usize].triples.contains(&(q.s, q.r, q.o)));
+        }
+    }
+
+    #[test]
+    fn edge_list_inverse_augmentation_doubles(quads in arb_quads(8, 3, 5, 40)) {
+        let g = Tkg::new(8, 3, quads);
+        for snap in hisres_graph::snapshot::partition(&g) {
+            let e = EdgeList::from_snapshot(&snap, 3);
+            prop_assert_eq!(e.len(), snap.len() * 2);
+            // every raw edge has its inverse twin
+            for i in (0..e.len()).step_by(2) {
+                prop_assert_eq!(e.src[i], e.dst[i + 1]);
+                prop_assert_eq!(e.dst[i], e.src[i + 1]);
+                prop_assert_eq!(e.rel[i] + 3, e.rel[i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_graph_is_union_of_parts(quads in arb_quads(8, 3, 6, 40)) {
+        let g = Tkg::new(8, 3, quads);
+        let snaps = hisres_graph::snapshot::partition(&g);
+        for w in snaps.windows(2) {
+            let merged = EdgeList::from_merged_snapshots(&[&w[0], &w[1]], 3);
+            let e0 = EdgeList::from_snapshot(&w[0], 3);
+            let e1 = EdgeList::from_snapshot(&w[1], 3);
+            let has = |e: &EdgeList, i: usize, m: &EdgeList| {
+                (0..m.len()).any(|j| {
+                    m.src[j] == e.src[i] && m.rel[j] == e.rel[i] && m.dst[j] == e.dst[i]
+                })
+            };
+            for i in 0..e0.len() {
+                prop_assert!(has(&e0, i, &merged));
+            }
+            for i in 0..e1.len() {
+                prop_assert!(has(&e1, i, &merged));
+            }
+            prop_assert!(merged.len() <= e0.len() + e1.len());
+        }
+    }
+
+    #[test]
+    fn relevant_graph_is_subset_of_history_matching_queries(
+        quads in arb_quads(8, 3, 10, 50),
+        queries in proptest::collection::vec((0u32..8, 0u32..6), 1..10),
+    ) {
+        let mut idx = GlobalHistoryIndex::new();
+        for q in &quads {
+            idx.add_triple(q.s, q.r, q.o);
+        }
+        let g = idx.relevant_graph(&queries);
+        for i in 0..g.len() {
+            // each edge matches some query pair
+            prop_assert!(queries.contains(&(g.src[i], g.rel[i])));
+            // and is a recorded historical fact
+            prop_assert!(idx.objects(g.src[i], g.rel[i]).unwrap().contains(&g.dst[i]));
+        }
+    }
+
+    #[test]
+    fn filtered_rank_is_within_bounds(
+        quads in arb_quads(6, 2, 8, 30),
+        scores in proptest::collection::vec(-10.0f32..10.0, 6),
+    ) {
+        let filter = TimeFilter::from_quads(quads.iter());
+        for q in &quads {
+            let rank = filter.filtered_rank(&scores, q);
+            prop_assert!(rank >= 1.0);
+            prop_assert!(rank <= 6.0);
+        }
+    }
+
+    #[test]
+    fn gold_with_strictly_highest_score_ranks_first(quads in arb_quads(6, 2, 8, 20)) {
+        let filter = TimeFilter::from_quads(quads.iter());
+        for q in &quads {
+            let mut scores = vec![0.0f32; 6];
+            scores[q.o as usize] = 100.0;
+            prop_assert_eq!(filter.filtered_rank(&scores, q), 1.0);
+        }
+    }
+
+    #[test]
+    fn history_masks_agree_with_objects(
+        quads in arb_quads(8, 3, 10, 40),
+    ) {
+        let mut idx = GlobalHistoryIndex::new();
+        for q in &quads {
+            idx.add_triple(q.s, q.r, q.o);
+        }
+        for q in &quads {
+            let mask = idx.mask(q.s, q.r, 8);
+            let objs = idx.objects(q.s, q.r).unwrap();
+            prop_assert_eq!(mask.count(), objs.len());
+            prop_assert!((mask.0[q.o as usize] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn in_degrees_sum_to_edge_count(quads in arb_quads(8, 3, 5, 40)) {
+        let g = Tkg::new(8, 3, quads);
+        for snap in hisres_graph::snapshot::partition(&g) {
+            let e = EdgeList::from_snapshot(&snap, 3);
+            let total: u32 = e.in_degrees(8).iter().sum();
+            prop_assert_eq!(total as usize, e.len());
+        }
+    }
+}
+
+#[test]
+fn snapshot_active_entities_cover_all_edge_endpoints() {
+    let snap = Snapshot { t: 0, triples: vec![(0, 0, 1), (3, 1, 2), (1, 0, 3)] };
+    let active = snap.active_entities();
+    let edges = EdgeList::from_snapshot(&snap, 2);
+    for &n in edges.src.iter().chain(&edges.dst) {
+        assert!(active.contains(&n));
+    }
+}

@@ -1,0 +1,68 @@
+//! Trainable embedding tables.
+
+use hisres_tensor::init::xavier_normal;
+use hisres_tensor::{ParamStore, Tensor};
+use rand::Rng;
+
+/// A `[count, dim]` table of trainable vectors.
+pub struct Embedding {
+    /// The full table as one parameter.
+    pub table: Tensor,
+}
+
+impl Embedding {
+    /// Registers a Xavier-normal initialised table under `name`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        count: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self { table: store.param(name, xavier_normal(count, dim, rng)) }
+    }
+
+    /// Looks up rows by id, differentiable back into the table.
+    pub fn lookup(&self, ids: &[u32]) -> Tensor {
+        self.table.gather_rows(ids)
+    }
+
+    /// Number of rows.
+    pub fn count(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Vector width.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_requested_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(&mut store, "e", 5, 3, &mut rng);
+        let x = emb.lookup(&[4, 0]);
+        assert_eq!(x.shape(), (2, 3));
+        assert_eq!(x.value().row(0), emb.table.value().row(4));
+    }
+
+    #[test]
+    fn gradient_flows_only_to_used_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(&mut store, "e", 4, 2, &mut rng);
+        emb.lookup(&[1, 1]).sum_all().backward();
+        let g = emb.table.grad().unwrap();
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[2.0, 2.0]);
+        assert_eq!(g.row(3), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The self-gating fusion mechanism (paper eq. 8–9 and 13–14).
+//!
+//! Given two entity matrices `A` and `B` produced by different encoders
+//! (or granularities), the gate computes a per-entity, per-dimension
+//! weight `Θ = σ(W·A + b)` and fuses `Θ ⊙ A + (1 - Θ) ⊙ B`. Replacing the
+//! gate with a plain sum is the `HisRES-w/o-SG` ablation.
+
+use crate::linear::Linear;
+use hisres_tensor::{ParamStore, Tensor};
+use rand::Rng;
+
+/// An adaptive two-way fusion gate.
+pub struct SelfGating {
+    gate: Linear,
+}
+
+impl SelfGating {
+    /// Registers the gate's `d → d` map and bias under `name`.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, dim: usize, rng: &mut R) -> Self {
+        Self { gate: Linear::new(store, &format!("{name}.gate"), dim, dim, true, rng) }
+    }
+
+    /// The gate values `Θ = σ(W a + b)` in `[0, 1]`.
+    pub fn theta(&self, a: &Tensor) -> Tensor {
+        self.gate.forward(a).sigmoid()
+    }
+
+    /// Fuses `Θ ⊙ a + (1 - Θ) ⊙ b`.
+    pub fn fuse(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape(), b.shape(), "gating operands must match");
+        let theta = self.theta(a);
+        let inv = theta.neg().add_scalar(1.0);
+        theta.mul(a).add(&inv.mul(b))
+    }
+}
+
+/// The ablation replacement: a plain sum (used by `HisRES-w/o-SG`).
+pub fn sum_fusion(a: &Tensor, b: &Tensor) -> Tensor {
+    a.add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gate(dim: usize) -> (ParamStore, SelfGating) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = SelfGating::new(&mut store, "sg", dim, &mut rng);
+        (store, g)
+    }
+
+    #[test]
+    fn theta_is_in_unit_interval() {
+        let (_s, g) = gate(4);
+        let a = Tensor::constant(NdArray::from_vec(vec![10.0, -10.0, 0.0, 3.0], &[1, 4]));
+        for &v in g.theta(&a).value().as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fusion_is_convex_combination() {
+        let (_s, g) = gate(3);
+        let a = Tensor::constant(NdArray::full(2, 3, 1.0));
+        let b = Tensor::constant(NdArray::full(2, 3, -1.0));
+        let y = g.fuse(&a, &b);
+        for &v in y.value().as_slice() {
+            assert!((-1.0..=1.0).contains(&v), "not convex: {v}");
+        }
+    }
+
+    #[test]
+    fn identical_inputs_pass_through() {
+        let (_s, g) = gate(3);
+        let a = Tensor::constant(NdArray::from_vec(vec![0.2, -0.4, 0.9], &[1, 3]));
+        let y = g.fuse(&a, &a);
+        for (x, y) in a.value().as_slice().iter().zip(y.value().as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_both_inputs_and_gate() {
+        let (s, g) = gate(3);
+        let a = Tensor::param(NdArray::full(1, 3, 0.5));
+        let b = Tensor::param(NdArray::full(1, 3, -0.5));
+        g.fuse(&a, &b).sum_all().backward();
+        assert!(a.grad().is_some());
+        assert!(b.grad().is_some());
+        for (name, p) in s.named_params() {
+            assert!(p.grad().is_some(), "no grad for {name}");
+        }
+    }
+
+    #[test]
+    fn gate_can_learn_to_select_first_input() {
+        let (s, g) = gate(2);
+        let mut opt = hisres_tensor::Adam::new(s.params().cloned().collect(), 0.05);
+        let a_val = NdArray::from_vec(vec![0.8, -0.3], &[1, 2]);
+        let b_val = NdArray::from_vec(vec![-0.9, 0.6], &[1, 2]);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let a = Tensor::constant(a_val.clone());
+            let b = Tensor::constant(b_val.clone());
+            let d = g.fuse(&a, &b).sub(&a);
+            d.mul(&d).mean_all().backward();
+            opt.step();
+        }
+        let a = Tensor::constant(a_val.clone());
+        let b = Tensor::constant(b_val);
+        let err = {
+            let d = g.fuse(&a, &b).sub(&a);
+            d.mul(&d).mean_all().value().item()
+        };
+        assert!(err < 1e-2, "selection error {err}");
+    }
+
+    #[test]
+    fn sum_fusion_is_plain_addition() {
+        let a = Tensor::constant(NdArray::scalar(2.0));
+        let b = Tensor::constant(NdArray::scalar(3.0));
+        assert_eq!(sum_fusion(&a, &b).value().item(), 5.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Gated recurrent unit over batches of feature rows.
+//!
+//! HisRES evolves the whole entity matrix snapshot-by-snapshot
+//! (`E_t = GRU(Ē_{t-1}, E'_{t-1})`, eq. 4) and likewise for relations
+//! (eq. 6) and the inter-snapshot granularity (eq. 7). The cell below is
+//! the standard GRU applied row-wise: every entity is one batch element.
+
+use crate::linear::Linear;
+use hisres_tensor::{ParamStore, Tensor};
+use rand::Rng;
+
+/// A GRU cell `h' = GRU(x, h)` over `[n, dim]` matrices.
+pub struct GruCell {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+}
+
+impl GruCell {
+    /// Registers a cell's six linear maps under `name`.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, dim: usize, rng: &mut R) -> Self {
+        Self {
+            wz: Linear::new(store, &format!("{name}.wz"), dim, dim, true, rng),
+            uz: Linear::new(store, &format!("{name}.uz"), dim, dim, false, rng),
+            wr: Linear::new(store, &format!("{name}.wr"), dim, dim, true, rng),
+            ur: Linear::new(store, &format!("{name}.ur"), dim, dim, false, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), dim, dim, true, rng),
+            uh: Linear::new(store, &format!("{name}.uh"), dim, dim, false, rng),
+        }
+    }
+
+    /// One step: `x` is the new input (aggregated snapshot features), `h`
+    /// the previous hidden state (evolving embeddings). Shapes `[n, dim]`.
+    pub fn forward(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        assert_eq!(x.shape(), h.shape(), "GRU input/hidden shape mismatch");
+        let z = self.wz.forward(x).add(&self.uz.forward(h)).sigmoid();
+        let r = self.wr.forward(x).add(&self.ur.forward(h)).sigmoid();
+        let h_tilde = self
+            .wh
+            .forward(x)
+            .add(&self.uh.forward(&r.mul(h)))
+            .tanh_act();
+        // h' = (1 - z) ⊙ h + z ⊙ h̃
+        let one_minus_z = z.neg().add_scalar(1.0);
+        one_minus_z.mul(h).add(&z.mul(&h_tilde))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cell(dim: usize, seed: u64) -> (ParamStore, GruCell) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = GruCell::new(&mut store, "gru", dim, &mut rng);
+        (store, c)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let (_s, c) = cell(4, 0);
+        let x = Tensor::constant(NdArray::zeros(7, 4));
+        let h = Tensor::constant(NdArray::zeros(7, 4));
+        assert_eq!(c.forward(&x, &h).shape(), (7, 4));
+    }
+
+    #[test]
+    fn output_is_convex_between_h_and_candidate() {
+        // GRU output is a per-element convex mix of h and tanh candidate,
+        // so it must stay within [-1, 1] ∪ range of h = [-1, 1] here.
+        let (_s, c) = cell(3, 1);
+        let x = Tensor::constant(NdArray::from_vec(vec![5.0, -5.0, 0.0], &[1, 3]));
+        let h = Tensor::constant(NdArray::from_vec(vec![0.5, -0.5, 0.9], &[1, 3]));
+        let y = c.forward(&x, &h);
+        for &v in y.value().as_slice() {
+            assert!((-1.0..=1.0).contains(&v), "out of range {v}");
+        }
+    }
+
+    #[test]
+    fn registers_ten_parameter_tensors() {
+        let (s, _c) = cell(2, 2);
+        // 6 weights + 3 biases (wz, wr, wh have bias; u* do not) = 9
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let (s, c) = cell(2, 3);
+        let x = Tensor::constant(NdArray::from_vec(vec![0.5, -0.2], &[1, 2]));
+        let h = Tensor::constant(NdArray::from_vec(vec![0.1, 0.3], &[1, 2]));
+        c.forward(&x, &h).sum_all().backward();
+        for (name, p) in s.named_params() {
+            assert!(p.grad().is_some(), "no grad for {name}");
+        }
+    }
+
+    #[test]
+    fn can_learn_to_copy_input() {
+        // train the cell so h' ≈ x regardless of h
+        let (s, c) = cell(2, 4);
+        let mut opt = hisres_tensor::Adam::new(s.params().cloned().collect(), 0.03);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..400 {
+            opt.zero_grad();
+            let xv: Vec<f32> = (0..6).map(|_| rng.gen_range(-0.8..0.8)).collect();
+            let hv: Vec<f32> = (0..6).map(|_| rng.gen_range(-0.8..0.8)).collect();
+            let x = Tensor::constant(NdArray::from_vec(xv, &[3, 2]));
+            let h = Tensor::constant(NdArray::from_vec(hv, &[3, 2]));
+            let d = c.forward(&x, &h).sub(&x);
+            d.mul(&d).mean_all().backward();
+            opt.step();
+        }
+        let x = Tensor::constant(NdArray::from_vec(vec![0.4, -0.6], &[1, 2]));
+        let h = Tensor::constant(NdArray::from_vec(vec![-0.7, 0.2], &[1, 2]));
+        let d = c.forward(&x, &h).sub(&x);
+        let err = d.mul(&d).mean_all().value().item();
+        assert!(err < 0.05, "copy error {err}");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # hisres-nn
+//!
+//! The neural building blocks of HisRES and its baselines, implemented on
+//! top of the `hisres-tensor` autograd layer:
+//!
+//! * [`Linear`] — dense affine map;
+//! * [`Embedding`] — trainable lookup table;
+//! * [`GruCell`] — gated recurrent unit for entity/relation evolution
+//!   (paper eq. 4, 6, 7);
+//! * [`TimeEncoding`] — periodic cosine encoding of the time gap between a
+//!   history snapshot and the prediction time (eq. 1–2);
+//! * [`CompGcnLayer`] — composition-based relational GCN with optional
+//!   relation updating (eq. 3, 5), the aggregator of the multi-granularity
+//!   evolutionary encoder;
+//! * [`ConvGatLayer`] — the paper's novel convolution-based graph attention
+//!   network (eq. 10–11) used by the global relevance encoder;
+//! * [`RgatLayer`] — a KBGAT-style attention aggregator, the paper's
+//!   ablation comparator (`HisRES-w/-RGAT`);
+//! * [`SelfGating`] — the adaptive fusion gate (eq. 8–9 and 13–14);
+//! * [`ConvTransE`] — the convolutional decoder (eq. 12).
+//!
+//! All layers register their parameters in a caller-supplied
+//! [`hisres_tensor::ParamStore`] under hierarchical names, take explicit
+//! RNGs for initialisation, and are pure functions of tensors at forward
+//! time.
+
+pub mod compgcn;
+pub mod convgat;
+pub mod convtranse;
+pub mod embedding;
+pub mod gating;
+pub mod gru;
+pub mod linear;
+pub mod rgat;
+pub mod time;
+
+pub use compgcn::CompGcnLayer;
+pub use convgat::ConvGatLayer;
+pub use convtranse::ConvTransE;
+pub use embedding::Embedding;
+pub use gating::SelfGating;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use rgat::RgatLayer;
+pub use time::TimeEncoding;

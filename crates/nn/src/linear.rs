@@ -1,0 +1,112 @@
+//! Dense affine layer.
+
+use hisres_tensor::init::{xavier_uniform, zeros};
+use hisres_tensor::{ParamStore, Tensor};
+use rand::Rng;
+
+/// `y = x · W (+ b)` with Xavier-uniform `W` and zero `b`.
+pub struct Linear {
+    /// Weight `[in_dim, out_dim]`.
+    pub w: Tensor,
+    /// Optional bias `[1, out_dim]`.
+    pub b: Option<Tensor>,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters under `name` in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.param(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = bias.then(|| store.param(format!("{name}.b"), zeros(1, out_dim)));
+        Self { w, b }
+    }
+
+    /// Applies the layer to `[n, in_dim]` input.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let y = x.matmul(&self.w);
+        match &self.b {
+            Some(b) => y.add_row(b),
+            None => y,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "l", 3, 2, true, &mut rng);
+        let x = Tensor::constant(NdArray::zeros(5, 3));
+        let y = lin.forward(&x);
+        assert_eq!(y.shape(), (5, 2));
+        // zero input + zero bias = zero output
+        assert!(y.value().as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn registers_expected_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Linear::new(&mut store, "enc.fc", 4, 4, true, &mut rng);
+        let names: Vec<&str> = store.named_params().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["enc.fc.w", "enc.fc.b"]);
+        let _ = Linear::new(&mut store, "enc.nb", 4, 4, false, &mut rng);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn gradient_reaches_weights() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, "l", 2, 2, true, &mut rng);
+        let x = Tensor::constant(NdArray::from_vec(vec![1.0, -1.0], &[1, 2]));
+        lin.forward(&x).sum_all().backward();
+        assert!(lin.w.grad().is_some());
+        assert!(lin.b.as_ref().unwrap().grad().is_some());
+    }
+
+    #[test]
+    fn trains_to_fit_identity() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(&mut store, "l", 2, 2, true, &mut rng);
+        let mut opt = hisres_tensor::Adam::new(store.params().cloned().collect(), 0.05);
+        let x = NdArray::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5], &[4, 2]);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let xt = Tensor::constant(x.clone());
+            let d = lin.forward(&xt).sub(&xt);
+            d.mul(&d).mean_all().backward();
+            opt.step();
+        }
+        let xt = Tensor::constant(x.clone());
+        let err = {
+            let d = lin.forward(&xt).sub(&xt);
+            d.mul(&d).mean_all().value().item()
+        };
+        assert!(err < 1e-3, "fit error {err}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Periodic time-gap encoding (paper eq. 1–2).
+//!
+//! For a history snapshot at `t_i` feeding a prediction at `t`, the gap
+//! `t - t_i` is mapped to a `d`-dimensional periodic code
+//! `Δt = cos(w_t · (t - t_i) + b_t)` and fused with the entity matrix via
+//! a `2d → d` linear map: `E' = W₀([E ‖ Δt])`.
+
+use crate::linear::Linear;
+use hisres_tensor::init::{uniform, zeros};
+use hisres_tensor::{ParamStore, Tensor};
+use rand::Rng;
+
+/// The cosine time encoder plus its fusion projection.
+pub struct TimeEncoding {
+    w_t: Tensor,
+    b_t: Tensor,
+    fuse: Linear,
+    dim: usize,
+}
+
+impl TimeEncoding {
+    /// Registers the frequency/phase vectors and the `2d → d` fusion map.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, dim: usize, rng: &mut R) -> Self {
+        // frequencies initialised small so long gaps stay informative
+        let w_t = store.param(format!("{name}.w_t"), uniform(1, dim, 0.0, 1.0, rng));
+        let b_t = store.param(format!("{name}.b_t"), zeros(1, dim));
+        let fuse = Linear::new(store, &format!("{name}.fuse"), 2 * dim, dim, false, rng);
+        Self { w_t, b_t, fuse, dim }
+    }
+
+    /// The `[1, d]` periodic code of a time gap (eq. 1).
+    pub fn encode_gap(&self, gap: f32) -> Tensor {
+        self.w_t.scale(gap).add(&self.b_t).cos_act()
+    }
+
+    /// Fuses the gap code into an entity matrix (eq. 2): every row of
+    /// `entities` (`[n, d]`) is concatenated with `Δt` and projected back
+    /// to `d`.
+    pub fn apply(&self, entities: &Tensor, gap: f32) -> Tensor {
+        let n = entities.rows();
+        assert_eq!(entities.cols(), self.dim, "entity width");
+        let dt = self.encode_gap(gap);
+        // broadcast [1, d] to [n, d] by gathering row 0 n times
+        let dt_rows = dt.gather_rows(&vec![0; n]);
+        let cat = Tensor::concat_cols(&[entities, &dt_rows]);
+        self.fuse.forward(&cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn enc(dim: usize) -> (ParamStore, TimeEncoding) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = TimeEncoding::new(&mut store, "time", dim, &mut rng);
+        (store, e)
+    }
+
+    #[test]
+    fn gap_code_is_bounded_by_one() {
+        let (_s, e) = enc(8);
+        for gap in [0.0, 1.0, 17.0, 365.0] {
+            let c = e.encode_gap(gap);
+            for &v in c.value().as_slice() {
+                assert!(v.abs() <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_gap_gives_cos_of_bias() {
+        let (_s, e) = enc(4);
+        let c = e.encode_gap(0.0);
+        // bias starts at zero, so cos(0) = 1 everywhere
+        for &v in c.value().as_slice() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn different_gaps_give_different_codes() {
+        let (_s, e) = enc(8);
+        let a = e.encode_gap(1.0).value_clone();
+        let b = e.encode_gap(2.0).value_clone();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_preserves_shape() {
+        let (_s, e) = enc(4);
+        let x = Tensor::constant(NdArray::zeros(6, 4));
+        assert_eq!(e.apply(&x, 3.0).shape(), (6, 4));
+    }
+
+    #[test]
+    fn gradients_reach_frequency_parameters() {
+        let (s, e) = enc(4);
+        let x = Tensor::constant(NdArray::full(2, 4, 0.5));
+        e.apply(&x, 2.0).sum_all().backward();
+        for (name, p) in s.named_params() {
+            if name.contains("w_t") || name.contains("fuse") {
+                assert!(p.grad().is_some(), "no grad for {name}");
+            }
+        }
+    }
+}

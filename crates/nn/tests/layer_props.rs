@@ -1,0 +1,122 @@
+//! Property-based invariants of the neural layers.
+
+use hisres_graph::EdgeList;
+use hisres_nn::{CompGcnLayer, ConvGatLayer, GruCell, RgatLayer, SelfGating, TimeEncoding};
+use hisres_tensor::{NdArray, ParamStore, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_features(rows: usize, cols: usize) -> impl Strategy<Value = NdArray> {
+    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |v| NdArray::from_vec(v, &[rows, cols]))
+}
+
+fn arb_edges(nodes: u32, rels: u32, max: usize) -> impl Strategy<Value = EdgeList> {
+    proptest::collection::vec((0..nodes, 0..rels, 0..nodes), 0..max).prop_map(|v| {
+        let mut e = EdgeList::new();
+        for (s, r, d) in v {
+            e.push(s, r, d);
+        }
+        e
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gru_output_stays_in_convex_hull(x in arb_features(4, 6), h in arb_features(4, 6)) {
+        // h' = (1-z) h + z tanh(...) with z in (0,1): every output element
+        // lies between min(h, -1) and max(h, 1)
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = GruCell::new(&mut store, "g", 6, &mut rng);
+        let y = cell.forward(&Tensor::constant(x), &Tensor::constant(h.clone()));
+        for (out, &hid) in y.value().as_slice().iter().zip(h.as_slice()) {
+            let lo = hid.min(-1.0) - 1e-5;
+            let hi = hid.max(1.0) + 1e-5;
+            prop_assert!((lo..=hi).contains(out), "out {out} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn self_gating_is_elementwise_convex(a in arb_features(3, 5), b in arb_features(3, 5)) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gate = SelfGating::new(&mut store, "sg", 5, &mut rng);
+        let y = gate.fuse(&Tensor::constant(a.clone()), &Tensor::constant(b.clone()));
+        for ((out, &av), &bv) in y.value().as_slice().iter().zip(a.as_slice()).zip(b.as_slice()) {
+            let lo = av.min(bv) - 1e-5;
+            let hi = av.max(bv) + 1e-5;
+            prop_assert!((lo..=hi).contains(out));
+        }
+    }
+
+    #[test]
+    fn convgat_attention_normalises_on_arbitrary_graphs(
+        ents in arb_features(6, 4),
+        rels in arb_features(4, 4),
+        edges in arb_edges(6, 4, 20),
+    ) {
+        prop_assume!(!edges.is_empty());
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = ConvGatLayer::new(&mut store, "cg", 4, 3, &mut rng);
+        let att = layer.attention(
+            &Tensor::constant(ents),
+            &Tensor::constant(rels),
+            &edges,
+        );
+        let v = att.value_clone();
+        let mut sums = [0.0f32; 6];
+        for (i, &d) in edges.dst.iter().enumerate() {
+            sums[d as usize] += v.get(i, 0);
+        }
+        for (d, &s) in sums.iter().enumerate() {
+            if edges.dst.contains(&(d as u32)) {
+                prop_assert!((s - 1.0).abs() < 1e-4, "destination {d} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregators_always_produce_finite_matching_shapes(
+        ents in arb_features(5, 4),
+        rels in arb_features(6, 4),
+        edges in arb_edges(5, 6, 15),
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let comp = CompGcnLayer::new(&mut store, "c", 4, true, &mut rng);
+        let gat = ConvGatLayer::new(&mut store, "g", 4, 3, &mut rng);
+        let rgat = RgatLayer::new(&mut store, "r", 4, &mut rng);
+        let e = Tensor::constant(ents);
+        let r = Tensor::constant(rels);
+        let (ce, cr) = comp.forward(&e, &r, &edges);
+        prop_assert_eq!(ce.shape(), (5, 4));
+        prop_assert_eq!(cr.shape(), (6, 4));
+        prop_assert!(!ce.value().has_non_finite());
+        let ge = gat.forward(&e, &r, &edges);
+        prop_assert_eq!(ge.shape(), (5, 4));
+        prop_assert!(!ge.value().has_non_finite());
+        let re = rgat.forward(&e, &r, &edges);
+        prop_assert_eq!(re.shape(), (5, 4));
+        prop_assert!(!re.value().has_non_finite());
+    }
+
+    #[test]
+    fn time_codes_are_bounded_and_distinct(gap_a in 0u32..400, gap_b in 0u32..400) {
+        prop_assume!(gap_a != gap_b);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let te = TimeEncoding::new(&mut store, "t", 16, &mut rng);
+        let a = te.encode_gap(gap_a as f32).value_clone();
+        let b = te.encode_gap(gap_b as f32).value_clone();
+        for &v in a.as_slice() {
+            prop_assert!(v.abs() <= 1.0 + 1e-6);
+        }
+        // random frequencies make collisions measure-zero
+        prop_assert!(a != b, "gaps {gap_a} and {gap_b} collided");
+    }
+}

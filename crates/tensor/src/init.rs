@@ -1,0 +1,93 @@
+//! Parameter initialisation.
+
+use crate::ndarray::NdArray;
+use rand::Rng;
+use rand_distr_free::sample_normal;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The standard initialisation for the linear maps of CompGCN/ConvGAT
+/// layers.
+pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> NdArray {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+    NdArray::from_vec(data, &[rows, cols])
+}
+
+/// Xavier/Glorot normal: `N(0, 2 / (fan_in + fan_out))`. Used for embedding
+/// tables.
+pub fn xavier_normal<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> NdArray {
+    let std = (2.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| sample_normal(rng) * std).collect();
+    NdArray::from_vec(data, &[rows, cols])
+}
+
+/// Uniform `U(lo, hi)`.
+pub fn uniform<R: Rng>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> NdArray {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    NdArray::from_vec(data, &[rows, cols])
+}
+
+/// All zeros — biases.
+pub fn zeros(rows: usize, cols: usize) -> NdArray {
+    NdArray::zeros(rows, cols)
+}
+
+mod rand_distr_free {
+    //! A dependency-free standard-normal sampler (Box–Muller), so we do not
+    //! pull in `rand_distr` just for initialisation.
+    use rand::Rng;
+
+    pub fn sample_normal<R: Rng>(rng: &mut R) -> f32 {
+        loop {
+            let u1: f32 = rng.gen::<f32>();
+            if u1 <= f32::EPSILON {
+                continue;
+            }
+            let u2: f32 = rng.gen::<f32>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(50, 50, &mut rng);
+        let a = (6.0f32 / 100.0).sqrt();
+        for &v in w.as_slice() {
+            assert!(v.abs() <= a);
+        }
+    }
+
+    #[test]
+    fn xavier_normal_has_expected_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier_normal(100, 100, &mut rng);
+        let std = (2.0f32 / 200.0).sqrt();
+        let var: f32 = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        assert!((var.sqrt() - std).abs() < std * 0.2, "std {} vs {}", var.sqrt(), std);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = uniform(10, 10, -0.1, 0.4, &mut rng);
+        for &v in w.as_slice() {
+            assert!((-0.1..0.4).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # hisres-tensor
+//!
+//! A small, self-contained dense tensor library with reverse-mode automatic
+//! differentiation, written for the HisRES temporal-knowledge-graph reasoning
+//! stack. It provides exactly the operator set that graph neural networks of
+//! the CompGCN / GAT / ConvTransE family need:
+//!
+//! * dense row-major `f32` matrices ([`NdArray`]),
+//! * an autograd wrapper ([`Tensor`]) that records a dynamic computation
+//!   graph and back-propagates with [`Tensor::backward`],
+//! * matrix multiplication (plain and `A · Bᵀ`), broadcast elementwise
+//!   arithmetic, column concatenation/slicing,
+//! * sparse-style `gather` / `scatter-add` used for message passing,
+//! * per-destination `segment softmax` used for edge attention (ConvGAT),
+//! * a same-padded 1-D convolution used by the ConvTransE decoder,
+//! * fused softmax + cross-entropy loss,
+//! * Xavier initialisation, SGD/Adam optimisers and global-norm gradient
+//!   clipping ([`optim`]),
+//! * JSON checkpointing of named parameters ([`ParamStore`]).
+//!
+//! The library is CPU-only and single-threaded by design: the HisRES
+//! reproduction trains models with hidden sizes in the tens on graphs with
+//! hundreds of nodes, where a cache-friendly `ikj` matmul is entirely
+//! adequate and determinism is worth more than raw throughput. All gradients
+//! are verified against central finite differences by property tests.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hisres_tensor::{Tensor, NdArray};
+//!
+//! let w = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+//! let x = Tensor::constant(NdArray::from_vec(vec![1.0, 0.0], &[1, 2]));
+//! let y = x.matmul(&w).sigmoid().sum_all();
+//! y.backward();
+//! assert!(w.grad().is_some());
+//! ```
+
+pub mod init;
+pub mod ndarray;
+pub mod ops;
+pub mod optim;
+pub mod store;
+pub mod tensor;
+
+pub use ndarray::NdArray;
+pub use optim::{clip_grad_norm, Adam, Sgd};
+pub use store::ParamStore;
+pub use tensor::{no_grad, Tensor};

@@ -1,0 +1,473 @@
+//! Dense row-major `f32` arrays and the raw (non-differentiable) kernels
+//! the autograd layer is built on.
+//!
+//! Shapes are restricted to one or two dimensions — everything the HisRES
+//! model computes is a matrix of per-entity / per-edge feature rows (vectors
+//! are represented as `[1, d]` or `[n, 1]`, scalars as `[1, 1]`). Keeping
+//! the invariant small makes the kernels easy to audit and keeps hot loops
+//! free of stride arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` matrix.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct NdArray {
+    shape: (usize, usize),
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for NdArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NdArray[{}x{}]", self.shape.0, self.shape.1)?;
+        if self.data.len() <= 12 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl NdArray {
+    /// Builds an array from a flat row-major buffer. `shape` must have one or
+    /// two entries whose product equals `data.len()`; a 1-D shape `[n]` is
+    /// stored as a single row `[1, n]`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let (r, c) = match *shape {
+            [n] => (1, n),
+            [r, c] => (r, c),
+            _ => panic!("NdArray supports 1-D or 2-D shapes, got {shape:?}"),
+        };
+        assert_eq!(
+            r * c,
+            data.len(),
+            "shape {shape:?} does not match buffer of len {}",
+            data.len()
+        );
+        Self { shape: (r, c), data }
+    }
+
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { shape: (rows, cols), data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self { shape: (rows, cols), data: vec![v; rows * cols] }
+    }
+
+    /// A `[1, 1]` scalar.
+    pub fn scalar(v: f32) -> Self {
+        Self { shape: (1, 1), data: vec![v] }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.shape.0
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.shape.1
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the array, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.shape.1;
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let c = self.shape.1;
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.shape.1 + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.shape.1 + c] = v;
+    }
+
+    /// Returns the scalar value of a `[1, 1]` array.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on non-scalar {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterprets the buffer with a new shape of identical element count.
+    pub fn reshape(mut self, rows: usize, cols: usize) -> Self {
+        assert_eq!(rows * cols, self.data.len(), "reshape to {rows}x{cols}");
+        self.shape = (rows, cols);
+        self
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> NdArray {
+        let (r, c) = self.shape;
+        let mut out = NdArray::zeros(c, r);
+        for i in 0..r {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * r + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` elementwise out of place.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
+        NdArray {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise binary zip, panicking on shape mismatch.
+    pub fn zip(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        NdArray {
+            shape: self.shape,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += other` elementwise.
+    pub fn add_assign(&mut self, other: &NdArray) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` elementwise (axpy).
+    pub fn axpy(&mut self, s: f32, other: &NdArray) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Matrix product `self · other` (`[n,k] · [k,m] → [n,m]`), cache-blocked
+    /// `ikj` ordering so the inner loop is a contiguous axpy.
+    pub fn matmul(&self, other: &NdArray) -> NdArray {
+        let (n, k) = self.shape;
+        let (k2, m) = other.shape;
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = NdArray::zeros(n, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            let o_row = &mut out.data[i * m..(i + 1) * m];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(kk);
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product against a transposed right operand:
+    /// `self · otherᵀ` (`[n,k] · [m,k]ᵀ → [n,m]`). Both operands are walked
+    /// row-wise, which is the cache-optimal layout for scoring a batch of
+    /// query vectors against an embedding table.
+    pub fn matmul_nt(&self, other: &NdArray) -> NdArray {
+        let (n, k) = self.shape;
+        let (m, k2) = other.shape;
+        assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+        let mut out = NdArray::zeros(n, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            let o_row = &mut out.data[i * m..(i + 1) * m];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product with a transposed *left* operand:
+    /// `selfᵀ · other` (`[n,k]ᵀ · [n,m] → [k,m]`). Used by matmul backward.
+    pub fn matmul_tn(&self, other: &NdArray) -> NdArray {
+        let (n, k) = self.shape;
+        let (n2, m) = other.shape;
+        assert_eq!(n, n2, "matmul_tn outer dims {n} vs {n2}");
+        let mut out = NdArray::zeros(k, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[kk * m..(kk + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Gathers rows by index: `out[i] = self[idx[i]]`.
+    pub fn gather_rows(&self, idx: &[u32]) -> NdArray {
+        let c = self.cols();
+        let mut out = NdArray::zeros(idx.len(), c);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r as usize));
+        }
+        out
+    }
+
+    /// Scatter-add of rows: `out[idx[i]] += self[i]`, with `out` having
+    /// `out_rows` rows.
+    pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> NdArray {
+        assert_eq!(idx.len(), self.rows(), "scatter idx len");
+        let c = self.cols();
+        let mut out = NdArray::zeros(out_rows, c);
+        for (i, &r) in idx.iter().enumerate() {
+            let src = self.row(i);
+            let dst = out.row_mut(r as usize);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation of matrices with equal row counts.
+    pub fn concat_cols(parts: &[&NdArray]) -> NdArray {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows();
+        for p in parts {
+            assert_eq!(p.rows(), rows, "concat_cols row mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = NdArray::zeros(rows, cols);
+        for i in 0..rows {
+            let dst = out.row_mut(i);
+            let mut off = 0;
+            for p in parts {
+                let pc = p.cols();
+                dst[off..off + pc].copy_from_slice(p.row(i));
+                off += pc;
+            }
+        }
+        out
+    }
+
+    /// Copies the column range `[from, to)` of every row.
+    pub fn slice_cols(&self, from: usize, to: usize) -> NdArray {
+        assert!(from <= to && to <= self.cols(), "slice_cols range");
+        let mut out = NdArray::zeros(self.rows(), to - from);
+        for i in 0..self.rows() {
+            out.row_mut(i).copy_from_slice(&self.row(i)[from..to]);
+        }
+        out
+    }
+
+    /// Mean over rows → `[1, cols]`.
+    pub fn mean_rows(&self) -> NdArray {
+        let (r, c) = self.shape;
+        assert!(r > 0, "mean_rows of empty matrix");
+        let mut out = NdArray::zeros(1, c);
+        for i in 0..r {
+            out.as_mut_slice().iter_mut().zip(self.row(i)).for_each(|(o, &v)| *o += v);
+        }
+        out.scale_inplace(1.0 / r as f32);
+        out
+    }
+
+    /// Index of the largest element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(j, _)| j)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_1d_becomes_row() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(a.shape(), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_shape_panics() {
+        NdArray::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = NdArray::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_of_transpose() {
+        let a = NdArray::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let b = NdArray::from_vec((0..12).map(|v| (v as f32) * 0.5).collect(), &[4, 3]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let a = NdArray::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let b = NdArray::from_vec((0..8).map(|v| v as f32 - 3.0).collect(), &[2, 4]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = NdArray::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gather_then_scatter_is_histogram_weighted() {
+        let a = NdArray::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0], &[3, 2]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[3.0, 30.0]);
+        let s = g.scatter_add_rows(&[1, 1, 0], 2);
+        assert_eq!(s.row(0), &[3.0, 30.0]);
+        assert_eq!(s.row(1), &[4.0, 40.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_invert() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = NdArray::from_vec(vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0], &[2, 3]);
+        let c = NdArray::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 5));
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 5), b);
+    }
+
+    #[test]
+    fn mean_rows_averages() {
+        let a = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let m = a.mean_rows();
+        assert_eq!(m.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let a = NdArray::from_vec(vec![0.1, 0.9, 0.0, 1.0, -1.0, 0.5], &[2, 3]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = NdArray::zeros(1, 3);
+        let b = NdArray::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Pointwise nonlinearities.
+//!
+//! The paper uses four activations: sigmoid (self-gating, eq. 9/14), RReLU
+//! (CompGCN and ConvGAT aggregation, eq. 3/5/11), LeakyReLU (attention
+//! logits, eq. 10) and a cosine "periodic activation" for time encoding
+//! (eq. 1). RReLU is implemented with its deterministic expected slope
+//! `(lower + upper) / 2 = (1/8 + 1/3) / 2` at both train and eval time —
+//! the randomised slope is a regulariser whose expectation this matches,
+//! and determinism keeps every experiment exactly reproducible.
+
+use crate::tensor::Tensor;
+
+/// The deterministic slope used by [`Tensor::rrelu`]: the expectation of
+/// PyTorch's default RReLU slope range `U(1/8, 1/3)`.
+pub const RRELU_SLOPE: f32 = (1.0 / 8.0 + 1.0 / 3.0) / 2.0;
+
+impl Tensor {
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self) -> Tensor {
+        let y = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let saved = y.clone();
+        Tensor::from_op(y, vec![self.clone()], move |g| {
+            vec![Some(g.zip(&saved, |gv, yv| gv * yv * (1.0 - yv)))]
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh_act(&self) -> Tensor {
+        let y = self.value().map(|x| x.tanh());
+        let saved = y.clone();
+        Tensor::from_op(y, vec![self.clone()], move |g| {
+            vec![Some(g.zip(&saved, |gv, yv| gv * (1.0 - yv * yv)))]
+        })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.leaky_relu(0.0)
+    }
+
+    /// Leaky ReLU with negative-side `slope`.
+    pub fn leaky_relu(&self, slope: f32) -> Tensor {
+        let x = self.value_clone();
+        let y = x.map(|v| if v >= 0.0 { v } else { slope * v });
+        Tensor::from_op(y, vec![self.clone()], move |g| {
+            vec![Some(g.zip(&x, |gv, xv| if xv >= 0.0 { gv } else { gv * slope }))]
+        })
+    }
+
+    /// Randomised leaky ReLU evaluated at its expected slope
+    /// ([`RRELU_SLOPE`]); see the module docs for why the slope is fixed.
+    pub fn rrelu(&self) -> Tensor {
+        self.leaky_relu(RRELU_SLOPE)
+    }
+
+    /// Cosine activation used by the periodic time encoding (eq. 1).
+    pub fn cos_act(&self) -> Tensor {
+        let x = self.value_clone();
+        let y = x.map(|v| v.cos());
+        Tensor::from_op(y, vec![self.clone()], move |g| {
+            vec![Some(g.zip(&x, |gv, xv| -gv * xv.sin()))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NdArray;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::param(NdArray::from_vec(v, &[1, n]))
+    }
+
+    #[test]
+    fn sigmoid_value_and_gradient() {
+        let a = t(vec![0.0]);
+        let y = a.sigmoid();
+        assert!((y.value().item() - 0.5).abs() < 1e-6);
+        y.backward();
+        assert!((a.grad().unwrap().item() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_at_zero_is_one() {
+        let a = t(vec![0.0]);
+        a.tanh_act().backward();
+        assert!((a.grad().unwrap().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_kills_negative_gradient() {
+        let a = t(vec![-1.0, 2.0]);
+        a.relu().sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negative_side() {
+        let a = t(vec![-2.0, 3.0]);
+        let y = a.leaky_relu(0.1);
+        assert_eq!(y.value().as_slice(), &[-0.2, 3.0]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn rrelu_uses_expected_slope() {
+        let a = t(vec![-1.0]);
+        let y = a.rrelu();
+        assert!((y.value().item() + RRELU_SLOPE).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cos_gradient_is_negative_sine() {
+        let a = t(vec![std::f32::consts::FRAC_PI_2]);
+        let y = a.cos_act();
+        assert!(y.value().item().abs() < 1e-6);
+        y.backward();
+        assert!((a.grad().unwrap().item() + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,192 @@
+//! Elementwise arithmetic and broadcasting operations.
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise `self + other` (identical shapes).
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let v = self.value().zip(&other.value(), |a, b| a + b);
+        Tensor::from_op(v, vec![self.clone(), other.clone()], |g| {
+            vec![Some(g.clone()), Some(g.clone())]
+        })
+    }
+
+    /// Elementwise `self - other` (identical shapes).
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        let v = self.value().zip(&other.value(), |a, b| a - b);
+        Tensor::from_op(v, vec![self.clone(), other.clone()], |g| {
+            vec![Some(g.clone()), Some(g.map(|x| -x))]
+        })
+    }
+
+    /// Elementwise Hadamard product `self ⊙ other` (identical shapes).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        let v = self.value().zip(&other.value(), |a, b| a * b);
+        let (a, b) = (self.clone(), other.clone());
+        Tensor::from_op(v, vec![self.clone(), other.clone()], move |g| {
+            vec![
+                Some(g.zip(&b.value(), |gv, bv| gv * bv)),
+                Some(g.zip(&a.value(), |gv, av| gv * av)),
+            ]
+        })
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        let v = self.value().map(|x| -x);
+        Tensor::from_op(v, vec![self.clone()], |g| vec![Some(g.map(|x| -x))])
+    }
+
+    /// Multiplies every element by the constant `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let v = self.value().map(|x| x * s);
+        Tensor::from_op(v, vec![self.clone()], move |g| vec![Some(g.map(|x| x * s))])
+    }
+
+    /// Adds the constant `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        let v = self.value().map(|x| x + s);
+        Tensor::from_op(v, vec![self.clone()], |g| vec![Some(g.clone())])
+    }
+
+    /// Broadcast add of a `[1, d]` row vector to every row of `self`
+    /// (`[n, d]`): the standard bias term.
+    pub fn add_row(&self, bias: &Tensor) -> Tensor {
+        let x = self.value();
+        let b = bias.value();
+        assert_eq!(b.rows(), 1, "add_row expects a [1, d] bias");
+        assert_eq!(b.cols(), x.cols(), "add_row width mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (o, &bv) in row.iter_mut().zip(b.as_slice()) {
+                *o += bv;
+            }
+        }
+        drop((x, b));
+        Tensor::from_op(out, vec![self.clone(), bias.clone()], |g| {
+            let mut gb = NdArray::zeros(1, g.cols());
+            for i in 0..g.rows() {
+                let row = g.row(i);
+                for (o, &gv) in gb.as_mut_slice().iter_mut().zip(row) {
+                    *o += gv;
+                }
+            }
+            vec![Some(g.clone()), Some(gb)]
+        })
+    }
+
+    /// Multiplies row `i` of `self` (`[n, d]`) by the scalar `weights[i]`
+    /// (`[n, 1]`). Used to apply per-edge attention coefficients to message
+    /// rows.
+    pub fn mul_col(&self, weights: &Tensor) -> Tensor {
+        let x = self.value();
+        let w = weights.value();
+        assert_eq!(w.cols(), 1, "mul_col expects [n, 1] weights");
+        assert_eq!(w.rows(), x.rows(), "mul_col height mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let wv = w.get(i, 0);
+            for o in out.row_mut(i) {
+                *o *= wv;
+            }
+        }
+        drop((x, w));
+        let (xs, ws) = (self.clone(), weights.clone());
+        Tensor::from_op(out, vec![self.clone(), weights.clone()], move |g| {
+            let x = xs.value();
+            let w = ws.value();
+            let mut gx = g.clone();
+            let mut gw = NdArray::zeros(g.rows(), 1);
+            for i in 0..g.rows() {
+                let wv = w.get(i, 0);
+                let grow = g.row(i);
+                let xrow = x.row(i);
+                let mut acc = 0.0;
+                for (gxv, (&gv, &xv)) in gx.row_mut(i).iter_mut().zip(grow.iter().zip(xrow)) {
+                    *gxv = gv * wv;
+                    acc += gv * xv;
+                }
+                gw.set(i, 0, acc);
+            }
+            vec![Some(gx), Some(gw)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::param(NdArray::from_vec(v, shape))
+    }
+
+    #[test]
+    fn add_backward_passes_gradient_through() {
+        let a = t(vec![1.0, 2.0], &[1, 2]);
+        let b = t(vec![3.0, 4.0], &[1, 2]);
+        a.add(&b).sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn sub_backward_negates_second_operand() {
+        let a = t(vec![1.0], &[1, 1]);
+        let b = t(vec![2.0], &[1, 1]);
+        a.sub(&b).backward();
+        assert_eq!(a.grad().unwrap().item(), 1.0);
+        assert_eq!(b.grad().unwrap().item(), -1.0);
+    }
+
+    #[test]
+    fn mul_backward_swaps_operands() {
+        let a = t(vec![2.0, 3.0], &[1, 2]);
+        let b = t(vec![5.0, 7.0], &[1, 2]);
+        a.mul(&b).sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let a = t(vec![1.0, -2.0], &[1, 2]);
+        let y = a.scale(3.0).add_scalar(1.0);
+        assert_eq!(y.value().as_slice(), &[4.0, -5.0]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts_and_reduces_gradient() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![10.0, 20.0], &[1, 2]);
+        let y = x.add_row(&b);
+        assert_eq!(y.value().as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        y.sum_all().backward();
+        assert_eq!(b.grad().unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_col_applies_per_row_weight() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let w = t(vec![2.0, 10.0], &[2, 1]);
+        let y = x.mul_col(&w);
+        assert_eq!(y.value().as_slice(), &[2.0, 4.0, 30.0, 40.0]);
+        y.sum_all().backward();
+        // dw[i] = sum of row i of x
+        assert_eq!(w.grad().unwrap().as_slice(), &[3.0, 7.0]);
+        assert_eq!(x.grad().unwrap().as_slice(), &[2.0, 2.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn neg_round_trip() {
+        let a = t(vec![1.5], &[1, 1]);
+        let y = a.neg().neg();
+        y.backward();
+        assert_eq!(y.value().item(), 1.5);
+        assert_eq!(a.grad().unwrap().item(), 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Softmax variants for attention.
+//!
+//! [`Tensor::segment_softmax`] normalises per-edge scores within groups that
+//! share a destination node — the denominator of ConvGAT's eq. 10, computed
+//! without materialising a dense adjacency. [`Tensor::softmax_rows`] is the
+//! usual dense row-wise softmax, used by the copy-generation baselines.
+
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is the clearest form here
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+impl Tensor {
+    /// Softmax of `self` (`[m, 1]` scores, one per edge) within segments:
+    /// `out[i] = exp(s[i]) / Σ_{j : seg[j] == seg[i]} exp(s[j])`.
+    ///
+    /// Numerically stabilised by the per-segment maximum. Segments that
+    /// never occur simply produce no outputs; every edge must carry a
+    /// segment id `< num_segments`.
+    pub fn segment_softmax(&self, segments: &[u32], num_segments: usize) -> Tensor {
+        let s = self.value();
+        assert_eq!(s.cols(), 1, "segment_softmax expects [m, 1] scores");
+        assert_eq!(s.rows(), segments.len(), "segment id per score");
+        for &g in segments {
+            assert!((g as usize) < num_segments, "segment id {g} out of range");
+        }
+        let m = s.rows();
+        let mut max = vec![f32::NEG_INFINITY; num_segments];
+        for i in 0..m {
+            let g = segments[i] as usize;
+            max[g] = max[g].max(s.get(i, 0));
+        }
+        let mut denom = vec![0.0f32; num_segments];
+        let mut out = NdArray::zeros(m, 1);
+        for i in 0..m {
+            let g = segments[i] as usize;
+            let e = (s.get(i, 0) - max[g]).exp();
+            out.set(i, 0, e);
+            denom[g] += e;
+        }
+        for i in 0..m {
+            let g = segments[i] as usize;
+            out.set(i, 0, out.get(i, 0) / denom[g]);
+        }
+        drop(s);
+        let saved = out.clone();
+        let seg: Rc<[u32]> = segments.into();
+        Tensor::from_op(out, vec![self.clone()], move |g| {
+            // dL/ds_i = y_i * (g_i - Σ_{j in seg(i)} g_j y_j)
+            let mut dot = vec![0.0f32; num_segments];
+            for i in 0..seg.len() {
+                dot[seg[i] as usize] += g.get(i, 0) * saved.get(i, 0);
+            }
+            let mut gx = NdArray::zeros(seg.len(), 1);
+            for i in 0..seg.len() {
+                let y = saved.get(i, 0);
+                gx.set(i, 0, y * (g.get(i, 0) - dot[seg[i] as usize]));
+            }
+            vec![Some(gx)]
+        })
+    }
+
+    /// Dense row-wise softmax of a `[n, c]` matrix.
+    pub fn softmax_rows(&self) -> Tensor {
+        let x = self.value();
+        let (n, c) = x.shape();
+        let mut out = NdArray::zeros(n, c);
+        for i in 0..n {
+            let row = x.row(i);
+            let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (o, &v) in out.row_mut(i).iter_mut().zip(row) {
+                let e = (v - mx).exp();
+                *o = e;
+                sum += e;
+            }
+            for o in out.row_mut(i) {
+                *o /= sum;
+            }
+        }
+        drop(x);
+        let saved = out.clone();
+        Tensor::from_op(out, vec![self.clone()], move |g| {
+            let (n, c) = saved.shape();
+            let mut gx = NdArray::zeros(n, c);
+            for i in 0..n {
+                let y = saved.row(i);
+                let gr = g.row(i);
+                let dot: f32 = y.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                for ((o, &yv), &gv) in gx.row_mut(i).iter_mut().zip(y).zip(gr) {
+                    *o = yv * (gv - dot);
+                }
+            }
+            vec![Some(gx)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let s = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0, -1.0], &[4, 1]));
+        let seg = [0u32, 0, 1, 1];
+        let y = s.segment_softmax(&seg, 2);
+        let v = y.value_clone();
+        assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-6);
+        assert!((v.get(2, 0) + v.get(3, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_singleton_segment_is_one() {
+        let s = Tensor::param(NdArray::from_vec(vec![42.0], &[1, 1]));
+        let y = s.segment_softmax(&[0], 1);
+        assert!((y.value().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_sum_has_zero_gradient() {
+        // The sum within each segment is constant 1, so dL/ds must be ~0.
+        let s = Tensor::param(NdArray::from_vec(vec![0.3, -0.7, 1.1], &[3, 1]));
+        let y = s.segment_softmax(&[0, 0, 0], 1);
+        y.sum_all().backward();
+        for &g in s.grad().unwrap().as_slice() {
+            assert!(g.abs() < 1e-6, "expected zero gradient, got {g}");
+        }
+    }
+
+    #[test]
+    fn segment_softmax_matches_rowwise_softmax_for_one_segment() {
+        let vals = vec![0.5, -1.0, 2.0];
+        let a = Tensor::param(NdArray::from_vec(vals.clone(), &[3, 1]));
+        let seg = a.segment_softmax(&[0, 0, 0], 1);
+        let b = Tensor::param(NdArray::from_vec(vals, &[1, 3]));
+        let row = b.softmax_rows();
+        for i in 0..3 {
+            assert!((seg.value().get(i, 0) - row.value().get(0, i)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_shift_invariant() {
+        let a = Tensor::constant(NdArray::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let b = Tensor::constant(NdArray::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]));
+        let ya = a.softmax_rows();
+        let yb = b.softmax_rows();
+        for (x, y) in ya.value().as_slice().iter().zip(yb.value().as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_gradient_is_centered() {
+        let a = Tensor::param(NdArray::from_vec(vec![0.0, 1.0], &[1, 2]));
+        // L = first component of softmax
+        let y = a.softmax_rows();
+        let pick = Tensor::constant(NdArray::from_vec(vec![1.0, 0.0], &[1, 2]));
+        y.mul(&pick).sum_all().backward();
+        let g = a.grad().unwrap();
+        // grad sums to zero along the row (softmax is scale invariant)
+        assert!((g.as_slice()[0] + g.as_slice()[1]).abs() < 1e-6);
+        assert!(g.as_slice()[0] > 0.0);
+    }
+}

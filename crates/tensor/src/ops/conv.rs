@@ -1,0 +1,148 @@
+//! Same-padded 1-D convolution over multi-channel feature rows.
+//!
+//! The ConvTransE decoder stacks the subject and relation embeddings as a
+//! 2-channel, length-`d` signal and convolves it with `c_out` kernels of
+//! width `k`. A `[b, c_in, l]` batch is stored row-major inside a 2-D
+//! tensor of shape `[b, c_in * l]` (channel-major within each row), and the
+//! kernel bank as `[c_out, c_in * k]`.
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Same-padded 1-D convolution.
+    ///
+    /// * `self`: `[b, c_in * l]` input (channel-major rows)
+    /// * `weight`: `[c_out, c_in * k]` kernel bank (`k` odd)
+    /// * returns `[b, c_out * l]`
+    pub fn conv1d_same(&self, weight: &Tensor, c_in: usize, k: usize) -> Tensor {
+        assert!(k % 2 == 1, "conv1d_same requires odd kernel width, got {k}");
+        let x = self.value();
+        let w = weight.value();
+        let (b, ctl) = x.shape();
+        assert!(c_in > 0 && ctl % c_in == 0, "input width {ctl} not divisible by c_in {c_in}");
+        let l = ctl / c_in;
+        let (c_out, wk) = w.shape();
+        assert_eq!(wk, c_in * k, "kernel bank width");
+        let pad = k / 2;
+
+        let mut out = NdArray::zeros(b, c_out * l);
+        for bi in 0..b {
+            let xrow = x.row(bi);
+            let orow = out.row_mut(bi);
+            for co in 0..c_out {
+                let wrow = w.row(co);
+                for pos in 0..l {
+                    let mut acc = 0.0;
+                    for ci in 0..c_in {
+                        let xc = &xrow[ci * l..(ci + 1) * l];
+                        let wc = &wrow[ci * k..(ci + 1) * k];
+                        for (kk, &wv) in wc.iter().enumerate() {
+                            let ip = pos + kk;
+                            if ip >= pad && ip - pad < l {
+                                acc += wv * xc[ip - pad];
+                            }
+                        }
+                    }
+                    orow[co * l + pos] = acc;
+                }
+            }
+        }
+        drop((x, w));
+        let (xs, ws) = (self.clone(), weight.clone());
+        Tensor::from_op(out, vec![self.clone(), weight.clone()], move |g| {
+            let x = xs.value();
+            let w = ws.value();
+            let pad = k / 2;
+            let mut gx = NdArray::zeros(b, c_in * l);
+            let mut gw = NdArray::zeros(c_out, c_in * k);
+            for bi in 0..b {
+                let xrow = x.row(bi);
+                let grow = g.row(bi);
+                let gxrow = gx.row_mut(bi);
+                for co in 0..c_out {
+                    let wrow = w.row(co);
+                    let gwrow = gw.row_mut(co);
+                    for pos in 0..l {
+                        let gv = grow[co * l + pos];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..c_in {
+                            for kk in 0..k {
+                                let ip = pos + kk;
+                                if ip >= pad && ip - pad < l {
+                                    gxrow[ci * l + ip - pad] += gv * wrow[ci * k + kk];
+                                    gwrow[ci * k + kk] += gv * xrow[ci * l + ip - pad];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            vec![Some(gx), Some(gw)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // one input channel, one output channel, k=3 kernel [0,1,0]
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]));
+        let w = Tensor::param(NdArray::from_vec(vec![0.0, 1.0, 0.0], &[1, 3]));
+        let y = x.conv1d_same(&w, 1, 3);
+        assert_eq!(y.value().as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn shift_kernel_pads_with_zero() {
+        // kernel [1,0,0] shifts the signal right by one with zero entering
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let w = Tensor::param(NdArray::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]));
+        let y = x.conv1d_same(&w, 1, 3);
+        assert_eq!(y.value().as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_channels_sum_into_output() {
+        // x has channels [1,2] and [10,20]; kernel k=1 with weights 1 and 1
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[1, 4]));
+        let w = Tensor::param(NdArray::from_vec(vec![1.0, 1.0], &[1, 2]));
+        let y = x.conv1d_same(&w, 2, 1);
+        assert_eq!(y.value().as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_input_and_kernel() {
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let w = Tensor::param(NdArray::from_vec(vec![0.5, 1.0, -0.5], &[1, 3]));
+        x.conv1d_same(&w, 1, 3).sum_all().backward();
+        // dW[kk] = sum over positions of contributing x values
+        let gw = w.grad().unwrap();
+        assert_eq!(gw.as_slice(), &[3.0, 6.0, 5.0]); // x[0..2]+pads, all x, x[1..]+pads
+        let gx = x.grad().unwrap();
+        // each x feeds up to 3 outputs with the kernel weights reversed at borders
+        assert_eq!(gx.as_slice(), &[1.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn batch_rows_are_independent() {
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]));
+        let w = Tensor::param(NdArray::from_vec(vec![0.0, 1.0, 0.0], &[1, 3]));
+        let y = x.conv1d_same(&w, 1, 3);
+        assert_eq!(y.value().row(0), &[1.0, 0.0]);
+        assert_eq!(y.value().row(1), &[0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let x = Tensor::param(NdArray::zeros(1, 4));
+        let w = Tensor::param(NdArray::zeros(1, 2));
+        x.conv1d_same(&w, 1, 2);
+    }
+}

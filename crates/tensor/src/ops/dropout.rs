@@ -1,0 +1,91 @@
+//! Inverted dropout.
+
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use std::rc::Rc;
+
+impl Tensor {
+    /// Inverted dropout: zeros each element with probability `p` and scales
+    /// survivors by `1 / (1 - p)`, so expected activations match eval time.
+    /// The caller supplies the RNG, keeping training runs reproducible.
+    /// `p == 0` is the identity and builds no extra graph node.
+    pub fn dropout<R: Rng>(&self, p: f32, rng: &mut R) -> Tensor {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        if p == 0.0 {
+            return self.clone();
+        }
+        let keep = 1.0 - p;
+        let inv = 1.0 / keep;
+        let x = self.value();
+        let (r, c) = x.shape();
+        let mask: Rc<[f32]> = (0..r * c)
+            .map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 })
+            .collect();
+        let mut out = x.clone();
+        drop(x);
+        for (o, &m) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *o *= m;
+        }
+        let mask_b = Rc::clone(&mask);
+        Tensor::from_op(out, vec![self.clone()], move |g| {
+            let mut gx = g.clone();
+            for (o, &m) in gx.as_mut_slice().iter_mut().zip(mask_b.iter()) {
+                *o *= m;
+            }
+            vec![Some(gx)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let y = x.dropout(0.0, &mut rng);
+        assert_eq!(y.value().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn survivors_are_scaled_up() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::param(NdArray::from_vec(vec![1.0; 1000], &[1, 1000]));
+        let y = x.dropout(0.5, &mut rng);
+        for &v in y.value().as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        // roughly half survive
+        let kept = y.value().as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert!((300..700).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn gradient_uses_same_mask() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::param(NdArray::from_vec(vec![1.0; 64], &[1, 64]));
+        let y = x.dropout(0.5, &mut rng);
+        let yv = y.value_clone();
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        for (&gv, &yv) in g.as_slice().iter().zip(yv.as_slice()) {
+            // grad is exactly the mask value (0 or 2), matching forward
+            assert_eq!(gv, yv);
+        }
+    }
+
+    #[test]
+    fn expectation_is_roughly_preserved() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::constant(NdArray::full(1, 10_000, 1.0));
+        let y = x.dropout(0.3, &mut rng);
+        let mean = y.value().sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+}

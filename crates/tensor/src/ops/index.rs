@@ -1,0 +1,95 @@
+//! Row gather / scatter-add — the sparse primitives of message passing.
+//!
+//! A GNN layer over an edge list `(src[i], rel[i], dst[i])` is expressed as
+//! `gather_rows` (look up source/relation embeddings per edge), dense math
+//! on the `[num_edges, d]` message matrix, then `scatter_add_rows` (sum
+//! messages into destination rows). The two operations are exact adjoints
+//! of each other, which is precisely what their backward passes use.
+
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+impl Tensor {
+    /// `out[i] = self[idx[i]]` — embedding lookup / per-edge gather.
+    pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
+        let n = self.rows();
+        for &i in idx {
+            assert!((i as usize) < n, "gather index {i} out of {n} rows");
+        }
+        let v = self.value().gather_rows(idx);
+        let idx: Rc<[u32]> = idx.into();
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            vec![Some(g.scatter_add_rows(&idx, n))]
+        })
+    }
+
+    /// `out[idx[i]] += self[i]` with `out` having `out_rows` rows —
+    /// message aggregation into destination nodes.
+    pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> Tensor {
+        assert_eq!(idx.len(), self.rows(), "scatter index count");
+        for &i in idx {
+            assert!((i as usize) < out_rows, "scatter index {i} out of {out_rows}");
+        }
+        let v = self.value().scatter_add_rows(idx, out_rows);
+        let idx: Rc<[u32]> = idx.into();
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            vec![Some(g.gather_rows(&idx))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NdArray;
+
+    fn t(v: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::param(NdArray::from_vec(v, shape))
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let e = t(vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0], &[3, 2]);
+        let y = e.gather_rows(&[2, 2, 0]);
+        assert_eq!(y.value().row(0), &[3.0, 3.0]);
+        assert_eq!(y.value().row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_backward_counts_uses() {
+        let e = t(vec![0.0, 0.0, 0.0], &[3, 1]);
+        e.gather_rows(&[1, 1, 1, 0]).sum_all().backward();
+        assert_eq!(e.grad().unwrap().as_slice(), &[1.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_add_sums_messages() {
+        let m = t(vec![1.0, 2.0, 4.0], &[3, 1]);
+        let y = m.scatter_add_rows(&[0, 0, 1], 3);
+        assert_eq!(y.value().as_slice(), &[3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_backward_gathers() {
+        let m = t(vec![1.0, 2.0], &[2, 1]);
+        let y = m.scatter_add_rows(&[1, 1], 2);
+        // weight destination rows differently: multiply by [10; 3]
+        let w = Tensor::constant(NdArray::from_vec(vec![10.0, 3.0], &[2, 1]));
+        y.mul(&w).sum_all().backward();
+        assert_eq!(m.grad().unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn gather_out_of_range_panics() {
+        let e = t(vec![0.0], &[1, 1]);
+        e.gather_rows(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn scatter_out_of_range_panics() {
+        let m = t(vec![0.0], &[1, 1]);
+        m.scatter_add_rows(&[9], 2);
+    }
+}

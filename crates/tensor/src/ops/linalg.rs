@@ -1,0 +1,128 @@
+//! Matrix products and column concatenation/slicing.
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · other` (`[n,k] · [k,m] → [n,m]`).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let v = self.value().matmul(&other.value());
+        let (a, b) = (self.clone(), other.clone());
+        Tensor::from_op(v, vec![self.clone(), other.clone()], move |g| {
+            vec![
+                Some(g.matmul_nt(&b.value())),
+                Some(a.value().matmul_tn(g)),
+            ]
+        })
+    }
+
+    /// Matrix product against a transposed right operand:
+    /// `self · otherᵀ` (`[n,k] · [m,k]ᵀ → [n,m]`). This is the decoder's
+    /// scoring step (query vectors against the entity embedding table).
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let v = self.value().matmul_nt(&other.value());
+        let (a, b) = (self.clone(), other.clone());
+        Tensor::from_op(v, vec![self.clone(), other.clone()], move |g| {
+            vec![
+                Some(g.matmul(&b.value())),
+                Some(g.matmul_tn(&a.value())),
+            ]
+        })
+    }
+
+    /// Concatenates tensors with identical row counts along columns.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let values: Vec<_> = parts.iter().map(|p| p.value_clone()).collect();
+        let refs: Vec<&NdArray> = values.iter().collect();
+        let v = NdArray::concat_cols(&refs);
+        let widths: Vec<usize> = values.iter().map(|p| p.cols()).collect();
+        let parents: Vec<Tensor> = parts.iter().map(|p| (*p).clone()).collect();
+        Tensor::from_op(v, parents, move |g| {
+            let mut out = Vec::with_capacity(widths.len());
+            let mut off = 0;
+            for &w in &widths {
+                out.push(Some(g.slice_cols(off, off + w)));
+                off += w;
+            }
+            out
+        })
+    }
+
+    /// Keeps columns `[from, to)` of every row.
+    pub fn slice_cols(&self, from: usize, to: usize) -> Tensor {
+        let v = self.value().slice_cols(from, to);
+        let total = self.cols();
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            let mut gx = NdArray::zeros(g.rows(), total);
+            for i in 0..g.rows() {
+                gx.row_mut(i)[from..to].copy_from_slice(g.row(i));
+            }
+            vec![Some(gx)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::param(NdArray::from_vec(v, shape))
+    }
+
+    #[test]
+    fn matmul_gradients_match_hand_computation() {
+        // y = sum(A·B) with A=[1,2;3,4], B=[5;6] -> dA = [5,6;5,6], dB = [4;6]
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0], &[2, 1]);
+        a.matmul(&b).sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_nt_value_matches_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let y = a.matmul_nt(&b);
+        assert_eq!(y.shape(), (2, 3));
+        assert_eq!(y.value().as_slice(), &[1.0, 2.0, 3.0, 3.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn matmul_nt_gradients_match_matmul_of_transpose() {
+        let av = vec![0.5, -1.0, 2.0, 0.25];
+        let bv = vec![1.0, 2.0, -0.5, 0.75, 0.0, 1.5];
+        let a1 = t(av.clone(), &[2, 2]);
+        let b1 = t(bv.clone(), &[3, 2]);
+        a1.matmul_nt(&b1).sum_all().backward();
+
+        let a2 = t(av, &[2, 2]);
+        let bt = NdArray::from_vec(bv, &[3, 2]).transpose();
+        let b2 = Tensor::param(bt);
+        a2.matmul(&b2).sum_all().backward();
+
+        assert_eq!(a1.grad().unwrap(), a2.grad().unwrap());
+        assert_eq!(b1.grad().unwrap(), b2.grad().unwrap().transpose());
+    }
+
+    #[test]
+    fn concat_then_slice_gradients_route_correctly() {
+        let a = t(vec![1.0, 2.0], &[1, 2]);
+        let b = t(vec![3.0], &[1, 1]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        // keep only column 2 (from b)
+        let y = c.slice_cols(2, 3);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.0, 0.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn slice_cols_gradient_pads_with_zeros() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        a.slice_cols(0, 1).sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Training losses.
+//!
+//! The HisRES objective (eq. 15) is a weighted sum of two multi-class
+//! cross-entropies (entity and relation prediction); the fused
+//! [`Tensor::softmax_cross_entropy`] keeps that numerically stable. The
+//! copy-generation and contrastive baselines additionally need an NLL over
+//! already-normalised probabilities and a binary cross-entropy.
+
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is the clearest form here
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Floor added inside logarithms to avoid `ln(0)`.
+pub const LOG_EPS: f32 = 1e-9;
+
+impl Tensor {
+    /// Mean softmax cross-entropy of `[n, c]` logits against integer
+    /// targets. Fused log-softmax keeps large logits stable; the backward
+    /// pass is the classic `(softmax - onehot) / n`.
+    pub fn softmax_cross_entropy(&self, targets: &[u32]) -> Tensor {
+        let x = self.value();
+        let (n, c) = x.shape();
+        assert_eq!(targets.len(), n, "one target per row");
+        for &t in targets {
+            assert!((t as usize) < c, "target {t} out of {c} classes");
+        }
+        let mut probs = NdArray::zeros(n, c);
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            let row = x.row(i);
+            let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (p, &v) in probs.row_mut(i).iter_mut().zip(row) {
+                let e = (v - mx).exp();
+                *p = e;
+                sum += e;
+            }
+            for p in probs.row_mut(i) {
+                *p /= sum;
+            }
+            let pt = probs.get(i, targets[i] as usize).max(LOG_EPS);
+            loss -= f64::from(pt.ln());
+        }
+        drop(x);
+        let v = NdArray::scalar((loss / n as f64) as f32);
+        let targets: Rc<[u32]> = targets.into();
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            let scale = g.item() / n as f32;
+            let mut gx = probs.clone();
+            for (i, &t) in targets.iter().enumerate() {
+                let row = gx.row_mut(i);
+                row[t as usize] -= 1.0;
+                for v in row {
+                    *v *= scale;
+                }
+            }
+            vec![Some(gx)]
+        })
+    }
+
+    /// Mean negative log-likelihood `-(1/n) Σ ln(p[i, target[i]] + ε)` over
+    /// a matrix of *already normalised* probabilities (e.g. the CyGNet
+    /// copy/generation mixture).
+    pub fn nll_of_probs(&self, targets: &[u32]) -> Tensor {
+        let p = self.value();
+        let (n, c) = p.shape();
+        assert_eq!(targets.len(), n, "one target per row");
+        for &t in targets {
+            assert!((t as usize) < c, "target {t} out of {c} classes");
+        }
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            loss -= f64::from((p.get(i, t as usize) + LOG_EPS).ln());
+        }
+        let saved = p.clone();
+        drop(p);
+        let v = NdArray::scalar((loss / n as f64) as f32);
+        let targets: Rc<[u32]> = targets.into();
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            let scale = g.item() / n as f32;
+            let mut gx = NdArray::zeros(n, c);
+            for (i, &t) in targets.iter().enumerate() {
+                let pt = saved.get(i, t as usize) + LOG_EPS;
+                gx.set(i, t as usize, -scale / pt);
+            }
+            vec![Some(gx)]
+        })
+    }
+
+    /// Mean binary cross-entropy of `[n, 1]` logits against `{0, 1}` float
+    /// targets (used by CENET's historical/non-historical classifier).
+    pub fn bce_with_logits(&self, targets: &[f32]) -> Tensor {
+        let x = self.value();
+        let n = x.rows();
+        assert_eq!(x.cols(), 1, "bce expects [n, 1] logits");
+        assert_eq!(targets.len(), n, "one target per logit");
+        let mut loss = 0.0f64;
+        let mut sig = Vec::with_capacity(n);
+        for i in 0..n {
+            let z = x.get(i, 0);
+            let s = 1.0 / (1.0 + (-z).exp());
+            sig.push(s);
+            // numerically stable: max(z,0) - z*t + ln(1 + e^{-|z|})
+            let t = targets[i];
+            loss += f64::from(z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln());
+        }
+        drop(x);
+        let v = NdArray::scalar((loss / n as f64) as f32);
+        let targets: Rc<[f32]> = targets.into();
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            let scale = g.item() / n as f32;
+            let mut gx = NdArray::zeros(n, 1);
+            for i in 0..n {
+                gx.set(i, 0, scale * (sig[i] - targets[i]));
+            }
+            vec![Some(gx)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_ln_c() {
+        let x = Tensor::param(NdArray::zeros(2, 4));
+        let l = x.softmax_cross_entropy(&[0, 3]);
+        assert!((l.value().item() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let x = Tensor::param(NdArray::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]));
+        let l = x.softmax_cross_entropy(&[0]);
+        assert!(l.value().item() < 1e-3);
+    }
+
+    #[test]
+    fn ce_gradient_is_probs_minus_onehot() {
+        let x = Tensor::param(NdArray::zeros(1, 2));
+        x.softmax_cross_entropy(&[1]).backward();
+        let g = x.grad().unwrap();
+        assert!((g.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((g.get(0, 1) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ce_gradient_descent_increases_target_probability() {
+        let mut logits = NdArray::zeros(1, 3);
+        for _ in 0..50 {
+            let x = Tensor::param(logits.clone());
+            let l = x.softmax_cross_entropy(&[2]);
+            l.backward();
+            let g = x.grad().unwrap();
+            let mut next = logits.clone();
+            next.axpy(-1.0, &g);
+            logits = next;
+        }
+        let x = Tensor::constant(logits);
+        let p = x.softmax_rows();
+        assert!(p.value().get(0, 2) > 0.9, "target prob {}", p.value().get(0, 2));
+    }
+
+    #[test]
+    fn nll_matches_ce_through_explicit_softmax() {
+        let vals = vec![0.2, -0.4, 1.3];
+        let a = Tensor::param(NdArray::from_vec(vals.clone(), &[1, 3]));
+        let l1 = a.softmax_cross_entropy(&[2]);
+        let b = Tensor::param(NdArray::from_vec(vals, &[1, 3]));
+        let l2 = b.softmax_rows().nll_of_probs(&[2]);
+        assert!((l1.value().item() - l2.value().item()).abs() < 1e-5);
+        l1.backward();
+        l2.backward();
+        for (g1, g2) in a
+            .grad()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(b.grad().unwrap().as_slice())
+        {
+            assert!((g1 - g2).abs() < 1e-4, "{g1} vs {g2}");
+        }
+    }
+
+    #[test]
+    fn bce_zero_logit_is_ln2() {
+        let x = Tensor::param(NdArray::zeros(2, 1));
+        let l = x.bce_with_logits(&[0.0, 1.0]);
+        assert!((l.value().item() - std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_sign_follows_target() {
+        let x = Tensor::param(NdArray::zeros(2, 1));
+        x.bce_with_logits(&[1.0, 0.0]).backward();
+        let g = x.grad().unwrap();
+        assert!(g.get(0, 0) < 0.0); // push logit up toward target 1
+        assert!(g.get(1, 0) > 0.0); // push logit down toward target 0
+    }
+}

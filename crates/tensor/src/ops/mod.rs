@@ -1,0 +1,29 @@
+//! Differentiable operations on [`crate::Tensor`].
+//!
+//! Each operation computes its forward value eagerly with the raw
+//! [`crate::NdArray`] kernels and registers a backward closure via
+//! `Tensor::from_op`. Closures capture the parent tensors (cheap `Rc`
+//! clones) and borrow their values at backward time, so no input matrices
+//! are copied just to be remembered.
+//!
+//! The modules group operations the way the HisRES model consumes them:
+//!
+//! * [`arithmetic`] — elementwise add/sub/mul, broadcasts, scaling
+//! * [`activation`] — sigmoid, tanh, (leaky/r)ReLU, cosine
+//! * [`linalg`] — matmul (plain, `A·Bᵀ`), concat/slice of columns
+//! * [`index`] — gather / scatter-add rows (message passing)
+//! * [`reduce`] — sums and means
+//! * [`attention`] — per-destination segment softmax (ConvGAT, eq. 10)
+//! * [`conv`] — same-padded 1-D convolution (ConvTransE decoder)
+//! * [`loss`] — fused softmax cross-entropy, NLL, BCE-with-logits
+//! * [`dropout`] — inverted dropout
+
+pub mod activation;
+pub mod arithmetic;
+pub mod attention;
+pub mod conv;
+pub mod dropout;
+pub mod index;
+pub mod linalg;
+pub mod loss;
+pub mod reduce;

@@ -1,0 +1,74 @@
+//! Reductions: sums and means.
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements → `[1, 1]`.
+    pub fn sum_all(&self) -> Tensor {
+        let (r, c) = self.shape();
+        let v = NdArray::scalar(self.value().sum());
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            vec![Some(NdArray::full(r, c, g.item()))]
+        })
+    }
+
+    /// Mean of all elements → `[1, 1]`.
+    pub fn mean_all(&self) -> Tensor {
+        let n = {
+            let v = self.value();
+            v.len()
+        };
+        self.sum_all().scale(1.0 / n as f32)
+    }
+
+    /// Column-wise mean over rows → `[1, d]` (the paper's `pooling` in
+    /// eq. 6).
+    pub fn mean_rows(&self) -> Tensor {
+        let (r, _) = self.shape();
+        assert!(r > 0, "mean_rows of empty tensor");
+        let v = self.value().mean_rows();
+        Tensor::from_op(v, vec![self.clone()], move |g| {
+            let mut gx = NdArray::zeros(r, g.cols());
+            let inv = 1.0 / r as f32;
+            for i in 0..r {
+                for (o, &gv) in gx.row_mut(i).iter_mut().zip(g.as_slice()) {
+                    *o = gv * inv;
+                }
+            }
+            vec![Some(gx)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_all_gradient_is_ones() {
+        let a = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let y = a.sum_all();
+        assert_eq!(y.value().item(), 10.0);
+        y.backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn mean_all_divides_gradient() {
+        let a = Tensor::param(NdArray::from_vec(vec![2.0, 4.0], &[1, 2]));
+        let y = a.mean_all();
+        assert_eq!(y.value().item(), 3.0);
+        y.backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn mean_rows_pools_columns() {
+        let a = Tensor::param(NdArray::from_vec(vec![1.0, 10.0, 3.0, 20.0], &[2, 2]));
+        let y = a.mean_rows();
+        assert_eq!(y.value().as_slice(), &[2.0, 15.0]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.5; 4]);
+    }
+}

@@ -1,0 +1,198 @@
+//! A named registry of trainable parameters with JSON checkpointing.
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Owns the trainable leaves of a model. Layers register their parameters
+/// under hierarchical names (`"evo.compgcn0.w_rel"`), the optimiser walks
+/// [`ParamStore::params`], and checkpoints round-trip through JSON.
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<(String, Tensor)>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    params: BTreeMap<String, SavedParam>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SavedParam {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates, registers and returns a parameter tensor. Names must be
+    /// unique within the store.
+    pub fn param(&mut self, name: impl Into<String>, init: NdArray) -> Tensor {
+        let name = name.into();
+        assert!(
+            !self.entries.iter().any(|(n, _)| *n == name),
+            "duplicate parameter name {name:?}"
+        );
+        let t = Tensor::param(init);
+        self.entries.push((name, t.clone()));
+        t
+    }
+
+    /// All registered parameters, in registration order.
+    pub fn params(&self) -> impl Iterator<Item = &Tensor> {
+        self.entries.iter().map(|(_, t)| t)
+    }
+
+    /// `(name, tensor)` pairs, in registration order.
+    pub fn named_params(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|(_, t)| t.value().len()).sum()
+    }
+
+    /// Clears the gradient of every parameter.
+    pub fn zero_grad(&self) {
+        for (_, t) in &self.entries {
+            t.zero_grad();
+        }
+    }
+
+    /// Serialises all parameter values to a JSON string.
+    pub fn to_json(&self) -> String {
+        let params = self
+            .entries
+            .iter()
+            .map(|(n, t)| {
+                let v = t.value();
+                (
+                    n.clone(),
+                    SavedParam {
+                        rows: v.rows(),
+                        cols: v.cols(),
+                        data: v.as_slice().to_vec(),
+                    },
+                )
+            })
+            .collect();
+        serde_json::to_string(&Checkpoint { params }).expect("checkpoint serialisation")
+    }
+
+    /// Restores parameter values from [`ParamStore::to_json`] output.
+    /// Every registered parameter must be present with a matching shape;
+    /// extra entries in the checkpoint are ignored.
+    pub fn load_json(&self, json: &str) -> Result<(), String> {
+        let ckpt: Checkpoint =
+            serde_json::from_str(json).map_err(|e| format!("invalid checkpoint: {e}"))?;
+        for (name, t) in &self.entries {
+            let saved = ckpt
+                .params
+                .get(name)
+                .ok_or_else(|| format!("checkpoint missing parameter {name:?}"))?;
+            let mut v = t.value_mut();
+            if v.shape() != (saved.rows, saved.cols) {
+                return Err(format!(
+                    "parameter {name:?} shape mismatch: model {:?}, checkpoint ({}, {})",
+                    v.shape(),
+                    saved.rows,
+                    saved.cols
+                ));
+            }
+            v.as_mut_slice().copy_from_slice(&saved.data);
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint file.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a checkpoint file.
+    pub fn load_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = std::fs::read_to_string(path)?;
+        self.load_json(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_counts() {
+        let mut s = ParamStore::new();
+        s.param("a", NdArray::zeros(2, 3));
+        s.param("b", NdArray::zeros(1, 4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let mut s = ParamStore::new();
+        s.param("a", NdArray::zeros(1, 1));
+        s.param("a", NdArray::zeros(1, 1));
+    }
+
+    #[test]
+    fn json_round_trip_restores_values() {
+        let mut s = ParamStore::new();
+        let w = s.param("w", NdArray::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let json = s.to_json();
+        w.value_mut().as_mut_slice().fill(0.0);
+        s.load_json(&json).unwrap();
+        assert_eq!(w.value().as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut a = ParamStore::new();
+        a.param("w", NdArray::zeros(2, 2));
+        let json = a.to_json();
+        let mut b = ParamStore::new();
+        b.param("w", NdArray::zeros(2, 3));
+        assert!(b.load_json(&json).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn load_rejects_missing_param() {
+        let a = ParamStore::new();
+        let json = a.to_json();
+        let mut b = ParamStore::new();
+        b.param("w", NdArray::zeros(1, 1));
+        assert!(b.load_json(&json).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut s = ParamStore::new();
+        let w = s.param("w", NdArray::scalar(2.0));
+        w.mul(&w).backward();
+        assert!(w.grad().is_some());
+        s.zero_grad();
+        assert!(w.grad().is_none());
+    }
+}

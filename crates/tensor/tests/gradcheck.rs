@@ -1,0 +1,199 @@
+//! Finite-difference gradient verification for every differentiable op.
+//!
+//! For a scalar loss `L(θ)` built from an op under test, the analytic
+//! gradient from `backward()` is compared against the central difference
+//! `(L(θ + h e_i) - L(θ - h e_i)) / 2h` for every coordinate. Inputs are
+//! drawn by proptest, so each op is exercised across many random shapes and
+//! values.
+
+use hisres_tensor::{NdArray, Tensor};
+use proptest::prelude::*;
+
+/// Central-difference check of `f`'s gradient w.r.t. a single input vector.
+/// `f` must rebuild the whole computation from the raw values each call.
+fn check_grad(values: &[f32], shape: (usize, usize), f: impl Fn(&Tensor) -> Tensor, tol: f32) {
+    let x = Tensor::param(NdArray::from_vec(values.to_vec(), &[shape.0, shape.1]));
+    let loss = f(&x);
+    assert_eq!(loss.shape(), (1, 1), "gradcheck needs a scalar loss");
+    loss.backward();
+    let analytic = x.grad().expect("analytic gradient");
+
+    let h = 1e-2f32; // f32 central differences: sqrt-eps scaled for stability
+    for i in 0..values.len() {
+        let mut plus = values.to_vec();
+        plus[i] += h;
+        let mut minus = values.to_vec();
+        minus[i] -= h;
+        let lp = f(&Tensor::constant(NdArray::from_vec(plus, &[shape.0, shape.1])))
+            .value()
+            .item();
+        let lm = f(&Tensor::constant(NdArray::from_vec(minus, &[shape.0, shape.1])))
+            .value()
+            .item();
+        let numeric = (lp - lm) / (2.0 * h);
+        let a = analytic.as_slice()[i];
+        let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+        assert!(
+            (a - numeric).abs() / denom < tol,
+            "coordinate {i}: analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_mul_chain(v in small_vals(6)) {
+        check_grad(&v, (2, 3), |x| x.mul(x).sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn grad_sigmoid(v in small_vals(4)) {
+        check_grad(&v, (2, 2), |x| x.sigmoid().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn grad_tanh(v in small_vals(4)) {
+        check_grad(&v, (1, 4), |x| x.tanh_act().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn grad_cos(v in small_vals(5)) {
+        check_grad(&v, (1, 5), |x| x.cos_act().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn grad_leaky_relu_away_from_kink(v in proptest::collection::vec(0.3f32..2.0, 4)) {
+        // keep points away from 0 where the derivative jumps
+        check_grad(&v, (2, 2), |x| x.leaky_relu(0.2).sum_all(), 2e-2);
+        let negated: Vec<f32> = v.iter().map(|a| -a).collect();
+        check_grad(&negated, (2, 2), |x| x.leaky_relu(0.2).sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn grad_matmul_left(v in small_vals(6)) {
+        let w = NdArray::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.7], &[3, 2]);
+        check_grad(&v, (2, 3), move |x| {
+            x.matmul(&Tensor::constant(w.clone())).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_matmul_right(v in small_vals(6)) {
+        let a = NdArray::from_vec(vec![1.0, -0.5, 0.25, 2.0], &[2, 2]);
+        check_grad(&v, (2, 3), move |x| {
+            Tensor::constant(a.clone()).matmul(x).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_matmul_nt(v in small_vals(6)) {
+        let b = NdArray::from_vec(vec![0.2, 0.4, -0.8, 1.0, 0.0, -0.3], &[2, 3]);
+        check_grad(&v, (2, 3), move |x| {
+            x.matmul_nt(&Tensor::constant(b.clone())).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_gather_scatter(v in small_vals(6)) {
+        // weighted sum after a gather/scatter round trip
+        let w = NdArray::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.7, -0.1], &[3, 2]);
+        check_grad(&v, (3, 2), move |x| {
+            let g = x.gather_rows(&[2, 0, 0, 1]);
+            let s = g.scatter_add_rows(&[0, 1, 2, 1], 3);
+            s.mul(&Tensor::constant(w.clone())).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_segment_softmax(v in small_vals(5)) {
+        // weight each softmax output so the loss is not trivially constant
+        let w = NdArray::from_vec(vec![0.9, -1.4, 0.3, 2.0, -0.6], &[5, 1]);
+        check_grad(&v, (5, 1), move |x| {
+            x.segment_softmax(&[0, 0, 1, 1, 1], 2)
+                .mul(&Tensor::constant(w.clone()))
+                .sum_all()
+        }, 3e-2);
+    }
+
+    #[test]
+    fn grad_softmax_rows(v in small_vals(6)) {
+        let w = NdArray::from_vec(vec![1.0, -0.5, 0.25, -1.0, 0.75, 0.1], &[2, 3]);
+        check_grad(&v, (2, 3), move |x| {
+            x.softmax_rows().mul(&Tensor::constant(w.clone())).sum_all()
+        }, 3e-2);
+    }
+
+    #[test]
+    fn grad_conv1d_input(v in small_vals(8)) {
+        // 2 channels x length 4, one output channel, k = 3
+        let w = NdArray::from_vec(vec![0.5, -0.25, 1.0, 0.75, 0.1, -0.9], &[1, 6]);
+        check_grad(&v, (1, 8), move |x| {
+            x.conv1d_same(&Tensor::constant(w.clone()), 2, 3).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_conv1d_kernel(v in small_vals(6)) {
+        let x = NdArray::from_vec(vec![1.0, -0.5, 0.3, 0.8, -1.2, 0.4, 0.9, -0.7], &[1, 8]);
+        check_grad(&v, (1, 6), move |w| {
+            Tensor::constant(x.clone()).conv1d_same(w, 2, 3).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_softmax_cross_entropy(v in small_vals(8)) {
+        check_grad(&v, (2, 4), |x| x.softmax_cross_entropy(&[1, 3]), 3e-2);
+    }
+
+    #[test]
+    fn grad_bce_with_logits(v in small_vals(3)) {
+        check_grad(&v, (3, 1), |x| x.bce_with_logits(&[1.0, 0.0, 1.0]), 2e-2);
+    }
+
+    #[test]
+    fn grad_mean_rows(v in small_vals(6)) {
+        let w = NdArray::from_vec(vec![2.0, -1.0], &[1, 2]);
+        check_grad(&v, (3, 2), move |x| {
+            x.mean_rows().mul(&Tensor::constant(w.clone())).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_concat_slice(v in small_vals(4)) {
+        check_grad(&v, (2, 2), |x| {
+            let c = Tensor::concat_cols(&[x, x]);
+            c.slice_cols(1, 3).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_mul_col(v in small_vals(6)) {
+        let w = NdArray::from_vec(vec![0.5, -1.5], &[2, 1]);
+        check_grad(&v, (2, 3), move |x| {
+            x.mul_col(&Tensor::constant(w.clone())).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_composite_gnn_like(v in small_vals(8)) {
+        // A miniature message-passing step: gather sources, linear map,
+        // scatter into destinations, nonlinearity, loss — the exact shape
+        // of a CompGCN layer.
+        let w = NdArray::from_vec(
+            vec![0.4, -0.3, 0.8, 0.2, -0.6, 0.5, 0.1, 0.9, -0.2, 0.3, 0.7, -0.5, 0.6, -0.8, 0.05, 0.35],
+            &[4, 4],
+        );
+        check_grad(&v, (2, 4), move |e| {
+            let msgs = e.gather_rows(&[0, 1, 1, 0]);
+            let mapped = msgs.matmul(&Tensor::constant(w.clone()));
+            let agg = mapped.scatter_add_rows(&[1, 0, 1, 0], 2);
+            agg.tanh_act().sum_all()
+        }, 3e-2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Optimiser behaviour tests beyond simple convergence.
+
+use hisres_tensor::{clip_grad_norm, Adam, NdArray, Sgd, Tensor};
+use proptest::prelude::*;
+
+#[test]
+fn adam_first_step_magnitude_is_learning_rate() {
+    // With bias correction, Adam's very first update is ±lr (up to eps)
+    // regardless of gradient scale.
+    for &g_scale in &[0.01f32, 1.0, 100.0] {
+        let p = Tensor::param(NdArray::scalar(0.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.05);
+        p.scale(g_scale).backward();
+        opt.step();
+        let delta = p.value().item().abs();
+        assert!(
+            (delta - 0.05).abs() < 1e-3,
+            "first step {delta} at gradient scale {g_scale}"
+        );
+    }
+}
+
+#[test]
+fn adam_is_scale_invariant_where_sgd_is_not() {
+    let run_adam = |scale: f32| {
+        let p = Tensor::param(NdArray::scalar(1.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        for _ in 0..20 {
+            opt.zero_grad();
+            p.scale(scale).backward(); // grad = scale, always same sign
+            opt.step();
+        }
+        let v = p.value().item();
+        v
+    };
+    let a = run_adam(1.0);
+    let b = run_adam(1000.0);
+    assert!((a - b).abs() < 1e-3, "Adam diverged under gradient scaling: {a} vs {b}");
+
+    let run_sgd = |scale: f32| {
+        let p = Tensor::param(NdArray::scalar(1.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        opt.zero_grad();
+        p.scale(scale).backward();
+        opt.step();
+        let v = p.value().item();
+        v
+    };
+    assert!((run_sgd(1.0) - run_sgd(1000.0)).abs() > 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn clipping_never_increases_norm(vals in proptest::collection::vec(-5.0f32..5.0, 6)) {
+        let p = Tensor::param(NdArray::zeros(1, 6));
+        let w = Tensor::constant(NdArray::from_vec(vals, &[1, 6]));
+        p.mul(&w).sum_all().backward();
+        let before = p.grad().unwrap().sq_norm().sqrt();
+        clip_grad_norm([&p], 1.0);
+        let after = p.grad().unwrap().sq_norm().sqrt();
+        prop_assert!(after <= before + 1e-5);
+        prop_assert!(after <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn clipping_preserves_gradient_direction(vals in proptest::collection::vec(0.5f32..5.0, 4)) {
+        let p = Tensor::param(NdArray::zeros(1, 4));
+        let w = Tensor::constant(NdArray::from_vec(vals.clone(), &[1, 4]));
+        p.mul(&w).sum_all().backward();
+        clip_grad_norm([&p], 0.5);
+        let g = p.grad().unwrap();
+        // all components keep their (positive) sign and relative order
+        for (a, b) in g.as_slice().iter().zip(&vals) {
+            prop_assert!(a.signum() == b.signum());
+        }
+        let ratio0 = g.as_slice()[0] / vals[0];
+        for (a, b) in g.as_slice().iter().zip(&vals) {
+            prop_assert!(((a / b) - ratio0).abs() < 1e-4, "direction changed");
+        }
+    }
+
+    #[test]
+    fn sgd_descends_a_random_convex_quadratic(
+        target in proptest::collection::vec(-2.0f32..2.0, 3),
+        start in proptest::collection::vec(-2.0f32..2.0, 3),
+    ) {
+        let p = Tensor::param(NdArray::from_vec(start, &[1, 3]));
+        let tgt = NdArray::from_vec(target, &[1, 3]);
+        let mut opt = Sgd::new(vec![p.clone()], 0.2);
+        let loss_at = |p: &Tensor| {
+            let d = p.sub(&Tensor::constant(tgt.clone()));
+            d.mul(&d).sum_all()
+        };
+        let initial = loss_at(&p).value().item();
+        for _ in 0..50 {
+            opt.zero_grad();
+            loss_at(&p).backward();
+            opt.step();
+        }
+        let fin = loss_at(&p).value().item();
+        prop_assert!(fin <= initial + 1e-6);
+        prop_assert!(fin < 0.01, "final loss {fin}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: train HisRES on a synthetic temporal knowledge graph and
+//! report time-aware filtered metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hisres::eval::{evaluate, Split};
+use hisres::trainer::{train, HisResEval};
+use hisres::{HisRes, HisResConfig, TrainConfig};
+use hisres_data::datasets::load;
+
+fn main() {
+    // 1. Load a dataset. `load` generates a seeded synthetic analog of
+    //    ICEWS14s; real data in the standard train/valid/test.txt layout
+    //    loads through `hisres_data::loader::load_dir`.
+    let data = load("icews14s-syn");
+    println!(
+        "dataset: {} — {} entities, {} relations, {}/{}/{} train/valid/test facts",
+        data.name,
+        data.num_entities(),
+        data.num_relations(),
+        data.train.len(),
+        data.valid.len(),
+        data.test.len()
+    );
+
+    // 2. Configure the model. Defaults follow the paper's architecture
+    //    (2-layer GNNs, granularity 2, ConvGAT global encoder) at CPU
+    //    scale; every ablation switch lives on this struct.
+    let cfg = HisResConfig {
+        dim: 32,
+        conv_channels: 8,
+        history_len: 3,
+        ..Default::default()
+    };
+    let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
+    println!("model: {} trainable scalars", model.store.num_scalars());
+
+    // 3. Train with validation-based early stopping.
+    let tc = TrainConfig {
+        epochs: 8,
+        lr: 0.01, // scaled up from the paper's 1e-3 for the small CPU step budget
+        patience: 3,
+        verbose: true,
+        ..Default::default()
+    };
+    let report = train(&model, &data, &tc);
+    println!(
+        "trained {} epochs; best validation MRR {:.2}",
+        report.epochs_run, report.best_val_mrr
+    );
+
+    // 4. Evaluate with the paper's protocol.
+    let result = evaluate(&HisResEval { model: &model }, &data, Split::Test);
+    println!();
+    println!("test results (time-aware filtered, x100):");
+    println!(
+        "  MRR {:.2}   Hits@1 {:.2}   Hits@3 {:.2}   Hits@10 {:.2}",
+        result.mrr, result.hits[0], result.hits[1], result.hits[2]
+    );
+
+    // 5. Persist the trained parameters.
+    let path = std::env::temp_dir().join("hisres_quickstart.json");
+    model.store.save_file(&path).expect("checkpoint write");
+    println!("checkpoint saved to {}", path.display());
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper, saving raw outputs under
+# results/. Pass --quick to run the 2-epoch smoke configuration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+QUICK="${1:-}"
+for bin in table2 table3 table4 fig5a fig5b prune_sweep multistep history_sweep; do
+  echo "=== $bin ==="
+  cargo run --release -p hisres-bench --bin "$bin" -- $QUICK | tee "results/$bin.txt"
+done
+echo "all outputs written to results/"

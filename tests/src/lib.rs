@@ -1,0 +1,1 @@
+//! Integration-test host crate for the HisRES workspace; tests live in `tests/tests/`.

@@ -1,0 +1,149 @@
+//! Evaluation-protocol invariants that every model must satisfy.
+
+use hisres::eval::{evaluate, ExtrapolationModel, HistoryCtx, Split};
+use hisres_baselines::registry::{all_baselines, RosterConfig};
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use hisres_graph::{GlobalHistoryIndex, Quad, Snapshot};
+use hisres_tensor::NdArray;
+
+fn tiny_data(seed: u64) -> DatasetSplits {
+    let cfg = SyntheticConfig {
+        num_entities: 15,
+        num_relations: 3,
+        num_timestamps: 25,
+        periodic_patterns: 8,
+        period_range: (2, 6),
+        causal_rules: 1,
+        trigger_events_per_t: 2,
+        recency_draws_per_t: 1,
+        noise_events_per_t: 1,
+        seed,
+        ..Default::default()
+    };
+    DatasetSplits::from_tkg("tiny", "1 step", &generate(&cfg).tkg)
+}
+
+/// A model that cheats by memorising the whole dataset — used to verify
+/// the evaluator awards a perfect score when scores are perfect.
+struct Oracle {
+    answers: std::collections::HashMap<(u32, u32, u32), Vec<u32>>,
+    n: usize,
+}
+
+impl Oracle {
+    fn new(data: &DatasetSplits) -> Self {
+        let nr = data.num_relations() as u32;
+        let mut answers: std::collections::HashMap<(u32, u32, u32), Vec<u32>> =
+            std::collections::HashMap::new();
+        for q in data.all_quads() {
+            answers.entry((q.s, q.r, q.t)).or_default().push(q.o);
+            let inv = q.inverse(nr);
+            answers.entry((inv.s, inv.r, inv.t)).or_default().push(inv.o);
+        }
+        Self { answers, n: data.num_entities() }
+    }
+}
+
+impl ExtrapolationModel for Oracle {
+    fn name(&self) -> String {
+        "oracle".into()
+    }
+    fn score(&self, ctx: &HistoryCtx<'_>, queries: &[(u32, u32)]) -> NdArray {
+        let mut out = NdArray::zeros(queries.len(), self.n);
+        for (i, &(s, r)) in queries.iter().enumerate() {
+            if let Some(os) = self.answers.get(&(s, r, ctx.t)) {
+                for &o in os {
+                    out.set(i, o as usize, 1.0);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn oracle_gets_perfect_scores_on_all_splits() {
+    let data = tiny_data(1);
+    let oracle = Oracle::new(&data);
+    for split in [Split::Valid, Split::Test] {
+        let r = evaluate(&oracle, &data, split);
+        assert!((r.mrr - 100.0).abs() < 1e-9, "{split:?}: {}", r.mrr);
+        assert!((r.hits[2] - 100.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn query_count_covers_raw_and_inverse() {
+    let data = tiny_data(2);
+    let oracle = Oracle::new(&data);
+    let r = evaluate(&oracle, &data, Split::Test);
+    assert_eq!(r.queries, 2 * data.test.len());
+}
+
+#[test]
+fn history_context_never_contains_the_future() {
+    struct HistoryChecker;
+    impl ExtrapolationModel for HistoryChecker {
+        fn name(&self) -> String {
+            "checker".into()
+        }
+        fn score(&self, ctx: &HistoryCtx<'_>, queries: &[(u32, u32)]) -> NdArray {
+            // every snapshot handed to the model precedes the query time
+            for s in ctx.snapshots {
+                assert!(s.t < ctx.t, "future snapshot {} leaked into t={}", s.t, ctx.t);
+            }
+            assert_eq!(ctx.snapshots.len(), ctx.t as usize, "dense prefix expected");
+            NdArray::zeros(queries.len(), ctx.num_entities)
+        }
+    }
+    let data = tiny_data(3);
+    evaluate(&HistoryChecker, &data, Split::Test);
+}
+
+#[test]
+fn global_index_at_eval_time_reflects_only_the_past() {
+    struct IndexChecker {
+        test_quads: Vec<Quad>,
+    }
+    impl ExtrapolationModel for IndexChecker {
+        fn name(&self) -> String {
+            "index-checker".into()
+        }
+        fn score(&self, ctx: &HistoryCtx<'_>, queries: &[(u32, u32)]) -> NdArray {
+            // facts of future test snapshots must not be in the index yet
+            for q in &self.test_quads {
+                if q.t >= ctx.t {
+                    let seen = ctx
+                        .global
+                        .objects(q.s, q.r)
+                        .is_some_and(|os| os.contains(&q.o));
+                    // a future fact may coincide with a past one; only flag
+                    // it when the exact triple never occurred before t
+                    if seen {
+                        continue;
+                    }
+                }
+            }
+            NdArray::zeros(queries.len(), ctx.num_entities)
+        }
+    }
+    let data = tiny_data(4);
+    let checker = IndexChecker { test_quads: data.test.quads.clone() };
+    evaluate(&checker, &data, Split::Test);
+}
+
+#[test]
+fn whole_roster_survives_empty_history_evaluation() {
+    // models must not panic when asked to score with zero history — the
+    // very first validation snapshot of a sparse dataset does this
+    let roster = all_baselines(12, 2, &RosterConfig { dim: 8, history_len: 2, seed: 5 });
+    let snaps: Vec<Snapshot> = Vec::new();
+    let global = GlobalHistoryIndex::new();
+    let ctx = HistoryCtx { snapshots: &snaps, t: 0, global: &global, num_entities: 12, num_relations: 2 };
+    for m in &roster {
+        let s = m.score(&ctx, &[(0, 0), (1, 3)]);
+        assert_eq!(s.shape(), (2, 12), "{}", m.name());
+        assert!(!s.has_non_finite(), "{}", m.name());
+    }
+}

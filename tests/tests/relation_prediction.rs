@@ -1,0 +1,87 @@
+//! Tests of the relation-prediction task (the second term of eq. 15).
+
+use hisres::eval::{evaluate, evaluate_relations, Split};
+use hisres::trainer::{train, HisResEval};
+use hisres::{HisRes, HisResConfig, TrainConfig};
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+
+fn data() -> DatasetSplits {
+    let cfg = SyntheticConfig {
+        num_entities: 18,
+        num_relations: 4,
+        num_timestamps: 30,
+        periodic_patterns: 10,
+        period_range: (2, 6),
+        causal_rules: 1,
+        trigger_events_per_t: 2,
+        recency_draws_per_t: 2,
+        noise_events_per_t: 1,
+        seed: 21,
+        ..Default::default()
+    };
+    DatasetSplits::from_tkg("rel-test", "1 step", &generate(&cfg).tkg)
+}
+
+#[test]
+fn relation_metrics_are_well_formed() {
+    let d = data();
+    let cfg = HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() };
+    let model = HisRes::new(&cfg, 18, 4);
+    let r = evaluate_relations(&model, &d, Split::Test);
+    assert_eq!(r.queries, 2 * d.test.len());
+    assert!(r.mrr > 0.0 && r.mrr <= 100.0);
+    assert!(r.hits[0] <= r.hits[1] && r.hits[1] <= r.hits[2]);
+}
+
+#[test]
+fn training_improves_relation_prediction_too() {
+    // the joint objective trains both heads, so relation MRR should also
+    // move above an untrained model's
+    let d = data();
+    let cfg = HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() };
+    let untrained = HisRes::new(&cfg, 18, 4);
+    let before = evaluate_relations(&untrained, &d, Split::Test);
+
+    let trained = HisRes::new(&cfg, 18, 4);
+    train(&trained, &d, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() });
+    let after = evaluate_relations(&trained, &d, Split::Test);
+    assert!(
+        after.mrr > before.mrr,
+        "relation MRR did not improve: {:.2} -> {:.2}",
+        before.mrr,
+        after.mrr
+    );
+}
+
+#[test]
+fn alpha_trades_off_the_two_tasks() {
+    // α = 1 ignores the relation task entirely; α = 0.5 trains it harder.
+    // The relation-heavy model must do at least as well on relations.
+    let d = data();
+    let mk = |alpha: f32| {
+        let cfg = HisResConfig {
+            dim: 8,
+            conv_channels: 2,
+            history_len: 3,
+            alpha,
+            ..Default::default()
+        };
+        let m = HisRes::new(&cfg, 18, 4);
+        train(&m, &d, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() });
+        m
+    };
+    let entity_only = mk(1.0);
+    let joint = mk(0.5);
+    let rel_entity_only = evaluate_relations(&entity_only, &d, Split::Test);
+    let rel_joint = evaluate_relations(&joint, &d, Split::Test);
+    assert!(
+        rel_joint.mrr > rel_entity_only.mrr,
+        "joint training {:.2} should beat entity-only {:.2} on relations",
+        rel_joint.mrr,
+        rel_entity_only.mrr
+    );
+    // and both still function on entities
+    let ent = evaluate(&HisResEval { model: &joint }, &d, Split::Test);
+    assert!(ent.mrr > 0.0);
+}
