@@ -15,8 +15,8 @@ use hisres_data::DatasetSplits;
 use hisres_graph::GlobalHistoryIndex;
 use hisres_nn::{Embedding, Linear};
 use hisres_tensor::{no_grad, NdArray, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 
 /// The CENET-lite model.
 pub struct Cenet {

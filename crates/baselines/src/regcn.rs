@@ -32,8 +32,8 @@ use hisres::{
 use hisres_data::DatasetSplits;
 use hisres_graph::EdgeList;
 use hisres_tensor::{no_grad, NdArray};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 
 // re-export to keep the paths used by tests/benches short
 pub use hisres::Split;

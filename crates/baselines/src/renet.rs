@@ -15,8 +15,8 @@ use hisres_data::DatasetSplits;
 use hisres_graph::{EdgeList, Snapshot};
 use hisres_nn::{Embedding, GruCell, Linear};
 use hisres_tensor::{no_grad, NdArray, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 
 /// The RE-NET-lite model.
 pub struct ReNet {

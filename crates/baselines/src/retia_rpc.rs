@@ -20,8 +20,8 @@ use hisres_data::DatasetSplits;
 use hisres_graph::{EdgeList, Snapshot};
 use hisres_nn::{CompGcnLayer, ConvTransE, Embedding, GruCell, Linear, TimeEncoding};
 use hisres_tensor::{no_grad, NdArray, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 
 /// Builds the relation line graph of a snapshot: for every entity, the
 /// incident relations (sorted, deduplicated) are connected in a ring.

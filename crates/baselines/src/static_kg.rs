@@ -16,8 +16,8 @@ use hisres::{ExtrapolationModel, HistoryCtx};
 use hisres_data::DatasetSplits;
 use hisres_nn::{ConvTransE, Embedding, Linear};
 use hisres_tensor::{no_grad, NdArray, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 
 /// Which scoring function a [`StaticKg`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -3,8 +3,8 @@
 use hisres_data::DatasetSplits;
 use hisres_graph::{GlobalHistoryIndex, Quad, Snapshot};
 use hisres_tensor::{clip_grad_norm, Adam, NdArray, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 
 /// Per-baseline optimisation schedule.
 #[derive(Clone, Copy, Debug)]

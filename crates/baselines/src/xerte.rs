@@ -20,8 +20,8 @@ use hisres_graph::Snapshot;
 use hisres_nn::{Embedding, Linear};
 use hisres_tensor::init::zeros;
 use hisres_tensor::{no_grad, NdArray, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 
 /// The xERTE-lite model.
 pub struct Xerte {

@@ -4,12 +4,12 @@
 //! This is the ablation bench for the "attention is worth its cost"
 //! design choice called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hisres_util::bench::{criterion_group, criterion_main, Criterion};
 use hisres_graph::{EdgeList, Snapshot};
 use hisres_nn::{CompGcnLayer, ConvGatLayer, GruCell, RgatLayer};
 use hisres_tensor::{init, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_graph(rng: &mut StdRng, nodes: usize, edges: usize, rels: usize) -> EdgeList {

@@ -2,13 +2,13 @@
 //! backward + Adam) and one evaluation step (encode + score a query batch)
 //! at icews14s-syn scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hisres_util::bench::{criterion_group, criterion_main, Criterion};
 use hisres::trainer::query_pairs;
 use hisres::{HisRes, HisResConfig};
 use hisres_graph::GlobalHistoryIndex;
 use hisres_tensor::{clip_grad_norm, no_grad, Adam};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let data = hisres_data::datasets::load("icews14s-syn");

@@ -3,10 +3,10 @@
 //! segment softmax (ConvGAT attention), 1-D convolution (decoders), and
 //! the fused cross-entropy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hisres_util::bench::{criterion_group, criterion_main, Criterion};
 use hisres_tensor::{NdArray, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn rand_nd(rng: &mut StdRng, r: usize, c: usize) -> NdArray {

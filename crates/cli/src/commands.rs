@@ -10,8 +10,8 @@ use hisres_data::loader::load_dir;
 use hisres_data::stats::{header, DatasetStats};
 use hisres_graph::{GlobalHistoryIndex, Quad, Tkg};
 use hisres_tensor::no_grad;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 

@@ -1,10 +1,11 @@
 //! Model and training configuration, including every ablation switch of
 //! Table 4 and the sensitivity knobs of Figure 5.
 
-use serde::{Deserialize, Serialize};
+use hisres_util::impl_json;
+use hisres_util::json::{FromJson, JsonError, ToJson, Value};
 
 /// Which aggregator the global relevance encoder uses (Table 4, part 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GlobalAggregator {
     /// The paper's ConvGAT (default).
     ConvGat,
@@ -14,9 +15,34 @@ pub enum GlobalAggregator {
     Rgat,
 }
 
+impl ToJson for GlobalAggregator {
+    fn to_json(&self) -> Value {
+        let name = match self {
+            GlobalAggregator::ConvGat => "ConvGat",
+            GlobalAggregator::CompGcn => "CompGcn",
+            GlobalAggregator::Rgat => "Rgat",
+        };
+        Value::Str(name.to_owned())
+    }
+}
+
+impl FromJson for GlobalAggregator {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("ConvGat") => Ok(GlobalAggregator::ConvGat),
+            Some("CompGcn") => Ok(GlobalAggregator::CompGcn),
+            Some("Rgat") => Ok(GlobalAggregator::Rgat),
+            Some(other) => Err(JsonError::msg(format!(
+                "unknown GlobalAggregator variant {other:?}"
+            ))),
+            None => Err(JsonError::msg("expected string for GlobalAggregator")),
+        }
+    }
+}
+
 /// HisRES hyper-parameters. `Default` reproduces the paper's architecture
 /// scaled to CPU size; the paper-scale values are noted per field.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HisResConfig {
     /// Embedding width `d` (paper: 200).
     pub dim: usize,
@@ -79,6 +105,29 @@ pub struct HisResConfig {
     /// Parameter-initialisation seed.
     pub seed: u64,
 }
+impl_json!(HisResConfig {
+    dim,
+    history_len,
+    granularity,
+    gnn_layers,
+    dropout,
+    conv_channels,
+    conv_kernel,
+    convgat_kernel,
+    alpha,
+    use_evolutionary,
+    use_global,
+    use_inter_snapshot,
+    use_self_gating_local,
+    use_self_gating_global,
+    use_relation_update,
+    use_time_encoding,
+    use_static,
+    global_aggregator,
+    use_two_phase,
+    global_prune_topk,
+    seed
+});
 
 impl Default for HisResConfig {
     fn default() -> Self {
@@ -161,7 +210,7 @@ impl HisResConfig {
 }
 
 /// Optimisation schedule.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Maximum epochs.
     pub epochs: usize,
@@ -177,6 +226,7 @@ pub struct TrainConfig {
     /// Training-loop seed (dropout masks, shuffling).
     pub seed: u64,
 }
+impl_json!(TrainConfig { epochs, lr, grad_clip, patience, verbose, seed });
 
 impl Default for TrainConfig {
     fn default() -> Self {
@@ -251,11 +301,12 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_round_trips() {
+    fn config_json_round_trips() {
         let cfg = HisResConfig::default();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: HisResConfig = serde_json::from_str(&json).unwrap();
+        let json = hisres_util::json::to_string(&cfg).unwrap();
+        let back: HisResConfig = hisres_util::json::from_str(&json).unwrap();
         assert_eq!(back.dim, cfg.dim);
         assert_eq!(back.global_aggregator, cfg.global_aggregator);
+        assert_eq!(back.global_prune_topk, cfg.global_prune_topk);
     }
 }

@@ -211,8 +211,8 @@ pub fn evaluate_relations(
     split: Split,
 ) -> EvalResult {
     use hisres_graph::EdgeList;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     let nr = data.num_relations() as u32;
     // relation-side time filter: reuse TimeFilter by recoding each event

@@ -28,8 +28,8 @@ use hisres_nn::{
     TimeEncoding,
 };
 use hisres_tensor::{NdArray, ParamStore, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 
 /// The aggregator stack of the global relevance encoder.
 enum GlobalStack {
@@ -460,27 +460,30 @@ impl HisRes {
     /// Saves a self-contained checkpoint (configuration + vocabulary sizes
     /// + all parameter values) as JSON.
     pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let ckpt = serde_json::json!({
-            "format": "hisres-checkpoint-v1",
-            "config": self.cfg,
-            "num_entities": self.num_entities,
-            "num_relations": self.num_relations,
-            "params": serde_json::from_str::<serde_json::Value>(&self.store.to_json())
-                .expect("param store serialises to valid JSON"),
-        });
-        std::fs::write(path, serde_json::to_string(&ckpt).expect("checkpoint serialisation"))
+        use hisres_util::json::{parse, ToJson, Value};
+        let ckpt = Value::Obj(vec![
+            ("format".to_owned(), Value::Str("hisres-checkpoint-v1".to_owned())),
+            ("config".to_owned(), self.cfg.to_json()),
+            ("num_entities".to_owned(), self.num_entities.to_json()),
+            ("num_relations".to_owned(), self.num_relations.to_json()),
+            (
+                "params".to_owned(),
+                parse(&self.store.to_json()).expect("param store serialises to valid JSON"),
+            ),
+        ]);
+        std::fs::write(path, ckpt.to_string())
     }
 
     /// Rebuilds a model from a [`HisRes::save_checkpoint`] file.
     pub fn load_checkpoint(path: impl AsRef<std::path::Path>) -> std::io::Result<HisRes> {
+        use hisres_util::json::{parse, FromJson};
         let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
         let text = std::fs::read_to_string(path)?;
-        let v: serde_json::Value =
-            serde_json::from_str(&text).map_err(|e| bad(format!("invalid checkpoint: {e}")))?;
+        let v = parse(&text).map_err(|e| bad(format!("invalid checkpoint: {e}")))?;
         if v["format"] != "hisres-checkpoint-v1" {
             return Err(bad(format!("unknown checkpoint format {}", v["format"])));
         }
-        let cfg: HisResConfig = serde_json::from_value(v["config"].clone())
+        let cfg = HisResConfig::from_json(&v["config"])
             .map_err(|e| bad(format!("invalid config: {e}")))?;
         let ne = v["num_entities"]
             .as_u64()

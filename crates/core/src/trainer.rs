@@ -8,8 +8,8 @@ use crate::model::HisRes;
 use hisres_data::DatasetSplits;
 use hisres_graph::{EdgeList, GlobalHistoryIndex, Snapshot, Tkg};
 use hisres_tensor::{clip_grad_norm, no_grad, Adam, NdArray};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 
 /// Per-epoch training trace.
 #[derive(Clone, Debug)]

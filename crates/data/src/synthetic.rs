@@ -24,8 +24,8 @@
 //! its driver is turned off (see `tests/causal_driver.rs`).
 
 use hisres_graph::{Quad, Tkg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 
 /// Parameters of the synthetic generator.
 #[derive(Clone, Debug)]

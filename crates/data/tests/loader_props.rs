@@ -3,14 +3,14 @@
 use hisres_data::loader::{parse_named_quads, parse_quads};
 use hisres_data::synthetic::{generate, SyntheticConfig};
 use hisres_graph::{Quad, Vocab};
-use proptest::prelude::*;
+use hisres_util::check::{string_from, vec as arb_vec};
+use hisres_util::{prop_assert, prop_assert_eq, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    cases = 48;
 
-    #[test]
     fn id_quads_round_trip_through_text(
-        quads in proptest::collection::vec((0u32..50, 0u32..10, 0u32..50, 0u32..100), 1..40)
+        quads in arb_vec((0u32..50, 0u32..10, 0u32..50, 0u32..100), 1..40)
     ) {
         let text: String = quads
             .iter()
@@ -24,7 +24,6 @@ proptest! {
         prop_assert_eq!(parsed, expected);
     }
 
-    #[test]
     fn time_unit_division_floors(
         raw_t in 0u32..10_000,
         unit in 1u32..100,
@@ -34,15 +33,13 @@ proptest! {
         prop_assert_eq!(parsed[0].t, raw_t / unit);
     }
 
-    #[test]
-    fn garbage_tokens_never_panic(line in "[a-z0-9 \\t.]{0,40}") {
+    fn garbage_tokens_never_panic(line in string_from("abcdefghijklmnopqrstuvwxyz0123456789 \t.", 0..=40)) {
         // must return Ok or Err, never panic
         let _ = parse_quads(&line, 1);
     }
 
-    #[test]
     fn named_quads_share_ids_for_equal_names(
-        names in proptest::collection::vec("[a-c]{1,2}", 4..20)
+        names in arb_vec(string_from("abc", 1..=2), 4..20)
     ) {
         // build lines cycling through the small name pool
         let text: String = names
@@ -66,7 +63,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn generator_respects_configured_bounds(
         ne in 3usize..30,
         nr in 2usize..8,
@@ -97,7 +93,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn generator_snapshots_have_no_duplicate_triples(seed in 0u64..200) {
         let cfg = SyntheticConfig {
             num_entities: 15,

@@ -1,13 +1,13 @@
 //! Flat edge lists — the format GNN layers consume.
 
 use crate::snapshot::Snapshot;
-use serde::{Deserialize, Serialize};
+use hisres_util::impl_json;
 
 /// A multigraph as three parallel arrays. Edge `i` runs
 /// `src[i] --rel[i]--> dst[i]`. Layers gather source/relation embeddings by
 /// index, transform the resulting message matrix densely, and scatter-add
 /// into destinations — so this layout *is* the message-passing plan.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EdgeList {
     /// Source entity per edge.
     pub src: Vec<u32>,
@@ -16,6 +16,7 @@ pub struct EdgeList {
     /// Destination entity per edge.
     pub dst: Vec<u32>,
 }
+impl_json!(EdgeList { src, rel, dst });
 
 impl EdgeList {
     /// Empty edge list.

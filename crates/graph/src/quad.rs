@@ -1,9 +1,9 @@
 //! Event quadruples and whole datasets.
 
-use serde::{Deserialize, Serialize};
+use hisres_util::impl_json;
 
 /// One timestamped event `(subject, relation, object, timestamp)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Quad {
     /// Subject entity id.
     pub s: u32,
@@ -15,6 +15,7 @@ pub struct Quad {
     /// Timestamp index (dense, `0..num_timestamps`).
     pub t: u32,
 }
+impl_json!(Quad { s, r, o, t });
 
 impl Quad {
     /// Convenience constructor.
@@ -31,7 +32,7 @@ impl Quad {
 
 /// A temporal knowledge graph: an entity/relation vocabulary size plus a
 /// time-sorted list of events.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Tkg {
     /// Number of distinct entities `|E|`.
     pub num_entities: usize,
@@ -40,6 +41,7 @@ pub struct Tkg {
     /// Events sorted by timestamp (ties in arbitrary but stable order).
     pub quads: Vec<Quad>,
 }
+impl_json!(Tkg { num_entities, num_relations, quads });
 
 impl Tkg {
     /// Builds a dataset, sorting events by time and validating ids.

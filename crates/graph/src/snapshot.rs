@@ -1,16 +1,17 @@
 //! Per-timestamp snapshots `G_t`.
 
 use crate::quad::{Quad, Tkg};
-use serde::{Deserialize, Serialize};
+use hisres_util::impl_json;
 
 /// All concurrent events of one timestamp — the paper's `G_t`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
     /// The timestamp this snapshot covers.
     pub t: u32,
     /// Events at `t`, as `(s, r, o)` triples (deduplicated).
     pub triples: Vec<(u32, u32, u32)>,
 }
+impl_json!(Snapshot { t, triples });
 
 impl Snapshot {
     /// Number of triples.

@@ -4,15 +4,30 @@
 //! models work with dense integer ids. `Vocab` provides the bidirectional
 //! mapping and is what the TSV loader in `hisres-data` builds.
 
-use serde::{Deserialize, Serialize};
+use hisres_util::json::{FromJson, JsonError, ToJson, Value};
 use std::collections::HashMap;
 
 /// Bidirectional `name ↔ id` mapping with insertion-order ids.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Vocab {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, u32>,
+}
+
+impl ToJson for Vocab {
+    fn to_json(&self) -> Value {
+        // Only the name list is persisted; the index is derived and is
+        // rebuilt with [`Vocab::rebuild_index`] to keep checkpoints compact.
+        Value::Obj(vec![("names".to_owned(), self.names.to_json())])
+    }
+}
+
+impl FromJson for Vocab {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let names: Vec<String> = FromJson::from_json(&v["names"])
+            .map_err(|e| JsonError::msg(format!("Vocab.names: {e}")))?;
+        Ok(Vocab { names, index: HashMap::new() })
+    }
 }
 
 impl Vocab {
@@ -52,8 +67,8 @@ impl Vocab {
         self.names.is_empty()
     }
 
-    /// Rebuilds the lookup index after deserialisation (the map is skipped
-    /// by serde to keep checkpoints compact).
+    /// Rebuilds the lookup index after deserialisation (the map is not
+    /// serialised, to keep checkpoints compact).
     pub fn rebuild_index(&mut self) {
         self.index = self
             .names
@@ -96,12 +111,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_with_index_rebuild() {
+    fn json_round_trip_with_index_rebuild() {
         let mut v = Vocab::new();
         v.intern("x");
         v.intern("y");
-        let json = serde_json::to_string(&v).unwrap();
-        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        let json = hisres_util::json::to_string(&v).unwrap();
+        let mut back: Vocab = hisres_util::json::from_str(&json).unwrap();
         back.rebuild_index();
         assert_eq!(back.get("y"), Some(1));
     }

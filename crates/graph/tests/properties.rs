@@ -3,17 +3,17 @@
 use hisres_graph::{
     EdgeList, GlobalHistoryIndex, Quad, Snapshot, TimeFilter, Tkg,
 };
-use proptest::prelude::*;
+use hisres_util::check::{vec as arb_vec, Strategy};
+use hisres_util::{prop_assert, prop_assert_eq, props};
 
 fn arb_quads(ne: u32, nr: u32, nt: u32, max_len: usize) -> impl Strategy<Value = Vec<Quad>> {
-    proptest::collection::vec((0..ne, 0..nr, 0..ne, 0..nt), 1..max_len)
+    arb_vec((0..ne, 0..nr, 0..ne, 0..nt), 1..max_len)
         .prop_map(|v| v.into_iter().map(|(s, r, o, t)| Quad::new(s, r, o, t)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
-    #[test]
     fn tkg_quads_always_time_sorted(quads in arb_quads(10, 4, 20, 50)) {
         let g = Tkg::new(10, 4, quads);
         for w in g.quads.windows(2) {
@@ -21,7 +21,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn chronological_split_is_a_partition(quads in arb_quads(10, 4, 30, 80)) {
         let g = Tkg::new(10, 4, quads.clone());
         let (a, b, c) = g.split_chronological(0.8, 0.1);
@@ -38,7 +37,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn snapshot_partition_preserves_unique_triples(quads in arb_quads(8, 3, 15, 60)) {
         let g = Tkg::new(8, 3, quads.clone());
         let snaps = hisres_graph::snapshot::partition(&g);
@@ -52,7 +50,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn edge_list_inverse_augmentation_doubles(quads in arb_quads(8, 3, 5, 40)) {
         let g = Tkg::new(8, 3, quads);
         for snap in hisres_graph::snapshot::partition(&g) {
@@ -67,7 +64,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn merged_graph_is_union_of_parts(quads in arb_quads(8, 3, 6, 40)) {
         let g = Tkg::new(8, 3, quads);
         let snaps = hisres_graph::snapshot::partition(&g);
@@ -90,10 +86,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn relevant_graph_is_subset_of_history_matching_queries(
         quads in arb_quads(8, 3, 10, 50),
-        queries in proptest::collection::vec((0u32..8, 0u32..6), 1..10),
+        queries in arb_vec((0u32..8, 0u32..6), 1..10),
     ) {
         let mut idx = GlobalHistoryIndex::new();
         for q in &quads {
@@ -108,10 +103,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn filtered_rank_is_within_bounds(
         quads in arb_quads(6, 2, 8, 30),
-        scores in proptest::collection::vec(-10.0f32..10.0, 6),
+        scores in arb_vec(-10.0f32..10.0, 6),
     ) {
         let filter = TimeFilter::from_quads(quads.iter());
         for q in &quads {
@@ -121,7 +115,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn gold_with_strictly_highest_score_ranks_first(quads in arb_quads(6, 2, 8, 20)) {
         let filter = TimeFilter::from_quads(quads.iter());
         for q in &quads {
@@ -131,7 +124,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn history_masks_agree_with_objects(
         quads in arb_quads(8, 3, 10, 40),
     ) {
@@ -147,7 +139,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn in_degrees_sum_to_edge_count(quads in arb_quads(8, 3, 5, 40)) {
         let g = Tkg::new(8, 3, quads);
         for snap in hisres_graph::snapshot::partition(&g) {

@@ -10,7 +10,7 @@
 use crate::linear::Linear;
 use hisres_graph::EdgeList;
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// One CompGCN aggregation layer.
 pub struct CompGcnLayer {
@@ -80,8 +80,8 @@ impl CompGcnLayer {
 mod tests {
     use super::*;
     use hisres_tensor::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     fn layer(dim: usize, ru: bool) -> (ParamStore, CompGcnLayer) {
         let mut store = ParamStore::new();

@@ -15,7 +15,7 @@ use crate::linear::Linear;
 use hisres_graph::EdgeList;
 use hisres_tensor::init::xavier_uniform;
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// One ConvGAT layer.
 pub struct ConvGatLayer {
@@ -80,8 +80,8 @@ impl ConvGatLayer {
 mod tests {
     use super::*;
     use hisres_tensor::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     fn layer(dim: usize) -> (ParamStore, ConvGatLayer) {
         let mut store = ParamStore::new();

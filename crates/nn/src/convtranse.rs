@@ -13,7 +13,7 @@
 use crate::linear::Linear;
 use hisres_tensor::init::xavier_uniform;
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// The convolutional scoring decoder.
 pub struct ConvTransE {
@@ -92,8 +92,8 @@ impl ConvTransE {
 mod tests {
     use super::*;
     use hisres_tensor::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     fn decoder(dim: usize) -> (ParamStore, ConvTransE) {
         let mut store = ParamStore::new();

@@ -2,7 +2,7 @@
 
 use hisres_tensor::init::xavier_normal;
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// A `[count, dim]` table of trainable vectors.
 pub struct Embedding {
@@ -41,8 +41,8 @@ impl Embedding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     #[test]
     fn lookup_returns_requested_rows() {

@@ -7,7 +7,7 @@
 
 use crate::linear::Linear;
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// An adaptive two-way fusion gate.
 pub struct SelfGating {
@@ -43,8 +43,8 @@ pub fn sum_fusion(a: &Tensor, b: &Tensor) -> Tensor {
 mod tests {
     use super::*;
     use hisres_tensor::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     fn gate(dim: usize) -> (ParamStore, SelfGating) {
         let mut store = ParamStore::new();

@@ -7,7 +7,7 @@
 
 use crate::linear::Linear;
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// A GRU cell `h' = GRU(x, h)` over `[n, dim]` matrices.
 pub struct GruCell {
@@ -53,8 +53,8 @@ impl GruCell {
 mod tests {
     use super::*;
     use hisres_tensor::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     fn cell(dim: usize, seed: u64) -> (ParamStore, GruCell) {
         let mut store = ParamStore::new();

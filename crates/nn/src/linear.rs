@@ -2,7 +2,7 @@
 
 use hisres_tensor::init::{xavier_uniform, zeros};
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// `y = x · W (+ b)` with Xavier-uniform `W` and zero `b`.
 pub struct Linear {
@@ -51,8 +51,8 @@ impl Linear {
 mod tests {
     use super::*;
     use hisres_tensor::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     #[test]
     fn forward_shape_and_bias() {

@@ -9,7 +9,7 @@
 use crate::linear::Linear;
 use hisres_graph::EdgeList;
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// One RGAT layer.
 pub struct RgatLayer {
@@ -53,8 +53,8 @@ impl RgatLayer {
 mod tests {
     use super::*;
     
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     fn setup() -> (ParamStore, RgatLayer, Tensor, Tensor, EdgeList) {
         let mut store = ParamStore::new();

@@ -8,7 +8,7 @@
 use crate::linear::Linear;
 use hisres_tensor::init::{uniform, zeros};
 use hisres_tensor::{ParamStore, Tensor};
-use rand::Rng;
+use hisres_util::rng::Rng;
 
 /// The cosine time encoder plus its fusion projection.
 pub struct TimeEncoding {
@@ -51,8 +51,8 @@ impl TimeEncoding {
 mod tests {
     use super::*;
     use hisres_tensor::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     fn enc(dim: usize) -> (ParamStore, TimeEncoding) {
         let mut store = ParamStore::new();

@@ -3,17 +3,18 @@
 use hisres_graph::EdgeList;
 use hisres_nn::{CompGcnLayer, ConvGatLayer, GruCell, RgatLayer, SelfGating, TimeEncoding};
 use hisres_tensor::{NdArray, ParamStore, Tensor};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hisres_util::check::{vec as arb_vec, Strategy};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
+use hisres_util::{prop_assert, prop_assert_eq, prop_assume, props};
 
 fn arb_features(rows: usize, cols: usize) -> impl Strategy<Value = NdArray> {
-    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+    arb_vec(-1.5f32..1.5, rows * cols)
         .prop_map(move |v| NdArray::from_vec(v, &[rows, cols]))
 }
 
 fn arb_edges(nodes: u32, rels: u32, max: usize) -> impl Strategy<Value = EdgeList> {
-    proptest::collection::vec((0..nodes, 0..rels, 0..nodes), 0..max).prop_map(|v| {
+    arb_vec((0..nodes, 0..rels, 0..nodes), 0..max).prop_map(|v| {
         let mut e = EdgeList::new();
         for (s, r, d) in v {
             e.push(s, r, d);
@@ -22,10 +23,9 @@ fn arb_edges(nodes: u32, rels: u32, max: usize) -> impl Strategy<Value = EdgeLis
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    cases = 32;
 
-    #[test]
     fn gru_output_stays_in_convex_hull(x in arb_features(4, 6), h in arb_features(4, 6)) {
         // h' = (1-z) h + z tanh(...) with z in (0,1): every output element
         // lies between min(h, -1) and max(h, 1)
@@ -40,7 +40,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn self_gating_is_elementwise_convex(a in arb_features(3, 5), b in arb_features(3, 5)) {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(2);
@@ -53,7 +52,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn convgat_attention_normalises_on_arbitrary_graphs(
         ents in arb_features(6, 4),
         rels in arb_features(4, 4),
@@ -80,7 +78,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn aggregators_always_produce_finite_matching_shapes(
         ents in arb_features(5, 4),
         rels in arb_features(6, 4),
@@ -105,7 +102,6 @@ proptest! {
         prop_assert!(!re.value().has_non_finite());
     }
 
-    #[test]
     fn time_codes_are_bounded_and_distinct(gap_a in 0u32..400, gap_b in 0u32..400) {
         prop_assume!(gap_a != gap_b);
         let mut store = ParamStore::new();

@@ -1,8 +1,7 @@
 //! Parameter initialisation.
 
 use crate::ndarray::NdArray;
-use rand::Rng;
-use rand_distr_free::sample_normal;
+use hisres_util::rng::{sample_normal, Rng};
 
 /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
 /// The standard initialisation for the linear maps of CompGCN/ConvGAT
@@ -32,29 +31,11 @@ pub fn zeros(rows: usize, cols: usize) -> NdArray {
     NdArray::zeros(rows, cols)
 }
 
-mod rand_distr_free {
-    //! A dependency-free standard-normal sampler (Box–Muller), so we do not
-    //! pull in `rand_distr` just for initialisation.
-    use rand::Rng;
-
-    pub fn sample_normal<R: Rng>(rng: &mut R) -> f32 {
-        loop {
-            let u1: f32 = rng.gen::<f32>();
-            if u1 <= f32::EPSILON {
-                continue;
-            }
-            let u2: f32 = rng.gen::<f32>();
-            let r = (-2.0 * u1.ln()).sqrt();
-            return r * (2.0 * std::f32::consts::PI * u2).cos();
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     #[test]
     fn xavier_uniform_is_bounded() {

@@ -7,14 +7,37 @@
 //! the invariant small makes the kernels easy to audit and keeps hot loops
 //! free of stride arithmetic.
 
-use serde::{Deserialize, Serialize};
+use hisres_util::json::{FromJson, JsonError, ToJson, Value};
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` matrix.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct NdArray {
     shape: (usize, usize),
     data: Vec<f32>,
+}
+
+impl ToJson for NdArray {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("shape".to_owned(), self.shape.to_json()),
+            ("data".to_owned(), self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NdArray {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let shape: (usize, usize) = FromJson::from_json(&v["shape"])?;
+        let data: Vec<f32> = FromJson::from_json(&v["data"])?;
+        if shape.0 * shape.1 != data.len() {
+            return Err(JsonError::msg(format!(
+                "NdArray shape {shape:?} does not match {} elements",
+                data.len()
+            )));
+        }
+        Ok(NdArray { shape, data })
+    }
 }
 
 impl fmt::Debug for NdArray {

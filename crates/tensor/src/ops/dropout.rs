@@ -2,7 +2,7 @@
 
 
 use crate::tensor::Tensor;
-use rand::Rng;
+use hisres_util::rng::Rng;
 use std::rc::Rc;
 
 impl Tensor {
@@ -42,8 +42,8 @@ impl Tensor {
 mod tests {
     use super::*;
     use crate::ndarray::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
 
     #[test]
     fn zero_probability_is_identity() {

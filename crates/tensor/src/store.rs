@@ -2,7 +2,7 @@
 
 use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use hisres_util::impl_json;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
@@ -15,17 +15,17 @@ pub struct ParamStore {
     entries: Vec<(String, Tensor)>,
 }
 
-#[derive(Serialize, Deserialize)]
 struct Checkpoint {
     params: BTreeMap<String, SavedParam>,
 }
+impl_json!(Checkpoint { params });
 
-#[derive(Serialize, Deserialize)]
 struct SavedParam {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
+impl_json!(SavedParam { rows, cols, data });
 
 impl ParamStore {
     /// Empty store.
@@ -95,7 +95,7 @@ impl ParamStore {
                 )
             })
             .collect();
-        serde_json::to_string(&Checkpoint { params }).expect("checkpoint serialisation")
+        hisres_util::json::to_string(&Checkpoint { params }).expect("checkpoint serialisation")
     }
 
     /// Restores parameter values from [`ParamStore::to_json`] output.
@@ -103,7 +103,7 @@ impl ParamStore {
     /// extra entries in the checkpoint are ignored.
     pub fn load_json(&self, json: &str) -> Result<(), String> {
         let ckpt: Checkpoint =
-            serde_json::from_str(json).map_err(|e| format!("invalid checkpoint: {e}"))?;
+            hisres_util::json::from_str(json).map_err(|e| format!("invalid checkpoint: {e}"))?;
         for (name, t) in &self.entries {
             let saved = ckpt
                 .params

@@ -3,11 +3,12 @@
 //! For a scalar loss `L(θ)` built from an op under test, the analytic
 //! gradient from `backward()` is compared against the central difference
 //! `(L(θ + h e_i) - L(θ - h e_i)) / 2h` for every coordinate. Inputs are
-//! drawn by proptest, so each op is exercised across many random shapes and
-//! values.
+//! drawn by the property harness, so each op is exercised across many
+//! random shapes and values.
 
 use hisres_tensor::{NdArray, Tensor};
-use proptest::prelude::*;
+use hisres_util::check::{vec, VecStrategy};
+use hisres_util::props;
 
 /// Central-difference check of `f`'s gradient w.r.t. a single input vector.
 /// `f` must rebuild the whole computation from the raw values each call.
@@ -40,42 +41,36 @@ fn check_grad(values: &[f32], shape: (usize, usize), f: impl Fn(&Tensor) -> Tens
     }
 }
 
-fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-2.0f32..2.0, n)
+fn small_vals(n: usize) -> VecStrategy<core::ops::Range<f32>, usize> {
+    vec(-2.0f32..2.0, n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    cases = 24;
 
-    #[test]
     fn grad_mul_chain(v in small_vals(6)) {
         check_grad(&v, (2, 3), |x| x.mul(x).sum_all(), 2e-2);
     }
 
-    #[test]
     fn grad_sigmoid(v in small_vals(4)) {
         check_grad(&v, (2, 2), |x| x.sigmoid().sum_all(), 2e-2);
     }
 
-    #[test]
     fn grad_tanh(v in small_vals(4)) {
         check_grad(&v, (1, 4), |x| x.tanh_act().sum_all(), 2e-2);
     }
 
-    #[test]
     fn grad_cos(v in small_vals(5)) {
         check_grad(&v, (1, 5), |x| x.cos_act().sum_all(), 2e-2);
     }
 
-    #[test]
-    fn grad_leaky_relu_away_from_kink(v in proptest::collection::vec(0.3f32..2.0, 4)) {
+    fn grad_leaky_relu_away_from_kink(v in vec(0.3f32..2.0, 4)) {
         // keep points away from 0 where the derivative jumps
         check_grad(&v, (2, 2), |x| x.leaky_relu(0.2).sum_all(), 2e-2);
         let negated: Vec<f32> = v.iter().map(|a| -a).collect();
         check_grad(&negated, (2, 2), |x| x.leaky_relu(0.2).sum_all(), 2e-2);
     }
 
-    #[test]
     fn grad_matmul_left(v in small_vals(6)) {
         let w = NdArray::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.7], &[3, 2]);
         check_grad(&v, (2, 3), move |x| {
@@ -83,7 +78,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_matmul_right(v in small_vals(6)) {
         let a = NdArray::from_vec(vec![1.0, -0.5, 0.25, 2.0], &[2, 2]);
         check_grad(&v, (2, 3), move |x| {
@@ -91,7 +85,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_matmul_nt(v in small_vals(6)) {
         let b = NdArray::from_vec(vec![0.2, 0.4, -0.8, 1.0, 0.0, -0.3], &[2, 3]);
         check_grad(&v, (2, 3), move |x| {
@@ -99,7 +92,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_gather_scatter(v in small_vals(6)) {
         // weighted sum after a gather/scatter round trip
         let w = NdArray::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.7, -0.1], &[3, 2]);
@@ -110,7 +102,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_segment_softmax(v in small_vals(5)) {
         // weight each softmax output so the loss is not trivially constant
         let w = NdArray::from_vec(vec![0.9, -1.4, 0.3, 2.0, -0.6], &[5, 1]);
@@ -121,7 +112,6 @@ proptest! {
         }, 3e-2);
     }
 
-    #[test]
     fn grad_softmax_rows(v in small_vals(6)) {
         let w = NdArray::from_vec(vec![1.0, -0.5, 0.25, -1.0, 0.75, 0.1], &[2, 3]);
         check_grad(&v, (2, 3), move |x| {
@@ -129,7 +119,6 @@ proptest! {
         }, 3e-2);
     }
 
-    #[test]
     fn grad_conv1d_input(v in small_vals(8)) {
         // 2 channels x length 4, one output channel, k = 3
         let w = NdArray::from_vec(vec![0.5, -0.25, 1.0, 0.75, 0.1, -0.9], &[1, 6]);
@@ -138,7 +127,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_conv1d_kernel(v in small_vals(6)) {
         let x = NdArray::from_vec(vec![1.0, -0.5, 0.3, 0.8, -1.2, 0.4, 0.9, -0.7], &[1, 8]);
         check_grad(&v, (1, 6), move |w| {
@@ -146,17 +134,14 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_softmax_cross_entropy(v in small_vals(8)) {
         check_grad(&v, (2, 4), |x| x.softmax_cross_entropy(&[1, 3]), 3e-2);
     }
 
-    #[test]
     fn grad_bce_with_logits(v in small_vals(3)) {
         check_grad(&v, (3, 1), |x| x.bce_with_logits(&[1.0, 0.0, 1.0]), 2e-2);
     }
 
-    #[test]
     fn grad_mean_rows(v in small_vals(6)) {
         let w = NdArray::from_vec(vec![2.0, -1.0], &[1, 2]);
         check_grad(&v, (3, 2), move |x| {
@@ -164,7 +149,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_concat_slice(v in small_vals(4)) {
         check_grad(&v, (2, 2), |x| {
             let c = Tensor::concat_cols(&[x, x]);
@@ -172,7 +156,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_mul_col(v in small_vals(6)) {
         let w = NdArray::from_vec(vec![0.5, -1.5], &[2, 1]);
         check_grad(&v, (2, 3), move |x| {
@@ -180,7 +163,6 @@ proptest! {
         }, 2e-2);
     }
 
-    #[test]
     fn grad_composite_gnn_like(v in small_vals(8)) {
         // A miniature message-passing step: gather sources, linear map,
         // scatter into destinations, nonlinearity, loss — the exact shape

@@ -1,11 +1,11 @@
 //! Property-based invariants of the raw `NdArray` kernels.
 
 use hisres_tensor::NdArray;
-use proptest::prelude::*;
+use hisres_util::check::{vec, Strategy};
+use hisres_util::{prop_assert, prop_assert_eq, props};
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = NdArray> {
-    proptest::collection::vec(-3.0f32..3.0, rows * cols)
-        .prop_map(move |v| NdArray::from_vec(v, &[rows, cols]))
+    vec(-3.0f32..3.0, rows * cols).prop_map(move |v| NdArray::from_vec(v, &[rows, cols]))
 }
 
 fn approx_eq(a: &NdArray, b: &NdArray, tol: f32) -> bool {
@@ -16,10 +16,9 @@ fn approx_eq(a: &NdArray, b: &NdArray, tol: f32) -> bool {
             .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    cases = 48;
 
-    #[test]
     fn matmul_distributes_over_addition(
         a in arb_matrix(3, 4),
         b in arb_matrix(4, 2),
@@ -32,7 +31,6 @@ proptest! {
         prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
     }
 
-    #[test]
     fn matmul_nt_and_tn_agree_with_explicit_transpose(
         a in arb_matrix(3, 4),
         b in arb_matrix(5, 4),
@@ -42,16 +40,14 @@ proptest! {
         prop_assert!(approx_eq(&a.matmul_tn(&c), &a.transpose().matmul(&c), 1e-4));
     }
 
-    #[test]
     fn transpose_is_involutive(a in arb_matrix(4, 6)) {
         prop_assert_eq!(a.transpose().transpose(), a);
     }
 
-    #[test]
     fn scatter_is_adjoint_of_gather(
         table in arb_matrix(5, 3),
         messages in arb_matrix(7, 3),
-        idx in proptest::collection::vec(0u32..5, 7),
+        idx in vec(0u32..5, 7),
     ) {
         // <gather(T, idx), M> == <T, scatter(M, idx)> — the adjoint identity
         // the autograd layer relies on
@@ -62,7 +58,6 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
     }
 
-    #[test]
     fn concat_slice_round_trips(
         a in arb_matrix(3, 2),
         b in arb_matrix(3, 5),
@@ -72,7 +67,6 @@ proptest! {
         prop_assert_eq!(c.slice_cols(2, 7), b);
     }
 
-    #[test]
     fn mean_rows_matches_manual_average(a in arb_matrix(4, 3)) {
         let m = a.mean_rows();
         for c in 0..3 {
@@ -81,7 +75,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn sq_norm_is_nonnegative_and_zero_only_at_origin(a in arb_matrix(2, 3)) {
         let n = a.sq_norm();
         prop_assert!(n >= 0.0);
@@ -90,7 +83,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn axpy_matches_zip(a in arb_matrix(2, 4), b in arb_matrix(2, 4), s in -2.0f32..2.0) {
         let mut via_axpy = a.clone();
         via_axpy.axpy(s, &b);
@@ -98,7 +90,6 @@ proptest! {
         prop_assert!(approx_eq(&via_axpy, &via_zip, 1e-5));
     }
 
-    #[test]
     fn argmax_rows_points_at_a_maximum(a in arb_matrix(3, 5)) {
         for (r, &c) in a.argmax_rows().iter().enumerate() {
             let row = a.row(r);
@@ -106,7 +97,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn reshape_preserves_data(a in arb_matrix(4, 6)) {
         let data = a.as_slice().to_vec();
         let r = a.reshape(8, 3);

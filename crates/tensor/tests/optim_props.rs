@@ -1,7 +1,8 @@
 //! Optimiser behaviour tests beyond simple convergence.
 
 use hisres_tensor::{clip_grad_norm, Adam, NdArray, Sgd, Tensor};
-use proptest::prelude::*;
+use hisres_util::check::vec as arb_vec;
+use hisres_util::{prop_assert, props};
 
 #[test]
 fn adam_first_step_magnitude_is_learning_rate() {
@@ -49,11 +50,10 @@ fn adam_is_scale_invariant_where_sgd_is_not() {
     assert!((run_sgd(1.0) - run_sgd(1000.0)).abs() > 1.0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    cases = 32;
 
-    #[test]
-    fn clipping_never_increases_norm(vals in proptest::collection::vec(-5.0f32..5.0, 6)) {
+    fn clipping_never_increases_norm(vals in arb_vec(-5.0f32..5.0, 6)) {
         let p = Tensor::param(NdArray::zeros(1, 6));
         let w = Tensor::constant(NdArray::from_vec(vals, &[1, 6]));
         p.mul(&w).sum_all().backward();
@@ -64,8 +64,7 @@ proptest! {
         prop_assert!(after <= 1.0 + 1e-4);
     }
 
-    #[test]
-    fn clipping_preserves_gradient_direction(vals in proptest::collection::vec(0.5f32..5.0, 4)) {
+    fn clipping_preserves_gradient_direction(vals in arb_vec(0.5f32..5.0, 4)) {
         let p = Tensor::param(NdArray::zeros(1, 4));
         let w = Tensor::constant(NdArray::from_vec(vals.clone(), &[1, 4]));
         p.mul(&w).sum_all().backward();
@@ -81,10 +80,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn sgd_descends_a_random_convex_quadratic(
-        target in proptest::collection::vec(-2.0f32..2.0, 3),
-        start in proptest::collection::vec(-2.0f32..2.0, 3),
+        target in arb_vec(-2.0f32..2.0, 3),
+        start in arb_vec(-2.0f32..2.0, 3),
     ) {
         let p = Tensor::param(NdArray::from_vec(start, &[1, 3]));
         let tgt = NdArray::from_vec(target, &[1, 3]);

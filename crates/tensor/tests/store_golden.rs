@@ -1,0 +1,67 @@
+//! Golden-file tests pinning the checkpoint wire format of `ParamStore`.
+//!
+//! The byte-exact JSON layout is a compatibility contract: checkpoints
+//! written by one build must load in the next. If serialisation ever
+//! changes shape, these tests fail loudly instead of silently corrupting
+//! saved models.
+
+use hisres_tensor::{NdArray, ParamStore};
+
+/// Exactly-representable f32 values so the golden text is stable.
+fn golden_store() -> (ParamStore, hisres_tensor::Tensor, hisres_tensor::Tensor) {
+    let mut s = ParamStore::new();
+    let w = s.param("enc.w", NdArray::from_vec(vec![1.0, -2.5, 0.25, 3.0], &[2, 2]));
+    let b = s.param("dec.b", NdArray::from_vec(vec![0.5, -0.125], &[1, 2]));
+    (s, w, b)
+}
+
+const GOLDEN: &str = concat!(
+    r#"{"params":{"#,
+    r#""dec.b":{"rows":1,"cols":2,"data":[0.5,-0.125]},"#,
+    r#""enc.w":{"rows":2,"cols":2,"data":[1,-2.5,0.25,3]}"#,
+    r#"}}"#
+);
+
+#[test]
+fn save_produces_the_golden_bytes() {
+    let (s, _w, _b) = golden_store();
+    assert_eq!(s.to_json(), GOLDEN);
+}
+
+#[test]
+fn golden_bytes_restore_the_exact_values() {
+    let (s, w, b) = golden_store();
+    // wipe, then restore from the pinned text (not from our own output)
+    w.value_mut().as_mut_slice().fill(0.0);
+    b.value_mut().as_mut_slice().fill(0.0);
+    s.load_json(GOLDEN).unwrap();
+    assert_eq!(w.value().as_slice(), &[1.0, -2.5, 0.25, 3.0]);
+    assert_eq!(b.value().as_slice(), &[0.5, -0.125]);
+}
+
+#[test]
+fn round_trip_is_bit_exact_for_awkward_floats() {
+    // values with no short decimal form still round-trip exactly thanks to
+    // shortest-round-trip float formatting
+    let mut s = ParamStore::new();
+    let vals = vec![0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1e-38, 3.4e38, -0.0];
+    let w = s.param("w", NdArray::from_vec(vals.clone(), &[1, 6]));
+    let json = s.to_json();
+    w.value_mut().as_mut_slice().fill(7.0);
+    s.load_json(&json).unwrap();
+    for (restored, original) in w.value().as_slice().iter().zip(&vals) {
+        assert_eq!(restored.to_bits(), original.to_bits(), "{original} corrupted");
+    }
+}
+
+#[test]
+fn unknown_extra_params_are_ignored_but_corrupt_json_is_not() {
+    let (s, _w, _b) = golden_store();
+    let with_extra = GOLDEN.replace(
+        r#""params":{"#,
+        r#""params":{"future.extra":{"rows":1,"cols":1,"data":[9]},"#,
+    );
+    s.load_json(&with_extra).unwrap();
+    assert!(s.load_json("{\"params\":").is_err());
+    assert!(s.load_json("").is_err());
+}

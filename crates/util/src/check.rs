@@ -1,0 +1,414 @@
+//! A minimal property-testing harness — the workspace's `proptest`
+//! replacement.
+//!
+//! Scope: seeded case generation from composable [`Strategy`] values, a
+//! configurable case count, and failure reporting that prints the failing
+//! case seed so a run is reproducible with
+//! `HISRES_CHECK_SEED=<seed> cargo test <name>`. There is **no shrinking**:
+//! generated inputs here are small by construction, so the failing case is
+//! already readable.
+//!
+//! The [`props!`](crate::props) macro keeps property suites close to the
+//! `proptest!` shape they were ported from:
+//!
+//! ```
+//! use hisres_util::{props, prop_assert, check::vec};
+//!
+//! props! {
+//!     cases = 32;
+//!
+//!     fn sum_is_monotonic(xs in vec(0.0f32..10.0, 1..20)) {
+//!         let s: f32 = xs.iter().sum();
+//!         prop_assert!(s >= xs[0]);
+//!     }
+//! }
+//! ```
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Source of randomness handed to strategies during a test case.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// A generator for one case, fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Gen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The underlying RNG, for strategies that need raw draws.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A recipe for generating test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f` (the `proptest` combinator name is
+    /// kept so ported suites read identically).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, g: &mut Gen) -> U {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                g.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                g.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A fixed value (useful inside `prop_map` pipelines).
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$n.generate(g),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Length specifications accepted by [`vec`] and [`string_from`]: a fixed
+/// `usize` or a `usize` range.
+pub trait SizeSpec {
+    /// Draws a concrete length.
+    fn draw(&self, g: &mut Gen) -> usize;
+}
+
+impl SizeSpec for usize {
+    fn draw(&self, _: &mut Gen) -> usize {
+        *self
+    }
+}
+
+impl SizeSpec for core::ops::Range<usize> {
+    fn draw(&self, g: &mut Gen) -> usize {
+        g.rng().gen_range(self.clone())
+    }
+}
+
+impl SizeSpec for core::ops::RangeInclusive<usize> {
+    fn draw(&self, g: &mut Gen) -> usize {
+        g.rng().gen_range(self.clone())
+    }
+}
+
+/// A vector of values from `element`, with length drawn from `len` — the
+/// `proptest::collection::vec` analog.
+pub fn vec<S: Strategy, L: SizeSpec>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeSpec> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+        let n = self.len.draw(g);
+        (0..n).map(|_| self.element.generate(g)).collect()
+    }
+}
+
+/// A string of characters drawn uniformly from `alphabet`, with length from
+/// `len` — the replacement for `proptest`'s regex string strategies.
+pub fn string_from(alphabet: &str, len: impl SizeSpec) -> StringStrategy<impl SizeSpec> {
+    StringStrategy { alphabet: alphabet.chars().collect(), len }
+}
+
+/// See [`string_from`].
+pub struct StringStrategy<L> {
+    alphabet: Vec<char>,
+    len: L,
+}
+
+impl<L: SizeSpec> Strategy for StringStrategy<L> {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        assert!(!self.alphabet.is_empty(), "string_from needs a non-empty alphabet");
+        let n = self.len.draw(g);
+        (0..n)
+            .map(|_| self.alphabet[g.rng().gen_range(0..self.alphabet.len())])
+            .collect()
+    }
+}
+
+/// Outcome of one generated case.
+pub enum CaseResult {
+    /// Assertions held.
+    Pass,
+    /// A `prop_assume!` rejected the inputs; the case does not count.
+    Discard,
+}
+
+/// Stable 64-bit FNV-1a — used to derive a per-property base seed from its
+/// name, so every property explores a different region of input space while
+/// staying deterministic across runs and platforms.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` against `cases` generated inputs. On the first failing case the
+/// panic is re-raised after printing the case seed; set
+/// `HISRES_CHECK_SEED=<seed>` to rerun exactly that case (and only it), and
+/// `HISRES_CHECK_CASES=<n>` to override the case count globally.
+pub fn run(name: &str, cases: usize, mut f: impl FnMut(&mut Gen) -> CaseResult) {
+    if let Ok(seed_text) = std::env::var("HISRES_CHECK_SEED") {
+        let seed: u64 = seed_text
+            .parse()
+            .unwrap_or_else(|_| panic!("HISRES_CHECK_SEED {seed_text:?} is not a u64"));
+        let mut g = Gen::new(seed);
+        f(&mut g);
+        return;
+    }
+    let cases = std::env::var("HISRES_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases);
+    let base = fnv1a(name);
+    let mut executed = 0usize;
+    let mut attempt = 0u64;
+    // generous discard budget so heavy prop_assume! use still terminates
+    let max_attempts = (cases as u64) * 20 + 100;
+    while executed < cases && attempt < max_attempts {
+        let mut seed_state = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let case_seed = crate::rng::splitmix64(&mut seed_state);
+        let mut g = Gen::new(case_seed);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut g))) {
+
+            Ok(CaseResult::Pass) => executed += 1,
+            Ok(CaseResult::Discard) => {}
+            Err(payload) => {
+                eprintln!(
+                    "[hisres-check] property {name:?} failed on case {executed} \
+                     (attempt {attempt}); rerun with HISRES_CHECK_SEED={case_seed}"
+                );
+                resume_unwind(payload);
+            }
+        }
+        attempt += 1;
+    }
+    assert!(
+        executed == cases,
+        "property {name:?} discarded too many cases ({executed}/{cases} ran in {attempt} attempts)"
+    );
+}
+
+/// Declares a suite of property tests. Syntax:
+///
+/// ```text
+/// props! {
+///     cases = 32;                       // optional, default 64
+///
+///     fn my_property(x in 0u32..10, v in vec(-1.0f32..1.0, 3)) {
+///         prop_assert!(v.len() == 3);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! props {
+    (@each $cases:expr; ) => {};
+    (@each $cases:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::check::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cases,
+                |__g| {
+                    $(let $arg = $crate::check::Strategy::generate(&($strat), __g);)*
+                    $body
+                    $crate::check::CaseResult::Pass
+                },
+            );
+        }
+        $crate::props!(@each $cases; $($rest)*);
+    };
+    (cases = $cases:expr; $($rest:tt)*) => {
+        $crate::props!(@each $cases; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::props!(@each 64; $($rest)*);
+    };
+}
+
+/// Drop-in for `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Drop-in for `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Drop-in for `proptest::prop_assume!`: discards the case when the
+/// precondition fails. Only valid directly inside a `props!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::check::CaseResult::Discard;
+        }
+    };
+}
+
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, props};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn runner_executes_requested_cases() {
+        let count = Cell::new(0usize);
+        run("exec_count", 17, |_| {
+            count.set(count.get() + 1);
+            CaseResult::Pass
+        });
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let collect = |name: &str| {
+            let mut vals = Vec::new();
+            run(name, 5, |g| {
+                vals.push(g.rng().gen_range(0u64..1_000_000));
+                CaseResult::Pass
+            });
+            vals
+        };
+        assert_eq!(collect("a"), collect("a"));
+        assert_ne!(collect("a"), collect("b"));
+    }
+
+    #[test]
+    fn discards_do_not_count_as_cases() {
+        let passes = Cell::new(0usize);
+        let attempts = Cell::new(0usize);
+        run("discard_half", 10, |g| {
+            attempts.set(attempts.get() + 1);
+            if g.rng().gen_bool(0.5) {
+                return CaseResult::Discard;
+            }
+            passes.set(passes.get() + 1);
+            CaseResult::Pass
+        });
+        assert_eq!(passes.get(), 10);
+        assert!(attempts.get() >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn failures_propagate() {
+        run("always_fails", 4, |_| panic!("deliberate"));
+    }
+
+    #[test]
+    #[should_panic(expected = "discarded too many")]
+    fn pathological_assume_is_reported() {
+        run("all_discarded", 4, |_| CaseResult::Discard);
+    }
+
+    #[test]
+    fn strategies_compose() {
+        let mut g = Gen::new(99);
+        let s = vec((0u32..5, 10i64..=12), 2..6).prop_map(|pairs| pairs.len());
+        for _ in 0..100 {
+            let n = s.generate(&mut g);
+            assert!((2..6).contains(&n));
+        }
+        let strings = string_from("abc", 1..=3);
+        for _ in 0..100 {
+            let t = strings.generate(&mut g);
+            assert!((1..=3).contains(&t.len()));
+            assert!(t.chars().all(|c| "abc".contains(c)));
+        }
+    }
+
+    props! {
+        cases = 8;
+
+        fn props_macro_generates_and_asserts(
+            x in 1u32..100,
+            v in vec(-1.0f32..1.0, 1..10),
+        ) {
+            prop_assert!(x >= 1);
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        fn props_macro_supports_assume(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+}

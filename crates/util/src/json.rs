@@ -1,0 +1,952 @@
+//! A from-scratch JSON tree, recursive-descent parser and serializer,
+//! replacing `serde`/`serde_json` for the workspace's checkpoint, config
+//! and CLI-output formats.
+//!
+//! Design points:
+//! - Objects preserve insertion order (`Vec<(String, Value)>`), so anything
+//!   serialised from a sorted source (e.g. a `BTreeMap`) round-trips
+//!   byte-identically — the determinism tests rely on this.
+//! - Numbers are `f64`. Every `f32` this workspace stores widens exactly,
+//!   and Rust's shortest round-trip float formatting guarantees
+//!   `parse(serialize(x)) == x` for finite values.
+//! - Non-finite floats are **rejected** at serialisation time (JSON has no
+//!   NaN/Infinity) instead of silently emitting `null`.
+//! - [`ToJson`]/[`FromJson`] plus the [`impl_json!`](crate::impl_json)
+//!   macro stand in for the 11 serde derives the workspace used to carry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order. Duplicate keys keep the last value
+    /// (matching `serde_json`'s default).
+    Obj(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `f64` view of a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view of a number (requires an exact integral
+    /// value in `u64` range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Num(n) if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed integer view of a number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Num(n) if (i64::MIN as f64..=i64::MAX as f64).contains(&n) && n.fract() == 0.0 => {
+                Some(n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serialises to compact JSON text. Panics on non-finite numbers; use
+    /// [`Value::try_to_string`] where rejection must be recoverable.
+    pub fn to_json_string(&self) -> String {
+        self.try_to_string()
+            .expect("JSON serialisation of non-finite number")
+    }
+
+    /// Serialises to compact JSON text, rejecting non-finite numbers.
+    pub fn try_to_string(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String) -> Result<(), JsonError> {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => {
+                if !n.is_finite() {
+                    return Err(JsonError::msg(format!(
+                        "cannot serialise non-finite number {n}"
+                    )));
+                }
+                // Shortest round-trip formatting; force a decimal form that
+                // still parses as a JSON number (Rust never emits exponents
+                // for f64 Display, and emits e.g. "1" for 1.0, which is fine).
+                out.push_str(&n.to_string());
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out)?;
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `v["key"]` sugar: missing keys and non-objects index to `Null`, exactly
+/// like `serde_json::Value`.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `v[i]` sugar for arrays.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Arr(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text; non-finite numbers render as `null` here because
+    /// `Display` cannot fail (serialisation proper goes through
+    /// [`Value::try_to_string`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_to_string() {
+            Ok(s) => f.write_str(&s),
+            Err(_) => f.write_str("null"),
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse / decode error with byte offset where available.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    /// Byte offset in the input, when the error came from the parser.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    /// A structural (non-positional) error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        JsonError { message: message.into(), offset: None }
+    }
+
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        JsonError { message: message.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {o}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::at("trailing characters after document", p.pos));
+    }
+    Ok(v)
+}
+
+/// Nesting ceiling: recursive descent on attacker-shaped input must not
+/// blow the stack before reporting an error.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(format!("expected {:?}", b as char), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::at("nesting too deep", self.pos));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(JsonError::at(format!("unexpected character {:?}", c as char), self.pos)),
+            None => Err(JsonError::at("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(JsonError::at(format!("expected {word:?}"), self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // integer part: 0 | [1-9][0-9]*
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(JsonError::at("invalid number", start)),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at("digit required after decimal point", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at("digit required in exponent", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| JsonError::at(format!("invalid number {text:?}"), start))?;
+        if !n.is_finite() {
+            return Err(JsonError::at(format!("number {text:?} overflows f64"), start));
+        }
+        Ok(Value::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // fast path: run of plain UTF-8 bytes
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| JsonError::at("invalid UTF-8 in string", start))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::at("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(JsonError::at("invalid low surrogate", self.pos));
+                                    }
+                                    let cp =
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp).ok_or_else(|| {
+                                        JsonError::at("invalid surrogate pair", self.pos)
+                                    })?
+                                } else {
+                                    return Err(JsonError::at("lone high surrogate", self.pos));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(JsonError::at("lone low surrogate", self.pos));
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| JsonError::at("invalid \\u escape", self.pos))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(JsonError::at(
+                                format!("invalid escape \\{}", other as char),
+                                self.pos - 1,
+                            ))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::at("raw control character in string", self.pos))
+                }
+                _ => return Err(JsonError::at("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let start = self.pos;
+        if self.bytes.len() < start + 4 {
+            return Err(JsonError::at("truncated \\u escape", start));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..start + 4])
+            .map_err(|_| JsonError::at("invalid \\u escape", start))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| JsonError::at(format!("invalid \\u escape {s:?}"), start))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(JsonError::at("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = val; // last duplicate wins
+            } else {
+                fields.push((key, val));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(JsonError::at("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+}
+
+/// Serialisation to a JSON tree — the replacement for `#[derive(Serialize)]`.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Reconstruction from a JSON tree — the replacement for
+/// `#[derive(Deserialize)]`.
+pub trait FromJson: Sized {
+    /// Decodes a value, with a descriptive error on shape mismatch.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+/// `ToJson::to_json(..).try_to_string()` with the panic-free error path —
+/// the drop-in for `serde_json::to_string`.
+pub fn to_string<T: ToJson + ?Sized>(v: &T) -> Result<String, JsonError> {
+    v.to_json().try_to_string()
+}
+
+/// Parse + decode — the drop-in for `serde_json::from_str`.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::msg(format!("expected bool, got {v}")))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::msg(format!("expected string, got {v}")))
+    }
+}
+
+macro_rules! json_float {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| JsonError::msg(format!("expected number, got {v}")))
+            }
+        }
+    )*};
+}
+json_float!(f32, f64);
+
+macro_rules! json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| JsonError::msg(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| JsonError::msg(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| JsonError::msg(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| JsonError::msg(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+json_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::msg(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+macro_rules! json_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn to_json(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<$($t: FromJson),+> FromJson for ($($t,)+) {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| JsonError::msg(format!("expected array, got {v}")))?;
+                let want = [$($n),+].len();
+                if a.len() != want {
+                    return Err(JsonError::msg(format!(
+                        "expected {want}-tuple, got array of {}",
+                        a.len()
+                    )));
+                }
+                Ok(($($t::from_json(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+json_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: ToJson> ToJson for BTreeMap<String, T> {
+    fn to_json(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for BTreeMap<String, T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), T::from_json(v)?)))
+                .collect(),
+            other => Err(JsonError::msg(format!("expected object, got {other}"))),
+        }
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named public fields
+/// — the replacement for `#[derive(Serialize, Deserialize)]`:
+///
+/// ```
+/// use hisres_util::impl_json;
+/// pub struct Quad { pub s: u32, pub r: u32, pub o: u32, pub t: u32 }
+/// impl_json!(Quad { s, r, o, t });
+/// ```
+///
+/// Decoding requires every field to be present (no defaults), mirroring the
+/// strictness of the serde derives it replaces.
+#[macro_export]
+macro_rules! impl_json {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $name {
+            fn to_json(&self) -> $crate::json::Value {
+                $crate::json::Value::Obj(vec![
+                    $( (stringify!($field).to_owned(), $crate::json::ToJson::to_json(&self.$field)), )+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $name {
+            fn from_json(v: &$crate::json::Value) -> Result<Self, $crate::json::JsonError> {
+                Ok($name {
+                    $( $field: $crate::json::FromJson::from_json(
+                        v.get(stringify!($field)).ok_or_else(|| {
+                            $crate::json::JsonError::msg(format!(
+                                concat!(stringify!($name), " missing field {:?}"),
+                                stringify!($field)
+                            ))
+                        })?
+                    ).map_err(|e| $crate::json::JsonError::msg(format!(
+                        concat!(stringify!($name), ".{}: {}"),
+                        stringify!($field), e
+                    )))?, )+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        parse(&v.to_json_string()).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Num(0.0),
+            Value::Num(-1.5),
+            Value::Num(1e300),
+            Value::Num(3.0000000000000004),
+            Value::Str("hello".into()),
+            Value::Str("esc \" \\ \n \t \u{1} ünïcodé 🎉".into()),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::Arr(vec![Value::Num(1.0), Value::Null])),
+            (
+                "b".into(),
+                Value::Obj(vec![("inner".into(), Value::Str("x".into()))]),
+            ),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            ("empty_obj".into(), Value::Obj(vec![])),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = parse(" { \"k\" : [ 1 , \"a\\u0041\\n\" , true ] } ").unwrap();
+        assert_eq!(v["k"][1], Value::Str("aA\n".into()));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let v = parse(r#""\ud83c\udf89""#).unwrap();
+        assert_eq!(v, Value::Str("🎉".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "01", "1.", "1e", "nul", "\"unterminated",
+            "[1] trailing", "{'single': 1}", "\"\\q\"", "\"\\ud800\"", "+1", "--1",
+            "[1,]", "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_huge_number_literals() {
+        assert!(parse("1e999").is_err());
+    }
+
+    #[test]
+    fn rejects_deep_nesting_without_overflow() {
+        let doc = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse(&doc).is_err());
+    }
+
+    #[test]
+    fn non_finite_serialisation_is_rejected() {
+        assert!(Value::Num(f64::NAN).try_to_string().is_err());
+        assert!(Value::Num(f64::INFINITY).try_to_string().is_err());
+        assert!(Value::Arr(vec![Value::Num(f64::NEG_INFINITY)])
+            .try_to_string()
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v["a"].as_f64(), Some(2.0));
+        assert_eq!(v.as_array(), None);
+        if let Value::Obj(fields) = &v {
+            assert_eq!(fields.len(), 1);
+        }
+    }
+
+    #[test]
+    fn f32_values_survive_the_f64_bridge() {
+        for x in [0.1f32, -3.3333333, f32::MIN_POSITIVE, 1.0e38, -0.0] {
+            let text = Value::Num(x as f64).to_json_string();
+            let back = parse(&text).unwrap().as_f64().unwrap() as f32;
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} → {text} → {back}");
+        }
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = parse(r#"{"a":1}"#).unwrap();
+        assert_eq!(v["b"], Value::Null);
+        assert_eq!(v["a"]["nested"], Value::Null);
+        assert_eq!(v[3], Value::Null);
+    }
+
+    #[test]
+    fn str_equality_sugar() {
+        let v = parse(r#"{"format":"v1"}"#).unwrap();
+        assert!(v["format"] == "v1");
+        assert!(v["format"] != "v2");
+        assert!(v["missing"] != "v1");
+    }
+
+    #[derive(Debug)]
+    struct Demo {
+        name: String,
+        count: usize,
+        weights: Vec<f32>,
+        flag: bool,
+        opt: Option<u32>,
+    }
+    impl_json!(Demo { name, count, weights, flag, opt });
+
+    #[test]
+    fn impl_json_round_trips_structs() {
+        let d = Demo {
+            name: "x\"y".into(),
+            count: 7,
+            weights: vec![0.5, -1.25],
+            flag: true,
+            opt: None,
+        };
+        let text = to_string(&d).unwrap();
+        let back: Demo = from_str(&text).unwrap();
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.count, d.count);
+        assert_eq!(back.weights, d.weights);
+        assert_eq!(back.flag, d.flag);
+        assert_eq!(back.opt, d.opt);
+    }
+
+    #[test]
+    fn impl_json_reports_missing_fields() {
+        let err = from_str::<Demo>(r#"{"name":"a"}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn tuples_and_maps_round_trip() {
+        let t = (1u32, "two".to_owned(), 3.5f64);
+        let back: (u32, String, f64) = from_str(&to_string(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+
+        let mut m = BTreeMap::new();
+        m.insert("b".to_owned(), 2u32);
+        m.insert("a".to_owned(), 1u32);
+        let text = to_string(&m).unwrap();
+        assert_eq!(text, r#"{"a":1,"b":2}"#, "BTreeMap serialises sorted");
+        let back: BTreeMap<String, u32> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shapes() {
+        assert!(from_str::<u32>(r#"-1"#).is_err());
+        assert!(from_str::<u32>(r#"1.5"#).is_err());
+        assert!(from_str::<bool>(r#"1"#).is_err());
+        assert!(from_str::<Vec<u32>>(r#"{"a":1}"#).is_err());
+        assert!(from_str::<(u32, u32)>(r#"[1,2,3]"#).is_err());
+    }
+}

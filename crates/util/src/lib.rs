@@ -1,0 +1,22 @@
+//! # hisres-util
+//!
+//! Zero-dependency substrates for the HisRES workspace. Every module here
+//! replaces a crates.io dependency so the whole workspace builds and tests
+//! with `--offline` and an empty registry:
+//!
+//! | Module | Replaces | Surface |
+//! |---|---|---|
+//! | [`rng`] | `rand` | seedable xoshiro256\*\* (`StdRng`), `Rng`/`SeedableRng` traits, `gen`/`gen_range`/`gen_bool`/`fill`/`shuffle`, Box–Muller normal sampling |
+//! | [`json`] | `serde` + `serde_json` | `Value` tree, recursive-descent parser, escaping serializer, `ToJson`/`FromJson` traits, `impl_json!` derive-macro stand-in |
+//! | [`check`] | `proptest` | `Strategy` combinators, seeded runner with failing-seed reporting, `props!`/`prop_assert!`/`prop_assume!` macros |
+//! | [`bench`] | `criterion` | warm-up + median-of-N timer with a criterion-shaped builder API and `criterion_group!`/`criterion_main!` |
+//!
+//! Beyond removing the network from the build, owning the PRNG makes seeded
+//! randomness an explicit reproducibility contract: the synthetic datasets,
+//! parameter initialisation and training dynamics of every model in this
+//! workspace are bit-stable across machines and toolchains.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;

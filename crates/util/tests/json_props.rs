@@ -1,0 +1,146 @@
+//! Round-trip property tests for the JSON substrate: `parse ∘ serialize`
+//! must be the identity on every representable `Value` tree.
+
+use hisres_util::check::{Gen, Strategy};
+use hisres_util::json::{parse, Value};
+use hisres_util::rng::Rng;
+use hisres_util::{prop_assert, prop_assert_eq, props};
+
+/// Characters that stress the string escaper: quotes, backslashes, control
+/// characters, multi-byte UTF-8, and an astral-plane character that needs a
+/// surrogate pair in `\u` form.
+const SPICY: &[char] = &[
+    'a', 'z', '0', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{0}', '\u{1f}', 'é', 'ß', '日',
+    '\u{2028}', '🦀',
+];
+
+fn arb_string(g: &mut Gen, max_len: usize) -> String {
+    let n = g.rng().gen_range(0..=max_len);
+    (0..n)
+        .map(|_| SPICY[g.rng().gen_range(0..SPICY.len())])
+        .collect()
+}
+
+/// A finite `f64` that exercises integers, small decimals, exponents, and
+/// sign, all of which must survive the shortest-round-trip formatter.
+fn arb_number(g: &mut Gen) -> f64 {
+    match g.rng().gen_range(0u32..4) {
+        0 => g.rng().gen_range(-1_000_000i64..1_000_000) as f64,
+        1 => g.rng().gen_range(-10.0f64..10.0),
+        2 => g.rng().gen_range(-1.0f64..1.0) * 1e18,
+        _ => g.rng().gen_range(-1.0f64..1.0) * 1e-12,
+    }
+}
+
+fn arb_value(g: &mut Gen, depth: usize) -> Value {
+    let max_kind = if depth == 0 { 4 } else { 6 };
+    match g.rng().gen_range(0u32..max_kind) {
+        0 => Value::Null,
+        1 => Value::Bool(g.rng().gen_bool(0.5)),
+        2 => Value::Num(arb_number(g)),
+        3 => Value::Str(arb_string(g, 8)),
+        4 => {
+            let n = g.rng().gen_range(0..4);
+            Value::Arr((0..n).map(|_| arb_value(g, depth - 1)).collect())
+        }
+        _ => {
+            // distinct keys: the parser keeps the last duplicate, so an
+            // object with repeated keys would not round-trip identically
+            let n = g.rng().gen_range(0..4);
+            Value::Obj(
+                (0..n)
+                    .map(|i| (format!("{}_{i}", arb_string(g, 4)), arb_value(g, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Adapter so `arb_value` plugs into the `props!` macro.
+struct ArbValue {
+    depth: usize,
+}
+
+impl Strategy for ArbValue {
+    type Value = Value;
+    fn generate(&self, g: &mut Gen) -> Value {
+        arb_value(g, self.depth)
+    }
+}
+
+struct ArbNumber;
+
+impl Strategy for ArbNumber {
+    type Value = f64;
+    fn generate(&self, g: &mut Gen) -> f64 {
+        arb_number(g)
+    }
+}
+
+props! {
+    cases = 256;
+
+    fn value_trees_round_trip(v in ArbValue { depth: 4 }) {
+        let text = v.to_json_string();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    fn serialization_is_deterministic(v in ArbValue { depth: 3 }) {
+        prop_assert_eq!(v.to_json_string(), v.to_json_string());
+        // reserializing the parsed tree reproduces the same text
+        let text = v.to_json_string();
+        prop_assert_eq!(parse(&text).unwrap().to_json_string(), text);
+    }
+
+    fn numbers_round_trip_exactly(n in ArbNumber) {
+        let v = Value::Num(n);
+        let back = parse(&v.to_json_string()).unwrap();
+        prop_assert_eq!(back.as_f64().unwrap().to_bits(), n.to_bits());
+    }
+
+    fn spicy_strings_round_trip(v in ArbValue { depth: 0 }) {
+        // depth 0 forces leaves; strings here carry escapes, control
+        // characters, and astral-plane code points
+        if let Value::Str(s) = &v {
+            let back = parse(&v.to_json_string()).unwrap();
+            prop_assert_eq!(back.as_str(), Some(s.as_str()));
+        }
+    }
+
+    fn non_finite_numbers_are_rejected(sign in 0u32..2, v in ArbValue { depth: 2 }) {
+        let bad = if sign == 0 { f64::NAN } else { f64::INFINITY };
+        let tree = Value::Arr(vec![v, Value::Num(bad)]);
+        prop_assert!(tree.try_to_string().is_err());
+    }
+
+    fn parse_never_panics_on_mutated_output(v in ArbValue { depth: 3 }, cut in 0usize..64) {
+        // truncating valid JSON at an arbitrary byte must yield Err, not a
+        // panic (exercises every partial-token path in the parser)
+        let text = v.to_json_string();
+        let mut cut = cut.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = parse(&text[..cut]);
+    }
+}
+
+#[test]
+fn deeply_nested_input_is_rejected_not_overflowed() {
+    let text = format!("{}1{}", "[".repeat(4_000), "]".repeat(4_000));
+    assert!(parse(&text).is_err(), "depth cap must reject pathological nesting");
+}
+
+#[test]
+fn escape_golden_cases() {
+    let v = Value::Str("a\"b\\c\nd\te\u{0}f🦀".to_owned());
+    let text = v.to_json_string();
+    assert_eq!(text, "\"a\\\"b\\\\c\\nd\\te\\u0000f🦀\"");
+    assert_eq!(parse(&text).unwrap(), v);
+    // surrogate-pair escapes decode to the astral character
+    assert_eq!(
+        parse(r#""🦀""#).unwrap().as_str(),
+        Some("🦀")
+    );
+}

@@ -17,8 +17,8 @@ use hisres::{evaluate, HisRes, HisResConfig, Split, TrainConfig};
 use hisres_data::DatasetSplits;
 use hisres_graph::{GlobalHistoryIndex, Quad, Tkg, Vocab};
 use hisres_tensor::no_grad;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
 
 fn main() {
     // --- build a named event stream with planted structure ---

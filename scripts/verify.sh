@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Hermetic verification: the workspace must build and test with zero network
+# access and zero external crates. Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# ---- guard: no non-path dependency may reappear in any workspace manifest --
+# Legitimate dependency lines name a workspace crate (`workspace = true`) or
+# an explicit `path = "..."`. Anything with `version = "..."`, a bare version
+# string, `git = `, or `registry = ` would reintroduce a network fetch.
+fail=0
+while IFS= read -r manifest; do
+    # strip comments, then keep only lines inside [*dependencies*] sections
+    bad=$(awk '
+        /^[[:space:]]*#/ { next }
+        /^\[/ { in_deps = ($0 ~ /dependencies/) }
+        in_deps && NF {
+            line = $0
+            sub(/#.*/, "", line)
+            if (line ~ /^\[/) next
+            if (line !~ /=/) next
+            if (line ~ /workspace[[:space:]]*=[[:space:]]*true/) next
+            if (line ~ /path[[:space:]]*=/) next
+            print FILENAME ": " line
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: non-path dependency found:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done < <(find . -path ./target -prune -o -name Cargo.toml -print)
+
+if [ "$fail" -ne 0 ]; then
+    echo "verify.sh: the build must stay hermetic — declare new code as a" >&2
+    echo "workspace path crate instead of a crates.io dependency." >&2
+    exit 1
+fi
+echo "dependency guard: OK (path-only workspace)"
+
+# ---- build + test fully offline --------------------------------------------
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
+
+echo "verify.sh: OK"

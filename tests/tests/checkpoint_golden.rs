@@ -1,0 +1,83 @@
+//! Model-level checkpoint format tests: `HisRes::save_checkpoint` output
+//! must keep its documented envelope (format tag, config, vocabulary
+//! sizes, params) and `load_checkpoint` must rebuild a bit-identical model.
+
+use hisres::eval::{evaluate, Split};
+use hisres::trainer::{train, HisResEval};
+use hisres::{HisRes, HisResConfig, TrainConfig};
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use hisres_util::json::parse;
+
+fn tiny_data(seed: u64) -> DatasetSplits {
+    let cfg = SyntheticConfig {
+        num_entities: 16,
+        num_relations: 3,
+        num_timestamps: 20,
+        seed,
+        ..Default::default()
+    };
+    DatasetSplits::from_tkg("tiny", "1 step", &generate(&cfg).tkg)
+}
+
+fn tiny_model(seed: u64) -> HisRes {
+    let cfg = HisResConfig {
+        dim: 8,
+        conv_channels: 2,
+        history_len: 3,
+        seed,
+        ..Default::default()
+    };
+    HisRes::new(&cfg, 16, 3)
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("hisres_ckpt_{tag}_{}.json", std::process::id()))
+}
+
+#[test]
+fn checkpoint_envelope_keeps_its_documented_shape() {
+    let model = tiny_model(21);
+    let path = temp_path("envelope");
+    model.save_checkpoint(&path).unwrap();
+    let v = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(v["format"], "hisres-checkpoint-v1");
+    assert_eq!(v["num_entities"].as_u64(), Some(16));
+    assert_eq!(v["num_relations"].as_u64(), Some(3));
+    assert_eq!(v["config"]["dim"].as_u64(), Some(8));
+    assert_eq!(v["config"]["global_aggregator"], "ConvGat");
+    assert!(v["params"].get("params").is_some(), "nested parameter table present");
+}
+
+#[test]
+fn load_checkpoint_rebuilds_a_bit_identical_model() {
+    let data = tiny_data(22);
+    let model = tiny_model(23);
+    let tc = TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() };
+    train(&model, &data, &tc);
+
+    let path = temp_path("roundtrip");
+    model.save_checkpoint(&path).unwrap();
+    let restored = HisRes::load_checkpoint(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(model.store.to_json(), restored.store.to_json());
+    let a = evaluate(&HisResEval { model: &model }, &data, Split::Test);
+    let b = evaluate(&HisResEval { model: &restored }, &data, Split::Test);
+    assert_eq!(a.mrr.to_bits(), b.mrr.to_bits());
+    assert_eq!(a.hits, b.hits);
+}
+
+#[test]
+fn load_checkpoint_rejects_foreign_formats() {
+    let path = temp_path("badformat");
+    std::fs::write(&path, r#"{"format":"some-other-checkpoint","config":{}}"#).unwrap();
+    let err = match HisRes::load_checkpoint(&path) {
+        Ok(_) => panic!("foreign format must be rejected"),
+        Err(e) => e,
+    };
+    std::fs::remove_file(&path).ok();
+    assert!(err.to_string().contains("format"), "got: {err}");
+}

@@ -1,0 +1,67 @@
+//! Bit-level determinism of the whole stack: with all randomness flowing
+//! from the in-workspace PRNG, two runs from the same seeds must agree
+//! exactly — on every parameter bit and on every evaluation number.
+
+use hisres::eval::{evaluate, Split};
+use hisres::trainer::{train, HisResEval};
+use hisres::{HisRes, HisResConfig, TrainConfig};
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+
+fn tiny_data(seed: u64) -> DatasetSplits {
+    let cfg = SyntheticConfig {
+        num_entities: 20,
+        num_relations: 4,
+        num_timestamps: 25,
+        periodic_patterns: 10,
+        period_range: (3, 8),
+        causal_rules: 1,
+        trigger_events_per_t: 2,
+        recency_draws_per_t: 2,
+        noise_events_per_t: 1,
+        seed,
+        ..Default::default()
+    };
+    DatasetSplits::from_tkg("tiny", "1 step", &generate(&cfg).tkg)
+}
+
+fn tiny_model(seed: u64) -> HisRes {
+    let cfg = HisResConfig {
+        dim: 8,
+        conv_channels: 2,
+        history_len: 3,
+        seed,
+        ..Default::default()
+    };
+    HisRes::new(&cfg, 20, 4)
+}
+
+#[test]
+fn same_seed_builds_bit_identical_parameter_stores() {
+    let a = tiny_model(11);
+    let b = tiny_model(11);
+    // the JSON checkpoint serialises every f32 exactly (shortest round-trip
+    // formatting), so equal text means equal bits in every parameter
+    assert_eq!(a.store.to_json(), b.store.to_json());
+
+    let c = tiny_model(12);
+    assert_ne!(a.store.to_json(), c.store.to_json(), "sanity: seeds differ");
+}
+
+#[test]
+fn same_seed_training_and_eval_are_bit_identical() {
+    let data = tiny_data(13);
+    let run = |data: &DatasetSplits| {
+        let model = tiny_model(14);
+        let tc = TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() };
+        let report = train(&model, data, &tc);
+        let eval = evaluate(&HisResEval { model: &model }, data, Split::Test);
+        (model.store.to_json(), report.epoch_losses, eval.mrr, eval.hits)
+    };
+    let (params_a, losses_a, mrr_a, hits_a) = run(&data);
+    let (params_b, losses_b, mrr_b, hits_b) = run(&data);
+    assert_eq!(params_a, params_b, "trained parameters must be bit-identical");
+    assert_eq!(losses_a, losses_b);
+    assert_eq!(mrr_a.to_bits(), mrr_b.to_bits(), "MRR must match to the last bit");
+    assert_eq!(hits_a, hits_b);
+}
