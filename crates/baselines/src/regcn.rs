@@ -92,8 +92,9 @@ impl SkeletonModel {
             patience: 0,
             verbose: false,
             seed: fit.seed,
+            guard: Default::default(),
         };
-        hisres::train(&self.inner, data, &tc);
+        hisres::train(&self.inner, data, &tc).unwrap();
     }
 }
 
@@ -133,8 +134,9 @@ impl Cen {
             patience: 0,
             verbose: false,
             seed: fit.seed,
+            guard: Default::default(),
         };
-        hisres::train(&self.inner, data, &tc);
+        hisres::train(&self.inner, data, &tc).unwrap();
     }
 }
 
@@ -196,8 +198,9 @@ impl TiRgn {
             patience: 0,
             verbose: false,
             seed: fit.seed,
+            guard: Default::default(),
         };
-        hisres::train(&self.inner, data, &tc);
+        hisres::train(&self.inner, data, &tc).unwrap();
     }
 }
 

@@ -27,7 +27,7 @@ fn main() {
         let mut cfg = settings.hisres_config();
         cfg.history_len = l;
         let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
-        let report = train(&model, &data, &settings.train_config());
+        let report = train(&model, &data, &settings.train_config()).unwrap();
         let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
         println!(
             "{:<4} {:>8.2} {:>8.2} {:>12.3} {:>12.3}",

@@ -27,7 +27,7 @@ fn main() {
         data.num_entities(),
         data.num_relations(),
     );
-    hisres::train(&hisres_model, &data, &settings.train_config());
+    hisres::train(&hisres_model, &data, &settings.train_config()).unwrap();
 
     eprintln!("training RE-GCN ...");
     let mut regcn = SkeletonModel::regcn(

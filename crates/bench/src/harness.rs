@@ -80,6 +80,7 @@ impl BenchSettings {
             grad_clip: 1.0,
             verbose: false,
             seed: self.seed,
+            guard: Default::default(),
         }
     }
 
@@ -110,7 +111,7 @@ impl From<(EvalResult, f64)> for MetricRow {
 pub fn run_hisres(cfg: &HisResConfig, data: &DatasetSplits, s: &BenchSettings) -> MetricRow {
     let t0 = Instant::now();
     let model = HisRes::new(cfg, data.num_entities(), data.num_relations());
-    hisres::train(&model, data, &s.train_config());
+    hisres::train(&model, data, &s.train_config()).unwrap();
     let res = evaluate(&HisResEval { model: &model }, data, Split::Test);
     (res, t0.elapsed().as_secs_f64()).into()
 }

@@ -1,10 +1,12 @@
 //! Implementations of the CLI subcommands.
 
 use crate::args::Args;
-use hisres::trainer::{train as train_model, HisResEval};
+use hisres::trainer::{train_with, HisResEval, TrainOptions};
 use hisres::{
-    evaluate, evaluate_relations, HisRes, HisResConfig, Split, TrainConfig,
+    evaluate, evaluate_relations, GuardPolicy, HisRes, HisResConfig, Split, TrainCheckpoint,
+    TrainConfig,
 };
+use hisres_util::fsio::atomic_write;
 use hisres_data::datasets::{load as load_builtin, DatasetSplits};
 use hisres_data::loader::load_dir;
 use hisres_data::stats::{header, DatasetStats};
@@ -49,12 +51,12 @@ pub fn generate(args: &Args) -> CmdResult {
             .map(|q| format!("{}\t{}\t{}\t{}\n", q.s, q.r, q.o, q.t))
             .collect::<String>()
     };
-    std::fs::write(out.join("train.txt"), dump(&data.train.quads))?;
-    std::fs::write(out.join("valid.txt"), dump(&data.valid.quads))?;
-    std::fs::write(out.join("test.txt"), dump(&data.test.quads))?;
-    std::fs::write(
+    atomic_write(out.join("train.txt"), dump(&data.train.quads).as_bytes())?;
+    atomic_write(out.join("valid.txt"), dump(&data.valid.quads).as_bytes())?;
+    atomic_write(out.join("test.txt"), dump(&data.test.quads).as_bytes())?;
+    atomic_write(
         out.join("stat.txt"),
-        format!("{} {}\n", data.num_entities(), data.num_relations()),
+        format!("{} {}\n", data.num_entities(), data.num_relations()).as_bytes(),
     )?;
     println!(
         "wrote {name} ({} train / {} valid / {} test facts) to {}",
@@ -75,10 +77,23 @@ pub fn stats(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `hisres train` — fit a model and save a checkpoint.
+/// `hisres train` — fit a model and save a checkpoint. With `--state` the
+/// full training state is checkpointed atomically after every epoch; with
+/// `--resume` an interrupted run continues bit-identically from such a
+/// state file (model flags are then taken from the state, not the CLI).
 pub fn train_cmd(args: &Args) -> CmdResult {
     let data = resolve_data(args.require("data")?)?;
     let out = args.require("out")?.to_owned();
+    let resume = args.get("resume").map(str::to_owned);
+    let state = args.get("state").map(std::path::PathBuf::from);
+    let guard = match args.get("guard").unwrap_or("skip") {
+        "skip" => GuardPolicy::SkipStep,
+        "rollback" => GuardPolicy::RollbackWithLrBackoff,
+        "abort" => GuardPolicy::Abort,
+        other => {
+            return Err(format!("--guard must be skip, rollback, or abort, got {other:?}").into())
+        }
+    };
     let mut cfg = match args.get("ablation") {
         Some(v) => HisResConfig::ablation(v),
         None => HisResConfig::default(),
@@ -101,12 +116,34 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         lr: args.get_parse("lr", 0.01f32)?,
         patience: args.get_parse("patience", 3usize)?,
         verbose: !args.flag("quiet"),
+        guard,
         ..Default::default()
     };
     args.reject_unknown()?;
-    cfg.validate().map_err(|e| format!("invalid configuration: {e}"))?;
 
-    let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
+    let (model, resume_ck) = match &resume {
+        Some(path) => {
+            let ck = TrainCheckpoint::load(path)?;
+            eprintln!("resuming from {path} (epoch {} of {})", ck.epoch, tc.epochs);
+            (ck.build_model()?, Some(ck))
+        }
+        None => {
+            cfg.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+            (HisRes::new(&cfg, data.num_entities(), data.num_relations()), None)
+        }
+    };
+    if model.num_entities() != data.num_entities()
+        || model.num_relations() != data.num_relations()
+    {
+        return Err(format!(
+            "model is sized for {} entities / {} relations but the dataset has {} / {}",
+            model.num_entities(),
+            model.num_relations(),
+            data.num_entities(),
+            data.num_relations()
+        )
+        .into());
+    }
     eprintln!(
         "training on {} ({} entities, {} relations, {} params)",
         data.name,
@@ -114,8 +151,15 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         data.num_relations(),
         model.store.num_scalars()
     );
-    let report = train_model(&model, &data, &tc);
+    let opts = TrainOptions { resume: resume_ck, state_path: state, ..Default::default() };
+    let report = train_with(&model, &data, &tc, &opts)?;
     model.save_checkpoint(&out)?;
+    if !report.guard_events.is_empty() {
+        eprintln!(
+            "divergence guard fired {} time(s); see the training state for details",
+            report.guard_events.len()
+        );
+    }
     println!(
         "trained {} epochs (best valid MRR {:.2}); checkpoint written to {out}",
         report.epochs_run, report.best_val_mrr
@@ -289,6 +333,43 @@ mod tests {
         .unwrap();
         std::fs::remove_dir_all(&data_dir).ok();
         std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn train_state_then_resume_round_trip() {
+        let data_dir = tmp("resume_data");
+        generate(&parse(&format!(
+            "generate --dataset icews14s-syn --out {}",
+            data_dir.display()
+        )))
+        .unwrap();
+        let ckpt = tmp("resume_model.ckpt");
+        let state = tmp("resume_state.ckpt");
+        train_cmd(&parse(&format!(
+            "train --data {} --out {} --state {} --epochs 1 --dim 8 --patience 0 --quiet",
+            data_dir.display(),
+            ckpt.display(),
+            state.display()
+        )))
+        .unwrap();
+        // the state file holds one completed epoch; resuming to 2 works
+        // without re-specifying any model flags
+        train_cmd(&parse(&format!(
+            "train --data {} --out {} --resume {} --epochs 2 --patience 0 --quiet",
+            data_dir.display(),
+            ckpt.display(),
+            state.display()
+        )))
+        .unwrap();
+        std::fs::remove_dir_all(&data_dir).ok();
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&state).ok();
+    }
+
+    #[test]
+    fn train_rejects_bad_guard_policy() {
+        let a = parse("train --data icews14s-syn --out /tmp/x --guard never");
+        assert!(train_cmd(&a).unwrap_err().to_string().contains("--guard"));
     }
 
     #[test]

@@ -33,6 +33,9 @@ COMMANDS:
              [--dim N=32] [--history N=3] [--granularity N=2] [--layers N=2]
              [--patience N=3] [--seed N=42] [--ablation VARIANT]
              [--prune-topk N] [--two-phase] [--quiet]
+             [--state FILE]   save full training state atomically each epoch
+             [--resume FILE]  continue bit-identically from a state file
+             [--guard skip|rollback|abort=skip]  NaN/divergence policy
   eval       Evaluate a trained model (time-aware filtered metrics)
              --model FILE --data DIR|NAME [--split test|valid] [--relations]
   predict    Rank objects for a query at the end of the known timeline

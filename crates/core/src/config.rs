@@ -209,6 +209,46 @@ impl HisResConfig {
     }
 }
 
+/// What the trainer does when a step produces a non-finite loss or
+/// gradient norm. Unlike the old `debug_assert!`, these guards run in
+/// release builds — the configuration evolutionary TKG trainers actually
+/// crash in (recurrent snapshot encoders diverging hundreds of epochs
+/// into a run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GuardPolicy {
+    /// Discard the poisoned step's gradients and keep training (default).
+    #[default]
+    SkipStep,
+    /// Restore parameters, optimiser moments and RNG from the last good
+    /// epoch boundary, halve the learning rate, and continue.
+    RollbackWithLrBackoff,
+    /// Stop training with a `Diverged` error.
+    Abort,
+}
+
+impl ToJson for GuardPolicy {
+    fn to_json(&self) -> Value {
+        let name = match self {
+            GuardPolicy::SkipStep => "SkipStep",
+            GuardPolicy::RollbackWithLrBackoff => "RollbackWithLrBackoff",
+            GuardPolicy::Abort => "Abort",
+        };
+        Value::Str(name.to_owned())
+    }
+}
+
+impl FromJson for GuardPolicy {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("SkipStep") => Ok(GuardPolicy::SkipStep),
+            Some("RollbackWithLrBackoff") => Ok(GuardPolicy::RollbackWithLrBackoff),
+            Some("Abort") => Ok(GuardPolicy::Abort),
+            Some(other) => Err(JsonError::msg(format!("unknown GuardPolicy variant {other:?}"))),
+            None => Err(JsonError::msg("expected string for GuardPolicy")),
+        }
+    }
+}
+
 /// Optimisation schedule.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -225,12 +265,22 @@ pub struct TrainConfig {
     pub verbose: bool,
     /// Training-loop seed (dropout masks, shuffling).
     pub seed: u64,
+    /// Divergence-guard policy for non-finite loss / gradient norms.
+    pub guard: GuardPolicy,
 }
-impl_json!(TrainConfig { epochs, lr, grad_clip, patience, verbose, seed });
+impl_json!(TrainConfig { epochs, lr, grad_clip, patience, verbose, seed, guard });
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 12, lr: 1e-3, grad_clip: 1.0, patience: 3, verbose: false, seed: 7 }
+        Self {
+            epochs: 12,
+            lr: 1e-3,
+            grad_clip: 1.0,
+            patience: 3,
+            verbose: false,
+            seed: 7,
+            guard: GuardPolicy::default(),
+        }
     }
 }
 

@@ -39,7 +39,7 @@
 //! let cfg = HisResConfig { dim: 8, conv_channels: 2, ..Default::default() };
 //! let model = HisRes::new(&cfg, 20, 4);
 //! let tc = TrainConfig { epochs: 1, patience: 0, ..Default::default() };
-//! train(&model, &data, &tc);
+//! train(&model, &data, &tc).unwrap();
 //!
 //! // time-aware filtered evaluation
 //! let result = evaluate(&HisResEval { model: &model }, &data, Split::Test);
@@ -51,14 +51,19 @@
 //! `hisres-data` (datasets), `hisres-nn` (layers), and `hisres-baselines`
 //! (the comparison models of Table 3).
 
+pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod model;
 pub mod multistep;
 pub mod trainer;
 
-pub use config::{GlobalAggregator, HisResConfig, TrainConfig};
+pub use checkpoint::TrainCheckpoint;
+pub use config::{GlobalAggregator, GuardPolicy, HisResConfig, TrainConfig};
 pub use eval::{evaluate, evaluate_relations, EvalResult, ExtrapolationModel, HistoryCtx, Split};
 pub use model::{Encoded, HisRes};
 pub use multistep::evaluate_multistep;
-pub use trainer::{train, HisResEval, TrainReport};
+pub use trainer::{
+    train, train_with, GuardAction, GuardEvent, GuardKind, HisResEval, TrainError, TrainOptions,
+    TrainReport,
+};

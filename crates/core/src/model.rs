@@ -27,9 +27,12 @@ use hisres_nn::{
     gating, CompGcnLayer, ConvGatLayer, ConvTransE, Embedding, GruCell, RgatLayer, SelfGating,
     TimeEncoding,
 };
-use hisres_tensor::{NdArray, ParamStore, Tensor};
+use hisres_tensor::{CheckpointError, NdArray, ParamStore, Tensor};
 use hisres_util::rng::rngs::StdRng;
 use hisres_util::rng::{Rng, SeedableRng};
+
+/// Envelope kind tag of [`HisRes::save_checkpoint`] files.
+pub const MODEL_KIND: &str = "model";
 
 /// The aggregator stack of the global relevance encoder.
 enum GlobalStack {
@@ -458,11 +461,15 @@ impl HisRes {
     }
 
     /// Saves a self-contained checkpoint (configuration + vocabulary sizes
-    /// + all parameter values) as JSON.
-    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// + all parameter values): JSON payload inside the versioned,
+    /// checksummed envelope of [`hisres_util::fsio`], written atomically so
+    /// a crash mid-save leaves any previous checkpoint intact.
+    pub fn save_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), CheckpointError> {
         use hisres_util::json::{parse, ToJson, Value};
-        let ckpt = Value::Obj(vec![
-            ("format".to_owned(), Value::Str("hisres-checkpoint-v1".to_owned())),
+        let payload = Value::Obj(vec![
             ("config".to_owned(), self.cfg.to_json()),
             ("num_entities".to_owned(), self.num_entities.to_json()),
             ("num_relations".to_owned(), self.num_relations.to_json()),
@@ -471,31 +478,37 @@ impl HisRes {
                 parse(&self.store.to_json()).expect("param store serialises to valid JSON"),
             ),
         ]);
-        std::fs::write(path, ckpt.to_string())
+        let text = payload
+            .try_to_string()
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let sealed = hisres_util::fsio::seal(MODEL_KIND, &text);
+        hisres_util::fsio::atomic_write(path, sealed.as_bytes())?;
+        Ok(())
     }
 
-    /// Rebuilds a model from a [`HisRes::save_checkpoint`] file.
-    pub fn load_checkpoint(path: impl AsRef<std::path::Path>) -> std::io::Result<HisRes> {
+    /// Rebuilds a model from a [`HisRes::save_checkpoint`] file. Envelope
+    /// verification catches truncation, bit-flips and version mismatch
+    /// before any JSON is parsed; every failure is a typed
+    /// [`CheckpointError`].
+    pub fn load_checkpoint(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<HisRes, CheckpointError> {
         use hisres_util::json::{parse, FromJson};
-        let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
         let text = std::fs::read_to_string(path)?;
-        let v = parse(&text).map_err(|e| bad(format!("invalid checkpoint: {e}")))?;
-        if v["format"] != "hisres-checkpoint-v1" {
-            return Err(bad(format!("unknown checkpoint format {}", v["format"])));
-        }
+        let payload = hisres_util::fsio::open(&text, MODEL_KIND)?;
+        let v = parse(payload).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
         let cfg = HisResConfig::from_json(&v["config"])
-            .map_err(|e| bad(format!("invalid config: {e}")))?;
+            .map_err(|e| CheckpointError::Malformed(format!("invalid config: {e}")))?;
         let ne = v["num_entities"]
             .as_u64()
-            .ok_or_else(|| bad("missing num_entities".into()))? as usize;
+            .ok_or_else(|| CheckpointError::Malformed("missing num_entities".into()))?
+            as usize;
         let nr = v["num_relations"]
             .as_u64()
-            .ok_or_else(|| bad("missing num_relations".into()))? as usize;
+            .ok_or_else(|| CheckpointError::Malformed("missing num_relations".into()))?
+            as usize;
         let model = HisRes::new(&cfg, ne, nr);
-        model
-            .store
-            .load_json(&v["params"].to_string())
-            .map_err(|e| bad(format!("invalid parameters: {e}")))?;
+        model.store.load_json(&v["params"].to_string())?;
         Ok(model)
     }
 
@@ -701,13 +714,19 @@ mod tests {
     fn load_checkpoint_rejects_garbage() {
         let path = std::env::temp_dir()
             .join(format!("hisres_bad_ckpt_{}.json", std::process::id()));
-        std::fs::write(&path, "{\"format\": \"other\"}").unwrap();
+        std::fs::write(&path, "{\"format\": \"other\"}").unwrap(); // fixture-write: ok
         let err = match HisRes::load_checkpoint(&path) {
             Err(e) => e,
             Ok(_) => panic!("garbage checkpoint loaded successfully"),
         };
         std::fs::remove_file(&path).ok();
-        assert!(err.to_string().contains("unknown checkpoint format"));
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Envelope(hisres_util::fsio::EnvelopeError::NotACheckpoint)
+            ),
+            "got: {err}"
+        );
     }
 
     #[test]

@@ -1,18 +1,174 @@
 //! Training loop for HisRES (§3.6, §4.1.3): Adam at 1e-3, global-norm
 //! gradient clipping, per-timestamp joint entity/relation loss, validation
 //! MRR early stopping, best-checkpoint restore.
+//!
+//! The loop is **crash-safe**: [`train_with`] can atomically save the full
+//! training state (parameters + Adam moments + RNG + epoch/patience
+//! counters) at every epoch boundary and resume from such a state
+//! bit-identically, and release-mode divergence guards
+//! ([`crate::config::GuardPolicy`]) catch non-finite losses and gradient
+//! norms instead of silently poisoning the parameters.
 
-use crate::config::TrainConfig;
+use crate::checkpoint::TrainCheckpoint;
+use crate::config::{GuardPolicy, TrainConfig};
 use crate::eval::{evaluate, ExtrapolationModel, HistoryCtx, Split};
 use crate::model::HisRes;
 use hisres_data::DatasetSplits;
 use hisres_graph::{EdgeList, GlobalHistoryIndex, Snapshot, Tkg};
-use hisres_tensor::{clip_grad_norm, no_grad, Adam, NdArray};
+use hisres_tensor::{clip_grad_norm, no_grad, Adam, AdamState, CheckpointError, NdArray};
+use hisres_util::fsio::FaultInjector;
+use hisres_util::json::{FromJson, JsonError, ToJson, Value};
 use hisres_util::rng::rngs::StdRng;
 use hisres_util::rng::SeedableRng;
+use std::fmt;
+use std::path::PathBuf;
+
+/// What tripped a divergence guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardKind {
+    /// The step's loss evaluated to NaN/Inf.
+    NonFiniteLoss,
+    /// The post-backward global gradient norm was NaN/Inf.
+    NonFiniteGradNorm,
+}
+
+impl ToJson for GuardKind {
+    fn to_json(&self) -> Value {
+        Value::Str(
+            match self {
+                GuardKind::NonFiniteLoss => "NonFiniteLoss",
+                GuardKind::NonFiniteGradNorm => "NonFiniteGradNorm",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for GuardKind {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("NonFiniteLoss") => Ok(GuardKind::NonFiniteLoss),
+            Some("NonFiniteGradNorm") => Ok(GuardKind::NonFiniteGradNorm),
+            other => Err(JsonError::msg(format!("unknown GuardKind {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for GuardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// How a tripped guard was resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardAction {
+    /// The step's gradients were discarded; training continued.
+    Skipped,
+    /// Parameters/optimiser/RNG were restored from the last good epoch
+    /// boundary and the learning rate halved.
+    RolledBack,
+}
+
+impl ToJson for GuardAction {
+    fn to_json(&self) -> Value {
+        Value::Str(
+            match self {
+                GuardAction::Skipped => "Skipped",
+                GuardAction::RolledBack => "RolledBack",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for GuardAction {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Skipped") => Ok(GuardAction::Skipped),
+            Some("RolledBack") => Ok(GuardAction::RolledBack),
+            other => Err(JsonError::msg(format!("unknown GuardAction {other:?}"))),
+        }
+    }
+}
+
+/// One divergence-guard firing, recorded in [`TrainReport::guard_events`]
+/// and persisted across resume.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardEvent {
+    /// Epoch in which the guard fired.
+    pub epoch: usize,
+    /// Snapshot index (training step) within the epoch.
+    pub step: usize,
+    /// What was non-finite.
+    pub kind: GuardKind,
+    /// How it was handled.
+    pub action: GuardAction,
+}
+hisres_util::impl_json!(GuardEvent { epoch, step, kind, action });
+
+/// Typed training failures, replacing the panics (`expect`,
+/// `debug_assert!`) the trainer used to carry.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Saving or restoring a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A [`GuardPolicy::Abort`] guard hit a non-finite value.
+    Diverged {
+        /// Epoch of the poisoned step.
+        epoch: usize,
+        /// Snapshot index of the poisoned step.
+        step: usize,
+        /// What was non-finite.
+        kind: GuardKind,
+    },
+    /// A resume checkpoint does not match the model or dataset.
+    ResumeMismatch(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::Diverged { epoch, step, kind } => write!(
+                f,
+                "training diverged at epoch {epoch}, step {step}: {kind:?} (GuardPolicy::Abort)"
+            ),
+            TrainError::ResumeMismatch(m) => write!(f, "cannot resume: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Crash-safety options for [`train_with`].
+#[derive(Default)]
+pub struct TrainOptions<'a> {
+    /// Resume from a previously saved full training state. The model must
+    /// have been built for the same configuration and vocabulary.
+    pub resume: Option<TrainCheckpoint>,
+    /// When set, the full training state is saved here (atomically) at
+    /// every epoch boundary.
+    pub state_path: Option<PathBuf>,
+    /// Scripted fault injection for the state saves (tests only).
+    pub faults: Option<&'a FaultInjector>,
+}
 
 /// Per-epoch training trace.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct TrainReport {
     /// Mean training loss per epoch.
     pub epoch_losses: Vec<f32>,
@@ -22,6 +178,8 @@ pub struct TrainReport {
     pub epochs_run: usize,
     /// Best validation MRR observed (0 when no validation ran).
     pub best_val_mrr: f64,
+    /// Divergence-guard firings, in order.
+    pub guard_events: Vec<GuardEvent>,
 }
 
 /// Dense snapshot timeline of one split.
@@ -44,24 +202,84 @@ pub fn query_pairs(triples: &[(u32, u32, u32)], num_relations: usize) -> Vec<(u3
 
 /// Trains `model` on `data.train`, validating on `data.valid` when
 /// `tc.patience > 0`. The parameters of the best validation epoch are
-/// restored before returning.
-pub fn train(model: &HisRes, data: &DatasetSplits, tc: &TrainConfig) -> TrainReport {
+/// restored before returning. Shorthand for [`train_with`] without
+/// resume or state persistence.
+pub fn train(
+    model: &HisRes,
+    data: &DatasetSplits,
+    tc: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    train_with(model, data, tc, &TrainOptions::default())
+}
+
+/// The last known-good training state, held in memory for
+/// [`GuardPolicy::RollbackWithLrBackoff`].
+struct GoodState {
+    params: String,
+    opt: AdamState,
+    rng: StdRng,
+}
+
+impl GoodState {
+    fn capture(model: &HisRes, opt: &Adam, rng: &StdRng) -> GoodState {
+        GoodState {
+            params: model.store.to_json(),
+            opt: opt.export_state(),
+            rng: rng.clone(),
+        }
+    }
+}
+
+/// Trains with crash-safety options: resume from a saved training state
+/// (bit-identical to an uninterrupted run), atomic per-epoch state
+/// persistence, and release-mode divergence guards.
+pub fn train_with(
+    model: &HisRes,
+    data: &DatasetSplits,
+    tc: &TrainConfig,
+    opts: &TrainOptions<'_>,
+) -> Result<TrainReport, TrainError> {
     let mut opt = Adam::new(model.store.params().cloned().collect(), tc.lr);
     let mut rng = StdRng::seed_from_u64(tc.seed);
     let snaps = snapshots_of(&data.train);
     let l = model.cfg.history_len;
     let nr = model.num_relations();
+    let no_faults = FaultInjector::none();
+    let faults = opts.faults.unwrap_or(&no_faults);
 
-    let mut report = TrainReport {
-        epoch_losses: Vec::new(),
-        val_mrr: Vec::new(),
-        epochs_run: 0,
-        best_val_mrr: 0.0,
-    };
+    let mut report = TrainReport::default();
     let mut best_ckpt: Option<String> = None;
     let mut since_best = 0usize;
+    let mut start_epoch = 0usize;
 
-    for epoch in 0..tc.epochs {
+    if let Some(ck) = &opts.resume {
+        if ck.num_entities != model.num_entities() || ck.num_relations != model.num_relations() {
+            return Err(TrainError::ResumeMismatch(format!(
+                "checkpoint was trained on {} entities / {} relations, model has {} / {}",
+                ck.num_entities,
+                ck.num_relations,
+                model.num_entities(),
+                model.num_relations()
+            )));
+        }
+        model.store.load_json(&ck.params)?;
+        opt.import_state(&ck.opt)
+            .map_err(|e| TrainError::Checkpoint(CheckpointError::Malformed(e)))?;
+        rng = ck.rng()?;
+        start_epoch = ck.epoch;
+        since_best = ck.since_best;
+        best_ckpt = ck.best_params.clone();
+        report.epoch_losses = ck.epoch_losses.clone();
+        report.val_mrr = ck.val_mrr.clone();
+        report.best_val_mrr = ck.best_val_mrr;
+        report.guard_events = ck.guard_events.clone();
+        report.epochs_run = ck.epoch;
+    }
+
+    let rollback = tc.guard == GuardPolicy::RollbackWithLrBackoff;
+    let mut last_good = rollback.then(|| GoodState::capture(model, &opt, &rng));
+
+    for epoch in start_epoch..tc.epochs {
         let mut global = GlobalHistoryIndex::new();
         let mut loss_sum = 0.0f64;
         let mut steps = 0usize;
@@ -106,18 +324,57 @@ pub fn train(model: &HisRes, data: &DatasetSplits, tc: &TrainConfig) -> TrainRep
                 model.loss_at(history, target.t, &target.triples, &g_edges, &mut rng)
             };
             let lv = loss.value().item();
-            debug_assert!(lv.is_finite(), "non-finite loss at t={t}");
-            loss.backward();
-            clip_grad_norm(model.store.params(), tc.grad_clip);
-            opt.step();
-            loss_sum += f64::from(lv);
-            steps += 1;
+            // Divergence guard — always on, unlike the debug_assert! it
+            // replaces, because divergence is precisely a release-build,
+            // long-run phenomenon.
+            let mut tripped: Option<GuardKind> = None;
+            if !lv.is_finite() {
+                tripped = Some(GuardKind::NonFiniteLoss);
+            } else {
+                loss.backward();
+                let pre_clip = clip_grad_norm(model.store.params(), tc.grad_clip);
+                if !pre_clip.is_finite() {
+                    tripped = Some(GuardKind::NonFiniteGradNorm);
+                }
+            }
+            match tripped {
+                None => {
+                    opt.step();
+                    loss_sum += f64::from(lv);
+                    steps += 1;
+                }
+                Some(kind) => {
+                    opt.zero_grad();
+                    let action = match tc.guard {
+                        GuardPolicy::Abort => {
+                            return Err(TrainError::Diverged { epoch, step: t, kind })
+                        }
+                        GuardPolicy::SkipStep => GuardAction::Skipped,
+                        GuardPolicy::RollbackWithLrBackoff => {
+                            let good = last_good
+                                .as_mut()
+                                .expect("rollback policy keeps a good state");
+                            model.store.load_json(&good.params)?;
+                            opt.import_state(&good.opt).map_err(|e| {
+                                TrainError::Checkpoint(CheckpointError::Malformed(e))
+                            })?;
+                            rng = good.rng.clone();
+                            opt.lr *= 0.5;
+                            // compound the backoff if the guard fires again
+                            good.opt.lr = opt.lr;
+                            GuardAction::RolledBack
+                        }
+                    };
+                    report.guard_events.push(GuardEvent { epoch, step: t, kind, action });
+                }
+            }
             global.add_snapshot(target, nr);
         }
         let mean_loss = (loss_sum / steps.max(1) as f64) as f32;
         report.epoch_losses.push(mean_loss);
         report.epochs_run = epoch + 1;
 
+        let mut stop = false;
         if tc.patience > 0 {
             let res = evaluate(&HisResEval { model }, data, Split::Valid);
             report.val_mrr.push(res.mrr);
@@ -131,20 +388,36 @@ pub fn train(model: &HisRes, data: &DatasetSplits, tc: &TrainConfig) -> TrainRep
             } else {
                 since_best += 1;
                 if since_best >= tc.patience {
-                    break;
+                    stop = true;
                 }
             }
         } else if tc.verbose {
             eprintln!("epoch {epoch}: loss {mean_loss:.4}");
         }
+
+        if let Some(good) = last_good.as_mut() {
+            *good = GoodState::capture(model, &opt, &rng);
+        }
+        if let Some(path) = &opts.state_path {
+            let state = TrainCheckpoint::capture(
+                model,
+                &opt,
+                &rng,
+                epoch + 1,
+                since_best,
+                &report,
+                best_ckpt.clone(),
+            );
+            state.save_with(path, faults)?;
+        }
+        if stop {
+            break;
+        }
     }
     if let Some(ckpt) = best_ckpt {
-        model
-            .store
-            .load_json(&ckpt)
-            .expect("restoring best checkpoint");
+        model.store.load_json(&ckpt)?;
     }
-    report
+    Ok(report)
 }
 
 /// Adapter that lets a trained [`HisRes`] run under the generic
@@ -263,7 +536,7 @@ mod tests {
         let data = tiny_dataset();
         let model = tiny_model();
         let tc = TrainConfig { epochs: 3, patience: 0, ..Default::default() };
-        let report = train(&model, &data, &tc);
+        let report = train(&model, &data, &tc).unwrap();
         assert_eq!(report.epochs_run, 3);
         assert_eq!(report.epoch_losses.len(), 3);
         assert!(
@@ -279,7 +552,7 @@ mod tests {
         let trained = tiny_model();
         // lr scaled up for the tiny step budget of a unit test
         let tc = TrainConfig { epochs: 8, lr: 0.01, patience: 0, ..Default::default() };
-        train(&trained, &data, &tc);
+        train(&trained, &data, &tc).unwrap();
         let untrained = tiny_model();
         let r_trained = evaluate(&HisResEval { model: &trained }, &data, Split::Test);
         let r_untrained = evaluate(&HisResEval { model: &untrained }, &data, Split::Test);
@@ -296,7 +569,7 @@ mod tests {
         let data = tiny_dataset();
         let model = tiny_model();
         let tc = TrainConfig { epochs: 4, patience: 1, ..Default::default() };
-        let report = train(&model, &data, &tc);
+        let report = train(&model, &data, &tc).unwrap();
         assert!(report.best_val_mrr > 0.0);
         // the restored parameters reproduce the best recorded valid MRR
         let res = evaluate(&HisResEval { model: &model }, &data, Split::Valid);
@@ -313,10 +586,111 @@ mod tests {
         let data = tiny_dataset();
         let tc = TrainConfig { epochs: 2, patience: 0, ..Default::default() };
         let m1 = tiny_model();
-        let r1 = train(&m1, &data, &tc);
+        let r1 = train(&m1, &data, &tc).unwrap();
         let m2 = tiny_model();
-        let r2 = train(&m2, &data, &tc);
+        let r2 = train(&m2, &data, &tc).unwrap();
         assert_eq!(r1.epoch_losses, r2.epoch_losses);
+    }
+
+    /// A learning rate so large the first Adam step blows the parameters
+    /// up to ±1e30, making the next step's loss non-finite.
+    fn diverging_tc(guard: GuardPolicy) -> TrainConfig {
+        TrainConfig { epochs: 2, lr: 1e30, patience: 0, guard, ..Default::default() }
+    }
+
+    #[test]
+    fn guard_abort_returns_typed_divergence_error() {
+        let data = tiny_dataset();
+        let model = tiny_model();
+        match train(&model, &data, &diverging_tc(GuardPolicy::Abort)) {
+            Err(TrainError::Diverged { kind, .. }) => {
+                assert!(matches!(
+                    kind,
+                    GuardKind::NonFiniteLoss | GuardKind::NonFiniteGradNorm
+                ));
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_skip_step_records_events_and_finishes() {
+        let data = tiny_dataset();
+        let model = tiny_model();
+        let report = train(&model, &data, &diverging_tc(GuardPolicy::SkipStep)).unwrap();
+        assert_eq!(report.epochs_run, 2);
+        assert!(!report.guard_events.is_empty(), "divergence must be recorded");
+        assert!(report
+            .guard_events
+            .iter()
+            .all(|e| e.action == GuardAction::Skipped));
+    }
+
+    #[test]
+    fn guard_rollback_restores_finite_params_and_backs_off_lr() {
+        let data = tiny_dataset();
+        let model = tiny_model();
+        let report =
+            train(&model, &data, &diverging_tc(GuardPolicy::RollbackWithLrBackoff)).unwrap();
+        assert!(!report.guard_events.is_empty());
+        assert!(report
+            .guard_events
+            .iter()
+            .all(|e| e.action == GuardAction::RolledBack));
+        // rollback restored the last good parameters: everything finite
+        for p in model.store.params() {
+            assert!(p.value().as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted_run() {
+        let data = tiny_dataset();
+        let tc4 = TrainConfig { epochs: 4, patience: 2, ..Default::default() };
+        let straight = tiny_model();
+        let r_straight = train(&straight, &data, &tc4).unwrap();
+
+        let path = std::env::temp_dir()
+            .join(format!("hisres_trainer_resume_{}.ckpt", std::process::id()));
+        let interrupted = tiny_model();
+        let tc2 = TrainConfig { epochs: 2, ..tc4.clone() };
+        let opts = TrainOptions { state_path: Some(path.clone()), ..Default::default() };
+        train_with(&interrupted, &data, &tc2, &opts).unwrap();
+
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.epoch, 2);
+        let resumed = ck.build_model().unwrap();
+        let opts = TrainOptions { resume: Some(ck), ..Default::default() };
+        let r_resumed = train_with(&resumed, &data, &tc4, &opts).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let bits = |xs: &[f32]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&r_straight.epoch_losses), bits(&r_resumed.epoch_losses));
+        assert_eq!(r_straight.best_val_mrr.to_bits(), r_resumed.best_val_mrr.to_bits());
+        assert_eq!(straight.store.to_json(), resumed.store.to_json());
+    }
+
+    #[test]
+    fn resume_rejects_vocabulary_mismatch() {
+        let data = tiny_dataset();
+        let model = tiny_model();
+        let tc = TrainConfig { epochs: 1, patience: 0, ..Default::default() };
+        let path = std::env::temp_dir()
+            .join(format!("hisres_trainer_mismatch_{}.ckpt", std::process::id()));
+        let opts = TrainOptions { state_path: Some(path.clone()), ..Default::default() };
+        train_with(&model, &data, &tc, &opts).unwrap();
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let other = HisRes::new(
+            &HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() },
+            99,
+            4,
+        );
+        let opts = TrainOptions { resume: Some(ck), ..Default::default() };
+        assert!(matches!(
+            train_with(&other, &data, &tc, &opts),
+            Err(TrainError::ResumeMismatch(_))
+        ));
     }
 
     #[test]

@@ -193,9 +193,9 @@ mod tests {
     fn load_dir_round_trips_through_disk() {
         let dir = std::env::temp_dir().join(format!("hisres_loader_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("train.txt"), "0 0 1 0\n1 0 2 1\n").unwrap();
-        std::fs::write(dir.join("valid.txt"), "2 0 3 2\n").unwrap();
-        std::fs::write(dir.join("test.txt"), "3 0 0 3\n").unwrap();
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n1 0 2 1\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("valid.txt"), "2 0 3 2\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("test.txt"), "3 0 0 3\n").unwrap(); // fixture-write: ok
         let d = load_dir(&dir, "tiny", 1).unwrap();
         assert_eq!(d.num_entities(), 4);
         assert_eq!(d.num_relations(), 1);
@@ -208,10 +208,10 @@ mod tests {
     fn stat_file_overrides_inferred_counts() {
         let dir = std::env::temp_dir().join(format!("hisres_loader_stat_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap();
-        std::fs::write(dir.join("valid.txt"), "").unwrap();
-        std::fs::write(dir.join("test.txt"), "").unwrap();
-        std::fs::write(dir.join("stat.txt"), "100 30\n").unwrap();
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("valid.txt"), "").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("test.txt"), "").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("stat.txt"), "100 30\n").unwrap(); // fixture-write: ok
         let d = load_dir(&dir, "tiny", 1).unwrap();
         assert_eq!(d.num_entities(), 100);
         assert_eq!(d.num_relations(), 30);

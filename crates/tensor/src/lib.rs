@@ -46,6 +46,6 @@ pub mod store;
 pub mod tensor;
 
 pub use ndarray::NdArray;
-pub use optim::{clip_grad_norm, Adam, Sgd};
-pub use store::ParamStore;
+pub use optim::{clip_grad_norm, Adam, AdamState, Sgd};
+pub use store::{CheckpointError, ParamStore};
 pub use tensor::{no_grad, Tensor};

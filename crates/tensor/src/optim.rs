@@ -6,6 +6,7 @@
 
 use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
+use hisres_util::impl_json;
 
 /// Plain stochastic gradient descent with optional weight decay.
 pub struct Sgd {
@@ -40,6 +41,45 @@ impl Sgd {
         }
     }
 }
+
+/// One saved moment matrix inside [`AdamState`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SavedMoment {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+impl_json!(SavedMoment { rows, cols, data });
+
+/// The full serialisable state of an [`Adam`] optimiser: step counter,
+/// hyper-parameters and both moment vectors, in parameter registration
+/// order. Checkpointing this alongside the parameters makes a resumed
+/// run bit-identical to an uninterrupted one — without it, restarting
+/// resets the moments and the bias-correction schedule, silently changing
+/// the trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    /// Steps taken so far (drives bias correction).
+    pub t: u64,
+    /// Learning rate (may have been backed off by a divergence guard).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// First moments, one per parameter.
+    pub m: Vec<SavedMoment>,
+    /// Second moments, one per parameter.
+    pub v: Vec<SavedMoment>,
+}
+impl_json!(AdamState { t, lr, beta1, beta2, eps, weight_decay, m, v });
 
 /// Adam (Kingma & Ba, 2015) with bias correction.
 pub struct Adam {
@@ -124,10 +164,74 @@ impl Adam {
             p.zero_grad();
         }
     }
+
+    /// Captures the full optimiser state for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        let save = |arrs: &[NdArray]| {
+            arrs.iter()
+                .map(|a| SavedMoment {
+                    rows: a.rows(),
+                    cols: a.cols(),
+                    data: a.as_slice().to_vec(),
+                })
+                .collect()
+        };
+        AdamState {
+            t: self.t,
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            weight_decay: self.weight_decay,
+            m: save(&self.m),
+            v: save(&self.v),
+        }
+    }
+
+    /// Restores state captured by [`Adam::export_state`]. The moment
+    /// shapes must match this optimiser's parameters exactly.
+    pub fn import_state(&mut self, state: &AdamState) -> Result<(), String> {
+        if state.m.len() != self.params.len() || state.v.len() != self.params.len() {
+            return Err(format!(
+                "optimiser state covers {} parameters, model has {}",
+                state.m.len(),
+                self.params.len()
+            ));
+        }
+        let restore = |into: &mut Vec<NdArray>, from: &[SavedMoment], which: &str| {
+            for (i, (dst, src)) in into.iter_mut().zip(from).enumerate() {
+                if dst.shape() != (src.rows, src.cols) {
+                    return Err(format!(
+                        "optimiser {which}-moment {i} shape mismatch: model {:?}, state ({}, {})",
+                        dst.shape(),
+                        src.rows,
+                        src.cols
+                    ));
+                }
+                dst.as_mut_slice().copy_from_slice(&src.data);
+            }
+            Ok(())
+        };
+        restore(&mut self.m, &state.m, "first")?;
+        restore(&mut self.v, &state.v, "second")?;
+        self.t = state.t;
+        self.lr = state.lr;
+        self.beta1 = state.beta1;
+        self.beta2 = state.beta2;
+        self.eps = state.eps;
+        self.weight_decay = state.weight_decay;
+        Ok(())
+    }
 }
 
 /// Rescales all gradients so their joint L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
+///
+/// A NaN/Inf gradient norm is **not** clipped: rescaling by `max_norm /
+/// NaN` would overwrite every gradient with NaN and poison the
+/// parameters on the next optimiser step. Instead the gradients are left
+/// untouched and the non-finite norm is returned, so the caller can treat
+/// it as a divergence-guard event (skip the step, roll back, or abort).
 pub fn clip_grad_norm<'a>(params: impl IntoIterator<Item = &'a Tensor>, max_norm: f32) -> f32 {
     let params: Vec<&Tensor> = params.into_iter().collect();
     let mut total = 0.0f32;
@@ -137,6 +241,9 @@ pub fn clip_grad_norm<'a>(params: impl IntoIterator<Item = &'a Tensor>, max_norm
         }
     }
     let norm = total.sqrt();
+    if !norm.is_finite() {
+        return norm;
+    }
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in &params {
@@ -225,6 +332,92 @@ mod tests {
         let before = p.grad().unwrap();
         clip_grad_norm([&p], 10.0);
         assert_eq!(p.grad().unwrap(), before);
+    }
+
+    #[test]
+    fn clip_grad_norm_returns_preclip_norm_when_below_threshold() {
+        let p = Tensor::param(NdArray::from_vec(vec![0.0, 0.0], &[1, 2]));
+        let c = Tensor::constant(NdArray::from_vec(vec![3.0, 4.0], &[1, 2]));
+        p.mul(&c).sum_all().backward();
+        let pre = clip_grad_norm([&p], 100.0);
+        assert!((pre - 5.0).abs() < 1e-5, "got {pre}");
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_nonfinite_gradients_unscaled() {
+        let p = Tensor::param(NdArray::from_vec(vec![0.0, 0.0], &[1, 2]));
+        p.backward_with(NdArray::from_vec(vec![f32::NAN, 2.0], &[1, 2]));
+        let pre = clip_grad_norm([&p], 1.0);
+        assert!(pre.is_nan(), "norm should report the poison, got {pre}");
+        // gradients untouched: the caller decides how to handle the event
+        let g = p.grad().unwrap();
+        assert!(g.as_slice()[0].is_nan());
+        assert_eq!(g.as_slice()[1], 2.0);
+
+        let q = Tensor::param(NdArray::from_vec(vec![0.0], &[1, 1]));
+        q.backward_with(NdArray::from_vec(vec![f32::INFINITY], &[1, 1]));
+        assert!(clip_grad_norm([&q], 1.0).is_infinite());
+    }
+
+    #[test]
+    fn adam_state_round_trip_is_bit_identical() {
+        let train = |steps_before: usize, reload: bool| {
+            let p = Tensor::param(NdArray::from_vec(vec![-5.0, 4.0], &[1, 2]));
+            let mut opt = Adam::new(vec![p.clone()], 0.1);
+            let mut snapshot = None;
+            for step in 0..20 {
+                if step == steps_before && reload {
+                    // simulate a crash: rebuild optimiser + params from state
+                    let state: AdamState = {
+                        let json = hisres_util::json::to_string(&opt.export_state()).unwrap();
+                        hisres_util::json::from_str(&json).unwrap()
+                    };
+                    let vals = snapshot.take().unwrap();
+                    let p2 = Tensor::param(vals);
+                    let mut opt2 = Adam::new(vec![p2.clone()], 0.999);
+                    opt2.import_state(&state).unwrap();
+                    return run_rest(p2, opt2, step);
+                }
+                if step == steps_before {
+                    return run_rest(p, opt, step);
+                }
+                opt.zero_grad();
+                quadratic_loss(&p).backward();
+                opt.step();
+                snapshot = Some(p.value_clone());
+            }
+            unreachable!()
+        };
+        fn run_rest(p: Tensor, mut opt: Adam, from: usize) -> Vec<f32> {
+            for _ in from..20 {
+                opt.zero_grad();
+                quadratic_loss(&p).backward();
+                opt.step();
+            }
+            p.value().as_slice().to_vec()
+        }
+        let straight = train(7, false);
+        let resumed = train(7, true);
+        assert_eq!(
+            straight.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            resumed.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adam_import_rejects_mismatched_state() {
+        let p = Tensor::param(NdArray::zeros(2, 2));
+        let opt = Adam::new(vec![p.clone()], 0.1);
+        let mut other = Adam::new(vec![p, Tensor::param(NdArray::zeros(1, 1))], 0.1);
+        let err = other.import_state(&opt.export_state()).unwrap_err();
+        assert!(err.contains("parameters"), "{err}");
+
+        let q = Tensor::param(NdArray::zeros(3, 1));
+        let mut opt_q = Adam::new(vec![q], 0.1);
+        let r = Tensor::param(NdArray::zeros(1, 3));
+        let opt_r = Adam::new(vec![r], 0.1);
+        let err = opt_q.import_state(&opt_r.export_state()).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
     }
 
     #[test]

@@ -1,11 +1,87 @@
-//! A named registry of trainable parameters with JSON checkpointing.
+//! A named registry of trainable parameters with crash-safe JSON
+//! checkpointing.
+//!
+//! On-disk checkpoints are wrapped in the versioned, checksummed envelope
+//! of [`hisres_util::fsio`] and written atomically (temp file + fsync +
+//! rename), so a crash mid-save can never destroy the previous
+//! checkpoint, and loading detects truncation, bit-flips and version
+//! mismatches with the typed [`CheckpointError`] instead of panicking.
 
 use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
+use hisres_util::fsio::{self, EnvelopeError, FaultInjector};
 use hisres_util::impl_json;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
 use std::path::Path;
+
+/// Envelope kind tag for bare parameter-table checkpoints.
+pub const PARAMS_KIND: &str = "params";
+
+/// Typed checkpoint failure hierarchy: I/O, envelope-level corruption
+/// (truncation / checksum / version), JSON-level malformation, and
+/// parameter-level mismatches against the live model.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Envelope rejected the file (wrong magic/version/kind, truncated,
+    /// checksum mismatch).
+    Envelope(EnvelopeError),
+    /// The payload is not the JSON shape a checkpoint promises.
+    Malformed(String),
+    /// A parameter registered in the model is absent from the checkpoint.
+    MissingParam(String),
+    /// A parameter exists but with a different shape than the model's.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape registered in the live model.
+        model: (usize, usize),
+        /// Shape stored in the checkpoint.
+        checkpoint: (usize, usize),
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Envelope(e) => write!(f, "{e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::MissingParam(n) => {
+                write!(f, "checkpoint missing parameter {n:?}")
+            }
+            CheckpointError::ShapeMismatch { name, model, checkpoint } => write!(
+                f,
+                "parameter {name:?} shape mismatch: model {model:?}, checkpoint {checkpoint:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Envelope(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<EnvelopeError> for CheckpointError {
+    fn from(e: EnvelopeError) -> Self {
+        CheckpointError::Envelope(e)
+    }
+}
 
 /// Owns the trainable leaves of a model. Layers register their parameters
 /// under hierarchical names (`"evo.compgcn0.w_rel"`), the optimiser walks
@@ -101,44 +177,62 @@ impl ParamStore {
     /// Restores parameter values from [`ParamStore::to_json`] output.
     /// Every registered parameter must be present with a matching shape;
     /// extra entries in the checkpoint are ignored.
-    pub fn load_json(&self, json: &str) -> Result<(), String> {
-        let ckpt: Checkpoint =
-            hisres_util::json::from_str(json).map_err(|e| format!("invalid checkpoint: {e}"))?;
+    pub fn load_json(&self, json: &str) -> Result<(), CheckpointError> {
+        let ckpt: Checkpoint = hisres_util::json::from_str(json)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
         for (name, t) in &self.entries {
             let saved = ckpt
                 .params
                 .get(name)
-                .ok_or_else(|| format!("checkpoint missing parameter {name:?}"))?;
+                .ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
             let mut v = t.value_mut();
             if v.shape() != (saved.rows, saved.cols) {
-                return Err(format!(
-                    "parameter {name:?} shape mismatch: model {:?}, checkpoint ({}, {})",
-                    v.shape(),
-                    saved.rows,
-                    saved.cols
-                ));
+                return Err(CheckpointError::ShapeMismatch {
+                    name: name.clone(),
+                    model: v.shape(),
+                    checkpoint: (saved.rows, saved.cols),
+                });
             }
             v.as_mut_slice().copy_from_slice(&saved.data);
         }
         Ok(())
     }
 
-    /// Writes a checkpoint file.
-    pub fn save_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
+    /// Writes a checkpoint file atomically: versioned + checksummed
+    /// envelope, temp file + fsync + rename. A crash mid-save leaves the
+    /// previous file intact.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.save_file_with(path, &FaultInjector::none())
     }
 
-    /// Loads a checkpoint file.
-    pub fn load_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let json = std::fs::read_to_string(path)?;
-        self.load_json(&json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    /// [`ParamStore::save_file`] with scripted fault injection (tests).
+    pub fn save_file_with(
+        &self,
+        path: impl AsRef<Path>,
+        faults: &FaultInjector,
+    ) -> Result<(), CheckpointError> {
+        let sealed = fsio::seal(PARAMS_KIND, &self.to_json());
+        fsio::atomic_write_with(path, sealed.as_bytes(), faults)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint file, verifying the envelope (version, length,
+    /// checksum) before touching any parameter.
+    pub fn load_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        let payload = fsio::open(&text, PARAMS_KIND)?;
+        self.load_json(payload)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hisres_util::fsio::FaultMode;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hisres_store_{tag}_{}", std::process::id()))
+    }
 
     #[test]
     fn registers_and_counts() {
@@ -174,7 +268,14 @@ mod tests {
         let json = a.to_json();
         let mut b = ParamStore::new();
         b.param("w", NdArray::zeros(2, 3));
-        assert!(b.load_json(&json).unwrap_err().contains("shape mismatch"));
+        match b.load_json(&json) {
+            Err(CheckpointError::ShapeMismatch { name, model, checkpoint }) => {
+                assert_eq!(name, "w");
+                assert_eq!(model, (2, 3));
+                assert_eq!(checkpoint, (2, 2));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -183,7 +284,88 @@ mod tests {
         let json = a.to_json();
         let mut b = ParamStore::new();
         b.param("w", NdArray::zeros(1, 1));
-        assert!(b.load_json(&json).unwrap_err().contains("missing"));
+        assert!(matches!(
+            b.load_json(&json),
+            Err(CheckpointError::MissingParam(n)) if n == "w"
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_through_envelope() {
+        let path = tmp_path("roundtrip");
+        let mut s = ParamStore::new();
+        let w = s.param("w", NdArray::from_vec(vec![0.5, -1.25], &[1, 2]));
+        s.save_file(&path).unwrap();
+        w.value_mut().as_mut_slice().fill(0.0);
+        s.load_file(&path).unwrap();
+        assert_eq!(w.value().as_slice(), &[0.5, -1.25]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let path = tmp_path("trunc");
+        let mut s = ParamStore::new();
+        s.param("w", NdArray::zeros(4, 4));
+        s.save_file(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap(); // fixture-write: ok
+        assert!(matches!(
+            s.load_file(&path),
+            Err(CheckpointError::Envelope(EnvelopeError::Truncated { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_byte_is_a_typed_error() {
+        let path = tmp_path("flip");
+        let mut s = ParamStore::new();
+        s.param("w", NdArray::from_vec(vec![3.0], &[1, 1]));
+        s.save_file(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01; // flip a bit inside the payload
+        std::fs::write(&path, &bytes).unwrap(); // fixture-write: ok
+        assert!(matches!(
+            s.load_file(&path),
+            Err(CheckpointError::Envelope(EnvelopeError::ChecksumMismatch { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_is_a_typed_error() {
+        let path = tmp_path("version");
+        let s = ParamStore::new();
+        s.save_file(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap().replace(" v2 ", " v7 ");
+        std::fs::write(&path, text).unwrap(); // fixture-write: ok
+        assert!(matches!(
+            s.load_file(&path),
+            Err(CheckpointError::Envelope(EnvelopeError::UnsupportedVersion {
+                found: 7,
+                ..
+            }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crashed_save_leaves_previous_checkpoint_loadable() {
+        let path = tmp_path("crashsave");
+        let mut s = ParamStore::new();
+        let w = s.param("w", NdArray::from_vec(vec![1.0], &[1, 1]));
+        s.save_file(&path).unwrap();
+        w.value_mut().as_mut_slice().fill(9.0);
+        let inj = FaultInjector::fail_nth_write(0, FaultMode::TornWrite(20));
+        assert!(s.save_file_with(&path, &inj).is_err());
+        // the old checkpoint is still complete and loads the old value
+        s.load_file(&path).unwrap();
+        assert_eq!(w.value().as_slice(), &[1.0]);
+        std::fs::remove_file(&path).ok();
+        let name = path.file_name().unwrap().to_str().unwrap().to_owned();
+        std::fs::remove_file(path.with_file_name(format!(".{name}.tmp"))).ok();
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() {
         cfg.conv_channels = 8;
         cfg.history_len = 3;
         let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
-        train(&model, &data, &tc);
+        train(&model, &data, &tc).unwrap();
         let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
         let marker = match full_mrr {
             None => {

@@ -36,10 +36,10 @@ fn main() {
             .map(|q| format!("{}\t{}\t{}\t{}\n", q.s, q.r, q.o, q.t))
             .collect::<String>()
     };
-    std::fs::write(dir.join("train.txt"), dump(&train_q)).unwrap();
-    std::fs::write(dir.join("valid.txt"), dump(&valid_q)).unwrap();
-    std::fs::write(dir.join("test.txt"), dump(&test_q)).unwrap();
-    std::fs::write(dir.join("stat.txt"), "30 5\n").unwrap();
+    std::fs::write(dir.join("train.txt"), dump(&train_q)).unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("valid.txt"), dump(&valid_q)).unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("test.txt"), dump(&test_q)).unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("stat.txt"), "30 5\n").unwrap(); // fixture-write: ok
 
     let data = load_dir(&dir, "my-events", 1).expect("load benchmark directory");
     println!(
@@ -52,7 +52,7 @@ fn main() {
 
     let cfg = HisResConfig { dim: 16, conv_channels: 4, history_len: 3, ..Default::default() };
     let model = HisRes::new(&cfg, data.num_entities(), data.num_relations());
-    train(&model, &data, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     println!("test MRR {:.2}\n", r.mrr);
 

@@ -83,7 +83,7 @@ fn main() {
     let cfg = HisResConfig { dim: 16, conv_channels: 4, history_len: 4, ..Default::default() };
     let model = HisRes::new(&cfg, ents.len(), rels.len());
     let tc = TrainConfig { epochs: 20, lr: 0.01, patience: 0, ..Default::default() };
-    train(&model, &data, &tc);
+    train(&model, &data, &tc).unwrap();
     let result = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     println!("test MRR on figure1-world: {:.2}\n", result.mrr);
 

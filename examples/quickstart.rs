@@ -45,7 +45,7 @@ fn main() {
         verbose: true,
         ..Default::default()
     };
-    let report = train(&model, &data, &tc);
+    let report = train(&model, &data, &tc).unwrap();
     println!(
         "trained {} epochs; best validation MRR {:.2}",
         report.epochs_run, report.best_val_mrr

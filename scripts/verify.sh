@@ -39,8 +39,44 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "dependency guard: OK (path-only workspace)"
 
+# ---- guard: checkpoint writes must go through the atomic fsio helper -------
+# `std::fs::write` is not crash-safe (a crash mid-write leaves a torn file at
+# the final path). All checkpoint/export writes must use
+# `hisres_util::fsio::atomic_write`. Test fixtures may opt out with a
+# same-line `// fixture-write: ok` annotation.
+bad=$(grep -rn "fs::write" crates examples tests --include='*.rs' \
+    | grep -v "crates/util/src/fsio.rs" \
+    | grep -v "fixture-write: ok" || true)
+if [ -n "$bad" ]; then
+    echo "ERROR: bare fs::write found — use hisres_util::fsio::atomic_write" >&2
+    echo "(or annotate a test fixture with '// fixture-write: ok'):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "atomic-write guard: OK (no bare fs::write outside fsio)"
+
 # ---- build + test fully offline --------------------------------------------
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
+
+# ---- crash-resume smoke test -----------------------------------------------
+# Train 2 epochs saving training state, then resume for 2 more; the final
+# model checkpoint must be byte-identical to a straight 4-epoch run.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+bin=target/release/hisres
+"$bin" generate --dataset icews14s-syn --out "$smoke/data" >/dev/null
+common=(--data "$smoke/data" --dim 8 --epochs 4 --patience 0 --quiet)
+"$bin" train "${common[@]}" --out "$smoke/straight.ckpt" 2>/dev/null
+"$bin" train --data "$smoke/data" --dim 8 --epochs 2 --patience 0 --quiet \
+    --out "$smoke/partial.ckpt" --state "$smoke/state.ckpt" 2>/dev/null
+"$bin" train "${common[@]}" --out "$smoke/resumed.ckpt" \
+    --resume "$smoke/state.ckpt" 2>/dev/null
+if ! cmp -s "$smoke/straight.ckpt" "$smoke/resumed.ckpt"; then
+    echo "ERROR: resumed training (2+2 epochs) is not bit-identical to a" >&2
+    echo "straight 4-epoch run — deterministic resume is broken." >&2
+    exit 1
+fi
+echo "crash-resume smoke test: OK (2+2 epochs == 4 epochs, byte-identical)"
 
 echo "verify.sh: OK"

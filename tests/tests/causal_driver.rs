@@ -114,7 +114,7 @@ fn hisres_learns_deterministic_causal_data_well() {
     let data = causal_only(1);
     let cfg = HisResConfig { dim: 16, conv_channels: 4, history_len: 3, ..Default::default() };
     let model = HisRes::new(&cfg, 25, 6);
-    train(&model, &data, &TrainConfig { epochs: 10, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 10, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     // every follow-up event is fully determined by the previous snapshot
     assert!(r.mrr > 45.0, "causal MRR only {:.2}", r.mrr);
@@ -140,7 +140,7 @@ fn global_encoder_carries_long_period_signal() {
 
     let full_cfg = HisResConfig { dim: 16, conv_channels: 4, history_len: 3, ..Default::default() };
     let full = HisRes::new(&full_cfg, 25, 6);
-    train(&full, &data, &tc);
+    train(&full, &data, &tc).unwrap();
     let full_r = evaluate(&HisResEval { model: &full }, &data, Split::Test);
 
     let mut wo_cfg = HisResConfig::ablation("HisRES-w/o-GH");
@@ -148,7 +148,7 @@ fn global_encoder_carries_long_period_signal() {
     wo_cfg.conv_channels = 4;
     wo_cfg.history_len = 3;
     let wo = HisRes::new(&wo_cfg, 25, 6);
-    train(&wo, &data, &tc);
+    train(&wo, &data, &tc).unwrap();
     let wo_r = evaluate(&HisResEval { model: &wo }, &data, Split::Test);
 
     assert!(

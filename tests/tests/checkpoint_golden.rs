@@ -1,12 +1,14 @@
 //! Model-level checkpoint format tests: `HisRes::save_checkpoint` output
-//! must keep its documented envelope (format tag, config, vocabulary
-//! sizes, params) and `load_checkpoint` must rebuild a bit-identical model.
+//! must keep its documented envelope (versioned checksummed header, kind
+//! tag, JSON payload with config, vocabulary sizes, and params) and
+//! `load_checkpoint` must rebuild a bit-identical model.
 
 use hisres::eval::{evaluate, Split};
 use hisres::trainer::{train, HisResEval};
 use hisres::{HisRes, HisResConfig, TrainConfig};
 use hisres_data::synthetic::{generate, SyntheticConfig};
 use hisres_data::DatasetSplits;
+use hisres_util::fsio;
 use hisres_util::json::parse;
 
 fn tiny_data(seed: u64) -> DatasetSplits {
@@ -40,10 +42,20 @@ fn checkpoint_envelope_keeps_its_documented_shape() {
     let model = tiny_model(21);
     let path = temp_path("envelope");
     model.save_checkpoint(&path).unwrap();
-    let v = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
 
-    assert_eq!(v["format"], "hisres-checkpoint-v1");
+    // one header line: MAGIC, version, kind, payload length, checksum
+    let header = text.lines().next().unwrap();
+    assert!(
+        header.starts_with("HISRESCKPT v2 kind=model len="),
+        "header changed: {header:?}"
+    );
+    assert!(header.contains(" crc="), "checksum field present: {header:?}");
+
+    // the verified payload is the documented JSON checkpoint body
+    let payload = fsio::open(&text, "model").unwrap();
+    let v = parse(payload).unwrap();
     assert_eq!(v["num_entities"].as_u64(), Some(16));
     assert_eq!(v["num_relations"].as_u64(), Some(3));
     assert_eq!(v["config"]["dim"].as_u64(), Some(8));
@@ -56,7 +68,7 @@ fn load_checkpoint_rebuilds_a_bit_identical_model() {
     let data = tiny_data(22);
     let model = tiny_model(23);
     let tc = TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() };
-    train(&model, &data, &tc);
+    train(&model, &data, &tc).unwrap();
 
     let path = temp_path("roundtrip");
     model.save_checkpoint(&path).unwrap();
@@ -72,12 +84,27 @@ fn load_checkpoint_rebuilds_a_bit_identical_model() {
 
 #[test]
 fn load_checkpoint_rejects_foreign_formats() {
+    // a pre-envelope (v1) bare-JSON checkpoint is not silently accepted
     let path = temp_path("badformat");
-    std::fs::write(&path, r#"{"format":"some-other-checkpoint","config":{}}"#).unwrap();
+    std::fs::write(&path, r#"{"format":"some-other-checkpoint","config":{}}"#).unwrap(); // fixture-write: ok
     let err = match HisRes::load_checkpoint(&path) {
         Ok(_) => panic!("foreign format must be rejected"),
         Err(e) => e,
     };
     std::fs::remove_file(&path).ok();
-    assert!(err.to_string().contains("format"), "got: {err}");
+    assert!(err.to_string().contains("checkpoint"), "got: {err}");
+}
+
+#[test]
+fn load_checkpoint_rejects_training_state_files() {
+    // a training-state envelope is valid fsio but the wrong species
+    let path = temp_path("wrongkind");
+    let sealed = fsio::seal("train-state", "{}");
+    fsio::atomic_write(&path, sealed.as_bytes()).unwrap();
+    let err = match HisRes::load_checkpoint(&path) {
+        Ok(_) => panic!("training-state file must be rejected"),
+        Err(e) => e,
+    };
+    std::fs::remove_file(&path).ok();
+    assert!(err.to_string().contains("kind"), "got: {err}");
 }

@@ -54,7 +54,7 @@ fn same_seed_training_and_eval_are_bit_identical() {
     let run = |data: &DatasetSplits| {
         let model = tiny_model(14);
         let tc = TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() };
-        let report = train(&model, data, &tc);
+        let report = train(&model, data, &tc).unwrap();
         let eval = evaluate(&HisResEval { model: &model }, data, Split::Test);
         (model.store.to_json(), report.epoch_losses, eval.mrr, eval.hits)
     };

@@ -20,7 +20,7 @@ fn timeline_with_gaps_trains_and_evaluates() {
     let data = DatasetSplits::from_tkg("gappy", "1 step", &Tkg::new(5, 1, quads));
     let model = small_model(5, 1);
     let tc = TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() };
-    train(&model, &data, &tc);
+    train(&model, &data, &tc).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     assert!(r.queries > 0);
     assert!(r.mrr.is_finite());
@@ -31,7 +31,7 @@ fn single_relation_dataset_works() {
     let quads: Vec<Quad> = (0..30).map(|t| Quad::new(t % 6, 0, (t + 1) % 6, t)).collect();
     let data = DatasetSplits::from_tkg("onerel", "1 step", &Tkg::new(6, 1, quads));
     let model = small_model(6, 1);
-    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     assert!(r.mrr > 0.0);
 }
@@ -41,7 +41,7 @@ fn two_entity_dataset_works() {
     let quads: Vec<Quad> = (0..20).map(|t| Quad::new(t % 2, t % 2, (t + 1) % 2, t)).collect();
     let data = DatasetSplits::from_tkg("two", "1 step", &Tkg::new(2, 2, quads));
     let model = small_model(2, 2);
-    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     // with 2 entities, every rank is 1 or 2 — MRR at least 50
     assert!(r.mrr >= 50.0, "MRR {}", r.mrr);
@@ -53,7 +53,7 @@ fn self_loop_events_are_handled() {
     let quads: Vec<Quad> = (0..24).map(|t| Quad::new(t % 4, 0, t % 4, t)).collect();
     let data = DatasetSplits::from_tkg("selfloop", "1 step", &Tkg::new(4, 1, quads));
     let model = small_model(4, 1);
-    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     assert!(r.mrr.is_finite());
 }
@@ -72,7 +72,7 @@ fn pruned_global_graph_respects_budget_end_to_end() {
         ..Default::default()
     };
     let model = HisRes::new(&cfg, 6, 2);
-    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     assert!(r.mrr.is_finite() && r.mrr > 0.0);
 }
@@ -83,7 +83,7 @@ fn history_shorter_than_window_is_fine() {
     let quads: Vec<Quad> = (0..8).map(|i| Quad::new(i % 3, 0, (i + 1) % 3, i / 2)).collect();
     let data = DatasetSplits::from_tkg("short", "1 step", &Tkg::new(3, 1, quads));
     let model = small_model(3, 1);
-    train(&model, &data, &TrainConfig { epochs: 1, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 1, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
 }
 
 #[test]
@@ -98,7 +98,7 @@ fn granularity_larger_than_history_merges_everything() {
         ..Default::default()
     };
     let model = HisRes::new(&cfg, 5, 1);
-    train(&model, &data, &TrainConfig { epochs: 1, lr: 0.01, patience: 0, ..Default::default() });
+    train(&model, &data, &TrainConfig { epochs: 1, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     assert!(r.mrr.is_finite());
 }

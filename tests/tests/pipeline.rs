@@ -51,7 +51,7 @@ fn trained_hisres_beats_uniform_scorer() {
     let data = tiny_data(1);
     let model = tiny_model(2);
     let tc = TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() };
-    train(&model, &data, &tc);
+    train(&model, &data, &tc).unwrap();
     let trained = evaluate(&HisResEval { model: &model }, &data, Split::Test);
     let uniform = evaluate(&UniformScorer, &data, Split::Test);
     assert!(
@@ -68,7 +68,7 @@ fn full_pipeline_is_deterministic() {
         let data = tiny_data(3);
         let model = tiny_model(4);
         let tc = TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() };
-        train(&model, &data, &tc);
+        train(&model, &data, &tc).unwrap();
         let r = evaluate(&HisResEval { model: &model }, &data, Split::Test);
         (r.mrr, r.hits)
     };
@@ -80,7 +80,7 @@ fn checkpoint_round_trip_preserves_evaluation() {
     let data = tiny_data(5);
     let model = tiny_model(6);
     let tc = TrainConfig { epochs: 3, lr: 0.01, patience: 0, ..Default::default() };
-    train(&model, &data, &tc);
+    train(&model, &data, &tc).unwrap();
     let before = evaluate(&HisResEval { model: &model }, &data, Split::Test);
 
     let path = std::env::temp_dir().join(format!("hisres_it_ckpt_{}.json", std::process::id()));
@@ -102,7 +102,7 @@ fn validation_early_stopping_never_returns_worse_than_best() {
     let data = tiny_data(7);
     let model = tiny_model(8);
     let tc = TrainConfig { epochs: 6, lr: 0.01, patience: 2, ..Default::default() };
-    let report = train(&model, &data, &tc);
+    let report = train(&model, &data, &tc).unwrap();
     let final_valid = evaluate(&HisResEval { model: &model }, &data, Split::Valid);
     assert!((final_valid.mrr - report.best_val_mrr).abs() < 1e-9);
     assert!(report.val_mrr.iter().all(|&m| m <= report.best_val_mrr + 1e-9));
@@ -121,10 +121,10 @@ fn loaded_tsv_and_programmatic_data_agree() {
             .map(|q| format!("{}\t{}\t{}\t{}\n", q.s, q.r, q.o, q.t))
             .collect::<String>()
     };
-    std::fs::write(dir.join("train.txt"), dump(&data.train.quads)).unwrap();
-    std::fs::write(dir.join("valid.txt"), dump(&data.valid.quads)).unwrap();
-    std::fs::write(dir.join("test.txt"), dump(&data.test.quads)).unwrap();
-    std::fs::write(dir.join("stat.txt"), "20 4\n").unwrap();
+    std::fs::write(dir.join("train.txt"), dump(&data.train.quads)).unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("valid.txt"), dump(&data.valid.quads)).unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("test.txt"), dump(&data.test.quads)).unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("stat.txt"), "20 4\n").unwrap(); // fixture-write: ok
     let reloaded = hisres_data::loader::load_dir(&dir, "reloaded", 1).unwrap();
     std::fs::remove_dir_all(&dir).ok();
 
@@ -135,7 +135,7 @@ fn loaded_tsv_and_programmatic_data_agree() {
     let m1 = tiny_model(10);
     let m2 = tiny_model(10);
     let tc = TrainConfig { epochs: 1, lr: 0.01, patience: 0, ..Default::default() };
-    let r1 = train(&m1, &data, &tc);
-    let r2 = train(&m2, &reloaded, &tc);
+    let r1 = train(&m1, &data, &tc).unwrap();
+    let r2 = train(&m2, &reloaded, &tc).unwrap();
     assert_eq!(r1.epoch_losses, r2.epoch_losses);
 }

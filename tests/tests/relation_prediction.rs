@@ -44,7 +44,7 @@ fn training_improves_relation_prediction_too() {
     let before = evaluate_relations(&untrained, &d, Split::Test);
 
     let trained = HisRes::new(&cfg, 18, 4);
-    train(&trained, &d, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() });
+    train(&trained, &d, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
     let after = evaluate_relations(&trained, &d, Split::Test);
     assert!(
         after.mrr > before.mrr,
@@ -68,7 +68,7 @@ fn alpha_trades_off_the_two_tasks() {
             ..Default::default()
         };
         let m = HisRes::new(&cfg, 18, 4);
-        train(&m, &d, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() });
+        train(&m, &d, &TrainConfig { epochs: 6, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
         m
     };
     let entity_only = mk(1.0);

@@ -39,7 +39,7 @@ fn two_phase_mode_trains_and_evaluates() {
     let d = data();
     let m = model(true);
     let tc = TrainConfig { epochs: 3, lr: 0.01, patience: 0, ..Default::default() };
-    let report = train(&m, &d, &tc);
+    let report = train(&m, &d, &tc).unwrap();
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     assert!(
         report.epoch_losses[2] < report.epoch_losses[0],
@@ -55,7 +55,7 @@ fn two_phase_is_deterministic() {
     let d = data();
     let run = || {
         let m = model(true);
-        train(&m, &d, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() });
+        train(&m, &d, &TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() }).unwrap();
         evaluate(&HisResEval { model: &m }, &d, Split::Test).mrr
     };
     assert_eq!(run(), run());
@@ -66,9 +66,9 @@ fn modes_produce_different_but_comparable_results() {
     let d = data();
     let tc = TrainConfig { epochs: 4, lr: 0.01, patience: 0, ..Default::default() };
     let single = model(false);
-    train(&single, &d, &tc);
+    train(&single, &d, &tc).unwrap();
     let two = model(true);
-    train(&two, &d, &tc);
+    train(&two, &d, &tc).unwrap();
     let r1 = evaluate(&HisResEval { model: &single }, &d, Split::Test);
     let r2 = evaluate(&HisResEval { model: &two }, &d, Split::Test);
     // the modes differ (different graphs per phase) but both must learn
