@@ -27,6 +27,11 @@
 //! and the [`Baseline`] trait for training; [`registry::all_baselines`]
 //! yields the full Table 3 roster.
 //!
+//! One resident is not a Table 3 model at all: [`frequency`] is the
+//! training-free historical-copy + global-frequency scorer that
+//! `hisres serve` degrades to when a request's deadline budget cannot
+//! cover the full encoder.
+//!
 //! "-lite" suffixes mark simplified reimplementations: the mechanism that
 //! defines the model is present, engineering details of the original
 //! codebases (curriculum schedules, contrastive pre-training stages,
@@ -35,6 +40,7 @@
 
 pub mod cenet;
 pub mod cygnet;
+pub mod frequency;
 pub mod regcn;
 pub mod registry;
 pub mod renet;
@@ -43,4 +49,5 @@ pub mod static_kg;
 pub mod util;
 pub mod xerte;
 
+pub use frequency::FrequencyScorer;
 pub use registry::{all_baselines, Baseline};

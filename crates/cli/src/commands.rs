@@ -1,16 +1,22 @@
 //! Implementations of the CLI subcommands.
 
 use crate::args::Args;
+use hisres::serve::{
+    install_term_handler, load_servable_model, serve_lines, serve_tcp, ModelScorer, ServeConfig,
+    ServeEngine,
+};
 use hisres::trainer::{train_with, HisResEval, TrainOptions};
 use hisres::{
-    evaluate, evaluate_relations, GuardPolicy, HisRes, HisResConfig, Split, TrainCheckpoint,
-    TrainConfig,
+    evaluate, evaluate_relations, GuardPolicy, HisRes, HisResConfig, ScoreCtx, Split,
+    TrainCheckpoint, TrainConfig,
 };
-use hisres_util::fsio::atomic_write;
+use hisres_baselines::FrequencyScorer;
+use hisres_util::fsio::{atomic_write, FaultInjector};
+use hisres_util::retry::BackoffPolicy;
 use hisres_data::datasets::{load as load_builtin, DatasetSplits};
-use hisres_data::loader::load_dir;
+use hisres_data::loader::{load_dir, load_vocab_file};
 use hisres_data::stats::{header, DatasetStats};
-use hisres_graph::{GlobalHistoryIndex, Quad, Tkg};
+use hisres_graph::{GlobalHistoryIndex, Quad, Tkg, Vocab};
 use hisres_tensor::no_grad;
 use hisres_util::rng::rngs::StdRng;
 use hisres_util::rng::SeedableRng;
@@ -240,7 +246,8 @@ pub fn predict(args: &Args) -> CmdResult {
         model.score_objects(&enc, &[(s, r)], false, &mut rng).value_clone()
     });
     let mut ranked: Vec<(usize, f32)> = scores.row(0).iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    // total_cmp: a NaN score (diverged checkpoint) must not panic the sort
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("query ({s}, {r}, ?, t={predict_t}) — top {topk}:");
     for (rank, (o, score)) in ranked.iter().take(topk).enumerate() {
         println!("  {:>3}. entity {:>5}  score {score:.4}", rank + 1, o);
@@ -249,7 +256,7 @@ pub fn predict(args: &Args) -> CmdResult {
         match model.explain_global(&snaps[start..], predict_t, &g_edges) {
             Some(att) => {
                 let mut edges: Vec<(usize, f32)> = att.into_iter().enumerate().collect();
-                edges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                edges.sort_by(|a, b| b.1.total_cmp(&a.1));
                 println!("most attended historical facts:");
                 for (i, w) in edges.iter().take(5) {
                     println!(
@@ -264,7 +271,134 @@ pub fn predict(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `hisres serve` — long-running JSONL object-prediction service.
+///
+/// Loads the checkpoint once (with bounded retry over transient I/O
+/// errors), prepares the full model and a precomputed frequency fallback
+/// over the dataset's whole timeline, then answers requests line by line
+/// on stdin/stdout or, with `--listen`, over TCP. Every request is
+/// validated into typed structured errors; over-budget requests degrade
+/// to the fallback scorer and are flagged `"degraded": true`; a final
+/// stats block is emitted at EOF.
+pub fn serve_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?.to_owned();
+    let data_spec = args.require("data")?.to_owned();
+    let data = resolve_data(&data_spec)?;
+    let budget = match args.get("budget-ms") {
+        None => None,
+        Some(v) => {
+            let b: f64 = v.parse().map_err(|_| format!("--budget-ms: cannot parse {v:?}"))?;
+            if !b.is_finite() || b < 0.0 {
+                return Err("--budget-ms must be a non-negative number".into());
+            }
+            Some(b)
+        }
+    };
+    let topk = args.get_parse("topk", 10usize)?;
+    let max_panics = args.get_parse("max-poison", 3usize)?;
+    let load_retries = args.get_parse("load-retries", 3usize)?;
+    let inject = args.get_parse("inject-load-faults", 0usize)?;
+    let listen = args.get("listen").map(str::to_owned);
+    let max_conns = match args.get("max-conns") {
+        None => None,
+        Some(v) => {
+            Some(v.parse::<usize>().map_err(|_| format!("--max-conns: cannot parse {v:?}"))?)
+        }
+    };
+    args.reject_unknown()?;
+
+    let policy = BackoffPolicy {
+        attempts: load_retries.max(1),
+        base: std::time::Duration::from_millis(5),
+        cap: std::time::Duration::from_millis(100),
+    };
+    let faults = if inject > 0 {
+        // Exercises the retry path end to end: the first `inject` reads
+        // fail with a transient error, then the real file comes through.
+        FaultInjector::fail_first_reads(inject)
+    } else {
+        FaultInjector::none()
+    };
+    let model = load_servable_model(&model_path, &policy, &faults)?;
+    if inject > 0 {
+        eprintln!(
+            "checkpoint loaded after {} read attempt(s) ({inject} injected fault(s))",
+            faults.reads_attempted()
+        );
+    }
+    if model.num_entities() != data.num_entities()
+        || model.num_relations() != data.num_relations()
+    {
+        return Err(format!(
+            "checkpoint is sized for {} entities / {} relations but the dataset has {} / {}",
+            model.num_entities(),
+            model.num_relations(),
+            data.num_entities(),
+            data.num_relations()
+        )
+        .into());
+    }
+
+    let all = data.all_quads();
+    let fallback =
+        FrequencyScorer::from_quads(data.num_entities(), data.num_relations(), &all);
+    let ctx = ScoreCtx::at_end_of(&data);
+    let cfg = ServeConfig { default_budget_ms: budget, default_topk: topk, max_panics };
+    let mut engine = ServeEngine::new(
+        cfg,
+        data.num_entities(),
+        data.num_relations(),
+        Box::new(ModelScorer { model, ctx }),
+        Box::new(fallback),
+    );
+
+    // Optional name vocabularies, the ICEWS dump convention.
+    let dir = std::path::Path::new(&data_spec);
+    if dir.is_dir() {
+        let optional = |file: &str| -> Result<Option<Vocab>, Box<dyn std::error::Error>> {
+            let p = dir.join(file);
+            if p.is_file() {
+                Ok(Some(load_vocab_file(&p)?))
+            } else {
+                Ok(None)
+            }
+        };
+        let ents = optional("entity2id.txt")?;
+        let rels = optional("relation2id.txt")?;
+        if ents.is_some() || rels.is_some() {
+            eprintln!("name vocabularies loaded; requests may use strings for s/r");
+        }
+        engine = engine.with_vocabs(ents, rels);
+    }
+
+    install_term_handler();
+    engine.calibrate();
+    eprintln!(
+        "serving {} ({} entities, {} relations); full scorer ≈ {:.1} ms, budget {}",
+        data.name,
+        data.num_entities(),
+        data.num_relations(),
+        engine.estimated_full_ms(),
+        budget.map_or("unlimited".to_owned(), |b| format!("{b} ms")),
+    );
+
+    match listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)?;
+            eprintln!("listening on {}", listener.local_addr()?);
+            serve_tcp(&engine, &listener, max_conns)?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(&engine, stdin.lock(), stdout.lock())?;
+        }
+    }
+    Ok(())
+}
+
 pub use eval_cmd as eval;
+pub use serve_cmd as serve;
 pub use train_cmd as train;
 
 #[cfg(test)]
@@ -376,6 +510,21 @@ mod tests {
     fn train_rejects_unknown_option() {
         let a = parse("train --data icews14s-syn --out /tmp/x --epohcs 1");
         assert!(train_cmd(&a).unwrap_err().to_string().contains("epohcs"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_budget() {
+        let a = parse("serve --model /tmp/none.ckpt --data icews14s-syn --budget-ms nan");
+        let err = serve_cmd(&a).unwrap_err().to_string();
+        assert!(err.contains("budget-ms"), "{err}");
+    }
+
+    #[test]
+    fn serve_reports_missing_checkpoint_as_typed_error() {
+        let a = parse("serve --model /definitely/not/here.ckpt --data icews14s-syn");
+        let err = serve_cmd(&a).unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        assert!(err.source().is_some(), "I/O cause should be chained");
     }
 
     #[test]

@@ -41,6 +41,14 @@ COMMANDS:
   predict    Rank objects for a query at the end of the known timeline
              --model FILE --data DIR|NAME --subject ID --relation ID
              [--topk N=10] [--explain]
+  serve      Long-running JSONL prediction service (stdin/stdout or TCP).
+             Requests: {\"s\": ID|NAME, \"r\": ID|NAME, [\"topk\": N],
+             [\"budget_ms\": F], [\"id\": STR]} | {\"cmd\": \"stats\"} |
+             {\"cmd\": \"shutdown\"}. Over-budget requests degrade to a
+             frequency fallback and are flagged \"degraded\": true.
+             --model FILE --data DIR|NAME [--listen ADDR] [--topk N=10]
+             [--budget-ms F] [--max-poison N=3] [--load-retries N=3]
+             [--max-conns N] [--inject-load-faults N]
   help       Show this message
 
 Built-in dataset names: icews14s-syn, icews18-syn, icews0515-syn, gdelt-syn";
@@ -64,12 +72,27 @@ fn main() -> ExitCode {
         "train" => commands::train(&args),
         "eval" => commands::eval(&args),
         "predict" => commands::predict(&args),
+        "serve" => commands::serve(&args),
         other => Err(format!("unknown command {other:?}; try `hisres help`").into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // Print the full typed error chain, outermost first, so a
+            // failure names both the operation and its root cause (e.g.
+            // the checkpoint error and the offending file). Wrappers
+            // whose message already embeds their cause are skipped.
+            let mut last = e.to_string();
+            eprintln!("error: {last}");
+            let mut cause = e.source();
+            while let Some(c) = cause {
+                let msg = c.to_string();
+                if !last.contains(&msg) {
+                    eprintln!("  caused by: {msg}");
+                    last = msg;
+                }
+                cause = c.source();
+            }
             ExitCode::FAILURE
         }
     }

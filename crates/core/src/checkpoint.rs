@@ -150,8 +150,24 @@ impl TrainCheckpoint {
     /// Loads and verifies a state file written by [`TrainCheckpoint::save`].
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<TrainCheckpoint, CheckpointError> {
         let text = std::fs::read_to_string(path)?;
-        let payload = fsio::open(&text, TRAIN_STATE_KIND)?;
+        Self::load_text(&text)
+    }
+
+    /// [`TrainCheckpoint::load`] from already-read file contents.
+    pub fn load_text(text: &str) -> Result<TrainCheckpoint, CheckpointError> {
+        let payload = fsio::open(text, TRAIN_STATE_KIND)?;
         json::from_str(payload).map_err(|e| CheckpointError::Malformed(e.to_string()))
+    }
+
+    /// Like [`TrainCheckpoint::build_model`], but prefers the parameters of
+    /// the best validation epoch when they were captured — what a serving
+    /// process wants from an interrupted training run.
+    pub fn build_model_best(&self) -> Result<HisRes, CheckpointError> {
+        self.config.validate().map_err(CheckpointError::Malformed)?;
+        let model = HisRes::new(&self.config, self.num_entities, self.num_relations);
+        let params = self.best_params.as_deref().unwrap_or(&self.params);
+        model.store.load_json(params)?;
+        Ok(model)
     }
 }
 

@@ -198,6 +198,61 @@ pub fn train_snapshots(data: &DatasetSplits) -> Vec<Snapshot> {
     snapshots_of(&data.train)
 }
 
+/// A prepared, owned scoring context at the end of a known timeline — the
+/// single-query entry point shared by `hisres predict` and the serving
+/// path. Building it once amortises the snapshot partitioning and global
+/// history indexing across any number of queries.
+pub struct ScoreCtx {
+    /// Dense snapshot timeline `0..t` (empty snapshots for quiet steps).
+    pub snapshots: Vec<Snapshot>,
+    /// `(s, r) → {o}` index over the whole timeline, raw and inverse.
+    pub global: GlobalHistoryIndex,
+    /// The prediction timestamp (one past the last known snapshot).
+    pub t: u32,
+    /// Entity vocabulary size.
+    pub num_entities: usize,
+    /// Raw relation vocabulary size.
+    pub num_relations: usize,
+}
+
+impl ScoreCtx {
+    /// Builds the context from every event of `data` (train ∪ valid ∪
+    /// test): predictions are for the first unseen timestamp.
+    pub fn at_end_of(data: &DatasetSplits) -> ScoreCtx {
+        Self::from_quads(data.num_entities(), data.num_relations(), data.all_quads())
+    }
+
+    /// Builds the context from an explicit event list.
+    pub fn from_quads(num_entities: usize, num_relations: usize, quads: Vec<Quad>) -> ScoreCtx {
+        let tkg = hisres_graph::Tkg::new(num_entities, num_relations, quads);
+        let snapshots = hisres_graph::snapshot::partition(&tkg);
+        let t = snapshots.len() as u32;
+        let mut global = GlobalHistoryIndex::new();
+        for snap in &snapshots {
+            global.add_snapshot(snap, num_relations);
+        }
+        ScoreCtx { snapshots, global, t, num_entities, num_relations }
+    }
+
+    /// Borrowed [`HistoryCtx`] view over this context.
+    pub fn as_history(&self) -> HistoryCtx<'_> {
+        HistoryCtx {
+            snapshots: &self.snapshots,
+            t: self.t,
+            global: &self.global,
+            num_entities: self.num_entities,
+            num_relations: self.num_relations,
+        }
+    }
+}
+
+/// Scores all entities for each `(s, r)` query at the end of `ctx`'s
+/// timeline with the full HisRES model (two-phase aware). Returns
+/// `[queries.len(), num_entities]`.
+pub fn score_at(model: &crate::model::HisRes, ctx: &ScoreCtx, queries: &[(u32, u32)]) -> NdArray {
+    crate::trainer::HisResEval { model }.score(&ctx.as_history(), queries)
+}
+
 /// Evaluates the *relation prediction* task of the joint objective
 /// (eq. 15): for each test event, rank all `2R` relations (raw + inverse)
 /// given the entity pair `(s, o)`, time-filtered against other true

@@ -56,13 +56,21 @@ pub mod config;
 pub mod eval;
 pub mod model;
 pub mod multistep;
+pub mod serve;
 pub mod trainer;
 
 pub use checkpoint::TrainCheckpoint;
 pub use config::{GlobalAggregator, GuardPolicy, HisResConfig, TrainConfig};
-pub use eval::{evaluate, evaluate_relations, EvalResult, ExtrapolationModel, HistoryCtx, Split};
+pub use eval::{
+    evaluate, evaluate_relations, score_at, EvalResult, ExtrapolationModel, HistoryCtx, ScoreCtx,
+    Split,
+};
 pub use model::{Encoded, HisRes};
 pub use multistep::evaluate_multistep;
+pub use serve::{
+    load_servable_model, parse_request, serve_lines, serve_tcp, ModelScorer, QueryRequest, Reply,
+    Request, ServeConfig, ServeEngine, ServeError, ServeScorer, ServeStats, SymbolRef,
+};
 pub use trainer::{
     train, train_with, GuardAction, GuardEvent, GuardKind, HisResEval, TrainError, TrainOptions,
     TrainReport,

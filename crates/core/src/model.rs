@@ -493,9 +493,16 @@ impl HisRes {
     pub fn load_checkpoint(
         path: impl AsRef<std::path::Path>,
     ) -> Result<HisRes, CheckpointError> {
-        use hisres_util::json::{parse, FromJson};
         let text = std::fs::read_to_string(path)?;
-        let payload = hisres_util::fsio::open(&text, MODEL_KIND)?;
+        Self::load_checkpoint_text(&text)
+    }
+
+    /// [`HisRes::load_checkpoint`] from already-read file contents — the
+    /// serving path reads the file itself (with retry over transient I/O
+    /// faults) and then parses here.
+    pub fn load_checkpoint_text(text: &str) -> Result<HisRes, CheckpointError> {
+        use hisres_util::json::{parse, FromJson};
+        let payload = hisres_util::fsio::open(text, MODEL_KIND)?;
         let v = parse(payload).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
         let cfg = HisResConfig::from_json(&v["config"])
             .map_err(|e| CheckpointError::Malformed(format!("invalid config: {e}")))?;

@@ -1,0 +1,820 @@
+//! Fault-tolerant inference serving: a JSONL request/response loop over a
+//! trained model.
+//!
+//! The batch evaluator assumes clean benchmark queries; this module
+//! assumes every request is hostile, late, or referencing entities the
+//! vocabulary has never seen — and still answers:
+//!
+//! * **Validation layer** — every request passes [`parse_request`] and id
+//!   resolution first; malformed JSON, missing fields, out-of-range ids
+//!   and out-of-vocabulary names each map to a typed [`ServeError`] that
+//!   becomes a structured `{"ok":false,"error":{"kind":...}}` response
+//!   instead of a panic.
+//! * **Deadline budgets with graceful degradation** — each request
+//!   carries a millisecond budget (server default, per-request override).
+//!   The engine tracks an exponential moving average of the full
+//!   multi-granularity encoder's latency; when the remaining budget
+//!   cannot cover it, the request is answered by a cheap precomputed
+//!   fallback scorer (historical copy + global frequency) and flagged
+//!   `"degraded": true` rather than blowing the deadline.
+//! * **Panic isolation** — scoring runs under `catch_unwind`. A panicking
+//!   query gets a degraded fallback answer; a poison counter trips the
+//!   engine into fallback-only mode after repeated panics, so one
+//!   pathological query (or a corrupted parameter) can never kill the
+//!   process or wedge it in a crash loop.
+//! * **Retrying checkpoint loads** — [`load_servable_model`] rides out
+//!   transient I/O errors with bounded exponential backoff and accepts
+//!   both model checkpoints and full training-state files.
+//! * **Observability** — [`ServeStats`] counts requests, errors by kind,
+//!   degraded answers and panics, and reports p50/p99 latency; it is
+//!   served on `{"cmd":"stats"}` and emitted as a final line at EOF.
+
+use crate::checkpoint::{TrainCheckpoint, TRAIN_STATE_KIND};
+use crate::eval::{score_at, ScoreCtx};
+use crate::model::{HisRes, MODEL_KIND};
+use hisres_graph::Vocab;
+use hisres_tensor::{CheckpointError, NdArray};
+use hisres_util::bench::LatencyRecorder;
+use hisres_util::fsio::{self, EnvelopeError, FaultInjector};
+use hisres_util::json::{self, Value};
+use hisres_util::retry::{with_backoff, BackoffPolicy};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs a best-effort SIGTERM hook that asks the serving loop to stop
+/// (emitting its final stats block) at the next request boundary. The
+/// standard library has no signal support, so this registers a raw
+/// handler that only flips an atomic flag — a loop blocked on an idle
+/// transport notices at the next line or at EOF, whichever comes first.
+/// Stats are *guaranteed* at EOF and on `{"cmd":"stats"}`; SIGTERM is
+/// opportunistic on top.
+#[cfg(unix)]
+pub fn install_term_handler() {
+    extern "C" fn on_term(_sig: i32) {
+        TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+/// No-op off unix; the EOF and `{"cmd":"stats"}` paths still report.
+#[cfg(not(unix))]
+pub fn install_term_handler() {}
+
+/// True once SIGTERM has been observed (always false off unix or before
+/// [`install_term_handler`]).
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Typed request failures. Every variant maps to a stable `kind` string
+/// that clients can switch on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The line is not valid JSON.
+    BadJson(String),
+    /// Valid JSON, but not a well-formed request (missing/mistyped field).
+    BadRequest(String),
+    /// An entity *name* that is not in the vocabulary (or no vocabulary
+    /// is loaded).
+    UnknownEntity(String),
+    /// A relation *name* that is not in the vocabulary (or no vocabulary
+    /// is loaded).
+    UnknownRelation(String),
+    /// An entity *id* at or beyond the vocabulary size.
+    EntityOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// Entity vocabulary size.
+        num_entities: usize,
+    },
+    /// A relation *id* at or beyond `2 * num_relations` (raw + inverse).
+    RelationOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// Raw relation vocabulary size (ids up to twice this are valid).
+        num_relations: usize,
+    },
+    /// The engine could not produce an answer (both scorers failed).
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable error kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadJson(_) => "bad_json",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::UnknownEntity(_) => "unknown_entity",
+            ServeError::UnknownRelation(_) => "unknown_relation",
+            ServeError::EntityOutOfRange { .. } => "entity_out_of_range",
+            ServeError::RelationOutOfRange { .. } => "relation_out_of_range",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadJson(m) => write!(f, "invalid JSON: {m}"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::UnknownEntity(m) | ServeError::UnknownRelation(m) => write!(f, "{m}"),
+            ServeError::EntityOutOfRange { id, num_entities } => write!(
+                f,
+                "entity id {id} out of range: the vocabulary has {num_entities} entities"
+            ),
+            ServeError::RelationOutOfRange { id, num_relations } => write!(
+                f,
+                "relation id {id} out of range: {num_relations} raw relations admit ids \
+                 0..{} (raw + inverse)",
+                2 * num_relations
+            ),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// An entity or relation reference in a request: a dense id or a
+/// vocabulary name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SymbolRef {
+    /// A dense integer id.
+    Id(u32),
+    /// A vocabulary name to resolve.
+    Name(String),
+}
+
+/// One object-prediction query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Subject entity (id or name).
+    pub s: SymbolRef,
+    /// Relation (id or name); ids may address the inverse range
+    /// `num_relations..2*num_relations`.
+    pub r: SymbolRef,
+    /// How many ranked objects to return (server default when absent).
+    pub topk: Option<usize>,
+    /// Per-request deadline budget in milliseconds (overrides the server
+    /// default; `0` forces degradation).
+    pub budget_ms: Option<f64>,
+    /// Opaque client correlation id, echoed in the response.
+    pub id: Option<String>,
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// An object-prediction query.
+    Query(QueryRequest),
+    /// `{"cmd":"stats"}` — report [`ServeStats`].
+    Stats,
+    /// `{"cmd":"shutdown"}` — stop the loop after replying.
+    Shutdown,
+}
+
+fn field_u32(v: &Value, field: &str) -> Result<SymbolRef, ServeError> {
+    match v.get(field) {
+        None => Err(ServeError::BadRequest(format!("missing field {field:?}"))),
+        Some(Value::Str(name)) => Ok(SymbolRef::Name(name.clone())),
+        Some(n @ Value::Num(_)) => n
+            .as_u64()
+            .and_then(|x| u32::try_from(x).ok())
+            .map(SymbolRef::Id)
+            .ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "field {field:?} must be a non-negative integer id or a name string"
+                ))
+            }),
+        Some(_) => Err(ServeError::BadRequest(format!(
+            "field {field:?} must be an integer id or a name string"
+        ))),
+    }
+}
+
+/// Parses one JSONL request line. Never panics: byte garbage, deep
+/// nesting, wrong field types and absurd numbers all come back as typed
+/// [`ServeError`]s (property-tested in `serve_props.rs`).
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let v = json::parse(line).map_err(|e| ServeError::BadJson(e.to_string()))?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err(ServeError::BadRequest("request must be a JSON object".into()));
+    }
+    if let Some(cmd) = v.get("cmd") {
+        return match cmd.as_str() {
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(ServeError::BadRequest(format!("unknown cmd {other:?}"))),
+            None => Err(ServeError::BadRequest("cmd must be a string".into())),
+        };
+    }
+    let s = field_u32(&v, "s")?;
+    let r = field_u32(&v, "r")?;
+    let topk = match v.get("topk") {
+        None => None,
+        Some(t) => Some(
+            t.as_u64()
+                .and_then(|k| usize::try_from(k).ok())
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| {
+                    ServeError::BadRequest("topk must be a positive integer".into())
+                })?,
+        ),
+    };
+    let budget_ms = match v.get("budget_ms") {
+        None => None,
+        Some(b) => {
+            let ms = b.as_f64().filter(|m| m.is_finite() && *m >= 0.0).ok_or_else(|| {
+                ServeError::BadRequest("budget_ms must be a non-negative number".into())
+            })?;
+            Some(ms)
+        }
+    };
+    let id = match v.get("id") {
+        None => None,
+        Some(Value::Str(s)) => Some(s.clone()),
+        Some(n @ Value::Num(_)) => match n.as_i64() {
+            Some(i) => Some(i.to_string()),
+            None => {
+                return Err(ServeError::BadRequest("id must be a string or integer".into()))
+            }
+        },
+        Some(_) => return Err(ServeError::BadRequest("id must be a string or integer".into())),
+    };
+    Ok(Request::Query(QueryRequest { s, r, topk, budget_ms, id }))
+}
+
+/// Anything that can score `(s, r)` queries over a fixed, prepared
+/// history. The engine holds two: the full model and a cheap fallback.
+pub trait ServeScorer {
+    /// Display name (surfaced in stats and logs).
+    fn name(&self) -> &str;
+    /// Scores all entities for each query: `[queries.len(), num_entities]`.
+    fn score(&self, queries: &[(u32, u32)]) -> NdArray;
+}
+
+/// The full HisRES model over a prepared end-of-timeline context.
+pub struct ModelScorer {
+    /// The trained model.
+    pub model: HisRes,
+    /// Prepared history (snapshots + global index).
+    pub ctx: ScoreCtx,
+}
+
+impl ServeScorer for ModelScorer {
+    fn name(&self) -> &str {
+        "hisres"
+    }
+    fn score(&self, queries: &[(u32, u32)]) -> NdArray {
+        score_at(&self.model, &self.ctx, queries)
+    }
+}
+
+/// Serving counters, reported via `{"cmd":"stats"}` and at shutdown.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Non-empty request lines handled (queries + control + rejects).
+    pub requests: usize,
+    /// Successful query answers (full or degraded).
+    pub ok: usize,
+    /// Error responses, keyed by [`ServeError::kind`].
+    pub errors: BTreeMap<String, usize>,
+    /// Answers served by the fallback scorer.
+    pub degraded: usize,
+    /// Panics caught and isolated by the engine.
+    pub panics: usize,
+    latency: LatencyRecorder,
+}
+
+impl ServeStats {
+    /// Total error responses across kinds.
+    pub fn error_total(&self) -> usize {
+        self.errors.values().sum()
+    }
+
+    /// JSON view of the counters.
+    pub fn to_value(&self) -> Value {
+        let errors = Value::Obj(
+            self.errors
+                .iter()
+                .map(|(k, &n)| (k.clone(), Value::Num(n as f64)))
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("requests".into(), Value::Num(self.requests as f64)),
+            ("ok".into(), Value::Num(self.ok as f64)),
+            ("errors".into(), errors),
+            ("degraded".into(), Value::Num(self.degraded as f64)),
+            ("panics".into(), Value::Num(self.panics as f64)),
+            (
+                "p50_ms".into(),
+                self.latency.percentile_ms(50.0).map_or(Value::Null, |m| Value::Num(round3(m))),
+            ),
+            (
+                "p99_ms".into(),
+                self.latency.percentile_ms(99.0).map_or(Value::Null, |m| Value::Num(round3(m))),
+            ),
+        ])
+    }
+}
+
+fn round3(ms: f64) -> f64 {
+    (ms * 1e3).round() / 1e3
+}
+
+/// Engine policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Deadline budget applied when a request carries none (`None` =
+    /// unlimited).
+    pub default_budget_ms: Option<f64>,
+    /// `topk` applied when a request carries none.
+    pub default_topk: usize,
+    /// Caught panics before the engine goes fallback-only ("poisoned").
+    pub max_panics: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { default_budget_ms: None, default_topk: 10, max_panics: 3 }
+    }
+}
+
+/// One reply line plus whether the loop should stop afterwards.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// The JSON response line (no trailing newline).
+    pub line: String,
+    /// True after a `{"cmd":"shutdown"}` request.
+    pub shutdown: bool,
+}
+
+struct Answer {
+    predictions: Vec<(u32, f32)>,
+    degraded: bool,
+    reason: Option<&'static str>,
+}
+
+/// The serving engine: validation, budgeting, degradation, panic
+/// isolation and stats around a full scorer and a fallback scorer.
+///
+/// Single-threaded by design (the model's autograd graph is not `Sync`);
+/// the TCP front-end accepts connections sequentially.
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    num_entities: usize,
+    num_relations: usize,
+    entity_vocab: Option<Vocab>,
+    relation_vocab: Option<Vocab>,
+    full: Box<dyn ServeScorer>,
+    fallback: Box<dyn ServeScorer>,
+    /// EMA of the full scorer's latency, for budget decisions.
+    est_full_ms: Cell<f64>,
+    panics: Cell<usize>,
+    stats: RefCell<ServeStats>,
+}
+
+impl ServeEngine {
+    /// Builds an engine over a full scorer and a fallback scorer.
+    pub fn new(
+        cfg: ServeConfig,
+        num_entities: usize,
+        num_relations: usize,
+        full: Box<dyn ServeScorer>,
+        fallback: Box<dyn ServeScorer>,
+    ) -> ServeEngine {
+        ServeEngine {
+            cfg,
+            num_entities,
+            num_relations,
+            entity_vocab: None,
+            relation_vocab: None,
+            full,
+            fallback,
+            est_full_ms: Cell::new(0.0),
+            panics: Cell::new(0),
+            stats: RefCell::new(ServeStats::default()),
+        }
+    }
+
+    /// Attaches name vocabularies so requests may reference entities and
+    /// relations by string.
+    pub fn with_vocabs(mut self, entities: Option<Vocab>, relations: Option<Vocab>) -> Self {
+        self.entity_vocab = entities;
+        self.relation_vocab = relations;
+        self
+    }
+
+    /// Runs the full scorer once on a probe query to seed the latency
+    /// estimate the budget decisions use. A panic during calibration
+    /// poisons the engine immediately (fallback-only serving).
+    pub fn calibrate(&self) {
+        if self.num_entities == 0 || self.num_relations == 0 {
+            return;
+        }
+        let t0 = Instant::now();
+        let full = &self.full;
+        match catch_unwind(AssertUnwindSafe(|| full.score(&[(0, 0)]))) {
+            Ok(_) => {
+                self.est_full_ms.set(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            Err(_) => {
+                self.stats.borrow_mut().panics += 1;
+                self.panics.set(self.cfg.max_panics.max(1));
+                self.est_full_ms.set(f64::INFINITY);
+            }
+        }
+    }
+
+    /// Current full-scorer latency estimate (ms).
+    pub fn estimated_full_ms(&self) -> f64 {
+        self.est_full_ms.get()
+    }
+
+    /// True once the poison counter tripped fallback-only mode.
+    pub fn poisoned(&self) -> bool {
+        self.panics.get() >= self.cfg.max_panics.max(1)
+    }
+
+    /// Read-only view of the counters.
+    pub fn stats(&self) -> std::cell::Ref<'_, ServeStats> {
+        self.stats.borrow()
+    }
+
+    /// The `{"ok":true,"stats":{...}}` line.
+    pub fn stats_line(&self) -> String {
+        let v = Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("stats".into(), self.stats.borrow().to_value()),
+        ]);
+        to_line(v)
+    }
+
+    /// Handles one non-empty request line, returning the response line.
+    /// Never panics and never kills the loop: every failure mode is a
+    /// structured error response.
+    pub fn handle_line(&self, line: &str) -> Reply {
+        let started = Instant::now();
+        self.stats.borrow_mut().requests += 1;
+        match parse_request(line) {
+            Err(e) => self.error_reply(None, e, started),
+            Ok(Request::Stats) => Reply { line: self.stats_line(), shutdown: false },
+            Ok(Request::Shutdown) => Reply {
+                line: to_line(Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("shutdown".into(), Value::Bool(true)),
+                ])),
+                shutdown: false,
+            }
+            .into_shutdown(),
+            Ok(Request::Query(q)) => {
+                let id = q.id.clone();
+                match self.answer(&q, started) {
+                    Ok(a) => self.ok_reply(id, a, started),
+                    Err(e) => self.error_reply(id, e, started),
+                }
+            }
+        }
+    }
+
+    fn resolve_entity(&self, sym: &SymbolRef) -> Result<u32, ServeError> {
+        match sym {
+            SymbolRef::Id(id) => {
+                if (*id as usize) < self.num_entities {
+                    Ok(*id)
+                } else {
+                    Err(ServeError::EntityOutOfRange { id: *id, num_entities: self.num_entities })
+                }
+            }
+            SymbolRef::Name(name) => match &self.entity_vocab {
+                Some(v) => v
+                    .get(name)
+                    .filter(|&id| (id as usize) < self.num_entities)
+                    .ok_or_else(|| {
+                        ServeError::UnknownEntity(format!(
+                            "entity name {name:?} is not in the vocabulary"
+                        ))
+                    }),
+                None => Err(ServeError::UnknownEntity(format!(
+                    "entity name {name:?}: no entity vocabulary loaded (dataset is id-based)"
+                ))),
+            },
+        }
+    }
+
+    fn resolve_relation(&self, sym: &SymbolRef) -> Result<u32, ServeError> {
+        match sym {
+            SymbolRef::Id(id) => {
+                if (*id as usize) < 2 * self.num_relations {
+                    Ok(*id)
+                } else {
+                    Err(ServeError::RelationOutOfRange {
+                        id: *id,
+                        num_relations: self.num_relations,
+                    })
+                }
+            }
+            SymbolRef::Name(name) => match &self.relation_vocab {
+                Some(v) => v
+                    .get(name)
+                    .filter(|&id| (id as usize) < 2 * self.num_relations)
+                    .ok_or_else(|| {
+                        ServeError::UnknownRelation(format!(
+                            "relation name {name:?} is not in the vocabulary"
+                        ))
+                    }),
+                None => Err(ServeError::UnknownRelation(format!(
+                    "relation name {name:?}: no relation vocabulary loaded (dataset is id-based)"
+                ))),
+            },
+        }
+    }
+
+    fn run_fallback(&self, queries: &[(u32, u32)]) -> Result<NdArray, ServeError> {
+        let fallback = &self.fallback;
+        let scores = catch_unwind(AssertUnwindSafe(|| fallback.score(queries))).map_err(|_| {
+            self.stats.borrow_mut().panics += 1;
+            ServeError::Internal("fallback scorer panicked".into())
+        })?;
+        if scores.shape() != (queries.len(), self.num_entities) {
+            return Err(ServeError::Internal(format!(
+                "fallback scorer returned shape {:?}, expected {:?}",
+                scores.shape(),
+                (queries.len(), self.num_entities)
+            )));
+        }
+        Ok(scores)
+    }
+
+    fn answer(&self, q: &QueryRequest, started: Instant) -> Result<Answer, ServeError> {
+        let s = self.resolve_entity(&q.s)?;
+        let r = self.resolve_relation(&q.r)?;
+        let topk = q.topk.unwrap_or(self.cfg.default_topk).min(self.num_entities.max(1));
+        let budget = q.budget_ms.or(self.cfg.default_budget_ms);
+        let queries = [(s, r)];
+
+        // Degrade up front when the engine is poisoned or the remaining
+        // budget cannot cover the estimated full-encoder latency.
+        let up_front: Option<&'static str> = if self.poisoned() {
+            Some("poisoned")
+        } else if let Some(b) = budget {
+            let remaining = b - started.elapsed().as_secs_f64() * 1e3;
+            if self.est_full_ms.get() >= remaining {
+                Some("budget")
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some(reason) = up_front {
+            let fb = self.run_fallback(&queries)?;
+            return Ok(Answer {
+                predictions: top_k(fb.row(0), topk),
+                degraded: true,
+                reason: Some(reason),
+            });
+        }
+
+        // Full path, isolated: a panic costs this query its full answer
+        // (it degrades) and bumps the poison counter — never the process.
+        let t0 = Instant::now();
+        let full = &self.full;
+        match catch_unwind(AssertUnwindSafe(|| full.score(&queries))) {
+            Ok(scores) => {
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                let est = self.est_full_ms.get();
+                self.est_full_ms.set(if est.is_finite() && est > 0.0 {
+                    0.7 * est + 0.3 * ms
+                } else {
+                    ms
+                });
+                let valid = scores.shape() == (1, self.num_entities)
+                    && scores.row(0).iter().all(|v| v.is_finite());
+                if valid {
+                    Ok(Answer {
+                        predictions: top_k(scores.row(0), topk),
+                        degraded: false,
+                        reason: None,
+                    })
+                } else {
+                    // Non-finite scores (a NaN deep in the encoder) are as
+                    // unusable as a panic — serve the fallback instead.
+                    let fb = self.run_fallback(&queries)?;
+                    Ok(Answer {
+                        predictions: top_k(fb.row(0), topk),
+                        degraded: true,
+                        reason: Some("invalid_scores"),
+                    })
+                }
+            }
+            Err(_) => {
+                self.panics.set(self.panics.get() + 1);
+                self.stats.borrow_mut().panics += 1;
+                let fb = self.run_fallback(&queries)?;
+                Ok(Answer {
+                    predictions: top_k(fb.row(0), topk),
+                    degraded: true,
+                    reason: Some("panic"),
+                })
+            }
+        }
+    }
+
+    fn ok_reply(&self, id: Option<String>, a: Answer, started: Instant) -> Reply {
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut st = self.stats.borrow_mut();
+            st.ok += 1;
+            if a.degraded {
+                st.degraded += 1;
+            }
+            st.latency.record_ms(ms);
+        }
+        let preds = Value::Arr(
+            a.predictions
+                .iter()
+                .map(|&(o, score)| {
+                    Value::Obj(vec![
+                        ("o".into(), Value::Num(o as f64)),
+                        ("score".into(), Value::Num(sanitize(score))),
+                    ])
+                })
+                .collect(),
+        );
+        let mut fields = vec![("ok".into(), Value::Bool(true))];
+        if let Some(id) = id {
+            fields.push(("id".into(), Value::Str(id)));
+        }
+        fields.push(("degraded".into(), Value::Bool(a.degraded)));
+        if let Some(reason) = a.reason {
+            fields.push(("reason".into(), Value::Str(reason.into())));
+        }
+        fields.push(("predictions".into(), preds));
+        fields.push(("latency_ms".into(), Value::Num(round3(ms))));
+        Reply { line: to_line(Value::Obj(fields)), shutdown: false }
+    }
+
+    fn error_reply(&self, id: Option<String>, e: ServeError, started: Instant) -> Reply {
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut st = self.stats.borrow_mut();
+            *st.errors.entry(e.kind().to_owned()).or_insert(0) += 1;
+            st.latency.record_ms(ms);
+        }
+        let mut fields = vec![("ok".into(), Value::Bool(false))];
+        if let Some(id) = id {
+            fields.push(("id".into(), Value::Str(id)));
+        }
+        fields.push((
+            "error".into(),
+            Value::Obj(vec![
+                ("kind".into(), Value::Str(e.kind().into())),
+                ("message".into(), Value::Str(e.to_string())),
+            ]),
+        ));
+        fields.push(("latency_ms".into(), Value::Num(round3(ms))));
+        Reply { line: to_line(Value::Obj(fields)), shutdown: false }
+    }
+}
+
+impl Reply {
+    fn into_shutdown(mut self) -> Reply {
+        self.shutdown = true;
+        self
+    }
+}
+
+/// Serializes a response `Value`; serialization itself can only fail on
+/// non-finite numbers, which every caller sanitizes first — but a typed
+/// last-resort line beats a panic even then.
+fn to_line(v: Value) -> String {
+    v.try_to_string().unwrap_or_else(|_| {
+        r#"{"ok":false,"error":{"kind":"internal","message":"response serialization failed"}}"#
+            .to_owned()
+    })
+}
+
+fn sanitize(score: f32) -> f64 {
+    let f = score as f64;
+    if f.is_finite() {
+        f
+    } else {
+        f64::MIN
+    }
+}
+
+/// Deterministic top-k: score descending, entity id ascending on ties.
+fn top_k(row: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut idx: Vec<u32> = (0..row.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        row[b as usize]
+            .total_cmp(&row[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.into_iter().map(|o| (o, row[o as usize])).collect()
+}
+
+/// Drives the engine over a line-oriented transport: one JSON response
+/// per non-empty request line, a final stats line at EOF or shutdown.
+pub fn serve_lines(
+    engine: &ServeEngine,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = engine.handle_line(&line);
+        writeln!(output, "{}", reply.line)?;
+        output.flush()?;
+        if reply.shutdown || term_requested() {
+            break;
+        }
+    }
+    writeln!(output, "{}", engine.stats_line())?;
+    output.flush()
+}
+
+/// TCP front-end over [`serve_lines`]: accepts connections sequentially
+/// (the engine is deliberately single-threaded) and serves each until its
+/// client disconnects. A connection-level I/O error is logged and the
+/// next connection served; `max_connections` bounds the loop for tests.
+pub fn serve_tcp(
+    engine: &ServeEngine,
+    listener: &std::net::TcpListener,
+    max_connections: Option<usize>,
+) -> std::io::Result<()> {
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        if let Err(e) = serve_lines(engine, reader, &stream) {
+            eprintln!("serve: connection {peer} dropped: {e}");
+        }
+        served += 1;
+        if max_connections.is_some_and(|max| served >= max) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a model for serving from either a **model checkpoint** or a full
+/// **training-state** file (preferring its best-validation parameters),
+/// retrying transient I/O errors with bounded exponential backoff.
+/// Persistent failures — missing file, corrupt envelope, wrong kind — are
+/// returned immediately as typed [`CheckpointError`]s.
+pub fn load_servable_model(
+    path: impl AsRef<std::path::Path>,
+    policy: &BackoffPolicy,
+    faults: &FaultInjector,
+) -> Result<HisRes, CheckpointError> {
+    let path = path.as_ref();
+    let text = with_backoff(policy, io_transient, |_| fsio::read_to_string_with(path, faults))
+        .map_err(CheckpointError::Io)?;
+    let kind = fsio::kind_of(&text)?;
+    if kind == MODEL_KIND {
+        HisRes::load_checkpoint_text(&text)
+    } else if kind == TRAIN_STATE_KIND {
+        TrainCheckpoint::load_text(&text)?.build_model_best()
+    } else {
+        Err(CheckpointError::Envelope(EnvelopeError::WrongKind {
+            expected: format!("{MODEL_KIND} or {TRAIN_STATE_KIND}"),
+            found: kind.to_owned(),
+        }))
+    }
+}
+
+/// Transient I/O error kinds worth retrying; everything else (not found,
+/// permission denied) fails fast.
+fn io_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}

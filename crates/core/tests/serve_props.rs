@@ -1,0 +1,59 @@
+//! Property tests of the serving request parser: arbitrary byte garbage
+//! must come back as a typed error, never a panic, and well-formed
+//! requests must round-trip exactly.
+
+use hisres::serve::{parse_request, Request, ServeError, SymbolRef};
+use hisres_util::check::string_from;
+use hisres_util::{prop_assert, prop_assert_eq, props};
+
+props! {
+    cases = 64;
+
+    fn byte_garbage_never_panics_request_parser(
+        line in string_from(
+            "{}[]\":,.0123456789-+eE srtopkbudget_mscmdidshutdownstats\\\t\n\u{0}\u{1}\u{7f}äé😀",
+            0..=160,
+        )
+    ) {
+        // Ok or a typed error — the loop must survive anything on stdin
+        let _ = parse_request(&line);
+    }
+
+    fn structurally_valid_but_mistyped_requests_are_typed_errors(
+        s in string_from("ab{}\"0", 0..=6),
+    ) {
+        // `s` as a nested object is always a bad_request, never a panic
+        let line = format!("{{\"s\": {{\"x\": \"{s}\"}}, \"r\": 0}}", s = s.replace(['"', '\\', '{', '}'], ""));
+        match parse_request(&line) {
+            Err(ServeError::BadRequest(_)) | Err(ServeError::BadJson(_)) => {}
+            other => prop_assert!(false, "expected a typed error, got {other:?}"),
+        }
+    }
+
+    fn well_formed_queries_round_trip(
+        s in 0u32..100_000,
+        r in 0u32..10_000,
+        k in 1u64..500,
+    ) {
+        let line = format!("{{\"s\": {s}, \"r\": {r}, \"topk\": {k}}}");
+        match parse_request(&line) {
+            Ok(Request::Query(q)) => {
+                prop_assert_eq!(q.s, SymbolRef::Id(s));
+                prop_assert_eq!(q.r, SymbolRef::Id(r));
+                prop_assert_eq!(q.topk, Some(k as usize));
+                prop_assert_eq!(q.budget_ms, None);
+            }
+            other => prop_assert!(false, "expected a query, got {other:?}"),
+        }
+    }
+
+    fn name_references_round_trip(
+        name in string_from("abcdefg_0123", 1..=20),
+    ) {
+        let line = format!("{{\"s\": \"{name}\", \"r\": 0}}");
+        match parse_request(&line) {
+            Ok(Request::Query(q)) => prop_assert_eq!(q.s, SymbolRef::Name(name)),
+            other => prop_assert!(false, "expected a query, got {other:?}"),
+        }
+    }
+}

@@ -20,6 +20,25 @@ pub enum LoadError {
     Io(std::io::Error),
     /// A malformed line: `(line_number, message)`.
     Parse(usize, String),
+    /// An error attributed to a specific file of the dataset directory —
+    /// [`load_dir`] wraps every per-file failure in this, so "line 1: bad
+    /// stat.txt" becomes "`<dir>/stat.txt`: line 1: …".
+    InFile {
+        /// The offending file's path.
+        path: std::path::PathBuf,
+        /// The underlying failure.
+        source: Box<LoadError>,
+    },
+    /// The dataset's declared vocabulary contradicts its events: an
+    /// undersized `stat.txt` whose counts don't cover every id used by a
+    /// split. Returned eagerly by [`load_dir`] instead of deferring to an
+    /// index panic deep inside `Tkg` construction or an embedding lookup.
+    Inconsistent {
+        /// The file whose declaration is contradicted (`stat.txt`).
+        path: std::path::PathBuf,
+        /// Human-readable contradiction.
+        message: String,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -27,15 +46,35 @@ impl fmt::Display for LoadError {
         match self {
             LoadError::Io(e) => write!(f, "io error: {e}"),
             LoadError::Parse(n, m) => write!(f, "line {n}: {m}"),
+            LoadError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
+            LoadError::Inconsistent { path, message } => {
+                write!(f, "{}: inconsistent dataset: {message}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for LoadError {}
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::InFile { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for LoadError {
     fn from(e: std::io::Error) -> Self {
         LoadError::Io(e)
+    }
+}
+
+impl LoadError {
+    /// Attributes this error to `path` (idempotent on already-attributed
+    /// errors from the same file).
+    fn in_file(self, path: impl Into<std::path::PathBuf>) -> LoadError {
+        LoadError::InFile { path: path.into(), source: Box::new(self) }
     }
 }
 
@@ -72,7 +111,10 @@ fn parse_u32(tok: &str, line: usize) -> Result<u32, LoadError> {
 
 /// Loads a benchmark directory (`train.txt`, `valid.txt`, `test.txt`,
 /// optional `stat.txt`). Without `stat.txt`, entity/relation counts are
-/// inferred as `max id + 1` over all splits.
+/// inferred as `max id + 1` over all splits. Every error names the
+/// offending file; a `stat.txt` whose counts don't cover every id used by
+/// a split is a typed [`LoadError::Inconsistent`] rather than a deferred
+/// panic in graph or embedding code.
 pub fn load_dir(
     dir: impl AsRef<Path>,
     name: &str,
@@ -80,43 +122,76 @@ pub fn load_dir(
 ) -> Result<DatasetSplits, LoadError> {
     let dir = dir.as_ref();
     let read = |f: &str| -> Result<Vec<Quad>, LoadError> {
-        parse_quads(&std::fs::read_to_string(dir.join(f))?, time_unit)
+        let path = dir.join(f);
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| LoadError::from(e).in_file(&path))?;
+        parse_quads(&content, time_unit).map_err(|e| e.in_file(&path))
     };
     let train = read("train.txt")?;
     let valid = read("valid.txt")?;
     let test = read("test.txt")?;
 
-    let (ne, nr) = match std::fs::read_to_string(dir.join("stat.txt")) {
+    // Largest ids actually used, for stat.txt validation / inference.
+    let mut max_e: Option<u32> = None;
+    let mut max_r: Option<u32> = None;
+    for q in train.iter().chain(&valid).chain(&test) {
+        max_e = max_e.max(Some(q.s)).max(Some(q.o));
+        max_r = max_r.max(Some(q.r));
+    }
+
+    let stat_path = dir.join("stat.txt");
+    let (ne, nr) = match std::fs::read_to_string(&stat_path) {
         Ok(s) => {
             let mut it = s.split_whitespace();
-            let ne = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| LoadError::Parse(1, "bad stat.txt".into()))?;
-            let nr = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| LoadError::Parse(1, "bad stat.txt".into()))?;
-            (ne, nr)
-        }
-        Err(_) => {
-            let all = train.iter().chain(&valid).chain(&test);
-            let mut ne = 0usize;
-            let mut nr = 0usize;
-            for q in all {
-                ne = ne.max(q.s as usize + 1).max(q.o as usize + 1);
-                nr = nr.max(q.r as usize + 1);
+            let mut next = |what: &str| -> Result<usize, LoadError> {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| {
+                        LoadError::Parse(1, format!("bad stat.txt: missing or non-integer {what}"))
+                            .in_file(&stat_path)
+                    })
+            };
+            let ne = next("entity count")?;
+            let nr = next("relation count")?;
+            if let Some(m) = max_e.filter(|&m| m as usize >= ne) {
+                return Err(LoadError::Inconsistent {
+                    path: stat_path,
+                    message: format!(
+                        "stat.txt declares {ne} entities but the splits use entity id {m}"
+                    ),
+                });
+            }
+            if let Some(m) = max_r.filter(|&m| m as usize >= nr) {
+                return Err(LoadError::Inconsistent {
+                    path: stat_path,
+                    message: format!(
+                        "stat.txt declares {nr} relations but the splits use relation id {m}"
+                    ),
+                });
             }
             (ne, nr)
         }
+        Err(_) => (
+            max_e.map_or(0, |m| m as usize + 1),
+            max_r.map_or(0, |m| m as usize + 1),
+        ),
     };
 
+    // Defense in depth: the bounds were checked above, but route through
+    // the fallible constructor so any future divergence surfaces as a
+    // typed error, never a panic.
+    let build = |quads: Vec<Quad>| -> Result<Tkg, LoadError> {
+        Tkg::try_new(ne, nr, quads).map_err(|e| LoadError::Inconsistent {
+            path: stat_path.clone(),
+            message: e.to_string(),
+        })
+    };
     Ok(DatasetSplits {
         name: name.to_owned(),
         granularity: "as loaded",
-        train: Tkg::new(ne, nr, train),
-        valid: Tkg::new(ne, nr, valid),
-        test: Tkg::new(ne, nr, test),
+        train: build(train)?,
+        valid: build(valid)?,
+        test: build(test)?,
     })
 }
 
@@ -150,6 +225,65 @@ pub fn parse_named_quads(
     Ok(out)
 }
 
+/// Parses a `name \t id` vocabulary listing (the `entity2id.txt` /
+/// `relation2id.txt` convention of the ICEWS/GDELT dumps). Ids must be
+/// dense — every id in `0..n` exactly once — since models index
+/// embeddings by them; anything else is a typed error, never a panic.
+pub fn parse_vocab(content: &str) -> Result<Vocab, LoadError> {
+    let mut pairs: Vec<(String, u32)> = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, id_tok) = line.rsplit_once(['\t', ' ']).ok_or_else(|| {
+            LoadError::Parse(i + 1, "expected `name <tab> id`".into())
+        })?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(LoadError::Parse(i + 1, "empty name".into()));
+        }
+        let id = parse_u32(id_tok.trim(), i)?;
+        pairs.push((name.to_owned(), id));
+    }
+    let n = pairs.len();
+    let mut names: Vec<Option<String>> = vec![None; n];
+    for (i, (name, id)) in pairs.into_iter().enumerate() {
+        let slot = names.get_mut(id as usize).ok_or_else(|| {
+            LoadError::Parse(i + 1, format!("id {id} out of range for {n} entries"))
+        })?;
+        if slot.is_some() {
+            return Err(LoadError::Parse(i + 1, format!("duplicate id {id}")));
+        }
+        *slot = Some(name);
+    }
+    let mut vocab = Vocab::new();
+    for (id, name) in names.into_iter().enumerate() {
+        match name {
+            Some(name) => {
+                if vocab.intern(&name) != id as u32 {
+                    return Err(LoadError::Parse(
+                        0,
+                        format!("name of id {id} repeats an earlier name"),
+                    ));
+                }
+            }
+            // unreachable: n slots, n unique ids — but typed beats panic
+            None => return Err(LoadError::Parse(0, format!("no name for id {id}"))),
+        }
+    }
+    Ok(vocab)
+}
+
+/// Loads a `name \t id` vocabulary file via [`parse_vocab`]; errors name
+/// the offending file.
+pub fn load_vocab_file(path: impl AsRef<Path>) -> Result<Vocab, LoadError> {
+    let path = path.as_ref();
+    let content =
+        std::fs::read_to_string(path).map_err(|e| LoadError::from(e).in_file(path))?;
+    parse_vocab(&content).map_err(|e| e.in_file(path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +313,21 @@ mod tests {
     }
 
     #[test]
+    fn parse_vocab_accepts_dense_out_of_order_ids() {
+        let v = parse_vocab("Barack_Obama\t1\nAngela_Merkel\t0\n").unwrap();
+        assert_eq!(v.get("Angela_Merkel"), Some(0));
+        assert_eq!(v.get("Barack_Obama"), Some(1));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn parse_vocab_rejects_gaps_and_duplicates() {
+        assert!(parse_vocab("a\t0\nb\t2\n").unwrap_err().to_string().contains("out of range"));
+        assert!(parse_vocab("a\t0\nb\t0\n").unwrap_err().to_string().contains("duplicate"));
+        assert!(parse_vocab("justaname\n").is_err());
+    }
+
+    #[test]
     fn named_quads_intern_consistently() {
         let mut ents = Vocab::new();
         let mut rels = Vocab::new();
@@ -202,6 +351,68 @@ mod tests {
         assert_eq!(d.train.len(), 2);
         assert_eq!(d.test.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_error_names_the_file() {
+        let dir = std::env::temp_dir().join(format!("hisres_loader_miss_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // no train.txt at all
+        let err = load_dir(&dir, "tiny", 1).unwrap_err();
+        assert!(err.to_string().contains("train.txt"), "{err}");
+        assert!(std::error::Error::source(&err).is_some(), "chain preserved");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_error_names_file_and_line() {
+        let dir = std::env::temp_dir().join(format!("hisres_loader_badline_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("valid.txt"), "0 0 1 0\nx y z w\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("test.txt"), "").unwrap(); // fixture-write: ok
+        let err = load_dir(&dir, "tiny", 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("valid.txt"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn undersized_stat_is_a_typed_inconsistency() {
+        let dir = std::env::temp_dir().join(format!("hisres_loader_under_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("valid.txt"), "").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("test.txt"), "7 0 0 1\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("stat.txt"), "3 1\n").unwrap(); // fixture-write: ok
+        let err = load_dir(&dir, "tiny", 1).unwrap_err();
+        assert!(matches!(err, LoadError::Inconsistent { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("stat.txt"), "{msg}");
+        assert!(msg.contains("entity id 7"), "{msg}");
+        // undersized relation count, entities fine
+        std::fs::write(dir.join("test.txt"), "2 5 0 1\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("stat.txt"), "10 2\n").unwrap(); // fixture-write: ok
+        let err = load_dir(&dir, "tiny", 1).unwrap_err();
+        assert!(matches!(err, LoadError::Inconsistent { .. }), "{err:?}");
+        assert!(err.to_string().contains("relation id 5"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_stat_error_names_the_file() {
+        let dir = std::env::temp_dir().join(format!("hisres_loader_badstat_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("valid.txt"), "").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("test.txt"), "").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("stat.txt"), "lots of\n").unwrap(); // fixture-write: ok
+        let err = load_dir(&dir, "tiny", 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("stat.txt"), "{msg}");
+        assert!(msg.contains("entity count"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

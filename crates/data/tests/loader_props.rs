@@ -38,6 +38,28 @@ props! {
         let _ = parse_quads(&line, 1);
     }
 
+    fn byte_garbage_never_panics_id_parser(
+        text in string_from(
+            "0123456789-+eE. \t\n\r\u{0}\u{1}\u{7f}{}[]\"\\,:xyzäé😀",
+            0..=120,
+        ),
+        unit in 1u32..50,
+    ) {
+        // arbitrary control bytes, negatives, floats, unicode — errors only
+        let _ = parse_quads(&text, unit);
+    }
+
+    fn byte_garbage_never_panics_named_parser(
+        text in string_from(
+            "abc\t\n\r\u{0}\u{1}\u{7f} 0123456789-\"\\{}😀é",
+            0..=120,
+        ),
+    ) {
+        let mut ents = Vocab::new();
+        let mut rels = Vocab::new();
+        let _ = parse_named_quads(&text, &mut ents, &mut rels);
+    }
+
     fn named_quads_share_ids_for_equal_names(
         names in arb_vec(string_from("abc", 1..=2), 4..20)
     ) {

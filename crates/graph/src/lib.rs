@@ -30,6 +30,6 @@ pub mod vocab;
 pub use edges::EdgeList;
 pub use filter::{RankMetrics, TimeFilter};
 pub use global::{GlobalHistoryIndex, HistoryMask};
-pub use quad::{Quad, Tkg};
+pub use quad::{Quad, Tkg, TkgError};
 pub use snapshot::Snapshot;
 pub use vocab::Vocab;

@@ -1,6 +1,7 @@
 //! Event quadruples and whole datasets.
 
 use hisres_util::impl_json;
+use std::fmt;
 
 /// One timestamped event `(subject, relation, object, timestamp)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,6 +31,55 @@ impl Quad {
     }
 }
 
+/// A quad whose ids exceed the declared vocabulary — the typed rejection
+/// of [`Tkg::try_new`]. Carries everything needed for an actionable
+/// message: which role overflowed, the offending id and quad, and the
+/// declared bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TkgError {
+    /// A subject or object id `>= num_entities`.
+    EntityOutOfRange {
+        /// `"subject"` or `"object"`.
+        role: &'static str,
+        /// The offending id.
+        id: u32,
+        /// Declared entity vocabulary size.
+        num_entities: usize,
+        /// The whole offending quad.
+        quad: Quad,
+    },
+    /// A relation id `>= num_relations`.
+    RelationOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// Declared raw relation vocabulary size.
+        num_relations: usize,
+        /// The whole offending quad.
+        quad: Quad,
+    },
+}
+
+impl fmt::Display for TkgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TkgError::EntityOutOfRange { role, id, num_entities, quad } => write!(
+                f,
+                "{role} id {id} out of range in quad ({}, {}, {}, t={}): \
+                 vocabulary declares {num_entities} entities",
+                quad.s, quad.r, quad.o, quad.t
+            ),
+            TkgError::RelationOutOfRange { id, num_relations, quad } => write!(
+                f,
+                "relation id {id} out of range in quad ({}, {}, {}, t={}): \
+                 vocabulary declares {num_relations} relations",
+                quad.s, quad.r, quad.o, quad.t
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TkgError {}
+
 /// A temporal knowledge graph: an entity/relation vocabulary size plus a
 /// time-sorted list of events.
 #[derive(Clone, Debug)]
@@ -45,14 +95,49 @@ impl_json!(Tkg { num_entities, num_relations, quads });
 
 impl Tkg {
     /// Builds a dataset, sorting events by time and validating ids.
-    pub fn new(num_entities: usize, num_relations: usize, mut quads: Vec<Quad>) -> Self {
+    /// Panics on out-of-range ids — use [`Tkg::try_new`] when the quads
+    /// come from untrusted input (files, network requests).
+    pub fn new(num_entities: usize, num_relations: usize, quads: Vec<Quad>) -> Self {
+        match Self::try_new(num_entities, num_relations, quads) {
+            Ok(tkg) => tkg,
+            Err(e) => panic!("{e} (id out of range)"),
+        }
+    }
+
+    /// Fallible [`Tkg::new`]: validates that every quad's `s`/`o` is below
+    /// `num_entities` and `r` below `num_relations`, returning a typed
+    /// [`TkgError`] instead of panicking. The error names the first
+    /// offending quad, so an undersized `stat.txt` points at the exact
+    /// line-level inconsistency rather than a panic deep in an embedding
+    /// lookup.
+    pub fn try_new(
+        num_entities: usize,
+        num_relations: usize,
+        mut quads: Vec<Quad>,
+    ) -> Result<Self, TkgError> {
         for q in &quads {
-            assert!((q.s as usize) < num_entities, "subject {} out of range", q.s);
-            assert!((q.o as usize) < num_entities, "object {} out of range", q.o);
-            assert!((q.r as usize) < num_relations, "relation {} out of range", q.r);
+            if q.s as usize >= num_entities {
+                return Err(TkgError::EntityOutOfRange {
+                    role: "subject",
+                    id: q.s,
+                    num_entities,
+                    quad: *q,
+                });
+            }
+            if q.o as usize >= num_entities {
+                return Err(TkgError::EntityOutOfRange {
+                    role: "object",
+                    id: q.o,
+                    num_entities,
+                    quad: *q,
+                });
+            }
+            if q.r as usize >= num_relations {
+                return Err(TkgError::RelationOutOfRange { id: q.r, num_relations, quad: *q });
+            }
         }
         quads.sort_by_key(|q| (q.t, q.s, q.r, q.o));
-        Self { num_entities, num_relations, quads }
+        Ok(Self { num_entities, num_relations, quads })
     }
 
     /// Number of events.
@@ -162,6 +247,40 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_entity_rejected() {
         Tkg::new(2, 1, vec![Quad::new(0, 0, 5, 0)]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        let err = Tkg::try_new(2, 1, vec![Quad::new(0, 0, 5, 3)]).unwrap_err();
+        assert_eq!(
+            err,
+            TkgError::EntityOutOfRange {
+                role: "object",
+                id: 5,
+                num_entities: 2,
+                quad: Quad::new(0, 0, 5, 3)
+            }
+        );
+        assert!(err.to_string().contains("object id 5"), "{err}");
+        assert!(err.to_string().contains("2 entities"), "{err}");
+
+        let err = Tkg::try_new(2, 1, vec![Quad::new(9, 0, 1, 0)]).unwrap_err();
+        assert!(matches!(err, TkgError::EntityOutOfRange { role: "subject", id: 9, .. }));
+
+        let err = Tkg::try_new(4, 2, vec![Quad::new(0, 7, 1, 0)]).unwrap_err();
+        assert!(matches!(err, TkgError::RelationOutOfRange { id: 7, num_relations: 2, .. }));
+        assert!(err.to_string().contains("relation id 7"), "{err}");
+    }
+
+    #[test]
+    fn try_new_accepts_valid_and_sorts() {
+        let g = Tkg::try_new(3, 1, vec![Quad::new(1, 0, 2, 5), Quad::new(0, 0, 1, 0)]);
+        let g = match g {
+            Ok(g) => g,
+            Err(e) => panic!("valid quads rejected: {e}"),
+        };
+        assert_eq!(g.quads[0].t, 0);
+        assert_eq!(g.quads[1].t, 5);
     }
 
     #[test]

@@ -148,6 +148,58 @@ impl Bencher {
     }
 }
 
+/// Online latency accumulator for serving stats: records per-request
+/// durations and answers nearest-rank percentile queries (p50/p99).
+/// Samples are kept raw (one `f64` per request) — a serving process doing
+/// millions of requests should window or reset this periodically, which
+/// [`LatencyRecorder::reset`] supports.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ms(d.as_secs_f64() * 1e3);
+    }
+
+    /// Records one request latency in milliseconds.
+    pub fn record_ms(&mut self, ms: f64) {
+        if ms.is_finite() && ms >= 0.0 {
+            self.samples_ms.push(ms);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Nearest-rank percentile in milliseconds (`p` in `0.0..=100.0`);
+    /// `None` when nothing has been recorded.
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        if self.samples_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Discards all samples (windowed serving stats).
+    pub fn reset(&mut self) {
+        self.samples_ms.clear();
+    }
+}
+
 /// Declares a benchmark group: a function running each target against the
 /// given [`Criterion`] configuration. Mirrors `criterion::criterion_group!`.
 #[macro_export]
@@ -234,5 +286,32 @@ mod tests {
     #[test]
     fn criterion_group_macro_builds_a_runner() {
         demo_group();
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut l = LatencyRecorder::new();
+        assert_eq!(l.percentile_ms(50.0), None);
+        for ms in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            l.record_ms(ms);
+        }
+        assert_eq!(l.count(), 5);
+        assert_eq!(l.percentile_ms(50.0), Some(3.0));
+        assert_eq!(l.percentile_ms(99.0), Some(5.0));
+        assert_eq!(l.percentile_ms(0.0), Some(1.0));
+        assert_eq!(l.percentile_ms(100.0), Some(5.0));
+    }
+
+    #[test]
+    fn latency_recorder_ignores_garbage_and_resets() {
+        let mut l = LatencyRecorder::new();
+        l.record_ms(f64::NAN);
+        l.record_ms(-1.0);
+        l.record_ms(f64::INFINITY);
+        assert_eq!(l.count(), 0);
+        l.record(Duration::from_millis(2));
+        assert_eq!(l.count(), 1);
+        l.reset();
+        assert_eq!(l.count(), 0);
     }
 }

@@ -117,6 +117,37 @@ impl fmt::Display for EnvelopeError {
 
 impl std::error::Error for EnvelopeError {}
 
+/// Reads the *kind* a checkpoint envelope declares without verifying the
+/// payload — used to dispatch a file to the right loader (a serving
+/// process accepts both `"model"` and `"train-state"` files). The full
+/// length/checksum verification still happens in [`open`].
+pub fn kind_of(text: &str) -> Result<&str, EnvelopeError> {
+    let Some(rest) = text.strip_prefix(MAGIC).and_then(|r| r.strip_prefix(' ')) else {
+        return Err(EnvelopeError::NotACheckpoint);
+    };
+    let Some((header, _)) = rest.split_once('\n') else {
+        return Err(EnvelopeError::HeaderMalformed("header line not terminated".into()));
+    };
+    let mut fields = header.split(' ');
+    let version: u32 = fields
+        .next()
+        .and_then(|t| t.strip_prefix('v'))
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| EnvelopeError::HeaderMalformed("missing version token".into()))?;
+    if version != ENVELOPE_VERSION {
+        return Err(EnvelopeError::UnsupportedVersion {
+            found: version,
+            supported: ENVELOPE_VERSION,
+        });
+    }
+    for field in fields {
+        if let Some(("kind", v)) = field.split_once('=').map(|(k, v)| (k, v)) {
+            return Ok(v);
+        }
+    }
+    Err(EnvelopeError::HeaderMalformed("missing kind".into()))
+}
+
 /// Wraps `payload` in the versioned, checksummed envelope.
 pub fn seal(kind: &str, payload: &str) -> String {
     debug_assert!(
@@ -214,6 +245,8 @@ pub enum FaultMode {
 pub struct FaultInjector {
     writes: Cell<usize>,
     faults: Vec<(usize, FaultMode)>,
+    reads: Cell<usize>,
+    read_faults: Vec<usize>,
 }
 
 impl FaultInjector {
@@ -224,7 +257,7 @@ impl FaultInjector {
 
     /// Fail the `n`th write (0-based) with `mode`; all others succeed.
     pub fn fail_nth_write(n: usize, mode: FaultMode) -> Self {
-        FaultInjector { writes: Cell::new(0), faults: vec![(n, mode)] }
+        FaultInjector { writes: Cell::new(0), faults: vec![(n, mode)], ..Default::default() }
     }
 
     /// Adds another scripted fault.
@@ -233,9 +266,32 @@ impl FaultInjector {
         self
     }
 
+    /// Fail the `n`th read (0-based) through [`read_to_string_with`] with a
+    /// transient I/O error; all others succeed.
+    pub fn fail_nth_read(n: usize) -> Self {
+        FaultInjector { read_faults: vec![n], ..Default::default() }
+    }
+
+    /// Fail the first `n` reads — models a transient outage that a bounded
+    /// retry should ride out.
+    pub fn fail_first_reads(n: usize) -> Self {
+        FaultInjector { read_faults: (0..n).collect(), ..Default::default() }
+    }
+
+    /// Adds another scripted read fault.
+    pub fn and_fail_read(mut self, n: usize) -> Self {
+        self.read_faults.push(n);
+        self
+    }
+
     /// Number of atomic writes attempted through this injector so far.
     pub fn writes_attempted(&self) -> usize {
         self.writes.get()
+    }
+
+    /// Number of reads attempted through this injector so far.
+    pub fn reads_attempted(&self) -> usize {
+        self.reads.get()
     }
 
     fn next_fault(&self) -> Option<FaultMode> {
@@ -243,10 +299,30 @@ impl FaultInjector {
         self.writes.set(idx + 1);
         self.faults.iter().find(|(n, _)| *n == idx).map(|(_, m)| *m)
     }
+
+    fn next_read_fails(&self) -> bool {
+        let idx = self.reads.get();
+        self.reads.set(idx + 1);
+        self.read_faults.contains(&idx)
+    }
 }
 
 fn injected(msg: &str) -> io::Error {
     io::Error::other(format!("injected fault: {msg}"))
+}
+
+/// `std::fs::read_to_string` with scripted transient faults — the read
+/// path retry logic is tested against this. Injected failures use
+/// [`std::io::ErrorKind::Interrupted`], which retry predicates treat as
+/// transient.
+pub fn read_to_string_with(path: impl AsRef<Path>, faults: &FaultInjector) -> io::Result<String> {
+    if faults.next_read_fails() {
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            "injected fault: transient read error",
+        ));
+    }
+    fs::read_to_string(path)
 }
 
 /// Atomically replaces the file at `path` with `bytes`: temp file in the
@@ -400,6 +476,38 @@ mod tests {
             p.file_name().unwrap().to_str().unwrap()
         )))
         .ok();
+    }
+
+    #[test]
+    fn kind_of_reads_header_without_payload_check() {
+        let sealed = seal("train-state", "payload");
+        assert_eq!(kind_of(&sealed).unwrap(), "train-state");
+        // truncated payload: kind_of still answers, open still rejects
+        let cut = &sealed[..sealed.len() - 2];
+        assert_eq!(kind_of(cut).unwrap(), "train-state");
+        assert!(open(cut, "train-state").is_err());
+        assert_eq!(kind_of("not a checkpoint"), Err(EnvelopeError::NotACheckpoint));
+        let v99 = sealed.replace(" v2 ", " v99 ");
+        assert!(matches!(kind_of(&v99), Err(EnvelopeError::UnsupportedVersion { .. })));
+    }
+
+    #[test]
+    fn read_faults_fire_on_scripted_reads_only() {
+        let p = tmp_path("readfault");
+        atomic_write(&p, b"content").unwrap();
+        let inj = FaultInjector::fail_first_reads(2);
+        assert!(read_to_string_with(&p, &inj).is_err());
+        assert!(read_to_string_with(&p, &inj).is_err());
+        assert_eq!(read_to_string_with(&p, &inj).unwrap(), "content");
+        assert_eq!(inj.reads_attempted(), 3);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn injected_read_errors_are_transient_kind() {
+        let inj = FaultInjector::fail_nth_read(0);
+        let err = read_to_string_with("/nonexistent", &inj).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! | [`json`] | `serde` + `serde_json` | `Value` tree, recursive-descent parser, escaping serializer, `ToJson`/`FromJson` traits, `impl_json!` derive-macro stand-in |
 //! | [`check`] | `proptest` | `Strategy` combinators, seeded runner with failing-seed reporting, `props!`/`prop_assert!`/`prop_assume!` macros |
 //! | [`bench`] | `criterion` | warm-up + median-of-N timer with a criterion-shaped builder API and `criterion_group!`/`criterion_main!` |
-//! | [`fsio`] | `tempfile`/`atomicwrites` | atomic temp-file + fsync + rename writes, a versioned + checksummed checkpoint envelope, and scripted fault injection for crash tests |
+//! | [`fsio`] | `tempfile`/`atomicwrites` | atomic temp-file + fsync + rename writes, a versioned + checksummed checkpoint envelope, and scripted fault injection (writes *and* reads) for crash tests |
+//! | [`retry`] | `backoff`/`retry` | bounded retry with deterministic exponential backoff and a caller-supplied transient-error predicate |
 //!
 //! Beyond removing the network from the build, owning the PRNG makes seeded
 //! randomness an explicit reproducibility contract: the synthetic datasets,
@@ -21,4 +22,5 @@ pub mod bench;
 pub mod check;
 pub mod fsio;
 pub mod json;
+pub mod retry;
 pub mod rng;

@@ -55,6 +55,19 @@ if [ -n "$bad" ]; then
 fi
 echo "atomic-write guard: OK (no bare fs::write outside fsio)"
 
+# ---- guard: the serving engine must be panic-free by construction ----------
+# crates/core/src/serve.rs promises every failure mode maps to a typed
+# structured response; `.unwrap()` / `.expect(` would reintroduce panics on
+# the request path.
+bad=$(grep -n '\.unwrap()\|\.expect(' crates/core/src/serve.rs || true)
+if [ -n "$bad" ]; then
+    echo "ERROR: .unwrap()/.expect( found in crates/core/src/serve.rs —" >&2
+    echo "the serving path must return typed errors, never panic:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "serve panic guard: OK (no unwrap/expect in crates/core/src/serve.rs)"
+
 # ---- build + test fully offline --------------------------------------------
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
@@ -78,5 +91,38 @@ if ! cmp -s "$smoke/straight.ckpt" "$smoke/resumed.ckpt"; then
     exit 1
 fi
 echo "crash-resume smoke test: OK (2+2 epochs == 4 epochs, byte-identical)"
+
+# ---- serve smoke test -------------------------------------------------------
+# Drive the JSONL serving loop end to end over the checkpoint trained above:
+# a valid query, malformed JSON, an out-of-range id, an OOV name, and a
+# zero-budget request must produce structured responses (typed error kinds,
+# a `"degraded":true` answer) and a final stats block, with exit code 0.
+# The load itself runs with injected transient read faults to exercise the
+# bounded-retry path.
+serve_out=$(printf '%s\n' \
+    '{"s": 3, "r": 1, "topk": 3, "id": "q1"}' \
+    'this is not json' \
+    '{"s": 99999, "r": 1}' \
+    '{"s": "NoSuchEntity", "r": 1}' \
+    '{"s": 3, "r": 1, "budget_ms": 0}' \
+    '{"cmd": "stats"}' \
+    | "$bin" serve --model "$smoke/straight.ckpt" --data "$smoke/data" \
+        --inject-load-faults 2 --load-retries 3 2>/dev/null)
+for needle in \
+    '"id":"q1"' \
+    '"kind":"bad_json"' \
+    '"kind":"entity_out_of_range"' \
+    '"kind":"unknown_entity"' \
+    '"degraded":true' \
+    '"reason":"budget"' \
+    '"stats":{"requests":6' \
+    '"p50_ms"'; do
+    if ! grep -qF "$needle" <<<"$serve_out"; then
+        echo "ERROR: serve smoke test output is missing $needle:" >&2
+        echo "$serve_out" >&2
+        exit 1
+    fi
+done
+echo "serve smoke test: OK (typed errors, budget degradation, stats, retried load)"
 
 echo "verify.sh: OK"

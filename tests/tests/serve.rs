@@ -1,0 +1,405 @@
+//! End-to-end tests of the serving subsystem: request validation,
+//! deadline degradation, panic isolation with poisoning, stats
+//! accounting, retrying checkpoint loads, and both transports.
+
+use hisres::serve::{
+    load_servable_model, serve_lines, serve_tcp, ModelScorer, ServeConfig, ServeEngine,
+    ServeScorer,
+};
+use hisres::{HisRes, HisResConfig, ScoreCtx, TrainCheckpoint};
+use hisres_baselines::FrequencyScorer;
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use hisres_graph::Vocab;
+use hisres_tensor::{AdamState, NdArray};
+use hisres_util::fsio::FaultInjector;
+use hisres_util::json::{self, Value};
+use hisres_util::retry::BackoffPolicy;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
+use std::time::Duration;
+
+const NE: usize = 16;
+const NR: usize = 3;
+
+fn tiny_data() -> DatasetSplits {
+    let cfg = SyntheticConfig {
+        num_entities: NE,
+        num_relations: NR,
+        num_timestamps: 20,
+        seed: 5,
+        ..Default::default()
+    };
+    DatasetSplits::from_tkg("tiny", "1 step", &generate(&cfg).tkg)
+}
+
+fn tiny_model() -> HisRes {
+    let cfg = HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() };
+    HisRes::new(&cfg, NE, NR)
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("hisres_serve_{tag}_{}.ckpt", std::process::id()))
+}
+
+/// Deterministic stand-in for the full model: score of entity `o` is `o`.
+struct RampScorer {
+    ne: usize,
+}
+
+impl ServeScorer for RampScorer {
+    fn name(&self) -> &str {
+        "ramp"
+    }
+    fn score(&self, queries: &[(u32, u32)]) -> NdArray {
+        let mut out = NdArray::zeros(queries.len(), self.ne);
+        for q in 0..queries.len() {
+            for (o, v) in out.row_mut(q).iter_mut().enumerate() {
+                *v = o as f32;
+            }
+        }
+        out
+    }
+}
+
+/// A full scorer that always panics — the pathological query case.
+struct PanickingScorer;
+
+impl ServeScorer for PanickingScorer {
+    fn name(&self) -> &str {
+        "panicking"
+    }
+    fn score(&self, _queries: &[(u32, u32)]) -> NdArray {
+        panic!("synthetic scorer failure")
+    }
+}
+
+/// A full scorer that returns NaN — a silently corrupted checkpoint.
+struct NanScorer {
+    ne: usize,
+}
+
+impl ServeScorer for NanScorer {
+    fn name(&self) -> &str {
+        "nan"
+    }
+    fn score(&self, queries: &[(u32, u32)]) -> NdArray {
+        NdArray::from_vec(vec![f32::NAN; queries.len() * self.ne], &[queries.len(), self.ne])
+    }
+}
+
+fn fallback() -> Box<dyn ServeScorer> {
+    Box::new(FrequencyScorer::from_quads(NE, NR, &tiny_data().all_quads()))
+}
+
+fn engine_with(full: Box<dyn ServeScorer>, cfg: ServeConfig) -> ServeEngine {
+    ServeEngine::new(cfg, NE, NR, full, fallback())
+}
+
+fn handle(engine: &ServeEngine, line: &str) -> Value {
+    json::parse(&engine.handle_line(line).line).expect("response must be valid JSON")
+}
+
+fn is_ok(v: &Value) -> bool {
+    matches!(v.get("ok"), Some(Value::Bool(true)))
+}
+
+fn error_kind(v: &Value) -> Option<&str> {
+    v.get("error")?.get("kind")?.as_str()
+}
+
+fn is_degraded(v: &Value) -> bool {
+    matches!(v.get("degraded"), Some(Value::Bool(true)))
+}
+
+#[test]
+fn validation_maps_every_failure_to_a_typed_kind() {
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let cases = [
+        ("not json at all", "bad_json"),
+        ("{\"s\": 1}", "bad_request"),                       // missing r
+        ("{\"s\": 1, \"r\": 0, \"topk\": 0}", "bad_request"), // topk < 1
+        ("{\"s\": 1, \"r\": 0, \"budget_ms\": -5}", "bad_request"),
+        ("{\"s\": -3, \"r\": 0}", "bad_request"),             // negative id
+        ("{\"s\": 9999, \"r\": 0}", "entity_out_of_range"),
+        ("{\"s\": 1, \"r\": 777}", "relation_out_of_range"),
+        ("{\"s\": \"Nobody\", \"r\": 0}", "unknown_entity"),  // no vocab loaded
+        ("{\"s\": 1, \"r\": \"nothing\"}", "unknown_relation"),
+        ("{\"cmd\": \"reboot\"}", "bad_request"),
+        ("[1, 2, 3]", "bad_request"),                         // not an object
+    ];
+    for (line, want) in cases {
+        let v = handle(&engine, line);
+        assert!(!is_ok(&v), "{line} should fail");
+        assert_eq!(error_kind(&v), Some(want), "for request {line}");
+    }
+    // every case above was counted under its kind
+    let stats = engine.stats();
+    assert_eq!(stats.requests, cases.len());
+    assert_eq!(stats.error_total(), cases.len());
+    assert_eq!(stats.ok, 0);
+}
+
+#[test]
+fn valid_query_answers_with_ranked_predictions_and_echoed_id() {
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let v = handle(&engine, "{\"s\": 1, \"r\": 0, \"topk\": 3, \"id\": \"abc\"}");
+    assert!(is_ok(&v), "{v:?}");
+    assert!(!is_degraded(&v));
+    assert_eq!(v.get("id").and_then(Value::as_str), Some("abc"));
+    // RampScorer scores entity o as o: top three are the largest ids
+    let preds = match v.get("predictions") {
+        Some(Value::Arr(p)) => p,
+        other => panic!("missing predictions: {other:?}"),
+    };
+    let ids: Vec<u64> = preds.iter().filter_map(|p| p.get("o")?.as_u64()).collect();
+    assert_eq!(ids, vec![NE as u64 - 1, NE as u64 - 2, NE as u64 - 3]);
+}
+
+#[test]
+fn name_lookup_works_once_vocabularies_are_attached() {
+    let mut ents = Vocab::new();
+    let mut rels = Vocab::new();
+    for i in 0..NE {
+        ents.intern(&format!("entity_{i}"));
+    }
+    for i in 0..NR {
+        rels.intern(&format!("rel_{i}"));
+    }
+    let engine = ServeEngine::new(
+        ServeConfig::default(),
+        NE,
+        NR,
+        Box::new(RampScorer { ne: NE }),
+        fallback(),
+    )
+    .with_vocabs(Some(ents), Some(rels));
+    let v = handle(&engine, "{\"s\": \"entity_1\", \"r\": \"rel_0\", \"topk\": 1}");
+    assert!(is_ok(&v), "{v:?}");
+    let v = handle(&engine, "{\"s\": \"entity_99\", \"r\": \"rel_0\"}");
+    assert_eq!(error_kind(&v), Some("unknown_entity"));
+}
+
+#[test]
+fn zero_budget_degrades_to_the_fallback_scorer() {
+    // per-request override of an unlimited server default
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let v = handle(&engine, "{\"s\": 1, \"r\": 0, \"budget_ms\": 0}");
+    assert!(is_ok(&v), "{v:?}");
+    assert!(is_degraded(&v), "{v:?}");
+    assert_eq!(v.get("reason").and_then(Value::as_str), Some("budget"));
+
+    // server-wide zero default, no per-request field
+    let cfg = ServeConfig { default_budget_ms: Some(0.0), ..Default::default() };
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), cfg);
+    let v = handle(&engine, "{\"s\": 1, \"r\": 0}");
+    assert!(is_degraded(&v), "{v:?}");
+    assert_eq!(engine.stats().degraded, 1);
+}
+
+#[test]
+fn nan_scores_degrade_instead_of_surfacing() {
+    let engine = engine_with(Box::new(NanScorer { ne: NE }), ServeConfig::default());
+    let v = handle(&engine, "{\"s\": 1, \"r\": 0}");
+    assert!(is_ok(&v), "{v:?}");
+    assert!(is_degraded(&v), "{v:?}");
+    assert_eq!(v.get("reason").and_then(Value::as_str), Some("invalid_scores"));
+}
+
+#[test]
+fn panics_are_isolated_and_eventually_poison_the_engine() {
+    let cfg = ServeConfig { max_panics: 2, ..Default::default() };
+    let engine = engine_with(Box::new(PanickingScorer), cfg);
+
+    // first two panics: each query still gets a degraded answer
+    for _ in 0..2 {
+        let v = handle(&engine, "{\"s\": 1, \"r\": 0}");
+        assert!(is_ok(&v) && is_degraded(&v), "{v:?}");
+        assert_eq!(v.get("reason").and_then(Value::as_str), Some("panic"));
+    }
+    assert!(engine.poisoned());
+
+    // poisoned: the full scorer is never touched again
+    let v = handle(&engine, "{\"s\": 1, \"r\": 0}");
+    assert!(is_ok(&v) && is_degraded(&v), "{v:?}");
+    assert_eq!(v.get("reason").and_then(Value::as_str), Some("poisoned"));
+
+    let stats = engine.stats();
+    assert_eq!(stats.panics, 2, "the poisoned request must not re-panic");
+    assert_eq!(stats.ok, 3);
+    assert_eq!(stats.degraded, 3);
+}
+
+#[test]
+fn stats_account_for_every_request_and_report_percentiles() {
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    for _ in 0..5 {
+        handle(&engine, "{\"s\": 1, \"r\": 0}");
+    }
+    handle(&engine, "garbage");
+    handle(&engine, "{\"s\": 1, \"r\": 0, \"budget_ms\": 0}");
+    let v = handle(&engine, "{\"cmd\": \"stats\"}");
+    assert!(is_ok(&v), "{v:?}");
+    let stats = match v.get("stats") {
+        Some(s) => s,
+        None => panic!("missing stats block: {v:?}"),
+    };
+    assert_eq!(stats.get("requests").and_then(Value::as_u64), Some(8));
+    assert_eq!(stats.get("ok").and_then(Value::as_u64), Some(6));
+    assert_eq!(stats.get("degraded").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        stats.get("errors").and_then(|e| e.get("bad_json")).and_then(Value::as_u64),
+        Some(1)
+    );
+    assert!(stats.get("p50_ms").and_then(Value::as_f64).is_some());
+    assert!(stats.get("p99_ms").and_then(Value::as_f64).is_some());
+}
+
+#[test]
+fn serve_lines_replies_per_line_and_emits_final_stats() {
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let input = "{\"s\": 1, \"r\": 0}\n\n{\"bad\"\n{\"cmd\": \"shutdown\"}\n{\"s\": 2, \"r\": 0}\n";
+    let mut out = Vec::new();
+    serve_lines(&engine, input.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // query, bad json, shutdown ack, final stats — the post-shutdown query
+    // is never processed
+    assert_eq!(lines.len(), 4, "{text}");
+    assert!(is_ok(&json::parse(lines[0]).unwrap()));
+    assert_eq!(error_kind(&json::parse(lines[1]).unwrap()), Some("bad_json"));
+    let stats = json::parse(lines[3]).unwrap();
+    assert_eq!(
+        stats.get("stats").and_then(|s| s.get("requests")).and_then(Value::as_u64),
+        Some(3)
+    );
+}
+
+#[test]
+fn tcp_transport_round_trips_and_survives_client_hangup() {
+    use std::io::{BufRead, BufReader, Write};
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let client = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"s\": 1, \"r\": 0, \"topk\": 2}\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        // hang up without a clean shutdown — the server must survive
+        reply
+    });
+
+    // the engine is deliberately !Send, so the server runs on the main
+    // thread and the client on the spawned one
+    serve_tcp(&engine, &listener, Some(1)).unwrap();
+    let reply = client.join().unwrap();
+    let v = json::parse(reply.trim()).unwrap();
+    assert!(is_ok(&v), "{v:?}");
+    assert_eq!(engine.stats().ok, 1);
+}
+
+#[test]
+fn real_model_serves_end_to_end() {
+    let data = tiny_data();
+    let model = tiny_model();
+    let ctx = ScoreCtx::at_end_of(&data);
+    let engine = ServeEngine::new(
+        ServeConfig::default(),
+        NE,
+        NR,
+        Box::new(ModelScorer { model, ctx }),
+        fallback(),
+    );
+    engine.calibrate();
+    assert!(engine.estimated_full_ms() > 0.0);
+    let v = handle(&engine, "{\"s\": 0, \"r\": 0, \"topk\": 5}");
+    assert!(is_ok(&v), "{v:?}");
+    assert!(!is_degraded(&v), "{v:?}");
+    // and a tiny budget degrades the same engine
+    let v = handle(&engine, "{\"s\": 0, \"r\": 0, \"budget_ms\": 0}");
+    assert!(is_degraded(&v), "{v:?}");
+}
+
+#[test]
+fn load_retries_ride_out_transient_read_faults() {
+    let path = temp_path("retry_ok");
+    tiny_model().save_checkpoint(&path).unwrap();
+    let policy = BackoffPolicy {
+        attempts: 3,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(2),
+    };
+    let faults = FaultInjector::fail_first_reads(2);
+    let model = load_servable_model(&path, &policy, &faults).unwrap();
+    assert_eq!(model.num_entities(), NE);
+    assert_eq!(faults.reads_attempted(), 3, "two failures, one success");
+
+    // more faults than attempts: the typed error surfaces
+    let faults = FaultInjector::fail_first_reads(5);
+    let err = match load_servable_model(&path, &policy, &faults) {
+        Err(e) => e,
+        Ok(_) => panic!("load should exhaust its retries"),
+    };
+    assert!(err.to_string().contains("I/O"), "{err}");
+    assert_eq!(faults.reads_attempted(), 3, "bounded: no retry storm");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_accepts_training_state_files_preferring_best_params() {
+    let model = tiny_model();
+    let best = tiny_model();
+    let ck = TrainCheckpoint {
+        config: model.cfg.clone(),
+        num_entities: NE,
+        num_relations: NR,
+        epoch: 2,
+        since_best: 0,
+        best_val_mrr: 0.5,
+        epoch_losses: vec![1.0, 0.9],
+        val_mrr: vec![0.4, 0.5],
+        guard_events: Vec::new(),
+        rng_state: StdRng::seed_from_u64(7)
+            .state()
+            .iter()
+            .map(|w| format!("{w:016x}"))
+            .collect(),
+        opt: AdamState {
+            t: 0,
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+        },
+        params: model.store.to_json(),
+        best_params: Some(best.store.to_json()),
+    };
+    let path = temp_path("from_state");
+    ck.save(&path).unwrap();
+    let loaded =
+        load_servable_model(&path, &BackoffPolicy::default(), &FaultInjector::none()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.num_entities(), NE);
+    // best_params (the `best` model's weights) won over params
+    assert_eq!(loaded.store.to_json(), best.store.to_json());
+}
+
+#[test]
+fn load_rejects_unrelated_envelope_kinds() {
+    let path = temp_path("wrong_kind");
+    let sealed = hisres_util::fsio::seal("weird-kind", "{}");
+    std::fs::write(&path, sealed).unwrap(); // fixture-write: ok
+    let err = match load_servable_model(&path, &BackoffPolicy::default(), &FaultInjector::none())
+    {
+        Err(e) => e,
+        Ok(_) => panic!("wrong-kind envelope should be rejected"),
+    };
+    std::fs::remove_file(&path).ok();
+    assert!(err.to_string().contains("kind"), "{err}");
+}
