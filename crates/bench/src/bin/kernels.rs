@@ -1,0 +1,272 @@
+//! Kernel-level performance harness for the deterministic data-parallel
+//! tensor layer: times the hot kernels (dense matmul, decoder-shaped
+//! scoring, conv forward, evaluation rank fan-out) at fixed shapes across
+//! a worker-thread sweep, plus serial *seed-reference* copies of the
+//! pre-parallel kernels so the speedup over the old implementation is
+//! measurable within one run.
+//!
+//! Results go to `BENCH_kernels.json` (atomic write) so successive runs
+//! can be diffed as a perf trajectory.
+//!
+//! ```text
+//! kernels [--quick] [--out FILE]    run the suite (quick: CI-sized)
+//! kernels --check FILE              validate a results file parses
+//! ```
+
+use hisres_graph::{Quad, TimeFilter};
+use hisres_tensor::{no_grad, NdArray};
+use hisres_util::bench::{time_fn, BenchStats, Criterion};
+use hisres_util::json::FromJson;
+use hisres_util::pool::with_threads;
+use hisres_util::{fsio, impl_json, json};
+use std::time::Duration;
+
+/// Thread counts swept for every parallel kernel.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The `BENCH_kernels.json` document.
+struct BenchFile {
+    /// Format tag for downstream tooling.
+    schema: String,
+    /// True when produced by `--quick` (smaller shapes, fewer samples —
+    /// not comparable with full runs).
+    quick: bool,
+    /// One entry per (kernel, thread count).
+    results: Vec<BenchStats>,
+}
+
+impl_json!(BenchFile { schema, quick, results });
+
+const SCHEMA: &str = "hisres-bench-kernels/v1";
+
+/// The seed repository's serial matmul: zero-skip rows, scalar axpy inner
+/// loop. Kept verbatim as the within-run baseline the parallel kernel is
+/// compared against.
+fn matmul_seed_reference(a: &NdArray, b: &NdArray) -> NdArray {
+    let (n, _) = a.shape();
+    let (_, m) = b.shape();
+    let mut out = NdArray::zeros(n, m);
+    for i in 0..n {
+        let a_row = a.row(i);
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = b.row(kk);
+            let o_row = out.row_mut(i);
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The seed repository's serial `A · Bᵀ`: single-accumulator dot per cell.
+fn matmul_nt_seed_reference(a: &NdArray, b: &NdArray) -> NdArray {
+    let (n, _) = a.shape();
+    let (m, _) = b.shape();
+    let mut out = NdArray::zeros(n, m);
+    for i in 0..n {
+        let a_row = a.row(i);
+        for j in 0..m {
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b.row(j)) {
+                acc += x * y;
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Deterministic pseudo-random buffer (no RNG dependency needed here).
+fn noise(len: usize, mut seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 40) as f32 / 8388608.0 - 1.0
+        })
+        .collect()
+}
+
+struct Shapes {
+    /// Square matmul side.
+    mm: usize,
+    /// Decoder scoring: queries × dim against entities × dim.
+    queries: usize,
+    dim: usize,
+    entities: usize,
+    /// Rank fan-out rows.
+    rank_rows: usize,
+}
+
+fn run_suite(quick: bool, out_path: &str) -> Result<(), String> {
+    let (config, shapes) = if quick {
+        (
+            Criterion::default()
+                .sample_size(5)
+                .measurement_time(Duration::from_millis(120))
+                .warm_up_time(Duration::from_millis(40)),
+            Shapes { mm: 96, queries: 32, dim: 32, entities: 512, rank_rows: 64 },
+        )
+    } else {
+        (
+            Criterion::default()
+                .sample_size(15)
+                .measurement_time(Duration::from_millis(900))
+                .warm_up_time(Duration::from_millis(250)),
+            Shapes { mm: 256, queries: 64, dim: 64, entities: 4096, rank_rows: 256 },
+        )
+    };
+
+    let mm_a = NdArray::from_vec(noise(shapes.mm * shapes.mm, 1), &[shapes.mm, shapes.mm]);
+    let mm_b = NdArray::from_vec(noise(shapes.mm * shapes.mm, 2), &[shapes.mm, shapes.mm]);
+    let q = NdArray::from_vec(noise(shapes.queries * shapes.dim, 3), &[shapes.queries, shapes.dim]);
+    let table =
+        NdArray::from_vec(noise(shapes.entities * shapes.dim, 4), &[shapes.entities, shapes.dim]);
+    let conv_x = NdArray::from_vec(
+        noise(shapes.queries * 2 * shapes.dim, 5),
+        &[shapes.queries, 2 * shapes.dim],
+    );
+    let conv_w = NdArray::from_vec(noise(8 * 2 * 3, 6), &[8, 6]);
+
+    // Rank fan-out inputs: a score matrix plus a filter with a handful of
+    // true objects per query, mirroring `hisres::eval`'s inner loop.
+    let scores = NdArray::from_vec(
+        noise(shapes.rank_rows * shapes.entities, 7),
+        &[shapes.rank_rows, shapes.entities],
+    );
+    let truth: Vec<Quad> = (0..shapes.rank_rows as u32)
+        .flat_map(|i| (0..4u32).map(move |j| Quad::new(i, i % 7, (i * 13 + j) % 512, 0)))
+        .collect();
+    let filter = TimeFilter::from_quads(truth.iter());
+    let golds: Vec<Quad> = (0..shapes.rank_rows as u32)
+        .map(|i| Quad::new(i, i % 7, (i * 13) % 512, 0))
+        .collect();
+
+    let mut results: Vec<BenchStats> = Vec::new();
+    let mut record = |s: BenchStats| {
+        println!("{}", s.row());
+        results.push(s);
+    };
+
+    // Seed-reference serial kernels (1 thread by construction).
+    record(time_fn("matmul_seed_serial", 1, &config, || {
+        matmul_seed_reference(&mm_a, &mm_b)
+    }));
+    record(time_fn("decoder_score_seed_serial", 1, &config, || {
+        matmul_nt_seed_reference(&q, &table)
+    }));
+
+    for t in THREADS {
+        record(with_threads(t, || {
+            time_fn("matmul", t, &config, || mm_a.matmul(&mm_b))
+        }));
+        record(with_threads(t, || {
+            // decoder scoring: A·Bᵀ against the entity table in no-grad
+            // mode (blocked dot), the serve/eval hot path — directly
+            // comparable with `decoder_score_seed_serial`
+            time_fn("decoder_score", t, &config, || {
+                no_grad(|| q.matmul_nt(&table))
+            })
+        }));
+        record(with_threads(t, || {
+            time_fn("conv_forward", t, &config, || {
+                no_grad(|| {
+                    let xs = hisres_tensor::Tensor::constant(conv_x.clone());
+                    let ws = hisres_tensor::Tensor::constant(conv_w.clone());
+                    xs.conv1d_same(&ws, 2, 3).value_clone()
+                })
+            })
+        }));
+        record(with_threads(t, || {
+            time_fn("eval_rank_fanout", t, &config, || {
+                let mut ranks = vec![0.0f64; golds.len()];
+                hisres_util::pool::current().par_chunks_mut(&mut ranks, 1, 8, |off, chunk| {
+                    for (i, r) in chunk.iter_mut().enumerate() {
+                        *r = filter.filtered_rank(scores.row(off + i), &golds[off + i]);
+                    }
+                });
+                ranks
+            })
+        }));
+    }
+
+    let doc = BenchFile { schema: SCHEMA.to_owned(), quick, results };
+    let text = json::to_string(&doc).map_err(|e| format!("serialising results: {e}"))?;
+    fsio::atomic_write(out_path, text.as_bytes())
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {} results to {out_path}", doc.results.len());
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let doc = BenchFile::from_json(&value).map_err(|e| format!("{path}: bad schema: {e}"))?;
+    if doc.schema != SCHEMA {
+        return Err(format!("{path}: schema {:?}, expected {SCHEMA:?}", doc.schema));
+    }
+    if doc.results.is_empty() {
+        return Err(format!("{path}: no benchmark results"));
+    }
+    for s in &doc.results {
+        if !(s.median_ns.is_finite() && s.median_ns > 0.0) {
+            return Err(format!("{path}: {} has non-positive median", s.name));
+        }
+    }
+    println!(
+        "{path}: ok — {} results ({}){}",
+        doc.results.len(),
+        doc.results
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+            .join(", "),
+        if doc.quick { " [quick]" } else { "" },
+    );
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_kernels.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(v) => check = Some(v.clone()),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let r = match check {
+        Some(path) => check_file(&path),
+        None => run_suite(quick, &out),
+    };
+    match r {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> std::process::ExitCode {
+    eprintln!("error: {msg}\nusage: kernels [--quick] [--out FILE] | kernels --check FILE");
+    std::process::ExitCode::FAILURE
+}

@@ -51,6 +51,11 @@ COMMANDS:
              [--max-conns N] [--inject-load-faults N]
   help       Show this message
 
+GLOBAL OPTIONS (every command):
+  --threads N   Worker threads for the data-parallel kernels
+                (default: the HISRES_THREADS env var, else all cores;
+                results are bit-identical for every thread count)
+
 Built-in dataset names: icews14s-syn, icews18-syn, icews0515-syn, gdelt-syn";
 
 fn main() -> ExitCode {
@@ -66,6 +71,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global option, honoured by every command: size the worker pool
+    // before the first parallel kernel builds it. Thread count never
+    // changes results — kernels are deterministically data-parallel.
+    match args.get_parse::<usize>("threads", 0) {
+        Ok(0) => {} // not given: HISRES_THREADS / available cores
+        Ok(n) => {
+            hisres_util::pool::set_global_threads(n);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match args.command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),

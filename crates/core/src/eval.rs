@@ -13,6 +13,11 @@ use hisres_graph::{
     GlobalHistoryIndex, Quad, RankMetrics, Snapshot, TimeFilter,
 };
 use hisres_tensor::NdArray;
+use hisres_util::pool;
+
+/// Minimum query rows per ranking task; each row scans every entity, so a
+/// task this size comfortably amortises pool dispatch.
+const RANK_ROWS_PER_TASK: usize = 64;
 
 /// Everything a model may consult when scoring queries at time `t`.
 pub struct HistoryCtx<'a> {
@@ -172,8 +177,17 @@ pub fn evaluate(model: &impl ExtrapolationModel, data: &DatasetSplits, split: Sp
             (queries.len(), data.num_entities()),
             "model returned wrong score shape"
         );
-        for (row, gold) in golds.iter().enumerate() {
-            let rank = filter.filtered_rank(scores.row(row), gold);
+        // Ranking fans out across the worker pool: each query row is
+        // ranked independently (pure reads of the score row and the
+        // filter index), then the accumulator is filled serially in row
+        // order — metrics are bit-identical for every thread count.
+        let mut ranks = vec![0.0f64; golds.len()];
+        pool::current().par_chunks_mut(&mut ranks, 1, RANK_ROWS_PER_TASK, |off, chunk| {
+            for (i, r) in chunk.iter_mut().enumerate() {
+                *r = filter.filtered_rank(scores.row(off + i), &golds[off + i]);
+            }
+        });
+        for &rank in &ranks {
             metrics.push(rank);
         }
 
@@ -336,8 +350,16 @@ pub fn evaluate_relations(
                 .score_relations(&enc, &pairs, false, &mut rng)
                 .value_clone()
         });
-        for (row, gold) in golds.iter().enumerate() {
-            metrics.push(filter.filtered_rank(scores.row(row), gold));
+        // Same parallel rank fan-out as `evaluate` (see there for the
+        // determinism argument).
+        let mut ranks = vec![0.0f64; golds.len()];
+        pool::current().par_chunks_mut(&mut ranks, 1, RANK_ROWS_PER_TASK, |off, chunk| {
+            for (i, r) in chunk.iter_mut().enumerate() {
+                *r = filter.filtered_rank(scores.row(off + i), &golds[off + i]);
+            }
+        });
+        for &rank in &ranks {
+            metrics.push(rank);
         }
         for q in batch {
             snapshots[t as usize].triples.push((q.s, q.r, q.o));

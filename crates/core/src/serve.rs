@@ -372,8 +372,11 @@ struct Answer {
 /// The serving engine: validation, budgeting, degradation, panic
 /// isolation and stats around a full scorer and a fallback scorer.
 ///
-/// Single-threaded by design (the model's autograd graph is not `Sync`);
-/// the TCP front-end accepts connections sequentially.
+/// The request loop runs on one thread (the model's autograd graph is
+/// `Rc`-based and not `Sync`), but each request's batch scoring fans out
+/// across the [`hisres_util::pool`] worker pool inside the no-grad tensor
+/// kernels — see the threading notes in `hisres_tensor`. The TCP
+/// front-end accepts connections sequentially.
 pub struct ServeEngine {
     cfg: ServeConfig,
     num_entities: usize,
@@ -754,7 +757,8 @@ pub fn serve_lines(
 }
 
 /// TCP front-end over [`serve_lines`]: accepts connections sequentially
-/// (the engine is deliberately single-threaded) and serves each until its
+/// (one request loop; scoring itself is data-parallel inside the tensor
+/// kernels) and serves each until its
 /// client disconnects. A connection-level I/O error is logged and the
 /// next connection served; `max_connections` bounds the loop for tests.
 pub fn serve_tcp(

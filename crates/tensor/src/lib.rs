@@ -20,11 +20,24 @@
 //!   clipping ([`optim`]),
 //! * JSON checkpointing of named parameters ([`ParamStore`]).
 //!
-//! The library is CPU-only and single-threaded by design: the HisRES
-//! reproduction trains models with hidden sizes in the tens on graphs with
-//! hundreds of nodes, where a cache-friendly `ikj` matmul is entirely
-//! adequate and determinism is worth more than raw throughput. All gradients
-//! are verified against central finite differences by property tests.
+//! The library is CPU-only and **deterministically data-parallel**: the
+//! dense kernels (matmul family, elementwise map/zip/axpy, row gather,
+//! conv/softmax forward) fan out over the [`hisres_util::pool`] worker
+//! pool, sized by `HISRES_THREADS` / the CLI's `--threads` (1 reproduces
+//! the old single-threaded behaviour exactly). Parallelism never trades
+//! away determinism: every kernel partitions its *output* into disjoint
+//! chunks computed in serial inner-loop order, so results are bit-identical
+//! for every thread count — `tests/parallel_props.rs` asserts this.
+//! Small inputs stay below fixed work cutoffs and run inline, so tiny
+//! graphs pay no pool overhead.
+//!
+//! The autograd tape ([`Tensor`]) is `Rc`-based and stays confined to the
+//! thread that builds the graph; only the raw `NdArray` buffer work inside
+//! each op crosses threads. Callers that fan out *above* the tensor layer
+//! (e.g. evaluation ranking) must therefore stick to inference-only
+//! (`no_grad`) kernel calls or plain `NdArray` data, which are `Sync`.
+//! All gradients are verified against central finite differences by
+//! property tests.
 //!
 //! ## Quick example
 //!

@@ -6,9 +6,96 @@
 //! are represented as `[1, d]` or `[n, 1]`, scalars as `[1, 1]`). Keeping
 //! the invariant small makes the kernels easy to audit and keeps hot loops
 //! free of stride arithmetic.
+//!
+//! # Parallelism and determinism
+//!
+//! The dense kernels (matmul family, elementwise map/zip/axpy, row gather)
+//! are data-parallel over [`hisres_util::pool`]: the **output** is split
+//! into disjoint contiguous row/element chunks, one task per chunk, below
+//! fixed work cutoffs everything stays inline on the caller. Because each
+//! output element is always computed by exactly one task in the same inner
+//! (serial) loop order, results are **bit-identical for every thread
+//! count** — the partition decides who computes an element, never how.
+//! Reductions whose float accumulation order would depend on the partition
+//! (`scatter_add_rows` destinations, `segment_softmax` denominators,
+//! `sum`) deliberately stay serial.
+//!
+//! The inner loops use two microkernels: an element-independent axpy the
+//! compiler auto-vectorises (bitwise equal to the scalar loop) and an
+//! 8-accumulator blocked dot product whose lane blocking is a compile-time
+//! constant — independent of thread count — so it too is deterministic.
+//! The blocked dot changes the summation *tree* relative to the scalar
+//! kernel, so `matmul_nt` only uses it in inference (`no_grad`) mode;
+//! while gradients are recorded it falls back to strict index-order
+//! accumulation, keeping training trajectories bit-for-bit reproducible.
 
 use hisres_util::json::{FromJson, JsonError, ToJson, Value};
+use hisres_util::pool;
 use std::fmt;
+
+/// Minimum multiply-add flops a matmul-family task must amortise before
+/// the kernel forks; below this everything runs inline (tiny graphs must
+/// not pay pool latency).
+const PAR_FLOPS_PER_TASK: usize = 16 * 1024;
+
+/// Minimum elements per task for cheap elementwise kernels.
+const PAR_ELEMS_PER_TASK: usize = 16 * 1024;
+
+/// `o[j] += a * b[j]`. Every output element is updated independently, so
+/// the compiler is free to vectorise this loop — and does; a hand-unrolled
+/// version was measured *slower* because the indexed accesses defeat the
+/// auto-vectoriser. Keep it a plain zip: it is the bit-exact scalar
+/// recurrence and the fastest form at once.
+#[inline]
+fn axpy8(o: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(o.len(), b.len());
+    for (ov, &bv) in o.iter_mut().zip(b) {
+        *ov += a * bv;
+    }
+}
+
+/// Dot product accumulated strictly in index order with a single
+/// accumulator — bit-identical to the historical scalar kernel. Used while
+/// gradients are recorded so training trajectories (and therefore
+/// checkpoints) stay bit-for-bit reproducible across releases.
+#[inline]
+fn dot_serial(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Dot product with 8 independent accumulator lanes combined in a fixed
+/// pairwise order. The lane blocking is a compile-time constant, so the
+/// summation tree — and therefore the result bit pattern — is the same on
+/// every thread count and every call; it does differ from [`dot_serial`],
+/// which is why it is only used in inference (`no_grad`) mode.
+#[inline]
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for (av, bv) in a[..chunks * 8]
+        .chunks_exact(8)
+        .zip(b[..chunks * 8].chunks_exact(8))
+    {
+        acc[0] += av[0] * bv[0];
+        acc[1] += av[1] * bv[1];
+        acc[2] += av[2] * bv[2];
+        acc[3] += av[3] * bv[3];
+        acc[4] += av[4] * bv[4];
+        acc[5] += av[5] * bv[5];
+        acc[6] += av[6] * bv[6];
+        acc[7] += av[7] * bv[7];
+    }
+    let mut tail = 0.0f32;
+    for (&av, &bv) in a[chunks * 8..].iter().zip(&b[chunks * 8..]) {
+        tail += av * bv;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
 
 /// A dense, contiguous, row-major `f32` matrix.
 #[derive(Clone, PartialEq)]
@@ -183,56 +270,70 @@ impl NdArray {
         out
     }
 
-    /// Applies `f` elementwise out of place.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
-        NdArray {
-            shape: self.shape,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+    /// Applies `f` elementwise out of place; chunk-parallel for large
+    /// arrays (elementwise, so bit-identical for every thread count).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> NdArray {
+        let mut out = NdArray::zeros(self.shape.0, self.shape.1);
+        pool::current().par_chunks_mut(&mut out.data, 1, PAR_ELEMS_PER_TASK, |off, chunk| {
+            let len = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&self.data[off..off + len]) {
+                *o = f(v);
+            }
+        });
+        out
     }
 
     /// Applies `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        pool::current().par_chunks_mut(&mut self.data, 1, PAR_ELEMS_PER_TASK, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Elementwise binary zip, panicking on shape mismatch.
-    pub fn zip(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+    pub fn zip(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32 + Sync) -> NdArray {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        NdArray {
-            shape: self.shape,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+        let mut out = NdArray::zeros(self.shape.0, self.shape.1);
+        pool::current().par_chunks_mut(&mut out.data, 1, PAR_ELEMS_PER_TASK, |off, chunk| {
+            let len = chunk.len();
+            let a = &self.data[off..off + len];
+            let b = &other.data[off..off + len];
+            for ((o, &av), &bv) in chunk.iter_mut().zip(a).zip(b) {
+                *o = f(av, bv);
+            }
+        });
+        out
     }
 
     /// `self += other` elementwise.
     pub fn add_assign(&mut self, other: &NdArray) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        pool::current().par_chunks_mut(&mut self.data, 1, PAR_ELEMS_PER_TASK, |off, chunk| {
+            let len = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+                *a += b;
+            }
+        });
     }
 
     /// `self += s * other` elementwise (axpy).
     pub fn axpy(&mut self, s: f32, other: &NdArray) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        pool::current().par_chunks_mut(&mut self.data, 1, PAR_ELEMS_PER_TASK, |off, chunk| {
+            let len = chunk.len();
+            axpy8(chunk, s, &other.data[off..off + len]);
+        });
     }
 
     /// Multiplies every element by `s` in place.
     pub fn scale_inplace(&mut self, s: f32) {
-        for v in &mut self.data {
-            *v *= s;
-        }
+        pool::current().par_chunks_mut(&mut self.data, 1, PAR_ELEMS_PER_TASK, |_, chunk| {
+            for v in chunk {
+                *v *= s;
+            }
+        });
     }
 
     /// Sets every element to zero, keeping the allocation.
@@ -251,25 +352,33 @@ impl NdArray {
     }
 
     /// Matrix product `self · other` (`[n,k] · [k,m] → [n,m]`), cache-blocked
-    /// `ikj` ordering so the inner loop is a contiguous axpy.
+    /// `ikj` ordering so the inner loop is a contiguous unrolled axpy;
+    /// row-partitioned across the worker pool for large shapes.
     pub fn matmul(&self, other: &NdArray) -> NdArray {
         let (n, k) = self.shape;
         let (k2, m) = other.shape;
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
         let mut out = NdArray::zeros(n, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let o_row = &mut out.data[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(kk);
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if out.data.is_empty() {
+            return out;
+        }
+        // Skipping zero left-operand entries is a big win for the one-hot
+        // rows message passing produces, but `0 × NaN`/`0 × Inf` must stay
+        // NaN for the divergence guards — so the fast path is only taken
+        // when the right operand is known finite.
+        let skip_zeros = !other.has_non_finite();
+        let min_rows = PAR_FLOPS_PER_TASK.div_ceil(k * m + 1).max(1);
+        pool::current().par_chunks_mut(&mut out.data, m, min_rows, |row0, chunk| {
+            for (ri, o_row) in chunk.chunks_exact_mut(m).enumerate() {
+                let a_row = self.row(row0 + ri);
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if skip_zeros && a == 0.0 {
+                        continue;
+                    }
+                    axpy8(o_row, a, other.row(kk));
                 }
             }
-        }
+        });
         out
     }
 
@@ -282,18 +391,25 @@ impl NdArray {
         let (m, k2) = other.shape;
         assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
         let mut out = NdArray::zeros(n, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let o_row = &mut out.data[i * m..(i + 1) * m];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if out.data.is_empty() {
+            return out;
         }
+        // Inference (`no_grad`) takes the 8-lane blocked dot; while gradients
+        // are recorded we keep the historical serial summation order so the
+        // training trajectory is bit-for-bit stable across releases. The
+        // mode is captured on the dispatching thread before fan-out, so all
+        // tasks of one call agree regardless of the partition.
+        let blocked = !crate::tensor::grad_enabled();
+        let min_rows = PAR_FLOPS_PER_TASK.div_ceil(k * m + 1).max(1);
+        pool::current().par_chunks_mut(&mut out.data, m, min_rows, |row0, chunk| {
+            for (ri, o_row) in chunk.chunks_exact_mut(m).enumerate() {
+                let a_row = self.row(row0 + ri);
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    *o = if blocked { dot8(a_row, b_row) } else { dot_serial(a_row, b_row) };
+                }
+            }
+        });
         out
     }
 
@@ -304,34 +420,53 @@ impl NdArray {
         let (n2, m) = other.shape;
         assert_eq!(n, n2, "matmul_tn outer dims {n} vs {n2}");
         let mut out = NdArray::zeros(k, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let b_row = other.row(i);
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[kk * m..(kk + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if out.data.is_empty() {
+            return out;
+        }
+        // Same finiteness gate as `matmul`: zero gradients are common
+        // (sliced columns), but a zero must not silently absorb NaN/Inf.
+        let skip_zeros = !other.has_non_finite();
+        // Partitioned over *output* rows (columns of self); every task
+        // walks i = 0..n in order, so per-destination accumulation order
+        // matches the serial kernel exactly.
+        let min_rows = PAR_FLOPS_PER_TASK.div_ceil(n * m + 1).max(1);
+        pool::current().par_chunks_mut(&mut out.data, m, min_rows, |k0, chunk| {
+            for i in 0..n {
+                let a_row = self.row(i);
+                let b_row = other.row(i);
+                for (ri, o_row) in chunk.chunks_exact_mut(m).enumerate() {
+                    let a = a_row[k0 + ri];
+                    if skip_zeros && a == 0.0 {
+                        continue;
+                    }
+                    axpy8(o_row, a, b_row);
                 }
             }
-        }
+        });
         out
     }
 
-    /// Gathers rows by index: `out[i] = self[idx[i]]`.
+    /// Gathers rows by index: `out[i] = self[idx[i]]`; output-row
+    /// partitioned across the pool for large gathers.
     pub fn gather_rows(&self, idx: &[u32]) -> NdArray {
         let c = self.cols();
         let mut out = NdArray::zeros(idx.len(), c);
-        for (i, &r) in idx.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r as usize));
+        if out.data.is_empty() {
+            return out;
         }
+        let min_rows = PAR_ELEMS_PER_TASK.div_ceil(c).max(1);
+        pool::current().par_chunks_mut(&mut out.data, c, min_rows, |row0, chunk| {
+            for (ri, o_row) in chunk.chunks_exact_mut(c).enumerate() {
+                o_row.copy_from_slice(self.row(idx[row0 + ri] as usize));
+            }
+        });
         out
     }
 
     /// Scatter-add of rows: `out[idx[i]] += self[i]`, with `out` having
-    /// `out_rows` rows.
+    /// `out_rows` rows. Deliberately serial: destinations collide under
+    /// arbitrary `idx`, and the per-destination accumulation order is part
+    /// of the determinism contract.
     pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> NdArray {
         assert_eq!(idx.len(), self.rows(), "scatter idx len");
         let c = self.cols();
@@ -492,5 +627,59 @@ mod tests {
         let b = NdArray::from_vec(vec![1.0, 2.0, 3.0], &[3]);
         a.axpy(2.0, &b);
         assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    // ---- NaN/Inf propagation regression tests -----------------------------
+    // The zero-skip fast path used to turn `0 × NaN` / `0 × Inf` into `0.0`,
+    // silently defeating the release-mode divergence guards. The skip is now
+    // gated on the right operand being finite.
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_rows() {
+        let a = NdArray::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let b = NdArray::from_vec(vec![f32::NAN, 1.0, 2.0, 3.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0 × NaN must stay NaN, got {:?}", c.as_slice());
+        // the all-finite column still follows IEEE: 0×1 + 0×3 = 0
+        assert_eq!(c.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matmul_propagates_inf_through_zero_rows() {
+        let a = NdArray::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = NdArray::from_vec(vec![f32::INFINITY, 0.0, 1.0, 1.0], &[2, 2]);
+        let c = a.matmul(&b);
+        // 0 × Inf = NaN, then NaN + 1 = NaN
+        assert!(c.get(0, 0).is_nan(), "0 × Inf must produce NaN, got {:?}", c.as_slice());
+    }
+
+    #[test]
+    fn matmul_tn_propagates_nan_through_zero_columns() {
+        // selfᵀ · other with a zero column in self and NaN in other
+        let a = NdArray::from_vec(vec![0.0, 0.0], &[2, 1]);
+        let b = NdArray::from_vec(vec![f32::NAN, 1.0], &[2, 1]);
+        let c = a.matmul_tn(&b);
+        assert!(c.get(0, 0).is_nan(), "0 × NaN must stay NaN, got {:?}", c.as_slice());
+    }
+
+    #[test]
+    fn matmul_zero_skip_still_exact_on_finite_inputs() {
+        // sparse one-hot row times a finite table: the fast path must give
+        // exactly the gathered row
+        let mut onehot = NdArray::zeros(1, 3);
+        onehot.set(0, 2, 1.0);
+        let table = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.5, -6.25], &[3, 2]);
+        let c = onehot.matmul(&table);
+        assert_eq!(c.as_slice(), &[5.5, -6.25]);
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        let mut a = NdArray::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a.set(1, 1, f32::NEG_INFINITY);
+        assert!(a.has_non_finite());
+        a.set(1, 1, f32::NAN);
+        assert!(a.has_non_finite());
     }
 }

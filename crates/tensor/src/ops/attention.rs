@@ -61,23 +61,39 @@ impl Tensor {
         })
     }
 
-    /// Dense row-wise softmax of a `[n, c]` matrix.
+    /// Dense row-wise softmax of a `[n, c]` matrix. The forward pass is
+    /// row-parallel: each row's max/sum reduction happens entirely within
+    /// one task in serial order, so results are bit-identical for every
+    /// thread count. (`segment_softmax` above stays serial: its segments
+    /// span arbitrary row subsets, so a row partition would change the
+    /// denominator accumulation order.)
     pub fn softmax_rows(&self) -> Tensor {
         let x = self.value();
         let (n, c) = x.shape();
         let mut out = NdArray::zeros(n, c);
-        for i in 0..n {
-            let row = x.row(i);
-            let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for (o, &v) in out.row_mut(i).iter_mut().zip(row) {
-                let e = (v - mx).exp();
-                *o = e;
-                sum += e;
-            }
-            for o in out.row_mut(i) {
-                *o /= sum;
-            }
+        if !out.is_empty() {
+            let x_ref: &NdArray = &x;
+            let min_rows = (16 * 1024usize).div_ceil(c + 1).max(1);
+            hisres_util::pool::current().par_chunks_mut(
+                out.as_mut_slice(),
+                c,
+                min_rows,
+                |row0, chunk| {
+                    for (ri, orow) in chunk.chunks_exact_mut(c).enumerate() {
+                        let row = x_ref.row(row0 + ri);
+                        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let mut sum = 0.0;
+                        for (o, &v) in orow.iter_mut().zip(row) {
+                            let e = (v - mx).exp();
+                            *o = e;
+                            sum += e;
+                        }
+                        for o in orow.iter_mut() {
+                            *o /= sum;
+                        }
+                    }
+                },
+            );
         }
         drop(x);
         let saved = out.clone();

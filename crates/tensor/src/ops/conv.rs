@@ -27,26 +27,40 @@ impl Tensor {
         let pad = k / 2;
 
         let mut out = NdArray::zeros(b, c_out * l);
-        for bi in 0..b {
-            let xrow = x.row(bi);
-            let orow = out.row_mut(bi);
-            for co in 0..c_out {
-                let wrow = w.row(co);
-                for pos in 0..l {
-                    let mut acc = 0.0;
-                    for ci in 0..c_in {
-                        let xc = &xrow[ci * l..(ci + 1) * l];
-                        let wc = &wrow[ci * k..(ci + 1) * k];
-                        for (kk, &wv) in wc.iter().enumerate() {
-                            let ip = pos + kk;
-                            if ip >= pad && ip - pad < l {
-                                acc += wv * xc[ip - pad];
+        // Forward pass is batch-row parallel: each output row depends only
+        // on its own input row, so the partition cannot change results.
+        if !out.is_empty() {
+            let x_ref: &NdArray = &x;
+            let w_ref: &NdArray = &w;
+            let row_flops = c_out * l * c_in * k;
+            let min_rows = (16 * 1024usize).div_ceil(row_flops + 1).max(1);
+            hisres_util::pool::current().par_chunks_mut(
+                out.as_mut_slice(),
+                c_out * l,
+                min_rows,
+                |row0, chunk| {
+                    for (ri, orow) in chunk.chunks_exact_mut(c_out * l).enumerate() {
+                        let xrow = x_ref.row(row0 + ri);
+                        for co in 0..c_out {
+                            let wrow = w_ref.row(co);
+                            for pos in 0..l {
+                                let mut acc = 0.0;
+                                for ci in 0..c_in {
+                                    let xc = &xrow[ci * l..(ci + 1) * l];
+                                    let wc = &wrow[ci * k..(ci + 1) * k];
+                                    for (kk, &wv) in wc.iter().enumerate() {
+                                        let ip = pos + kk;
+                                        if ip >= pad && ip - pad < l {
+                                            acc += wv * xc[ip - pad];
+                                        }
+                                    }
+                                }
+                                orow[co * l + pos] = acc;
                             }
                         }
                     }
-                    orow[co * l + pos] = acc;
-                }
-            }
+                },
+            );
         }
         drop((x, w));
         let (xs, ws) = (self.clone(), weight.clone());

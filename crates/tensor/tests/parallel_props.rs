@@ -1,0 +1,203 @@
+//! Cross-thread-count determinism: every parallel kernel must produce
+//! **bit-identical** output for every worker-pool size. The partition
+//! decides who computes an element, never how — these tests hold the
+//! kernels to that contract, including on shapes that straddle the
+//! inline/parallel cutoffs (tiny, empty, fewer rows than workers).
+//!
+//! Comparisons go through `f32::to_bits` rather than `==` so that a NaN
+//! produced on one thread count must be reproduced exactly on every other.
+
+use hisres_tensor::{no_grad, NdArray, Tensor};
+use hisres_util::check::vec;
+use hisres_util::pool::with_threads;
+use hisres_util::{prop_assert, props};
+
+/// Thread counts swept against the single-threaded reference: even,
+/// power-of-two, and an odd count that never divides the shapes evenly.
+const SWEEP: [usize; 3] = [2, 4, 7];
+
+fn bits_eq(a: &NdArray, b: &NdArray) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs `f` at 1 thread and at every [`SWEEP`] count, asserting bitwise
+/// identity; returns the reference result for further checks.
+fn assert_thread_invariant(what: &str, f: impl Fn() -> NdArray) -> NdArray {
+    let base = with_threads(1, &f);
+    for t in SWEEP {
+        let got = with_threads(t, &f);
+        assert!(
+            bits_eq(&base, &got),
+            "{what}: {t}-thread result differs bitwise from single-threaded"
+        );
+    }
+    base
+}
+
+props! {
+    cases = 32;
+
+    // 1..=32 keeps a mix of shapes below and above the 16K-flop parallel
+    // cutoff, so both the inline and the fan-out paths are exercised.
+    fn matmul_bitwise_identical_across_thread_counts(
+        dims in (1usize..=32, 1usize..=32, 1usize..=32),
+        a_buf in vec(-2.0f32..2.0, 32 * 32),
+        b_buf in vec(-2.0f32..2.0, 32 * 32),
+    ) {
+        let (n, k, m) = dims;
+        let a = NdArray::from_vec(a_buf[..n * k].to_vec(), &[n, k]);
+        let b = NdArray::from_vec(b_buf[..k * m].to_vec(), &[k, m]);
+        let base = with_threads(1, || a.matmul(&b));
+        for t in SWEEP {
+            prop_assert!(bits_eq(&base, &with_threads(t, || a.matmul(&b))));
+        }
+    }
+
+    // Covers both dot kernels: grad-mode (serial-order) and no_grad
+    // (8-lane blocked) must each be thread-count invariant.
+    fn matmul_nt_bitwise_identical_in_both_grad_modes(
+        dims in (1usize..=32, 1usize..=32, 1usize..=32),
+        a_buf in vec(-2.0f32..2.0, 32 * 32),
+        b_buf in vec(-2.0f32..2.0, 32 * 32),
+    ) {
+        let (n, k, m) = dims;
+        let a = NdArray::from_vec(a_buf[..n * k].to_vec(), &[n, k]);
+        let b = NdArray::from_vec(b_buf[..m * k].to_vec(), &[m, k]);
+        let grad_base = with_threads(1, || a.matmul_nt(&b));
+        let infer_base = no_grad(|| with_threads(1, || a.matmul_nt(&b)));
+        for t in SWEEP {
+            prop_assert!(bits_eq(&grad_base, &with_threads(t, || a.matmul_nt(&b))));
+            prop_assert!(bits_eq(&infer_base, &no_grad(|| with_threads(t, || a.matmul_nt(&b)))));
+        }
+    }
+
+    fn matmul_tn_bitwise_identical_across_thread_counts(
+        dims in (1usize..=32, 1usize..=32, 1usize..=32),
+        a_buf in vec(-2.0f32..2.0, 32 * 32),
+        b_buf in vec(-2.0f32..2.0, 32 * 32),
+    ) {
+        let (n, k, m) = dims;
+        let a = NdArray::from_vec(a_buf[..n * k].to_vec(), &[n, k]);
+        let b = NdArray::from_vec(b_buf[..n * m].to_vec(), &[n, m]);
+        let base = with_threads(1, || a.matmul_tn(&b));
+        for t in SWEEP {
+            prop_assert!(bits_eq(&base, &with_threads(t, || a.matmul_tn(&b))));
+        }
+    }
+
+    fn elementwise_kernels_bitwise_identical_across_thread_counts(
+        dims in (1usize..=40, 1usize..=40),
+        a_buf in vec(-3.0f32..3.0, 40 * 40),
+        b_buf in vec(-3.0f32..3.0, 40 * 40),
+        s in -2.0f32..2.0,
+    ) {
+        let (r, c) = dims;
+        let a = NdArray::from_vec(a_buf[..r * c].to_vec(), &[r, c]);
+        let b = NdArray::from_vec(b_buf[..r * c].to_vec(), &[r, c]);
+        let base_map = with_threads(1, || a.map(|v| v.tanh()));
+        let base_zip = with_threads(1, || a.zip(&b, |x, y| x * y + s));
+        let base_axpy = with_threads(1, || { let mut o = a.clone(); o.axpy(s, &b); o });
+        for t in SWEEP {
+            prop_assert!(bits_eq(&base_map, &with_threads(t, || a.map(|v| v.tanh()))));
+            prop_assert!(bits_eq(&base_zip, &with_threads(t, || a.zip(&b, |x, y| x * y + s))));
+            prop_assert!(bits_eq(
+                &base_axpy,
+                &with_threads(t, || { let mut o = a.clone(); o.axpy(s, &b); o })
+            ));
+        }
+    }
+
+    fn gather_rows_bitwise_identical_across_thread_counts(
+        table in vec(-3.0f32..3.0, 16 * 8),
+        idx in vec(0u32..16, 37),
+    ) {
+        let table = NdArray::from_vec(table, &[16, 8]);
+        let base = with_threads(1, || table.gather_rows(&idx));
+        for t in SWEEP {
+            prop_assert!(bits_eq(&base, &with_threads(t, || table.gather_rows(&idx))));
+        }
+    }
+}
+
+/// Big enough that every kernel is actually forked (several tasks per
+/// call), not just eligible for forking.
+#[test]
+fn large_shapes_cross_the_parallel_cutoff_and_stay_bitwise_identical() {
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 40) as f32 / 8388608.0 - 1.0
+    };
+    let a = NdArray::from_vec((0..96 * 80).map(|_| next()).collect(), &[96, 80]);
+    let b = NdArray::from_vec((0..80 * 96).map(|_| next()).collect(), &[80, 96]);
+    let bt = NdArray::from_vec((0..96 * 80).map(|_| next()).collect(), &[96, 80]);
+    let big = NdArray::from_vec((0..256 * 256).map(|_| next()).collect(), &[256, 256]);
+    let big2 = NdArray::from_vec((0..256 * 256).map(|_| next()).collect(), &[256, 256]);
+    assert_thread_invariant("matmul 96x80x96", || a.matmul(&b));
+    assert_thread_invariant("matmul_nt grad", || a.matmul_nt(&bt));
+    assert_thread_invariant("matmul_nt no_grad", || no_grad(|| a.matmul_nt(&bt)));
+    assert_thread_invariant("matmul_tn", || b.matmul_tn(&a.transpose()));
+    assert_thread_invariant("map 256x256", || big.map(|v| (v * 1.7).sin()));
+    assert_thread_invariant("zip 256x256", || big.zip(&big2, |x, y| x.mul_add(y, 0.25)));
+    assert_thread_invariant("add_assign 256x256", || {
+        let mut o = big.clone();
+        o.add_assign(&big2);
+        o
+    });
+    let idx: Vec<u32> = (0..3000u32).map(|i| (i * 37) % 256).collect();
+    assert_thread_invariant("gather_rows 3000x256", || big.gather_rows(&idx));
+}
+
+#[test]
+fn forward_ops_above_the_kernel_layer_are_thread_invariant() {
+    let mut v = -1.0f32;
+    let mut next = move || {
+        v = (v * 3.9).sin();
+        v
+    };
+    let x = NdArray::from_vec((0..256 * 128).map(|_| next()).collect(), &[256, 128]);
+    let w = NdArray::from_vec((0..4 * 2 * 3).map(|_| next()).collect(), &[4, 6]);
+    assert_thread_invariant("conv1d_same forward", || {
+        let xs = Tensor::constant(x.clone());
+        let ws = Tensor::constant(w.clone());
+        no_grad(|| xs.conv1d_same(&ws, 2, 3)).value_clone()
+    });
+    assert_thread_invariant("softmax_rows forward", || {
+        let xs = Tensor::constant(x.clone());
+        no_grad(|| xs.softmax_rows()).value_clone()
+    });
+}
+
+#[test]
+fn degenerate_shapes_are_thread_invariant() {
+    // empty output: 0-row product
+    let a0 = NdArray::zeros(0, 5);
+    let b = NdArray::full(5, 3, 1.25);
+    assert_thread_invariant("matmul 0x5x3", || a0.matmul(&b));
+    // 1x1 everything
+    let s = NdArray::scalar(2.5);
+    assert_thread_invariant("matmul 1x1", || s.matmul(&NdArray::scalar(-3.0)));
+    // fewer rows than workers (7-thread sweep over 3 rows)
+    let a = NdArray::from_vec((0..3 * 4).map(|i| i as f32).collect(), &[3, 4]);
+    let c = NdArray::from_vec((0..4 * 2).map(|i| 0.5 * i as f32).collect(), &[4, 2]);
+    assert_thread_invariant("matmul rows<workers", || a.matmul(&c));
+    assert_thread_invariant("gather empty idx", || b.gather_rows(&[]));
+}
+
+#[test]
+fn nan_payloads_survive_identically_on_every_thread_count() {
+    // NaN-poisoned operand exercises the gated zero-skip path: the result
+    // (NaN propagation included) must not depend on the thread count.
+    let mut a = NdArray::zeros(24, 24);
+    a.as_mut_slice()[5] = f32::NAN;
+    a.as_mut_slice()[100] = f32::INFINITY;
+    let b = NdArray::full(24, 24, 0.5);
+    let base = assert_thread_invariant("matmul with NaN/Inf", || b.matmul(&a));
+    assert!(base.as_slice().iter().any(|v| v.is_nan()), "NaN must propagate");
+}

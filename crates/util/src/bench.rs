@@ -63,6 +63,80 @@ impl Criterion {
     }
 }
 
+/// One benchmark's summary statistics, in nanoseconds — the programmatic
+/// (machine-readable) counterpart of the printed report line, serialised
+/// into `BENCH_*.json` perf-trajectory files.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Threads the timed kernel was allowed to use.
+    pub threads: usize,
+    /// Median of the per-iteration sample times.
+    pub median_ns: f64,
+    /// Standard deviation of the samples.
+    pub stddev_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations batched into each timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+crate::impl_json!(BenchStats {
+    name,
+    threads,
+    median_ns,
+    stddev_ns,
+    min_ns,
+    max_ns,
+    iters_per_sample,
+    samples
+});
+
+impl BenchStats {
+    /// `name  median ± stddev  [min .. max]` as a human-readable line.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<36} {:>2}T  median {:>12}  ± {:>10}  range [{} .. {}]",
+            self.name,
+            self.threads,
+            fmt_duration(Duration::from_nanos(self.median_ns as u64)),
+            fmt_duration(Duration::from_nanos(self.stddev_ns as u64)),
+            fmt_duration(Duration::from_nanos(self.min_ns as u64)),
+            fmt_duration(Duration::from_nanos(self.max_ns as u64)),
+        )
+    }
+}
+
+/// Times `f` with the same warm-up + calibration + median-of-samples
+/// methodology as [`Criterion`], but returns the statistics instead of
+/// printing them — the entry point for benchmark binaries that emit
+/// `BENCH_*.json` files. `threads` is recorded verbatim in the result.
+pub fn time_fn<T>(
+    name: &str,
+    threads: usize,
+    config: &Criterion,
+    mut f: impl FnMut() -> T,
+) -> BenchStats {
+    let mut b = Bencher { config: config.clone(), report: None };
+    b.iter(&mut f);
+    let r = b.report.expect("iter records a report");
+    BenchStats {
+        name: name.to_owned(),
+        threads,
+        median_ns: r.median.as_nanos() as f64,
+        stddev_ns: r.stddev.as_nanos() as f64,
+        min_ns: r.min.as_nanos() as f64,
+        max_ns: r.max.as_nanos() as f64,
+        iters_per_sample: r.iters_per_sample,
+        samples: config.sample_size,
+    }
+}
+
 /// Handed to the benchmark closure; call [`Bencher::iter`] with the body to
 /// measure.
 pub struct Bencher {

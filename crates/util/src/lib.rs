@@ -12,6 +12,7 @@
 //! | [`bench`] | `criterion` | warm-up + median-of-N timer with a criterion-shaped builder API and `criterion_group!`/`criterion_main!` |
 //! | [`fsio`] | `tempfile`/`atomicwrites` | atomic temp-file + fsync + rename writes, a versioned + checksummed checkpoint envelope, and scripted fault injection (writes *and* reads) for crash tests |
 //! | [`retry`] | `backoff`/`retry` | bounded retry with deterministic exponential backoff and a caller-supplied transient-error predicate |
+//! | [`pool`] | `rayon` | persistent worker pool (`std::thread` + channels), disjoint-output `par_chunks_mut` partitioning that is bit-identical across thread counts, `HISRES_THREADS`/`--threads` sizing, scoped `with_threads` overrides |
 //!
 //! Beyond removing the network from the build, owning the PRNG makes seeded
 //! randomness an explicit reproducibility contract: the synthetic datasets,
@@ -22,5 +23,6 @@ pub mod bench;
 pub mod check;
 pub mod fsio;
 pub mod json;
+pub mod pool;
 pub mod retry;
 pub mod rng;

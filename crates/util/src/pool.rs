@@ -1,0 +1,461 @@
+//! A deterministic data-parallel worker pool — the workspace's `rayon`
+//! replacement, built from `std::thread` + channels only.
+//!
+//! # Determinism contract
+//!
+//! Every parallel primitive here partitions the **output** into disjoint
+//! contiguous chunks; each chunk is computed by exactly one task, in the
+//! same element order a serial run would use, and no primitive performs a
+//! cross-task floating-point reduction. A kernel built on this API
+//! therefore produces **bit-identical** results for every thread count
+//! (1, 2, 7, …) — the partition decides *who* computes an element, never
+//! *how* it is computed. `crates/tensor/tests/parallel_props.rs` asserts
+//! this across thread counts for every parallel kernel.
+//!
+//! # Sizing
+//!
+//! The process-wide pool is sized, in priority order, by
+//! [`set_global_threads`] (the CLI's `--threads`), the `HISRES_THREADS`
+//! environment variable, and `std::thread::available_parallelism()`.
+//! A size of 1 spawns no worker threads at all: every primitive then runs
+//! inline on the caller, which is exactly the pre-pool serial behaviour.
+//!
+//! # Nesting
+//!
+//! Tasks that themselves call into the pool (a parallel kernel invoked
+//! from inside another parallel region, or from a worker thread) run
+//! serially instead of re-entering the pool. This keeps the thread budget
+//! bounded and cannot change results — see the determinism contract.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+enum Msg {
+    Job(Job),
+    Shutdown,
+}
+
+/// A persistent pool of `threads - 1` worker threads; the caller of each
+/// parallel call is the remaining thread and always participates.
+pub struct Pool {
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+/// Counts outstanding remote jobs of one parallel call and stores the
+/// first panic payload so the caller can re-raise it.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState { remaining, panic: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn done(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.remaining > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.panic.take()
+    }
+}
+
+thread_local! {
+    /// True on pool worker threads: nested parallel calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Depth of parallel calls on this thread: the caller's own share of a
+    /// parallel region must not re-enter the pool either.
+    static RUN_DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Scoped pool overrides installed by [`with_threads`].
+    static OVERRIDE: RefCell<Vec<Arc<Pool>>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Pool {
+    /// Builds a pool that runs parallel calls on `threads` threads in
+    /// total (the caller plus `threads - 1` spawned workers). `threads`
+    /// of 0 is treated as 1; 1 spawns nothing and runs everything inline.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads - 1);
+        let mut handles = Vec::with_capacity(threads - 1);
+        for i in 0..threads - 1 {
+            let (tx, rx) = channel::<Msg>();
+            let handle = std::thread::Builder::new()
+                .name(format!("hisres-pool-{i}"))
+                .spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Job(job) => job(),
+                            Msg::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn hisres pool worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Pool { senders, handles, threads }
+    }
+
+    /// Total threads a parallel call may use (caller included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs all `tasks` to completion, the caller executing the first one
+    /// while workers take the rest. Panics in any task are re-raised on
+    /// the caller **after** every task has finished, so borrows captured
+    /// by the tasks stay valid for their full execution.
+    pub fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let nested = IN_WORKER.with(Cell::get) || RUN_DEPTH.with(Cell::get) > 0;
+        if tasks.len() == 1 || self.senders.is_empty() || nested {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+
+        RUN_DEPTH.with(|d| d.set(d.get() + 1));
+        struct DepthGuard;
+        impl Drop for DepthGuard {
+            fn drop(&mut self) {
+                RUN_DEPTH.with(|d| d.set(d.get() - 1));
+            }
+        }
+        let _depth = DepthGuard;
+
+        let latch = Latch::new(tasks.len() - 1);
+        let mut tasks = tasks.into_iter();
+        let local = tasks.next().expect("len checked above");
+        for (i, task) in tasks.enumerate() {
+            let l: &Latch = &latch;
+            let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                l.done(result.err());
+            });
+            // SAFETY: the job borrows `latch` and data of lifetime 'scope.
+            // Both outlive the job because this function does not return —
+            // not even by unwinding, thanks to the catch_unwind below —
+            // until `latch.wait()` has observed every remote job complete.
+            let wrapped: Job = unsafe { std::mem::transmute(wrapped) };
+            self.senders[i % self.senders.len()]
+                .send(Msg::Job(wrapped))
+                .expect("pool worker outlives the pool");
+        }
+        let local_result = catch_unwind(AssertUnwindSafe(local));
+        let remote_panic = latch.wait();
+        if let Err(p) = local_result {
+            resume_unwind(p);
+        }
+        if let Some(p) = remote_panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Splits `data` into per-task contiguous chunks of whole `unit`s and
+    /// calls `f(first_unit_index, chunk)` on each chunk in parallel.
+    ///
+    /// `unit` is the elements per indivisible row (pass the column count
+    /// to split a matrix by rows, 1 for a flat buffer); `data.len()` must
+    /// be a multiple of it. Tasks are only forked while each would keep
+    /// at least `min_units_per_task` units, so small inputs run inline
+    /// with zero overhead. Chunks are disjoint `&mut` slices: element
+    /// results cannot depend on the partition, which is what makes every
+    /// kernel built on this bit-identical across thread counts.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], unit: usize, min_units_per_task: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(unit >= 1, "unit must be at least 1");
+        assert_eq!(data.len() % unit, 0, "data not a whole number of units");
+        let total_units = data.len() / unit;
+        if total_units == 0 {
+            return;
+        }
+        let min_units = min_units_per_task.max(1);
+        let tasks = self
+            .threads
+            .min(total_units.div_ceil(min_units))
+            .max(1);
+        if tasks == 1 {
+            f(0, data);
+            return;
+        }
+        let per_task = total_units.div_ceil(tasks);
+        let mut boxed: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(tasks);
+        let mut rest = data;
+        let mut offset = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = (per_task * unit).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let first_unit = offset;
+            boxed.push(Box::new(move || f(first_unit, chunk)));
+            offset += take / unit;
+            rest = tail;
+        }
+        self.run(boxed);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+static SERIAL: OnceLock<Arc<Pool>> = OnceLock::new();
+static REQUESTED: Mutex<Option<usize>> = Mutex::new(None);
+
+fn env_threads() -> Option<usize> {
+    std::env::var("HISRES_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn default_threads() -> usize {
+    if let Some(n) = *REQUESTED.lock().unwrap_or_else(|e| e.into_inner()) {
+        return n;
+    }
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Requests a size for the process-wide pool (the CLI's `--threads`).
+/// Must run before the first parallel kernel call; returns `false` if the
+/// global pool was already built (the request then has no effect).
+pub fn set_global_threads(threads: usize) -> bool {
+    *REQUESTED.lock().unwrap_or_else(|e| e.into_inner()) = Some(threads.max(1));
+    match GLOBAL.get() {
+        None => true,
+        Some(pool) => pool.threads() == threads.max(1),
+    }
+}
+
+/// The process-wide pool, built on first use.
+pub fn global() -> &'static Arc<Pool> {
+    GLOBAL.get_or_init(|| Arc::new(Pool::new(default_threads())))
+}
+
+fn serial() -> Arc<Pool> {
+    SERIAL.get_or_init(|| Arc::new(Pool::new(1))).clone()
+}
+
+/// The pool the current thread's kernels should use: a [`with_threads`]
+/// override if one is installed, the serial pool on worker threads
+/// (nested parallelism runs inline), otherwise the global pool.
+pub fn current() -> Arc<Pool> {
+    if IN_WORKER.with(Cell::get) {
+        return serial();
+    }
+    OVERRIDE
+        .with(|o| o.borrow().last().cloned())
+        .unwrap_or_else(|| global().clone())
+}
+
+/// Number of threads [`current`] would give a parallel kernel right now.
+pub fn current_threads() -> usize {
+    current().threads()
+}
+
+/// Runs `f` with every parallel kernel on this thread using a temporary
+/// pool of exactly `threads` threads — the hook the thread-count
+/// determinism property tests and the kernel bench sweep are built on.
+/// The temporary pool is joined when `f` returns (or panics).
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = Arc::new(Pool::new(threads));
+    OVERRIDE.with(|o| o.borrow_mut().push(pool));
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| {
+                o.borrow_mut().pop();
+            });
+        }
+    }
+    let _guard = PopGuard;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut data = vec![0u32; 10];
+        pool.par_chunks_mut(&mut data, 1, 1, |off, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (off + i) as u32;
+            }
+        });
+        assert_eq!(data, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_every_unit_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0u8; 103 * 3];
+            pool.par_chunks_mut(&mut data, 3, 1, |_, chunk| {
+                for v in chunk {
+                    *v += 1;
+                }
+            });
+            assert!(data.iter().all(|&v| v == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn min_units_keeps_small_inputs_on_one_task() {
+        let pool = Pool::new(4);
+        let mut touched = Vec::new();
+        let touched_cell = std::sync::Mutex::new(&mut touched);
+        let mut data = vec![0u32; 8];
+        pool.par_chunks_mut(&mut data, 1, 100, |off, chunk| {
+            touched_cell.lock().unwrap().push((off, chunk.len()));
+        });
+        assert_eq!(touched, vec![(0, 8)]);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let pool = Pool::new(4);
+        let mut data: Vec<f32> = Vec::new();
+        pool.par_chunks_mut(&mut data, 5, 1, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let reference: Vec<f32> = (0..1000).map(|i| (i as f32).sin() * 3.0).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let mut out = vec![0.0f32; 1000];
+            pool.par_chunks_mut(&mut out, 1, 1, |off, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = ((off + i) as f32).sin() * 3.0;
+                }
+            });
+            let same = out
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_after_all_tasks_finish() {
+        let pool = Pool::new(4);
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut data = vec![0u32; 4000];
+            pool.par_chunks_mut(&mut data, 1, 1, |off, chunk| {
+                done.fetch_add(chunk.len(), std::sync::atomic::Ordering::SeqCst);
+                if off == 0 {
+                    panic!("boom in task");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), 4000);
+        // pool is still usable afterwards
+        let mut data = vec![1u32; 16];
+        pool.par_chunks_mut(&mut data, 1, 1, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let pool = Arc::new(Pool::new(4));
+        let inner_pool = pool.clone();
+        let mut data = vec![0u32; 64];
+        pool.par_chunks_mut(&mut data, 1, 1, |_, chunk| {
+            // a kernel invoked from inside a parallel region
+            inner_pool.par_chunks_mut(chunk, 1, 1, |_, inner| {
+                for v in inner {
+                    *v += 1;
+                }
+            });
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn with_threads_overrides_current() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(5, || assert_eq!(current_threads(), 5));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn run_executes_heterogeneous_tasks() {
+        let pool = Pool::new(3);
+        let results = Mutex::new(vec![0u32; 3]);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+            .map(|i| {
+                let results = &results;
+                Box::new(move || {
+                    results.lock().unwrap()[i] = (i as u32 + 1) * 10;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(*results.lock().unwrap(), vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Kernel performance harness: builds and runs the `kernels` bench binary,
+# which sweeps the parallel tensor kernels over 1/2/4 worker threads plus
+# serial seed-reference kernels, and writes BENCH_kernels.json at the repo
+# root (atomic write; previous results are replaced).
+#
+#   scripts/bench.sh            full shapes (the EXPERIMENTS.md numbers)
+#   scripts/bench.sh --quick    CI-sized shapes, a few seconds end to end
+#
+# Extra arguments are passed through to the binary (e.g. --out FILE).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p hisres-bench --bin kernels
+target/release/kernels "$@"

@@ -125,4 +125,26 @@ for needle in \
 done
 echo "serve smoke test: OK (typed errors, budget degradation, stats, retried load)"
 
+# ---- thread-count determinism smoke test ------------------------------------
+# The data-parallel kernel layer must never change results: training the
+# same model at 1 and 4 worker threads must produce byte-identical
+# checkpoints.
+HISRES_THREADS=1 "$bin" train --data "$smoke/data" --dim 8 --epochs 2 \
+    --patience 0 --quiet --out "$smoke/t1.ckpt" 2>/dev/null
+HISRES_THREADS=4 "$bin" train --data "$smoke/data" --dim 8 --epochs 2 \
+    --patience 0 --quiet --out "$smoke/t4.ckpt" 2>/dev/null
+if ! cmp -s "$smoke/t1.ckpt" "$smoke/t4.ckpt"; then
+    echo "ERROR: training at HISRES_THREADS=1 vs =4 produced different" >&2
+    echo "checkpoints — the parallel kernels are not deterministic." >&2
+    exit 1
+fi
+echo "thread determinism smoke test: OK (1-thread == 4-thread checkpoint)"
+
+# ---- kernel bench smoke test ------------------------------------------------
+# A quick bench sweep must run end to end and emit a BENCH_kernels.json
+# that parses against the hisres_util::json schema (--check re-reads it).
+scripts/bench.sh --quick --out "$smoke/BENCH_kernels.json" >/dev/null
+target/release/kernels --check "$smoke/BENCH_kernels.json"
+echo "kernel bench smoke test: OK (quick sweep + JSON schema check)"
+
 echo "verify.sh: OK"

@@ -7,6 +7,7 @@ use hisres::trainer::{train, HisResEval};
 use hisres::{HisRes, HisResConfig, TrainConfig};
 use hisres_data::synthetic::{generate, SyntheticConfig};
 use hisres_data::DatasetSplits;
+use hisres_util::pool::with_threads;
 
 fn tiny_data(seed: u64) -> DatasetSplits {
     let cfg = SyntheticConfig {
@@ -64,4 +65,29 @@ fn same_seed_training_and_eval_are_bit_identical() {
     assert_eq!(losses_a, losses_b);
     assert_eq!(mrr_a.to_bits(), mrr_b.to_bits(), "MRR must match to the last bit");
     assert_eq!(hits_a, hits_b);
+}
+
+#[test]
+fn thread_count_never_changes_training_or_eval() {
+    // The data-parallel kernel layer must be invisible in the numbers:
+    // training + evaluation at 1, 2 and 7 worker threads produce the same
+    // parameter bits, the same losses and the same metrics.
+    let data = tiny_data(13);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let model = tiny_model(14);
+            let tc = TrainConfig { epochs: 2, lr: 0.01, patience: 0, ..Default::default() };
+            let report = train(&model, &data, &tc).unwrap();
+            let eval = evaluate(&HisResEval { model: &model }, &data, Split::Test);
+            (model.store.to_json(), report.epoch_losses, eval.mrr.to_bits(), eval.hits)
+        })
+    };
+    let baseline = run(1);
+    for threads in [2, 7] {
+        let got = run(threads);
+        assert_eq!(baseline.0, got.0, "{threads}-thread parameters diverged");
+        assert_eq!(baseline.1, got.1, "{threads}-thread losses diverged");
+        assert_eq!(baseline.2, got.2, "{threads}-thread MRR diverged");
+        assert_eq!(baseline.3, got.3, "{threads}-thread hits diverged");
+    }
 }
