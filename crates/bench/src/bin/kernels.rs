@@ -49,7 +49,7 @@ fn matmul_seed_reference(a: &NdArray, b: &NdArray) -> NdArray {
     for i in 0..n {
         let a_row = a.row(i);
         for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
+            if av == 0.0 { // lint:allow(float-eq): exact zero-skip fast path must match the kernel's bitwise check
                 continue;
             }
             let b_row = b.row(kk);

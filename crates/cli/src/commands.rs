@@ -397,6 +397,57 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `hisres lint` — run the workspace invariant checks (see `hisres-lint`).
+pub fn lint(args: &Args) -> CmdResult {
+    let deny_all = args.flag("deny-all");
+    let json = args.flag("json");
+    let out = args.get("out").map(std::path::PathBuf::from);
+    let root = match args.get("root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir()?;
+            hisres_lint::find_workspace_root(&cwd)
+                .ok_or_else(|| format!("no workspace root found above {}", cwd.display()))?
+        }
+    };
+    args.reject_unknown()?;
+    let report = hisres_lint::run(&root, &hisres_lint::Options { deny_all })?;
+    let rendered = if json {
+        report.to_json().to_json_string()
+    } else {
+        let mut s = String::new();
+        for d in &report.diagnostics {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "hisres lint: {} file(s), {} diagnostic(s), {} suppressed{}",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed,
+            if report.has_errors() { " — FAIL" } else { " — OK" }
+        ));
+        s
+    };
+    match &out {
+        Some(path) => atomic_write(path, rendered.as_bytes())?,
+        None => println!("{rendered}"),
+    }
+    if report.has_errors() {
+        return Err(format!(
+            "{} lint violation(s); see diagnostics above (suppress a safe use \
+             with `// lint:allow(<rule>): <reason>`)",
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == hisres_lint::diag::Severity::Error)
+                .count()
+        )
+        .into());
+    }
+    Ok(())
+}
+
 pub use eval_cmd as eval;
 pub use serve_cmd as serve;
 pub use train_cmd as train;

@@ -49,6 +49,10 @@ COMMANDS:
              --model FILE --data DIR|NAME [--listen ADDR] [--topk N=10]
              [--budget-ms F] [--max-poison N=3] [--load-retries N=3]
              [--max-conns N] [--inject-load-faults N]
+  lint       Check workspace source against the repo invariant rules
+             (panic-free serving, atomic writes, pool-only threading,
+             grad-path determinism, debug leftovers, float equality)
+             [--root DIR] [--deny-all] [--json] [--out FILE]
   help       Show this message
 
 GLOBAL OPTIONS (every command):
@@ -91,6 +95,7 @@ fn main() -> ExitCode {
         "eval" => commands::eval(&args),
         "predict" => commands::predict(&args),
         "serve" => commands::serve(&args),
+        "lint" => commands::lint(&args),
         other => Err(format!("unknown command {other:?}; try `hisres help`").into()),
     };
     match result {

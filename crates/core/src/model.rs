@@ -721,7 +721,7 @@ mod tests {
     fn load_checkpoint_rejects_garbage() {
         let path = std::env::temp_dir()
             .join(format!("hisres_bad_ckpt_{}.json", std::process::id()));
-        std::fs::write(&path, "{\"format\": \"other\"}").unwrap(); // fixture-write: ok
+        std::fs::write(&path, "{\"format\": \"other\"}").unwrap();
         let err = match HisRes::load_checkpoint(&path) {
             Err(e) => e,
             Ok(_) => panic!("garbage checkpoint loaded successfully"),

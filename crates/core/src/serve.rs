@@ -775,7 +775,7 @@ pub fn serve_tcp(
             .unwrap_or_else(|_| "<unknown>".into());
         let reader = std::io::BufReader::new(stream.try_clone()?);
         if let Err(e) = serve_lines(engine, reader, &stream) {
-            eprintln!("serve: connection {peer} dropped: {e}");
+            eprintln!("serve: connection {peer} dropped: {e}"); // lint:allow(no-debug-leftovers): operational log of a dropped TCP connection, not debug output
         }
         served += 1;
         if max_connections.is_some_and(|max| served >= max) {

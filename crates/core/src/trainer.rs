@@ -379,7 +379,7 @@ pub fn train_with(
             let res = evaluate(&HisResEval { model }, data, Split::Valid);
             report.val_mrr.push(res.mrr);
             if tc.verbose {
-                eprintln!("epoch {epoch}: loss {mean_loss:.4}, valid MRR {:.2}", res.mrr);
+                eprintln!("epoch {epoch}: loss {mean_loss:.4}, valid MRR {:.2}", res.mrr); // lint:allow(no-debug-leftovers): per-epoch progress line, gated by the --quiet flag
             }
             if res.mrr > report.best_val_mrr {
                 report.best_val_mrr = res.mrr;
@@ -392,7 +392,7 @@ pub fn train_with(
                 }
             }
         } else if tc.verbose {
-            eprintln!("epoch {epoch}: loss {mean_loss:.4}");
+            eprintln!("epoch {epoch}: loss {mean_loss:.4}"); // lint:allow(no-debug-leftovers): per-epoch progress line, gated by the --quiet flag
         }
 
         if let Some(good) = last_good.as_mut() {

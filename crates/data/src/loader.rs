@@ -342,9 +342,9 @@ mod tests {
     fn load_dir_round_trips_through_disk() {
         let dir = std::env::temp_dir().join(format!("hisres_loader_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("train.txt"), "0 0 1 0\n1 0 2 1\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("valid.txt"), "2 0 3 2\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("test.txt"), "3 0 0 3\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n1 0 2 1\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "2 0 3 2\n").unwrap();
+        std::fs::write(dir.join("test.txt"), "3 0 0 3\n").unwrap();
         let d = load_dir(&dir, "tiny", 1).unwrap();
         assert_eq!(d.num_entities(), 4);
         assert_eq!(d.num_relations(), 1);
@@ -368,9 +368,9 @@ mod tests {
     fn parse_error_names_file_and_line() {
         let dir = std::env::temp_dir().join(format!("hisres_loader_badline_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("valid.txt"), "0 0 1 0\nx y z w\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("test.txt"), "").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "0 0 1 0\nx y z w\n").unwrap();
+        std::fs::write(dir.join("test.txt"), "").unwrap();
         let err = load_dir(&dir, "tiny", 1).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("valid.txt"), "{msg}");
@@ -382,18 +382,18 @@ mod tests {
     fn undersized_stat_is_a_typed_inconsistency() {
         let dir = std::env::temp_dir().join(format!("hisres_loader_under_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("valid.txt"), "").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("test.txt"), "7 0 0 1\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("stat.txt"), "3 1\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "").unwrap();
+        std::fs::write(dir.join("test.txt"), "7 0 0 1\n").unwrap();
+        std::fs::write(dir.join("stat.txt"), "3 1\n").unwrap();
         let err = load_dir(&dir, "tiny", 1).unwrap_err();
         assert!(matches!(err, LoadError::Inconsistent { .. }), "{err:?}");
         let msg = err.to_string();
         assert!(msg.contains("stat.txt"), "{msg}");
         assert!(msg.contains("entity id 7"), "{msg}");
         // undersized relation count, entities fine
-        std::fs::write(dir.join("test.txt"), "2 5 0 1\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("stat.txt"), "10 2\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("test.txt"), "2 5 0 1\n").unwrap();
+        std::fs::write(dir.join("stat.txt"), "10 2\n").unwrap();
         let err = load_dir(&dir, "tiny", 1).unwrap_err();
         assert!(matches!(err, LoadError::Inconsistent { .. }), "{err:?}");
         assert!(err.to_string().contains("relation id 5"), "{err}");
@@ -404,10 +404,10 @@ mod tests {
     fn garbage_stat_error_names_the_file() {
         let dir = std::env::temp_dir().join(format!("hisres_loader_badstat_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("valid.txt"), "").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("test.txt"), "").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("stat.txt"), "lots of\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "").unwrap();
+        std::fs::write(dir.join("test.txt"), "").unwrap();
+        std::fs::write(dir.join("stat.txt"), "lots of\n").unwrap();
         let err = load_dir(&dir, "tiny", 1).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("stat.txt"), "{msg}");
@@ -419,10 +419,10 @@ mod tests {
     fn stat_file_overrides_inferred_counts() {
         let dir = std::env::temp_dir().join(format!("hisres_loader_stat_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("valid.txt"), "").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("test.txt"), "").unwrap(); // fixture-write: ok
-        std::fs::write(dir.join("stat.txt"), "100 30\n").unwrap(); // fixture-write: ok
+        std::fs::write(dir.join("train.txt"), "0 0 1 0\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "").unwrap();
+        std::fs::write(dir.join("test.txt"), "").unwrap();
+        std::fs::write(dir.join("stat.txt"), "100 30\n").unwrap();
         let d = load_dir(&dir, "tiny", 1).unwrap();
         assert_eq!(d.num_entities(), 100);
         assert_eq!(d.num_relations(), 30);

@@ -156,7 +156,7 @@ pub struct HistoryMask(pub Vec<f32>);
 impl HistoryMask {
     /// Number of historical objects marked.
     pub fn count(&self) -> usize {
-        self.0.iter().filter(|&&v| v != 0.0).count()
+        self.0.iter().filter(|&&v| v != 0.0).count() // lint:allow(float-eq): counts exactly-zero entries of a sparse co-occurrence row
     }
 }
 

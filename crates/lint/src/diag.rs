@@ -1,0 +1,69 @@
+//! Structured lint diagnostics with human and JSON renderings.
+
+use hisres_util::json::Value;
+use std::fmt;
+
+/// How severe a rule violation is. `--deny-all` escalates warnings to
+/// errors; only errors affect the process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation at a precise source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier, e.g. `panic-free-zone`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What the rule forbids and why, phrased for the human fixing it.
+    pub message: String,
+    /// The trimmed source line containing the violation.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: {}[{}]: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )?;
+        write!(f, "    | {}", self.snippet)
+    }
+}
+
+impl Diagnostic {
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("rule".into(), Value::Str(self.rule.into())),
+            ("severity".into(), Value::Str(self.severity.as_str().into())),
+            ("file".into(), Value::Str(self.file.clone())),
+            ("line".into(), Value::Num(self.line as f64)),
+            ("col".into(), Value::Num(self.col as f64)),
+            ("message".into(), Value::Str(self.message.clone())),
+            ("snippet".into(), Value::Str(self.snippet.clone())),
+        ])
+    }
+}

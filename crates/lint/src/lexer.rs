@@ -1,0 +1,472 @@
+//! A from-scratch Rust lexer, sufficient for token-aware lint rules.
+//!
+//! This is deliberately *not* a full `rustc` lexer: it has no notion of
+//! keywords, macros-by-example, or shebang/frontmatter handling. What it
+//! does get right are the cases that break naive `grep`-based guards:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), emitted as comment tokens so rules can skip them
+//!   while the suppression scanner can still read them;
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   with arbitrary hash fences (`r#"…"#`, `br##"…"##`) — a `.unwrap()`
+//!   *inside* a string must never trigger a rule;
+//! * char and byte literals, including `'"'`, `'\''` and `'\\'`;
+//! * lifetimes (`'a`, `'static`) disambiguated from char literals;
+//! * numeric literals with enough fidelity to classify floats
+//!   (`1.0`, `1.`, `1e-3`, `0.5f32`) apart from integers, ranges
+//!   (`0..n`) and tuple-field access (`pair.0`);
+//! * multi-char operators (`::`, `==`, `!=`, `..=`, `<<=`, …) grouped
+//!   longest-match-first so `==` is one token, never `=` `=`.
+//!
+//! Every token carries its 1-based `line` and `col` so diagnostics can
+//! point at the exact source location.
+
+use std::fmt;
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (including the quote).
+    Lifetime,
+    /// Char literal `'x'` or byte literal `b'x'`.
+    CharLit,
+    /// Cooked string `"…"` or byte string `b"…"`, escapes included verbatim.
+    Str,
+    /// Raw string `r"…"`/`r#"…"#` or raw byte string `br#"…"#`.
+    RawStr,
+    /// Integer or float literal, suffix included (`1.0f32`, `0xff_u8`).
+    Num,
+    /// Operator or punctuation, possibly multi-char (`::`, `==`, `..=`).
+    Punct,
+    /// `//`-style comment, text includes the slashes, excludes the newline.
+    LineComment,
+    /// `/* … */` comment (nesting allowed), text includes delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is source code (not a comment).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this numeric token is a float literal (`1.0`, `1.`, `2e5`,
+    /// `0.5f32`). Hex/octal/binary literals are never floats, and an `E`
+    /// inside `0xE0` is a hex digit, not an exponent.
+    pub fn is_float(&self) -> bool {
+        if self.kind != TokKind::Num {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("0b")
+            || t.starts_with("0B") || t.starts_with("0o") || t.starts_with("0O")
+        {
+            return false;
+        }
+        t.contains('.')
+            || t.contains(['e', 'E'])
+            || t.ends_with("f32")
+            || t.ends_with("f64")
+    }
+}
+
+/// A lexing failure (unterminated construct); points at the opening
+/// delimiter so the user can find the problem.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-char operators, longest first so the scanner can greedily match.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=",
+    "&&", "||", "<<", ">>", "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a [char],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes an entire source file into a token stream.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut cur = Cursor { src: &chars, pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let tok = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)?
+        } else if c == 'r' && is_raw_string_ahead(&cur, 1) {
+            cur.bump();
+            lex_raw_string(&mut cur, "r", line, col)?
+        } else if c == 'b' && cur.peek(1) == Some('r') && is_raw_string_ahead(&cur, 2) {
+            cur.bump();
+            cur.bump();
+            lex_raw_string(&mut cur, "br", line, col)?
+        } else if c == 'b' && cur.peek(1) == Some('"') {
+            cur.bump();
+            lex_string(&mut cur, "b", line, col)?
+        } else if c == 'b' && cur.peek(1) == Some('\'') {
+            cur.bump();
+            lex_char(&mut cur, "b", line, col)?
+        } else if c == '"' {
+            lex_string(&mut cur, "", line, col)?
+        } else if c == '\'' {
+            lex_quote(&mut cur, line, col)?
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            lex_punct(&mut cur)
+        };
+        out.push(Token { line, col, ..tok });
+    }
+    Ok(out)
+}
+
+/// After an `r` (offset already past any `b`), does a raw string follow?
+/// Must see zero or more `#` then `"`; bare `r` is an identifier.
+fn is_raw_string_ahead(cur: &Cursor, mut ahead: usize) -> bool {
+    while cur.peek(ahead) == Some('#') {
+        ahead += 1;
+    }
+    cur.peek(ahead) == Some('"')
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token { kind: TokKind::LineComment, text, line: 0, col: 0 }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Result<Token, LexError> {
+    let (line, col) = (cur.line, cur.col);
+    let mut text = String::new();
+    let mut depth = 0usize;
+    loop {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                cur.bump();
+                cur.bump();
+                if depth == 0 {
+                    return Ok(Token { kind: TokKind::BlockComment, text, line: 0, col: 0 });
+                }
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => {
+                return Err(LexError {
+                    message: "unterminated block comment".into(),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+}
+
+fn lex_string(cur: &mut Cursor, prefix: &str, line: u32, col: u32) -> Result<Token, LexError> {
+    let mut text = String::from(prefix);
+    text.push('"');
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            Some('"') => {
+                text.push('"');
+                break;
+            }
+            Some(c) => text.push(c),
+            None => {
+                return Err(LexError {
+                    message: "unterminated string literal".into(),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    Ok(Token { kind: TokKind::Str, text, line: 0, col: 0 })
+}
+
+fn lex_raw_string(cur: &mut Cursor, prefix: &str, line: u32, col: u32) -> Result<Token, LexError> {
+    let mut text = String::from(prefix);
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    text.push('"');
+    cur.bump(); // opening quote
+    // The string ends at `"` followed by exactly `hashes` hash marks.
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                text.push('"');
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some('#') {
+                    seen += 1;
+                    text.push('#');
+                    cur.bump();
+                }
+                if seen == hashes {
+                    return Ok(Token { kind: TokKind::RawStr, text, line: 0, col: 0 });
+                }
+                // Not a real fence — the consumed hashes are string content.
+            }
+            Some(c) => text.push(c),
+            None => {
+                return Err(LexError {
+                    message: "unterminated raw string literal".into(),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+}
+
+/// A `'` begins either a char literal or a lifetime. It is a char literal
+/// when the closing quote arrives after one (possibly escaped) char, or
+/// after an identifier of length 1 (`'x'`); otherwise `'ident` with no
+/// closing quote is a lifetime (`'a`, `'static`).
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Result<Token, LexError> {
+    match cur.peek(1) {
+        Some(c) if is_ident_start(c) && cur.peek(2) != Some('\'') => {
+            // Lifetime: consume `'` plus the identifier.
+            let mut text = String::from('\'');
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            Ok(Token { kind: TokKind::Lifetime, text, line: 0, col: 0 })
+        }
+        _ => lex_char(cur, "", line, col),
+    }
+}
+
+fn lex_char(cur: &mut Cursor, prefix: &str, line: u32, col: u32) -> Result<Token, LexError> {
+    let mut text = String::from(prefix);
+    text.push('\'');
+    cur.bump(); // opening quote
+    match cur.bump() {
+        Some('\\') => {
+            text.push('\\');
+            let escape = cur.bump();
+            if let Some(e) = escape {
+                text.push(e);
+            }
+            // Unicode escape `\u{1F980}`: consume through the brace.
+            if escape == Some('u') && cur.peek(0) == Some('{') {
+                while let Some(c) = cur.bump() {
+                    text.push(c);
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+        }
+        Some(c) => text.push(c),
+        None => {
+            return Err(LexError { message: "unterminated char literal".into(), line, col })
+        }
+    }
+    match cur.bump() {
+        Some('\'') => {
+            text.push('\'');
+            Ok(Token { kind: TokKind::CharLit, text, line: 0, col: 0 })
+        }
+        _ => Err(LexError { message: "unterminated char literal".into(), line, col }),
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token { kind: TokKind::Ident, text, line: 0, col: 0 }
+}
+
+fn lex_number(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let radix_prefix = matches!(
+        (cur.peek(0), cur.peek(1)),
+        (Some('0'), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O'))
+    );
+    if radix_prefix {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token { kind: TokKind::Num, text, line: 0, col: 0 };
+    }
+    let digits = |text: &mut String, cur: &mut Cursor| {
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    };
+    digits(&mut text, cur);
+    // A fractional part: `.` NOT followed by another `.` (range `0..n`)
+    // and NOT followed by an identifier (`pair.0.clone()`, `1.max(2)`).
+    if cur.peek(0) == Some('.') {
+        let next = cur.peek(1);
+        let is_fraction = match next {
+            Some('.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true,
+        };
+        if is_fraction {
+            text.push('.');
+            cur.bump();
+            digits(&mut text, cur);
+        }
+    }
+    // Exponent: `e`/`E` with optional sign, only if digits follow.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (sign, digit_at) = match cur.peek(1) {
+            Some('+' | '-') => (true, 2),
+            _ => (false, 1),
+        };
+        if matches!(cur.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            digits(&mut text, cur);
+        }
+    }
+    // Type suffix (`f32`, `u64`, `usize`), glued directly on.
+    if matches!(cur.peek(0), Some(c) if is_ident_start(c)) {
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    Token { kind: TokKind::Num, text, line: 0, col: 0 }
+}
+
+fn lex_punct(cur: &mut Cursor) -> Token {
+    for op in OPERATORS {
+        let matches_op = op
+            .chars()
+            .enumerate()
+            .all(|(i, oc)| cur.peek(i) == Some(oc));
+        if matches_op {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return Token { kind: TokKind::Punct, text: (*op).into(), line: 0, col: 0 };
+        }
+    }
+    let c = cur.bump().unwrap_or(' ');
+    Token { kind: TokKind::Punct, text: c.to_string(), line: 0, col: 0 }
+}

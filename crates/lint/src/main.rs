@@ -1,0 +1,125 @@
+//! Standalone lint driver: `cargo run -p hisres-lint -- [OPTIONS]`.
+//!
+//! ```text
+//! hisres-lint [--root DIR] [--deny-all] [--json] [--out FILE]
+//! hisres-lint --check FILE      # validate a previously written report
+//! hisres-lint --list-rules
+//! ```
+//!
+//! Exit code 0 when the tree is clean (or only warnings without
+//! `--deny-all`), 1 on any error-severity diagnostic, 2 on usage or
+//! I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: hisres-lint [--root DIR] [--deny-all] [--json] [--out FILE]\n\
+     \x20      hisres-lint --check FILE | --list-rules"
+}
+
+/// Reports a driver failure (not a lint finding) on stderr.
+fn fail(msg: String) -> ExitCode {
+    eprintln!("hisres-lint: {msg}"); // lint:allow(no-debug-leftovers): CLI driver errors belong on stderr
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny_all = false;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => root = argv.next().map(PathBuf::from),
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--out" => out = argv.next().map(PathBuf::from),
+            "--check" => check = argv.next().map(PathBuf::from),
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+
+    if list_rules {
+        for r in hisres_lint::rules::config() {
+            println!("{:<22} {:<8} {}", r.id, r.severity.as_str(), r.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot read {}: {e}", path.display())),
+        };
+        return match hisres_lint::check_report(&text) {
+            Ok(()) => {
+                println!("hisres-lint --check: OK ({})", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("hisres-lint: bad report {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match hisres_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    return fail(format!("no workspace root found above {}", cwd.display()))
+                }
+            }
+        }
+    };
+
+    let opts = hisres_lint::Options { deny_all };
+    let report = match hisres_lint::run(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => return fail(e.to_string()),
+    };
+
+    let rendered = if json {
+        report.to_json().to_json_string()
+    } else {
+        let mut s = String::new();
+        for d in &report.diagnostics {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "hisres-lint: {} file(s), {} diagnostic(s), {} suppressed{}",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed,
+            if report.has_errors() { " — FAIL" } else { " — OK" }
+        ));
+        s
+    };
+
+    if let Some(out_path) = &out {
+        if let Err(e) = hisres_util::fsio::atomic_write(out_path, rendered.as_bytes()) {
+            return fail(format!("cannot write {}: {e}", out_path.display()));
+        }
+    } else {
+        println!("{rendered}");
+    }
+
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: one panic-free-zone violation (line 4) and one malformed
+// suppression (line 7). Everything else here must stay silent.
+pub fn handle(input: Option<u32>) -> u32 {
+    let v = input.unwrap();
+    // A suppression without a reason is itself an error:
+    let w = match input {
+        None => panic!("no input"), // lint:allow(panic-free-zone)
+        Some(w) => w,
+    };
+    v + w
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

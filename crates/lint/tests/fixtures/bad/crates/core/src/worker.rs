@@ -1,0 +1,5 @@
+// Fixture: one pool-only-threading violation (line 3).
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

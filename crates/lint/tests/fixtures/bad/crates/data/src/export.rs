@@ -1,0 +1,4 @@
+// Fixture: one atomic-writes-only violation (line 3).
+pub fn export(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}

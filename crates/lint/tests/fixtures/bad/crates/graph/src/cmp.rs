@@ -1,0 +1,4 @@
+// Fixture: one float-eq violation (line 3).
+pub fn is_half(x: f32) -> bool {
+    x == 0.5
+}

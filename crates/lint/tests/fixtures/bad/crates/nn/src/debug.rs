@@ -1,0 +1,5 @@
+// Fixture: one no-debug-leftovers violation (line 3).
+pub fn forward(x: f32) -> f32 {
+    eprintln!("forward got {x}");
+    x * 2.0
+}

@@ -1,0 +1,8 @@
+// Fixture: two determinism violations — a clock read (line 4) and a
+// hash-ordered collection (line 5).
+pub fn profile_step() -> u128 {
+    let t0 = std::time::Instant::now();
+    let mut seen: std::collections::HashMap<u32, u32> = Default::default();
+    seen.insert(1, 2);
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,35 @@
+// Fixture: every construct here is a grep false-positive or a properly
+// suppressed use — the lint must report NOTHING for this tree.
+
+/// Doc comment mentioning `.unwrap()` and `fs::write` must not fire.
+pub fn docs_and_strings() -> String {
+    // A line comment with .unwrap() and panic!("x") must not fire.
+    /* A block comment, /* nested */, with .expect("x") must not fire. */
+    let a = "calling .unwrap() in a string";
+    let b = r#"raw string with ".unwrap()" and fs::write"#;
+    let c = r##"outer fence: r#".expect("inner")"# still one string"##;
+    let quote: char = '"';
+    let escaped = '\'';
+    let backslash = '\\';
+    format!("{a}{b}{c}{quote}{escaped}{backslash}")
+}
+
+/// Lifetimes must not be confused with char literals.
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+/// A justified suppression: silenced, and counted as suppressed.
+pub fn justified(input: Option<u32>) -> u32 {
+    input.unwrap() // lint:allow(panic-free-zone): fixture proves a reasoned allow is honoured
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        assert!(1.0 == 1.0);
+    }
+}

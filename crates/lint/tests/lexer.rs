@@ -1,0 +1,184 @@
+//! Adversarial token cases for the from-scratch lexer — each one is a
+//! construct that defeats line-oriented `grep` and must lex correctly
+//! for the rule engine to be trustworthy.
+
+use hisres_lint::lexer::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .expect("fixture must lex")
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+/// Code tokens only (what the rules see).
+fn code(src: &str) -> Vec<String> {
+    lex(src)
+        .expect("fixture must lex")
+        .into_iter()
+        .filter(|t| t.is_code())
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let toks = kinds("/* outer /* inner /* deep */ */ still outer */ x");
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].0, TokKind::BlockComment);
+    assert!(toks[0].1.contains("deep"));
+    assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+}
+
+#[test]
+fn unterminated_block_comment_is_an_error() {
+    let err = lex("ok /* nested /* closed */ but outer is not").unwrap_err();
+    assert!(err.message.contains("block comment"), "{err}");
+    assert_eq!((err.line, err.col), (1, 4));
+}
+
+#[test]
+fn unwrap_inside_raw_string_is_not_code() {
+    // The classic grep false-positive: a raw string *containing* the
+    // banned method text. Two hashes, and the inner `"#` must not end it.
+    let src = r####"let msg = r##"don't call ".unwrap()" or "# panic!()"##;"####;
+    let toks = kinds(src);
+    let raw = toks
+        .iter()
+        .find(|(k, _)| *k == TokKind::RawStr)
+        .expect("raw string token");
+    assert!(raw.1.contains(".unwrap()"));
+    assert!(raw.1.contains("panic!"));
+    // No identifier token named `unwrap` or `panic` leaked out.
+    assert!(!toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Ident && (t == "unwrap" || t == "panic")));
+}
+
+#[test]
+fn raw_byte_string_and_bare_r_identifier() {
+    let toks = kinds(r###"let r = br#"bytes ".expect(" here"#;"###);
+    // `r` alone is an identifier, `br#"…"#` is one raw string.
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r"));
+    let raw = toks.iter().find(|(k, _)| *k == TokKind::RawStr).expect("raw byte string");
+    assert!(raw.1.starts_with("br#"));
+    assert!(raw.1.contains(".expect("));
+}
+
+#[test]
+fn double_quote_char_literal_does_not_open_a_string() {
+    // `'"'` — if the lexer misreads this as starting a string, the rest
+    // of the file lexes as garbage and `fs::write` hides inside it.
+    let toks = code("let q = '\"'; fs::write(p, b)");
+    assert!(toks.contains(&"'\"'".to_string()));
+    assert!(toks.contains(&"fs".to_string()));
+    assert!(toks.contains(&"write".to_string()));
+}
+
+#[test]
+fn escaped_quote_and_backslash_char_literals() {
+    let toks = kinds(r"let a = '\''; let b = '\\'; let c = '\u{1F980}';");
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::CharLit)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(chars, vec![r"'\''", r"'\\'", r"'\u{1F980}'"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let toks = kinds("fn f<'a>(x: &'a str, s: &'static str) -> &'a str { x }");
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Lifetime)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static", "'a"]);
+    assert!(!toks.iter().any(|(k, _)| *k == TokKind::CharLit));
+}
+
+#[test]
+fn single_letter_char_literal_is_not_a_lifetime() {
+    let toks = kinds("let c = 'x';");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "'x'"));
+}
+
+#[test]
+fn byte_literals_and_byte_strings() {
+    let toks = kinds(r#"let a = b'x'; let b = b"bytes";"#);
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "b'x'"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t == "b\"bytes\""));
+}
+
+#[test]
+fn float_classification() {
+    let float = |s: &str| {
+        let toks = lex(s).expect("lex");
+        toks.iter().find(|t| t.kind == TokKind::Num).expect("num").is_float()
+    };
+    assert!(float("1.0"));
+    assert!(float("0.5f32"));
+    assert!(float("1e-3"));
+    assert!(float("2E5"));
+    assert!(float("3f64"));
+    assert!(!float("42"));
+    assert!(!float("42u64"));
+    assert!(!float("0xE0")); // hex E is not an exponent
+    assert!(!float("0b101"));
+}
+
+#[test]
+fn ranges_and_tuple_fields_are_not_floats() {
+    // `0..n` is two ints and a `..`; `pair.0` is ident `.` int.
+    let toks = code("for i in 0..n { pair.0 += 1 }");
+    assert!(toks.contains(&"..".to_string()));
+    assert!(toks.contains(&"0".to_string()));
+    let lexed = lex("for i in 0..n { pair.0 += 1 }").expect("lex");
+    assert!(lexed.iter().filter(|t| t.kind == TokKind::Num).all(|t| !t.is_float()));
+    // But `1.` genuinely is a float.
+    let lexed = lex("let x = 1.;").expect("lex");
+    assert!(lexed.iter().any(|t| t.kind == TokKind::Num && t.is_float()));
+}
+
+#[test]
+fn multichar_operators_group_longest_first() {
+    let toks = code("a == b != c; p::q; r..=s; t <<= 2;");
+    for op in ["==", "!=", "::", "..=", "<<="] {
+        assert!(toks.contains(&op.to_string()), "missing {op}");
+    }
+    // `==` never splits into two `=`.
+    assert!(!toks.windows(2).any(|w| w[0] == "=" && w[1] == "="));
+}
+
+#[test]
+fn line_and_col_are_exact() {
+    let src = "let a = 1;\n  let bb = 2.5;";
+    let toks = lex(src).expect("lex");
+    let bb = toks.iter().find(|t| t.text == "bb").expect("bb");
+    assert_eq!((bb.line, bb.col), (2, 7));
+    let lit = toks.iter().find(|t| t.text == "2.5").expect("2.5");
+    assert_eq!((lit.line, lit.col), (2, 12));
+}
+
+#[test]
+fn multiline_string_advances_line_numbers() {
+    let src = "let s = \"line\nbreak\";\nlet after = 1;";
+    let toks = lex(src).expect("lex");
+    let after = toks.iter().find(|t| t.text == "after").expect("after");
+    assert_eq!(after.line, 3);
+}
+
+#[test]
+fn comments_keep_positions_and_kinds() {
+    let src = "// top\nlet x = 1; /* mid */ let y = 2;\n/// doc\nfn f() {}";
+    let toks = lex(src).expect("lex");
+    assert_eq!(toks[0].kind, TokKind::LineComment);
+    assert_eq!(toks[0].line, 1);
+    let mid = toks.iter().find(|t| t.kind == TokKind::BlockComment).expect("mid");
+    assert_eq!(mid.line, 2);
+    let doc = toks.iter().filter(|t| t.kind == TokKind::LineComment).nth(1).expect("doc");
+    assert!(doc.text.contains("doc"));
+    assert_eq!(doc.line, 3);
+}

@@ -79,7 +79,7 @@ impl Tensor {
                     let gwrow = gw.row_mut(co);
                     for pos in 0..l {
                         let gv = grow[co * l + pos];
-                        if gv == 0.0 {
+                        if gv == 0.0 { // lint:allow(float-eq): exactly-zero upstream grad contributes nothing; skip is bit-safe
                             continue;
                         }
                         for ci in 0..c_in {

@@ -12,7 +12,7 @@ impl Tensor {
     /// `p == 0` is the identity and builds no extra graph node.
     pub fn dropout<R: Rng>(&self, p: f32, rng: &mut R) -> Tensor {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
-        if p == 0.0 {
+        if p == 0.0 { // lint:allow(float-eq): p is a user-set constant; 0.0 means dropout disabled exactly
             return self.clone();
         }
         let keep = 1.0 - p;

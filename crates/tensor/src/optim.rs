@@ -27,7 +27,7 @@ impl Sgd {
     pub fn step(&mut self) {
         for p in &self.params {
             let Some(mut g) = p.grad() else { continue };
-            if self.weight_decay != 0.0 {
+            if self.weight_decay != 0.0 { // lint:allow(float-eq): weight_decay is a config constant; 0.0 disables the term exactly
                 g.axpy(self.weight_decay, &p.value());
             }
             p.value_mut().axpy(-self.lr, &g);
@@ -133,7 +133,7 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in self.params.iter().enumerate() {
             let Some(mut g) = p.grad() else { continue };
-            if self.weight_decay != 0.0 {
+            if self.weight_decay != 0.0 { // lint:allow(float-eq): weight_decay is a config constant; 0.0 disables the term exactly
                 g.axpy(self.weight_decay, &p.value());
             }
             let m = &mut self.m[i];

@@ -309,7 +309,7 @@ mod tests {
         s.param("w", NdArray::zeros(4, 4));
         s.save_file(&path).unwrap();
         let full = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() - 10]).unwrap(); // fixture-write: ok
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
         assert!(matches!(
             s.load_file(&path),
             Err(CheckpointError::Envelope(EnvelopeError::Truncated { .. }))
@@ -326,7 +326,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 2;
         bytes[last] ^= 0x01; // flip a bit inside the payload
-        std::fs::write(&path, &bytes).unwrap(); // fixture-write: ok
+        std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             s.load_file(&path),
             Err(CheckpointError::Envelope(EnvelopeError::ChecksumMismatch { .. }))
@@ -340,7 +340,7 @@ mod tests {
         let s = ParamStore::new();
         s.save_file(&path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap().replace(" v2 ", " v7 ");
-        std::fs::write(&path, text).unwrap(); // fixture-write: ok
+        std::fs::write(&path, text).unwrap();
         assert!(matches!(
             s.load_file(&path),
             Err(CheckpointError::Envelope(EnvelopeError::UnsupportedVersion {

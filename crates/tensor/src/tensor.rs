@@ -13,7 +13,7 @@
 
 use crate::ndarray::NdArray;
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -224,7 +224,10 @@ impl Tensor {
         }
         // Iterative post-order DFS to get a reverse topological order.
         let mut order: Vec<Tensor> = Vec::new();
-        let mut visited: HashSet<u64> = HashSet::new();
+        // BTreeSet, not HashSet: membership-only today, but the lint's
+        // determinism rule bans hash-ordered collections on the gradient
+        // path outright so an iteration can never sneak in.
+        let mut visited: BTreeSet<u64> = BTreeSet::new();
         let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
         while let Some((node, expanded)) = stack.pop() {
             if expanded {

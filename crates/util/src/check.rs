@@ -240,7 +240,7 @@ pub fn run(name: &str, cases: usize, mut f: impl FnMut(&mut Gen) -> CaseResult) 
             Ok(CaseResult::Pass) => executed += 1,
             Ok(CaseResult::Discard) => {}
             Err(payload) => {
-                eprintln!(
+                eprintln!( // lint:allow(no-debug-leftovers): failure report printing the reproducible case seed
                     "[hisres-check] property {name:?} failed on case {executed} \
                      (attempt {attempt}); rerun with HISRES_CHECK_SEED={case_seed}"
                 );

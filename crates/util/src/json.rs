@@ -58,7 +58,7 @@ impl Value {
     /// value in `u64` range).
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
-            Value::Num(n) if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 => {
+            Value::Num(n) if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 => { // lint:allow(float-eq): integrality test; fract()==0.0 is the exact definition
                 Some(n as u64)
             }
             _ => None,
@@ -68,7 +68,7 @@ impl Value {
     /// Signed integer view of a number.
     pub fn as_i64(&self) -> Option<i64> {
         match *self {
-            Value::Num(n) if (i64::MIN as f64..=i64::MAX as f64).contains(&n) && n.fract() == 0.0 => {
+            Value::Num(n) if (i64::MIN as f64..=i64::MAX as f64).contains(&n) && n.fract() == 0.0 => { // lint:allow(float-eq): integrality test; fract()==0.0 is the exact definition
                 Some(n as i64)
             }
             _ => None,

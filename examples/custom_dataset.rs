@@ -36,10 +36,10 @@ fn main() {
             .map(|q| format!("{}\t{}\t{}\t{}\n", q.s, q.r, q.o, q.t))
             .collect::<String>()
     };
-    std::fs::write(dir.join("train.txt"), dump(&train_q)).unwrap(); // fixture-write: ok
-    std::fs::write(dir.join("valid.txt"), dump(&valid_q)).unwrap(); // fixture-write: ok
-    std::fs::write(dir.join("test.txt"), dump(&test_q)).unwrap(); // fixture-write: ok
-    std::fs::write(dir.join("stat.txt"), "30 5\n").unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("train.txt"), dump(&train_q)).unwrap(); // lint:allow(atomic-writes-only): example writes a throwaway fixture dataset
+    std::fs::write(dir.join("valid.txt"), dump(&valid_q)).unwrap(); // lint:allow(atomic-writes-only): example writes a throwaway fixture dataset
+    std::fs::write(dir.join("test.txt"), dump(&test_q)).unwrap(); // lint:allow(atomic-writes-only): example writes a throwaway fixture dataset
+    std::fs::write(dir.join("stat.txt"), "30 5\n").unwrap(); // lint:allow(atomic-writes-only): example writes a throwaway fixture dataset
 
     let data = load_dir(&dir, "my-events", 1).expect("load benchmark directory");
     println!(

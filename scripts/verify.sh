@@ -39,44 +39,57 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "dependency guard: OK (path-only workspace)"
 
-# ---- guard: checkpoint writes must go through the atomic fsio helper -------
-# `std::fs::write` is not crash-safe (a crash mid-write leaves a torn file at
-# the final path). All checkpoint/export writes must use
-# `hisres_util::fsio::atomic_write`. Test fixtures may opt out with a
-# same-line `// fixture-write: ok` annotation.
-bad=$(grep -rn "fs::write" crates examples tests --include='*.rs' \
-    | grep -v "crates/util/src/fsio.rs" \
-    | grep -v "fixture-write: ok" || true)
-if [ -n "$bad" ]; then
-    echo "ERROR: bare fs::write found — use hisres_util::fsio::atomic_write" >&2
-    echo "(or annotate a test fixture with '// fixture-write: ok'):" >&2
-    echo "$bad" >&2
+# ---- build + test fully offline, with warnings denied ----------------------
+# The workspace must stay warning-free: a new dead-code or unused-import
+# warning is a review comment waiting to happen, so it fails verification.
+RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
+RUSTFLAGS="-D warnings" cargo test --workspace -q --offline
+
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+
+# ---- workspace invariant lint ----------------------------------------------
+# hisres-lint replaces the old grep guards (bare fs::write, unwrap/expect in
+# serve.rs) with token-aware rules: it lexes every workspace .rs file, so
+# matches inside comments/strings are impossible and #[cfg(test)] code is
+# exempted structurally. --deny-all escalates warnings; the tree must be
+# clean. Safe uses are annotated in-source: // lint:allow(<rule>): <reason>.
+cargo run -q --release -p hisres-lint --offline -- --deny-all
+echo "invariant lint: OK (hisres-lint --deny-all clean)"
+
+# The JSON rendering is a stable schema for downstream tooling (mirrors the
+# BENCH_kernels.json pattern): emit a report, then re-validate it.
+cargo run -q --release -p hisres-lint --offline -- --deny-all --json --out "$smoke/lint.json"
+cargo run -q --release -p hisres-lint --offline -- --check "$smoke/lint.json"
+echo "invariant lint JSON: OK (schema-checked report)"
+
+# The lint must actually catch violations: the bad fixture tree carries one
+# violation per rule and must fail with exact file:line diagnostics.
+if bad_out=$(cargo run -q --release -p hisres-lint --offline -- \
+        --root crates/lint/tests/fixtures/bad --deny-all 2>&1); then
+    echo "ERROR: hisres-lint passed the bad fixture tree — rules are dead" >&2
     exit 1
 fi
-echo "atomic-write guard: OK (no bare fs::write outside fsio)"
-
-# ---- guard: the serving engine must be panic-free by construction ----------
-# crates/core/src/serve.rs promises every failure mode maps to a typed
-# structured response; `.unwrap()` / `.expect(` would reintroduce panics on
-# the request path.
-bad=$(grep -n '\.unwrap()\|\.expect(' crates/core/src/serve.rs || true)
-if [ -n "$bad" ]; then
-    echo "ERROR: .unwrap()/.expect( found in crates/core/src/serve.rs —" >&2
-    echo "the serving path must return typed errors, never panic:" >&2
-    echo "$bad" >&2
-    exit 1
-fi
-echo "serve panic guard: OK (no unwrap/expect in crates/core/src/serve.rs)"
-
-# ---- build + test fully offline --------------------------------------------
-cargo build --workspace --release --offline
-cargo test --workspace -q --offline
+for needle in \
+    'crates/core/src/serve.rs:4:' \
+    'panic-free-zone' \
+    'atomic-writes-only' \
+    'pool-only-threading' \
+    'determinism' \
+    'no-debug-leftovers' \
+    'float-eq' \
+    'lint-allow-syntax'; do
+    if ! grep -qF "$needle" <<<"$bad_out"; then
+        echo "ERROR: bad-fixture lint output is missing $needle:" >&2
+        echo "$bad_out" >&2
+        exit 1
+    fi
+done
+echo "invariant lint fixtures: OK (bad tree fails with per-rule diagnostics)"
 
 # ---- crash-resume smoke test -----------------------------------------------
 # Train 2 epochs saving training state, then resume for 2 more; the final
 # model checkpoint must be byte-identical to a straight 4-epoch run.
-smoke=$(mktemp -d)
-trap 'rm -rf "$smoke"' EXIT
 bin=target/release/hisres
 "$bin" generate --dataset icews14s-syn --out "$smoke/data" >/dev/null
 common=(--data "$smoke/data" --dim 8 --epochs 4 --patience 0 --quiet)

@@ -86,7 +86,7 @@ fn load_checkpoint_rebuilds_a_bit_identical_model() {
 fn load_checkpoint_rejects_foreign_formats() {
     // a pre-envelope (v1) bare-JSON checkpoint is not silently accepted
     let path = temp_path("badformat");
-    std::fs::write(&path, r#"{"format":"some-other-checkpoint","config":{}}"#).unwrap(); // fixture-write: ok
+    std::fs::write(&path, r#"{"format":"some-other-checkpoint","config":{}}"#).unwrap();
     let err = match HisRes::load_checkpoint(&path) {
         Ok(_) => panic!("foreign format must be rejected"),
         Err(e) => e,

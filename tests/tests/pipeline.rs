@@ -121,10 +121,10 @@ fn loaded_tsv_and_programmatic_data_agree() {
             .map(|q| format!("{}\t{}\t{}\t{}\n", q.s, q.r, q.o, q.t))
             .collect::<String>()
     };
-    std::fs::write(dir.join("train.txt"), dump(&data.train.quads)).unwrap(); // fixture-write: ok
-    std::fs::write(dir.join("valid.txt"), dump(&data.valid.quads)).unwrap(); // fixture-write: ok
-    std::fs::write(dir.join("test.txt"), dump(&data.test.quads)).unwrap(); // fixture-write: ok
-    std::fs::write(dir.join("stat.txt"), "20 4\n").unwrap(); // fixture-write: ok
+    std::fs::write(dir.join("train.txt"), dump(&data.train.quads)).unwrap();
+    std::fs::write(dir.join("valid.txt"), dump(&data.valid.quads)).unwrap();
+    std::fs::write(dir.join("test.txt"), dump(&data.test.quads)).unwrap();
+    std::fs::write(dir.join("stat.txt"), "20 4\n").unwrap();
     let reloaded = hisres_data::loader::load_dir(&dir, "reloaded", 1).unwrap();
     std::fs::remove_dir_all(&dir).ok();
 

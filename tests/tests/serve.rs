@@ -394,7 +394,7 @@ fn load_accepts_training_state_files_preferring_best_params() {
 fn load_rejects_unrelated_envelope_kinds() {
     let path = temp_path("wrong_kind");
     let sealed = hisres_util::fsio::seal("weird-kind", "{}");
-    std::fs::write(&path, sealed).unwrap(); // fixture-write: ok
+    std::fs::write(&path, sealed).unwrap();
     let err = match load_servable_model(&path, &BackoffPolicy::default(), &FaultInjector::none())
     {
         Err(e) => e,
