@@ -1,0 +1,521 @@
+//! Load-generator benchmark for the concurrent serving front end: boots a
+//! real (untrained) HisRES model behind `serve_concurrent` on a loopback
+//! listener, then sweeps offered load against it — a closed-loop client
+//! sweep, a deadline-degradation stage, and a pipelined burst against a
+//! tiny admission queue to measure the overloaded-rejection path.
+//!
+//! Results go to `BENCH_serve.json` (atomic write, schema-tagged) so
+//! successive runs can be diffed as a serving perf trajectory, mirroring
+//! `kernels` / `BENCH_kernels.json`.
+//!
+//! ```text
+//! loadgen [--quick] [--out FILE] [--workers N] [--max-queue N]
+//!         [--batch-window-ms F]              run the sweep (quick: CI-sized)
+//! loadgen --check FILE                      validate a results file parses
+//! ```
+//!
+//! The engine is `!Send`, so the batcher runs on the main thread; every
+//! client and the stage driver run on [`pool::spawn_service`] threads —
+//! the same sanctioned primitive the server itself uses.
+
+use hisres::serve::{serve_concurrent, ModelScorer, ServeConfig, ServeEngine, ServerConfig};
+use hisres::{HisRes, HisResConfig, ScoreCtx};
+use hisres_baselines::FrequencyScorer;
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use hisres_util::bench::LatencyRecorder;
+use hisres_util::json::{self, FromJson, Value};
+use hisres_util::pool::spawn_service;
+use hisres_util::{fsio, impl_json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Instant;
+
+const SCHEMA: &str = "hisres-bench-serve/v1";
+
+/// Synthetic-world size: big enough that a full scorer pass does real
+/// work, small enough that the bench boots in well under a second.
+const NUM_ENTITIES: usize = 32;
+const NUM_RELATIONS: usize = 4;
+
+/// The `BENCH_serve.json` document.
+struct BenchFile {
+    /// Format tag for downstream tooling.
+    schema: String,
+    /// True when produced by `--quick` (fewer clients and requests — not
+    /// comparable with full runs).
+    quick: bool,
+    /// Connection workers the server ran with.
+    workers: usize,
+    /// Request-queue depth for the sweep stages (the burst stage uses its
+    /// own tiny queue; see its entry).
+    max_queue: usize,
+    /// Batch coalescing window in milliseconds.
+    batch_window_ms: f64,
+    /// One entry per load stage.
+    results: Vec<StageStats>,
+}
+
+impl_json!(BenchFile { schema, quick, workers, max_queue, batch_window_ms, results });
+
+/// One swept load point.
+struct StageStats {
+    /// Stage name (`closed_loop`, `degraded`, `burst`).
+    stage: String,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Requests offered across all clients.
+    requests: usize,
+    /// Successful full-scorer answers.
+    ok: usize,
+    /// Answers served by the degraded fallback path.
+    degraded: usize,
+    /// Typed `overloaded` rejections at admission.
+    rejected: usize,
+    /// Any other error responses or transport failures.
+    errors: usize,
+    /// Answered requests per second over the stage wall-clock.
+    throughput_rps: f64,
+    /// Median round-trip latency (burst stage: time-to-reply from burst
+    /// start, i.e. the queue drain profile).
+    p50_ms: f64,
+    /// Tail round-trip latency.
+    p99_ms: f64,
+    /// Stage wall-clock.
+    elapsed_ms: f64,
+}
+
+impl_json!(StageStats {
+    stage,
+    clients,
+    requests,
+    ok,
+    degraded,
+    rejected,
+    errors,
+    throughput_rps,
+    p50_ms,
+    p99_ms,
+    elapsed_ms
+});
+
+impl StageStats {
+    fn row(&self) -> String {
+        format!(
+            "{:<12} {:>2} clients  {:>5} req  {:>7.1} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  \
+             ok {:>5}  degraded {:>4}  rejected {:>4}  errors {:>2}",
+            self.stage,
+            self.clients,
+            self.requests,
+            self.throughput_rps,
+            self.p50_ms,
+            self.p99_ms,
+            self.ok,
+            self.degraded,
+            self.rejected,
+            self.errors,
+        )
+    }
+}
+
+/// What one client saw. Merged per stage.
+#[derive(Default)]
+struct ClientOutcome {
+    ok: usize,
+    degraded: usize,
+    rejected: usize,
+    errors: usize,
+    latencies_ms: Vec<f64>,
+}
+
+impl ClientOutcome {
+    fn absorb(&mut self, other: ClientOutcome) {
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.rejected += other.rejected;
+        self.errors += other.errors;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+
+    fn classify(&mut self, line: &str) {
+        match json::parse(line) {
+            Ok(v) => {
+                if matches!(v.get("ok"), Some(Value::Bool(true))) {
+                    if matches!(v.get("degraded"), Some(Value::Bool(true))) {
+                        self.degraded += 1;
+                    } else {
+                        self.ok += 1;
+                    }
+                } else if v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str)
+                    == Some("overloaded")
+                {
+                    self.rejected += 1;
+                } else {
+                    self.errors += 1;
+                }
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    fn into_stage(
+        self,
+        stage: &str,
+        clients: usize,
+        requests: usize,
+        elapsed_ms: f64,
+    ) -> StageStats {
+        let mut rec = LatencyRecorder::new();
+        for &ms in &self.latencies_ms {
+            rec.record_ms(ms);
+        }
+        let answered = self.ok + self.degraded;
+        StageStats {
+            stage: stage.to_owned(),
+            clients,
+            requests,
+            ok: self.ok,
+            degraded: self.degraded,
+            rejected: self.rejected,
+            errors: self.errors,
+            throughput_rps: if elapsed_ms > 0.0 { answered as f64 / (elapsed_ms / 1e3) } else { 0.0 },
+            p50_ms: rec.percentile_ms(50.0).unwrap_or(0.0),
+            p99_ms: rec.percentile_ms(99.0).unwrap_or(0.0),
+            elapsed_ms,
+        }
+    }
+}
+
+fn query_line(client: usize, i: usize, budget_ms: Option<f64>) -> String {
+    let s = (i * 7 + client * 3) % NUM_ENTITIES;
+    let r = i % NUM_RELATIONS;
+    match budget_ms {
+        Some(b) => format!("{{\"s\": {s}, \"r\": {r}, \"topk\": 5, \"budget_ms\": {b}}}"),
+        None => format!("{{\"s\": {s}, \"r\": {r}, \"topk\": 5}}"),
+    }
+}
+
+/// One closed-loop client: `n` request/reply round trips on one
+/// connection, each latency recorded, then a clean half-close and drain.
+fn closed_loop_client(addr: SocketAddr, client: usize, n: usize, budget_ms: Option<f64>) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            out.errors += n;
+            return out;
+        }
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => {
+            out.errors += n;
+            return out;
+        }
+    };
+    let _ = stream.set_nodelay(true); // latency bench: defeat Nagle stalls
+    for i in 0..n {
+        let line = format!("{}\n", query_line(client, i, budget_ms));
+        let started = Instant::now();
+        let mut reply = String::new();
+        let round_trip =
+            stream.write_all(line.as_bytes()).and_then(|()| reader.read_line(&mut reply));
+        match round_trip {
+            Ok(_) if !reply.is_empty() => {
+                out.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                out.classify(reply.trim_end());
+            }
+            _ => {
+                out.errors += 1;
+                return out;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    for _ in reader.lines() {} // final stats line, then EOF
+    out
+}
+
+/// One pipelined burst client: writes every request before reading any
+/// reply, so offered load exceeds the queue depth by construction.
+/// Latencies are time-to-reply from the start of the burst.
+fn burst_client(addr: SocketAddr, n: usize) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            out.errors += n;
+            return out;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let started = Instant::now();
+    for i in 0..n {
+        let line = format!("{}\n", query_line(0, i, None));
+        if stream.write_all(line.as_bytes()).is_err() {
+            out.errors += 1;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut seen = 0usize;
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        if seen < n {
+            // the (n+1)-th line is the final stats summary — not a reply
+            out.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            out.classify(&line);
+            seen += 1;
+        }
+    }
+    out
+}
+
+/// Runs one stage: `clients` concurrent service threads, merged outcome.
+fn run_stage(
+    stage: &str,
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    budget_ms: Option<f64>,
+) -> StageStats {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            spawn_service(&format!("loadgen-client-{c}"), move || {
+                closed_loop_client(addr, c, per_client, budget_ms)
+            })
+        })
+        .collect();
+    let mut merged = ClientOutcome::default();
+    let mut spawn_failures = 0usize;
+    for h in handles {
+        match h {
+            Ok(service) => match service.join() {
+                Some(out) => merged.absorb(out),
+                None => spawn_failures += 1,
+            },
+            Err(_) => spawn_failures += 1,
+        }
+    }
+    merged.errors += spawn_failures * per_client;
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    merged.into_stage(stage, clients, clients * per_client, elapsed_ms)
+}
+
+/// Asks a live server to shut down and waits for it to hang up.
+fn send_shutdown(addr: SocketAddr) {
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.write_all(b"{\"cmd\": \"shutdown\"}\n");
+        let _ = stream.shutdown(Shutdown::Write);
+        for _ in BufReader::new(stream).lines() {}
+    }
+}
+
+/// A fresh engine over a real (untrained) HisRES model — representative
+/// full-scorer compute without a training phase in the bench.
+fn build_engine() -> ServeEngine {
+    let data = DatasetSplits::from_tkg(
+        "loadgen",
+        "1 step",
+        &generate(&SyntheticConfig {
+            num_entities: NUM_ENTITIES,
+            num_relations: NUM_RELATIONS,
+            num_timestamps: 24,
+            seed: 7,
+            ..Default::default()
+        })
+        .tkg,
+    );
+    let model_cfg = HisResConfig { dim: 16, conv_channels: 2, history_len: 3, ..Default::default() };
+    let full = ModelScorer {
+        model: HisRes::new(&model_cfg, NUM_ENTITIES, NUM_RELATIONS),
+        ctx: ScoreCtx::at_end_of(&data),
+    };
+    let fallback =
+        FrequencyScorer::from_quads(NUM_ENTITIES, NUM_RELATIONS, &data.all_quads());
+    let engine = ServeEngine::new(
+        ServeConfig::default(),
+        NUM_ENTITIES,
+        NUM_RELATIONS,
+        Box::new(full),
+        Box::new(fallback),
+    );
+    engine.calibrate();
+    engine
+}
+
+struct SweepPlan {
+    client_counts: Vec<usize>,
+    per_client: usize,
+    burst: usize,
+}
+
+fn run_suite(quick: bool, out_path: &str, cfg: ServerConfig) -> Result<(), String> {
+    let plan = if quick {
+        SweepPlan { client_counts: vec![1, 2], per_client: 15, burst: 48 }
+    } else {
+        SweepPlan { client_counts: vec![1, 2, 4], per_client: 120, burst: 256 }
+    };
+
+    // Stage set 1 — closed-loop sweep plus a zero-budget degradation
+    // stage, all against one server run with the configured queue.
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding loopback: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    let engine = build_engine();
+    let sweep_plan = plan.client_counts.clone();
+    let per_client = plan.per_client;
+    let driver = spawn_service("loadgen-driver", move || {
+        let mut results = Vec::new();
+        for clients in sweep_plan {
+            results.push(run_stage("closed_loop", addr, clients, per_client, None));
+        }
+        // a budget no full pass can meet: every answer degrades to the
+        // frequency fallback, measuring the shed path's throughput
+        results.push(run_stage("degraded", addr, 2, per_client, Some(1e-3)));
+        send_shutdown(addr);
+        results
+    })
+    .map_err(|e| format!("spawning driver: {e}"))?;
+    serve_concurrent(&engine, listener, &cfg).map_err(|e| format!("serving sweep: {e}"))?;
+    let mut results = driver.join().ok_or("load driver panicked")?;
+
+    // Stage set 2 — pipelined burst against a deliberately tiny queue on
+    // a fresh server run, so typed overloaded rejections are measured.
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding loopback: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    let burst_engine = build_engine();
+    let burst_cfg = ServerConfig {
+        workers: 1,
+        max_queue: 2,
+        batch_window_ms: 0.0,
+        max_connections: Some(1),
+    };
+    let burst_n = plan.burst;
+    let burst_driver =
+        spawn_service("loadgen-burst", move || burst_client(addr, burst_n))
+            .map_err(|e| format!("spawning burst driver: {e}"))?;
+    let started = Instant::now();
+    serve_concurrent(&burst_engine, listener, &burst_cfg)
+        .map_err(|e| format!("serving burst: {e}"))?;
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let burst = burst_driver.join().ok_or("burst client panicked")?;
+    results.push(burst.into_stage("burst", 1, plan.burst, elapsed_ms));
+
+    for s in &results {
+        println!("{}", s.row());
+    }
+    let doc = BenchFile {
+        schema: SCHEMA.to_owned(),
+        quick,
+        workers: cfg.workers,
+        max_queue: cfg.max_queue,
+        batch_window_ms: cfg.batch_window_ms,
+        results,
+    };
+    let text = json::to_string(&doc).map_err(|e| format!("serialising results: {e}"))?;
+    fsio::atomic_write(out_path, text.as_bytes())
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {} stages to {out_path}", doc.results.len());
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let doc = BenchFile::from_json(&value).map_err(|e| format!("{path}: bad schema: {e}"))?;
+    if doc.schema != SCHEMA {
+        return Err(format!("{path}: schema {:?}, expected {SCHEMA:?}", doc.schema));
+    }
+    if doc.results.is_empty() {
+        return Err(format!("{path}: no load stages"));
+    }
+    for s in &doc.results {
+        if !(s.throughput_rps.is_finite() && s.throughput_rps > 0.0) {
+            return Err(format!("{path}: stage {} has non-positive throughput", s.stage));
+        }
+        if !(s.p50_ms.is_finite() && s.p99_ms.is_finite() && s.p50_ms <= s.p99_ms) {
+            return Err(format!("{path}: stage {} has inconsistent percentiles", s.stage));
+        }
+        if s.ok + s.degraded + s.rejected + s.errors != s.requests {
+            return Err(format!(
+                "{path}: stage {} outcomes do not add up to its request count",
+                s.stage
+            ));
+        }
+    }
+    if !doc.results.iter().any(|s| s.stage == "burst" && s.rejected > 0) {
+        return Err(format!("{path}: the burst stage measured no overloaded rejections"));
+    }
+    if !doc.results.iter().any(|s| s.stage == "degraded" && s.degraded > 0) {
+        return Err(format!("{path}: the degraded stage measured no fallback answers"));
+    }
+    println!(
+        "{path}: ok — {} stages ({}){}",
+        doc.results.len(),
+        doc.results
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+            .join(", "),
+        if doc.quick { " [quick]" } else { "" },
+    );
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(v) => check = Some(v.clone()),
+                None => return usage("--check needs a path"),
+            },
+            "--workers" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => cfg.workers = n,
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--max-queue" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => cfg.max_queue = n,
+                _ => return usage("--max-queue needs a positive integer"),
+            },
+            "--batch-window-ms" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f.is_finite() && f >= 0.0 => cfg.batch_window_ms = f,
+                _ => return usage("--batch-window-ms needs a non-negative number"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let r = match check {
+        Some(path) => check_file(&path),
+        None => run_suite(quick, &out, cfg),
+    };
+    match r {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> std::process::ExitCode {
+    eprintln!(
+        "error: {msg}\nusage: loadgen [--quick] [--out FILE] [--workers N] [--max-queue N] \
+         [--batch-window-ms F] | loadgen --check FILE"
+    );
+    std::process::ExitCode::FAILURE
+}

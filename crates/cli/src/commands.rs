@@ -2,7 +2,8 @@
 
 use crate::args::Args;
 use hisres::serve::{
-    install_term_handler, load_servable_model, serve_lines, serve_tcp, ModelScorer, ServeConfig,
+    install_term_handler, load_servable_model, serve_concurrent, serve_lines, serve_tcp,
+    ModelScorer, ServeConfig, ServerConfig,
     ServeEngine,
 };
 use hisres::trainer::{train_with, HisResEval, TrainOptions};
@@ -305,6 +306,15 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
             Some(v.parse::<usize>().map_err(|_| format!("--max-conns: cannot parse {v:?}"))?)
         }
     };
+    let workers = args.get_parse("workers", 4usize)?;
+    let max_queue = args.get_parse("max-queue", 64usize)?;
+    let batch_window_ms = args.get_parse("batch-window-ms", 2.0f64)?;
+    if !batch_window_ms.is_finite() || batch_window_ms < 0.0 {
+        return Err("--batch-window-ms must be a non-negative number".into());
+    }
+    if max_queue == 0 {
+        return Err("--max-queue must be at least 1".into());
+    }
     args.reject_unknown()?;
 
     let policy = BackoffPolicy {
@@ -386,7 +396,22 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)?;
             eprintln!("listening on {}", listener.local_addr()?);
-            serve_tcp(&engine, &listener, max_conns)?;
+            if workers == 0 {
+                // legacy strictly-sequential transport
+                serve_tcp(&engine, &listener, max_conns)?;
+            } else {
+                let server_cfg = ServerConfig {
+                    workers,
+                    max_queue,
+                    batch_window_ms,
+                    max_connections: max_conns,
+                };
+                eprintln!(
+                    "concurrent front end: {workers} worker(s), queue depth {max_queue}, \
+                     batch window {batch_window_ms} ms"
+                );
+                serve_concurrent(&engine, listener, &server_cfg)?;
+            }
         }
         None => {
             let stdin = std::io::stdin();

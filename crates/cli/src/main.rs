@@ -45,10 +45,16 @@ COMMANDS:
              Requests: {\"s\": ID|NAME, \"r\": ID|NAME, [\"topk\": N],
              [\"budget_ms\": F], [\"id\": STR]} | {\"cmd\": \"stats\"} |
              {\"cmd\": \"shutdown\"}. Over-budget requests degrade to a
-             frequency fallback and are flagged \"degraded\": true.
+             frequency fallback and are flagged \"degraded\": true. TCP
+             serving is concurrent: --workers connection workers share a
+             bounded request queue; queries are coalesced into batched
+             scorer passes (bit-identical per query) and rejected with a
+             typed \"overloaded\" error when the queue is full
+             (--workers 0 restores the sequential loop).
              --model FILE --data DIR|NAME [--listen ADDR] [--topk N=10]
              [--budget-ms F] [--max-poison N=3] [--load-retries N=3]
-             [--max-conns N] [--inject-load-faults N]
+             [--max-conns N] [--inject-load-faults N] [--workers N=4]
+             [--max-queue N=64] [--batch-window-ms F=2]
   lint       Check workspace source against the repo invariant rules
              (panic-free serving, atomic writes, pool-only threading,
              grad-path determinism, debug leftovers, float equality)

@@ -261,10 +261,63 @@ impl ScoreCtx {
 }
 
 /// Scores all entities for each `(s, r)` query at the end of `ctx`'s
-/// timeline with the full HisRES model (two-phase aware). Returns
+/// timeline with the full HisRES model. Returns
 /// `[queries.len(), num_entities]`.
+///
+/// **Batched, yet per-query bit-identical**: every output row equals, to
+/// the bit, what a solo `score_at(model, ctx, &[q])` call would produce.
+/// The globally relevant graph `G_t^H` is built from the query pairs, so
+/// naively encoding a multi-query batch in one pass would leak one
+/// query's history into another's scores (that union-graph protocol is
+/// what [`evaluate`] uses deliberately — there the batch *is* the test
+/// snapshot). Here the query-independent local evolution
+/// ([`HisRes::encode_local`](crate::model::HisRes::encode_local)) runs
+/// once and is shared, while the cheap query-dependent global stage and
+/// decoder run once per **distinct** `(s, r)` pair — duplicates are
+/// answered by row replication. This is what lets the serving batcher
+/// coalesce concurrent requests into one encoder pass without changing
+/// any client-visible score.
 pub fn score_at(model: &crate::model::HisRes, ctx: &ScoreCtx, queries: &[(u32, u32)]) -> NdArray {
-    crate::trainer::HisResEval { model }.score(&ctx.as_history(), queries)
+    use hisres_tensor::no_grad;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
+    use std::collections::BTreeMap;
+
+    let mut out = NdArray::zeros(queries.len(), ctx.num_entities);
+    if queries.is_empty() {
+        return out;
+    }
+    let start = ctx.snapshots.len().saturating_sub(model.cfg.history_len);
+    let history = &ctx.snapshots[start..];
+    let k = model.cfg.global_prune_topk.unwrap_or(usize::MAX);
+
+    // Deterministic grouping: rows that share a pair share one answer.
+    let mut groups: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+    for (i, &pair) in queries.iter().enumerate() {
+        groups.entry(pair).or_default().push(i);
+    }
+
+    no_grad(|| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let local = model.encode_local(history, ctx.t, false, &mut rng);
+        for (&pair, rows) in &groups {
+            let g_edges = if model.cfg.use_global {
+                ctx.global.relevant_graph_pruned(&[pair], k)
+            } else {
+                hisres_graph::EdgeList::new()
+            };
+            // Fresh seed per pair, mirroring the per-call rng a solo
+            // score would construct (unused in eval mode; the mirror
+            // keeps equivalence robust if that ever changes).
+            let mut rng = StdRng::seed_from_u64(0);
+            let enc = model.encode_global_with(&local, &g_edges, false, &mut rng);
+            let scores = model.score_objects(&enc, &[pair], false, &mut rng).value_clone();
+            for &i in rows {
+                out.row_mut(i).copy_from_slice(scores.row(0));
+            }
+        }
+    });
+    out
 }
 
 /// Evaluates the *relation prediction* task of the joint objective

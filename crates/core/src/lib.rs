@@ -68,8 +68,9 @@ pub use eval::{
 pub use model::{Encoded, HisRes};
 pub use multistep::evaluate_multistep;
 pub use serve::{
-    load_servable_model, parse_request, serve_lines, serve_tcp, ModelScorer, QueryRequest, Reply,
-    Request, ServeConfig, ServeEngine, ServeError, ServeScorer, ServeStats, SymbolRef,
+    error_line, load_servable_model, parse_request, serve_concurrent, serve_lines, serve_tcp,
+    ModelScorer, QueryRequest, Reply, Request, ServeConfig, ServeEngine, ServeError, ServeScorer,
+    ServeStats, ServerConfig, SymbolRef,
 };
 pub use trainer::{
     train, train_with, GuardAction, GuardEvent, GuardKind, HisResEval, TrainError, TrainOptions,

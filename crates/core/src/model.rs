@@ -239,11 +239,34 @@ impl HisRes {
     /// * `global_graph` — the globally relevant graph `G_t^H` built from
     ///   the current query pairs (pass an empty list to skip);
     /// * `training` — enables dropout (with `rng`).
+    ///
+    /// Composition of [`encode_local`](Self::encode_local) (the
+    /// query-independent evolutionary stages) and
+    /// [`encode_global_with`](Self::encode_global_with) (the
+    /// query-dependent global stage) — the split the batched serving path
+    /// uses to share the expensive local encoding across a batch while
+    /// keeping each query's scores bit-identical to a solo call.
     pub fn encode<R: Rng>(
         &self,
         history: &[Snapshot],
         predict_t: u32,
         global_graph: &EdgeList,
+        training: bool,
+        rng: &mut R,
+    ) -> Encoded {
+        let local = self.encode_local(history, predict_t, training, rng);
+        self.encode_global_with(&local, global_graph, training, rng)
+    }
+
+    /// The query-independent half of [`encode`](Self::encode): intra- and
+    /// inter-snapshot evolution (eq. 1–7) over `history` alone. The result
+    /// depends only on the history and timestamp — never on the query set
+    /// — so one local encoding can feed any number of
+    /// [`encode_global_with`](Self::encode_global_with) calls.
+    pub fn encode_local<R: Rng>(
+        &self,
+        history: &[Snapshot],
+        predict_t: u32,
         _training: bool,
         _rng: &mut R,
     ) -> Encoded {
@@ -299,6 +322,24 @@ impl HisRes {
         } else {
             e0
         };
+
+        Encoded { entities: local, relations: rels }
+    }
+
+    /// The query-dependent half of [`encode`](Self::encode): the global
+    /// stack (eq. 8–11) over the query-built `G_t^H`, fused with the
+    /// local encoding. An empty `global_graph` (or `use_global` off)
+    /// passes `local` through unchanged, exactly as the fused `encode`
+    /// did.
+    pub fn encode_global_with<R: Rng>(
+        &self,
+        local_enc: &Encoded,
+        global_graph: &EdgeList,
+        _training: bool,
+        _rng: &mut R,
+    ) -> Encoded {
+        let local = local_enc.entities.clone();
+        let rels = local_enc.relations.clone();
 
         let entities = if self.cfg.use_global && !global_graph.is_empty() {
             let mut eh = local.clone();

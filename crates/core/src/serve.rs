@@ -25,9 +25,16 @@
 //! * **Retrying checkpoint loads** — [`load_servable_model`] rides out
 //!   transient I/O errors with bounded exponential backoff and accepts
 //!   both model checkpoints and full training-state files.
+//! * **Concurrent multi-client serving with batching and backpressure** —
+//!   [`serve_concurrent`] runs an acceptor plus a worker set over a
+//!   bounded request queue; a batcher coalesces in-flight queries into
+//!   one batched scorer pass (bit-identical per query to solo scoring —
+//!   see `score_at`), and a full queue answers with a typed
+//!   [`ServeError::Overloaded`] rejection instead of stalling clients.
 //! * **Observability** — [`ServeStats`] counts requests, errors by kind,
-//!   degraded answers and panics, and reports p50/p99 latency; it is
-//!   served on `{"cmd":"stats"}` and emitted as a final line at EOF.
+//!   degraded answers, panics and admission rejections, and reports
+//!   p50/p99 latency; it is served on `{"cmd":"stats"}` and emitted as a
+//!   final line at EOF.
 
 use crate::checkpoint::{TrainCheckpoint, TRAIN_STATE_KIND};
 use crate::eval::{score_at, ScoreCtx};
@@ -38,13 +45,17 @@ use hisres_util::bench::LatencyRecorder;
 use hisres_util::fsio::{self, EnvelopeError, FaultInjector};
 use hisres_util::json::{self, Value};
 use hisres_util::retry::{with_backoff, BackoffPolicy};
+use hisres_util::pool;
+use hisres_util::sync::{BoundedQueue, PushError};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
 
@@ -107,6 +118,13 @@ pub enum ServeError {
         /// Raw relation vocabulary size (ids up to twice this are valid).
         num_relations: usize,
     },
+    /// The bounded request queue is at capacity: the request was rejected
+    /// at admission (backpressure) without touching the scorers. Clients
+    /// should back off and retry.
+    Overloaded {
+        /// The configured queue depth that was exceeded.
+        depth: usize,
+    },
     /// The engine could not produce an answer (both scorers failed).
     Internal(String),
 }
@@ -121,6 +139,7 @@ impl ServeError {
             ServeError::UnknownRelation(_) => "unknown_relation",
             ServeError::EntityOutOfRange { .. } => "entity_out_of_range",
             ServeError::RelationOutOfRange { .. } => "relation_out_of_range",
+            ServeError::Overloaded { .. } => "overloaded",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -141,6 +160,10 @@ impl fmt::Display for ServeError {
                 "relation id {id} out of range: {num_relations} raw relations admit ids \
                  0..{} (raw + inverse)",
                 2 * num_relations
+            ),
+            ServeError::Overloaded { depth } => write!(
+                f,
+                "server overloaded: the request queue is at capacity ({depth}); retry later"
             ),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -287,7 +310,7 @@ impl ServeScorer for ModelScorer {
 /// Serving counters, reported via `{"cmd":"stats"}` and at shutdown.
 #[derive(Debug, Default)]
 pub struct ServeStats {
-    /// Non-empty request lines handled (queries + control + rejects).
+    /// Non-empty request lines handled by the engine (queries + control).
     pub requests: usize,
     /// Successful query answers (full or degraded).
     pub ok: usize,
@@ -297,6 +320,11 @@ pub struct ServeStats {
     pub degraded: usize,
     /// Panics caught and isolated by the engine.
     pub panics: usize,
+    /// Requests rejected at admission by the concurrent front end (queue
+    /// full). Rejections never reach the engine, so they are *not*
+    /// included in `requests`; the front end folds its counter in via
+    /// [`ServeEngine::sync_rejected`].
+    pub rejected: usize,
     latency: LatencyRecorder,
 }
 
@@ -320,6 +348,7 @@ impl ServeStats {
             ("errors".into(), errors),
             ("degraded".into(), Value::Num(self.degraded as f64)),
             ("panics".into(), Value::Num(self.panics as f64)),
+            ("rejected".into(), Value::Num(self.rejected as f64)),
             (
                 "p50_ms".into(),
                 self.latency.percentile_ms(50.0).map_or(Value::Null, |m| Value::Num(round3(m))),
@@ -369,14 +398,38 @@ struct Answer {
     reason: Option<&'static str>,
 }
 
+/// A query mid-flight through [`ServeEngine::handle_parsed_batch`].
+struct PendingQuery {
+    s: u32,
+    r: u32,
+    topk: usize,
+    id: Option<String>,
+    started: Instant,
+    /// Degradation reason, if any stage ruled out the full path.
+    degrade: Option<&'static str>,
+    /// Ranked answer, filled by the full or fallback pass.
+    predictions: Option<Vec<(u32, f32)>>,
+}
+
+/// One batch item: already answered, or awaiting a scorer pass.
+enum Slot {
+    Done(Reply),
+    Pending(PendingQuery),
+}
+
 /// The serving engine: validation, budgeting, degradation, panic
 /// isolation and stats around a full scorer and a fallback scorer.
 ///
-/// The request loop runs on one thread (the model's autograd graph is
-/// `Rc`-based and not `Sync`), but each request's batch scoring fans out
-/// across the [`hisres_util::pool`] worker pool inside the no-grad tensor
-/// kernels — see the threading notes in `hisres_tensor`. The TCP
-/// front-end accepts connections sequentially.
+/// The engine itself runs on one thread (the model's autograd graph is
+/// `Rc`-based and not `Sync`); concurrency lives around it. The
+/// [`serve_concurrent`] TCP front end accepts many clients at once on
+/// dedicated I/O service threads and funnels their requests through a
+/// bounded queue into this engine's batched entry point
+/// ([`handle_parsed_batch`](Self::handle_parsed_batch)), which answers a
+/// whole in-flight batch with one scorer call — bit-identical per query
+/// to solo scoring. Inside that call, scoring additionally fans out
+/// across the [`hisres_util::pool`] worker pool in the no-grad tensor
+/// kernels — see the threading notes in `hisres_tensor`.
 pub struct ServeEngine {
     cfg: ServeConfig,
     num_entities: usize,
@@ -469,29 +522,210 @@ impl ServeEngine {
 
     /// Handles one non-empty request line, returning the response line.
     /// Never panics and never kills the loop: every failure mode is a
-    /// structured error response.
+    /// structured error response. A single-request batch of
+    /// [`handle_parsed_batch`](Self::handle_parsed_batch).
     pub fn handle_line(&self, line: &str) -> Reply {
         let started = Instant::now();
-        self.stats.borrow_mut().requests += 1;
-        match parse_request(line) {
-            Err(e) => self.error_reply(None, e, started),
-            Ok(Request::Stats) => Reply { line: self.stats_line(), shutdown: false },
-            Ok(Request::Shutdown) => Reply {
+        self.handle_parsed_batch(vec![(parse_request(line), started)])
+            .pop()
+            .unwrap_or_else(|| Reply {
                 line: to_line(Value::Obj(vec![
-                    ("ok".into(), Value::Bool(true)),
-                    ("shutdown".into(), Value::Bool(true)),
+                    ("ok".into(), Value::Bool(false)),
+                    (
+                        "error".into(),
+                        Value::Obj(vec![
+                            ("kind".into(), Value::Str("internal".into())),
+                            ("message".into(), Value::Str("empty batch reply".into())),
+                        ]),
+                    ),
                 ])),
                 shutdown: false,
-            }
-            .into_shutdown(),
-            Ok(Request::Query(q)) => {
-                let id = q.id.clone();
-                match self.answer(&q, started) {
-                    Ok(a) => self.ok_reply(id, a, started),
-                    Err(e) => self.error_reply(id, e, started),
+            })
+    }
+
+    /// Folds the front end's admission-rejection counter into the stats
+    /// block. The engine never sees rejected requests (they are refused
+    /// at the queue), so the concurrent server syncs its atomic counter
+    /// here before any stats are reported.
+    pub fn sync_rejected(&self, total: usize) {
+        self.stats.borrow_mut().rejected = total;
+    }
+
+    /// Answers a batch of parsed request lines — the concurrent batcher's
+    /// entry point. Replies come back in request order, one per item.
+    ///
+    /// All non-degraded queries of the batch are answered by **one** full
+    /// scorer call; `score_at`'s batched path makes every row bit-equal
+    /// to what a solo request would have received, so coalescing is
+    /// invisible to clients. All degraded rows likewise share one
+    /// fallback call. A panic in the batched full pass degrades the whole
+    /// batch's full rows and counts once against the poison counter.
+    pub fn handle_parsed_batch(
+        &self,
+        items: Vec<(Result<Request, ServeError>, Instant)>,
+    ) -> Vec<Reply> {
+        self.stats.borrow_mut().requests += items.len();
+
+        // Phase 1: validate and classify. Control lines and validation
+        // failures are answered immediately; well-formed queries become
+        // pending slots, pre-marked degraded when the engine is poisoned
+        // or the remaining budget (queue wait included — `started` is
+        // stamped at read time) cannot cover the estimated full latency.
+        let mut slots: Vec<Slot> = Vec::with_capacity(items.len());
+        for (parsed, started) in items {
+            let slot = match parsed {
+                Err(e) => Slot::Done(self.error_reply(None, e, started)),
+                Ok(Request::Stats) => Slot::Done(Reply { line: self.stats_line(), shutdown: false }),
+                Ok(Request::Shutdown) => Slot::Done(
+                    Reply {
+                        line: to_line(Value::Obj(vec![
+                            ("ok".into(), Value::Bool(true)),
+                            ("shutdown".into(), Value::Bool(true)),
+                        ])),
+                        shutdown: false,
+                    }
+                    .into_shutdown(),
+                ),
+                Ok(Request::Query(q)) => {
+                    let resolved = self
+                        .resolve_entity(&q.s)
+                        .and_then(|s| self.resolve_relation(&q.r).map(|r| (s, r)));
+                    match resolved {
+                        Err(e) => Slot::Done(self.error_reply(q.id, e, started)),
+                        Ok((s, r)) => {
+                            let topk =
+                                q.topk.unwrap_or(self.cfg.default_topk).min(self.num_entities.max(1));
+                            let budget = q.budget_ms.or(self.cfg.default_budget_ms);
+                            let degrade: Option<&'static str> = if self.poisoned() {
+                                Some("poisoned")
+                            } else if let Some(b) = budget {
+                                let remaining = b - started.elapsed().as_secs_f64() * 1e3;
+                                if self.est_full_ms.get() >= remaining {
+                                    Some("budget")
+                                } else {
+                                    None
+                                }
+                            } else {
+                                None
+                            };
+                            Slot::Pending(PendingQuery {
+                                s,
+                                r,
+                                topk,
+                                id: q.id,
+                                started,
+                                degrade,
+                                predictions: None,
+                            })
+                        }
+                    }
+                }
+            };
+            slots.push(slot);
+        }
+
+        // Phase 2: one batched full pass over every non-degraded query,
+        // isolated: a panic degrades those rows (and bumps the poison
+        // counter once), never the process.
+        let full_idx: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Pending(p) if p.degrade.is_none()))
+            .map(|(i, _)| i)
+            .collect();
+        if !full_idx.is_empty() {
+            let queries: Vec<(u32, u32)> = full_idx
+                .iter()
+                .filter_map(|&i| match &slots[i] {
+                    Slot::Pending(p) => Some((p.s, p.r)),
+                    Slot::Done(_) => None,
+                })
+                .collect();
+            let t0 = Instant::now();
+            let full = &self.full;
+            match catch_unwind(AssertUnwindSafe(|| full.score(&queries))) {
+                Ok(scores) => {
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let est = self.est_full_ms.get();
+                    self.est_full_ms.set(if est.is_finite() && est > 0.0 {
+                        0.7 * est + 0.3 * ms
+                    } else {
+                        ms
+                    });
+                    let shape_ok = scores.shape() == (queries.len(), self.num_entities);
+                    for (row, &i) in full_idx.iter().enumerate() {
+                        if let Slot::Pending(p) = &mut slots[i] {
+                            // Non-finite scores (a NaN deep in the
+                            // encoder) are as unusable as a panic — that
+                            // row is served by the fallback instead.
+                            if shape_ok && scores.row(row).iter().all(|v| v.is_finite()) {
+                                p.predictions = Some(top_k(scores.row(row), p.topk));
+                            } else {
+                                p.degrade = Some("invalid_scores");
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.panics.set(self.panics.get() + 1);
+                    self.stats.borrow_mut().panics += 1;
+                    for &i in &full_idx {
+                        if let Slot::Pending(p) = &mut slots[i] {
+                            p.degrade = Some("panic");
+                        }
+                    }
                 }
             }
         }
+
+        // Phase 3: one batched fallback pass over every degraded row.
+        let fb_idx: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Pending(p) if p.predictions.is_none()))
+            .map(|(i, _)| i)
+            .collect();
+        let mut fb_error: Option<ServeError> = None;
+        if !fb_idx.is_empty() {
+            let queries: Vec<(u32, u32)> = fb_idx
+                .iter()
+                .filter_map(|&i| match &slots[i] {
+                    Slot::Pending(p) => Some((p.s, p.r)),
+                    Slot::Done(_) => None,
+                })
+                .collect();
+            match self.run_fallback(&queries) {
+                Ok(fb) => {
+                    for (row, &i) in fb_idx.iter().enumerate() {
+                        if let Slot::Pending(p) = &mut slots[i] {
+                            p.predictions = Some(top_k(fb.row(row), p.topk));
+                        }
+                    }
+                }
+                Err(e) => fb_error = Some(e),
+            }
+        }
+
+        // Phase 4: assemble replies in request order.
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(reply) => reply,
+                Slot::Pending(p) => match p.predictions {
+                    Some(predictions) => self.ok_reply(
+                        p.id,
+                        Answer { predictions, degraded: p.degrade.is_some(), reason: p.degrade },
+                        p.started,
+                    ),
+                    None => {
+                        let e = fb_error
+                            .clone()
+                            .unwrap_or_else(|| ServeError::Internal("no answer produced".into()));
+                        self.error_reply(p.id, e, p.started)
+                    }
+                },
+            })
+            .collect()
     }
 
     fn resolve_entity(&self, sym: &SymbolRef) -> Result<u32, ServeError> {
@@ -563,81 +797,6 @@ impl ServeEngine {
         Ok(scores)
     }
 
-    fn answer(&self, q: &QueryRequest, started: Instant) -> Result<Answer, ServeError> {
-        let s = self.resolve_entity(&q.s)?;
-        let r = self.resolve_relation(&q.r)?;
-        let topk = q.topk.unwrap_or(self.cfg.default_topk).min(self.num_entities.max(1));
-        let budget = q.budget_ms.or(self.cfg.default_budget_ms);
-        let queries = [(s, r)];
-
-        // Degrade up front when the engine is poisoned or the remaining
-        // budget cannot cover the estimated full-encoder latency.
-        let up_front: Option<&'static str> = if self.poisoned() {
-            Some("poisoned")
-        } else if let Some(b) = budget {
-            let remaining = b - started.elapsed().as_secs_f64() * 1e3;
-            if self.est_full_ms.get() >= remaining {
-                Some("budget")
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-        if let Some(reason) = up_front {
-            let fb = self.run_fallback(&queries)?;
-            return Ok(Answer {
-                predictions: top_k(fb.row(0), topk),
-                degraded: true,
-                reason: Some(reason),
-            });
-        }
-
-        // Full path, isolated: a panic costs this query its full answer
-        // (it degrades) and bumps the poison counter — never the process.
-        let t0 = Instant::now();
-        let full = &self.full;
-        match catch_unwind(AssertUnwindSafe(|| full.score(&queries))) {
-            Ok(scores) => {
-                let ms = t0.elapsed().as_secs_f64() * 1e3;
-                let est = self.est_full_ms.get();
-                self.est_full_ms.set(if est.is_finite() && est > 0.0 {
-                    0.7 * est + 0.3 * ms
-                } else {
-                    ms
-                });
-                let valid = scores.shape() == (1, self.num_entities)
-                    && scores.row(0).iter().all(|v| v.is_finite());
-                if valid {
-                    Ok(Answer {
-                        predictions: top_k(scores.row(0), topk),
-                        degraded: false,
-                        reason: None,
-                    })
-                } else {
-                    // Non-finite scores (a NaN deep in the encoder) are as
-                    // unusable as a panic — serve the fallback instead.
-                    let fb = self.run_fallback(&queries)?;
-                    Ok(Answer {
-                        predictions: top_k(fb.row(0), topk),
-                        degraded: true,
-                        reason: Some("invalid_scores"),
-                    })
-                }
-            }
-            Err(_) => {
-                self.panics.set(self.panics.get() + 1);
-                self.stats.borrow_mut().panics += 1;
-                let fb = self.run_fallback(&queries)?;
-                Ok(Answer {
-                    predictions: top_k(fb.row(0), topk),
-                    degraded: true,
-                    reason: Some("panic"),
-                })
-            }
-        }
-    }
-
     fn ok_reply(&self, id: Option<String>, a: Answer, started: Instant) -> Reply {
         let ms = started.elapsed().as_secs_f64() * 1e3;
         {
@@ -679,20 +838,28 @@ impl ServeEngine {
             *st.errors.entry(e.kind().to_owned()).or_insert(0) += 1;
             st.latency.record_ms(ms);
         }
-        let mut fields = vec![("ok".into(), Value::Bool(false))];
-        if let Some(id) = id {
-            fields.push(("id".into(), Value::Str(id)));
-        }
-        fields.push((
-            "error".into(),
-            Value::Obj(vec![
-                ("kind".into(), Value::Str(e.kind().into())),
-                ("message".into(), Value::Str(e.to_string())),
-            ]),
-        ));
-        fields.push(("latency_ms".into(), Value::Num(round3(ms))));
-        Reply { line: to_line(Value::Obj(fields)), shutdown: false }
+        Reply { line: error_line(id.as_deref(), &e, ms), shutdown: false }
     }
+}
+
+/// The `{"ok":false,"error":{...}}` line for `e`, echoing `id`. Shared by
+/// the engine's error replies and the concurrent front end's reader-side
+/// [`ServeError::Overloaded`] rejections, which must answer without
+/// touching the single-threaded engine.
+pub fn error_line(id: Option<&str>, e: &ServeError, latency_ms: f64) -> String {
+    let mut fields = vec![("ok".into(), Value::Bool(false))];
+    if let Some(id) = id {
+        fields.push(("id".into(), Value::Str(id.to_owned())));
+    }
+    fields.push((
+        "error".into(),
+        Value::Obj(vec![
+            ("kind".into(), Value::Str(e.kind().into())),
+            ("message".into(), Value::Str(e.to_string())),
+        ]),
+    ));
+    fields.push(("latency_ms".into(), Value::Num(round3(latency_ms))));
+    to_line(Value::Obj(fields))
 }
 
 impl Reply {
@@ -756,10 +923,11 @@ pub fn serve_lines(
     output.flush()
 }
 
-/// TCP front-end over [`serve_lines`]: accepts connections sequentially
-/// (one request loop; scoring itself is data-parallel inside the tensor
-/// kernels) and serves each until its
-/// client disconnects. A connection-level I/O error is logged and the
+/// Legacy single-client TCP front end over [`serve_lines`]: serves one
+/// connection at a time to completion (`--workers 0`). The concurrent
+/// multi-client front end is [`serve_concurrent`]; this loop is kept as
+/// the zero-thread escape hatch and for tests that want strictly
+/// sequential semantics. A connection-level I/O error is logged and the
 /// next connection served; `max_connections` bounds the loop for tests.
 pub fn serve_tcp(
     engine: &ServeEngine,
@@ -783,6 +951,372 @@ pub fn serve_tcp(
         }
     }
     Ok(())
+}
+
+/// Topology knobs for the concurrent TCP front end.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Connection-worker threads (each serves one client at a time,
+    /// writing replies while a paired reader thread parses requests).
+    /// Clamped to at least 1.
+    pub workers: usize,
+    /// Bound on the shared request queue; a full queue rejects queries
+    /// with a typed [`ServeError::Overloaded`] response. Clamped to at
+    /// least 1.
+    pub max_queue: usize,
+    /// How long the batcher waits to coalesce further in-flight requests
+    /// after the first of a batch (0 batches only what is already
+    /// queued).
+    pub batch_window_ms: f64,
+    /// Stop accepting after this many connections (tests); `None` serves
+    /// until shutdown.
+    pub max_connections: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, max_queue: 64, batch_window_ms: 2.0, max_connections: None }
+    }
+}
+
+/// What reader threads put on the shared request queue: a parsed request
+/// line, or the end-of-connection marker (`parsed: None`) that makes the
+/// batcher emit the connection's final stats line and release its writer.
+struct Job {
+    parsed: Option<Result<Request, ServeError>>,
+    started: Instant,
+    /// Per-connection sequence number; the writer restores request order
+    /// with it, so batching can never cross-wire replies.
+    seq: u64,
+    resp: mpsc::Sender<WriterMsg>,
+}
+
+/// `(seq, line, close)` — an empty line writes nothing (used to release
+/// a writer whose connection produced no reply), `close` ends the writer
+/// after this seq is written out.
+type WriterMsg = (u64, String, bool);
+
+/// State shared between the acceptor, readers, workers and the batcher.
+struct ServerShared {
+    queue: BoundedQueue<Job>,
+    /// Queries refused at admission (folded into stats via
+    /// [`ServeEngine::sync_rejected`]).
+    rejected: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Connections accepted and not yet fully served.
+    active: AtomicUsize,
+    accepting_done: AtomicBool,
+    /// Read halves of open connections, so shutdown can force EOF on
+    /// every reader (their writers then drain normally).
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+fn lock_conns(shared: &ServerShared) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
+    shared.conns.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Concurrent multi-client TCP front end: an acceptor service thread
+/// hands connections to `workers` connection workers; each worker pairs
+/// a reader service thread (parse + enqueue) with an in-order reply
+/// writer. The caller's thread becomes the **batcher**: it owns the
+/// engine (whose model is single-threaded by construction), drains the
+/// bounded request queue, coalesces up to a batch window of in-flight
+/// requests, and answers them through
+/// [`ServeEngine::handle_parsed_batch`] — one batched scorer pass,
+/// bit-identical per query to solo scoring.
+///
+/// Admission control: when the queue is full, query requests are rejected
+/// immediately on the reader thread with a typed `overloaded` error
+/// response (control commands and EOF markers are never shed — they block
+/// that one connection instead). `{"cmd":"shutdown"}` from any client
+/// stops accepting, forces EOF on every open connection, and drains the
+/// queue — every request already admitted still gets its reply and every
+/// connection its final stats line.
+pub fn serve_concurrent(
+    engine: &ServeEngine,
+    listener: TcpListener,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
+    let workers = cfg.workers.max(1);
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        queue: BoundedQueue::new(cfg.max_queue.max(1)),
+        rejected: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        accepting_done: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+    });
+    // Accepted connections awaiting a free worker; a small bound keeps
+    // the accept backlog from growing without limit under load.
+    let conn_queue: Arc<BoundedQueue<(u64, TcpStream)>> = Arc::new(BoundedQueue::new(2 * workers));
+
+    let acceptor = {
+        let shared = shared.clone();
+        let conn_queue = conn_queue.clone();
+        let max_connections = cfg.max_connections;
+        pool::spawn_service("hisres-serve-acceptor", move || {
+            acceptor_loop(&shared, &listener, &conn_queue, max_connections)
+        })?
+    };
+    let mut worker_services = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let shared = shared.clone();
+        let conn_queue = conn_queue.clone();
+        worker_services.push(pool::spawn_service(&format!("hisres-serve-worker-{i}"), move || {
+            while let Some((conn_id, stream)) = conn_queue.pop() {
+                serve_connection(&shared, conn_id, stream);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        })?);
+    }
+
+    // ---- the batcher: the only thread that touches the engine ----
+    let window = Duration::from_secs_f64(cfg.batch_window_ms.max(0.0) / 1e3);
+    loop {
+        if term_requested() {
+            initiate_shutdown(&shared, local_addr);
+        }
+        let Some(first) = shared.queue.pop_timeout(Duration::from_millis(20)) else {
+            let drained = shared.accepting_done.load(Ordering::SeqCst)
+                && shared.active.load(Ordering::SeqCst) == 0
+                && shared.queue.is_empty();
+            if drained {
+                break;
+            }
+            continue;
+        };
+        let mut jobs = vec![first];
+        let cap = shared.queue.capacity();
+        if window.is_zero() {
+            while jobs.len() < cap {
+                match shared.queue.try_pop() {
+                    Some(j) => jobs.push(j),
+                    None => break,
+                }
+            }
+        } else {
+            let deadline = Instant::now() + window;
+            while jobs.len() < cap {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match shared.queue.pop_timeout(deadline - now) {
+                    Some(j) => jobs.push(j),
+                    None => break,
+                }
+            }
+        }
+        if process_batch(engine, &shared, jobs) {
+            initiate_shutdown(&shared, local_addr);
+        }
+    }
+
+    shared.queue.close();
+    conn_queue.close();
+    let _ = acceptor.join();
+    for w in worker_services {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+/// Flips the shutdown flag once: stops the acceptor (waking it with a
+/// loopback connection) and forces EOF on every open connection's read
+/// half, so readers enqueue their final markers and writers drain.
+fn initiate_shutdown(shared: &ServerShared, local_addr: std::net::SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    for (_, conn) in lock_conns(shared).iter() {
+        let _ = conn.shutdown(Shutdown::Read);
+    }
+    // Unblock `accept()`; the acceptor sees the flag and drops this
+    // connection without serving it.
+    let _ = TcpStream::connect(local_addr);
+}
+
+fn acceptor_loop(
+    shared: &ServerShared,
+    listener: &TcpListener,
+    conn_queue: &BoundedQueue<(u64, TcpStream)>,
+    max_connections: Option<usize>,
+) {
+    let mut accepted = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: accept failed: {e}"); // lint:allow(no-debug-leftovers): operational log of a failed accept, not debug output
+                continue;
+            }
+        };
+        accepted += 1;
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        if conn_queue.push((accepted, stream)).is_err() {
+            // queue closed mid-shutdown: this connection won't be served
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+        if max_connections.is_some_and(|max| accepted as usize >= max) {
+            break;
+        }
+    }
+    conn_queue.close();
+    shared.accepting_done.store(true, Ordering::SeqCst);
+}
+
+/// Serves one accepted connection on a worker thread: spawns the reader
+/// service, runs the in-order reply writer inline, joins the reader and
+/// unregisters the connection.
+fn serve_connection(shared: &Arc<ServerShared>, conn_id: u64, stream: TcpStream) {
+    // Replies are small JSON lines; Nagle buys nothing here and costs a
+    // delayed-ACK stall (~40 ms) per round trip for request/reply clients.
+    let _ = stream.set_nodelay(true);
+    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: connection {conn_id} clone failed: {e}"); // lint:allow(no-debug-leftovers): operational log of a dropped TCP connection, not debug output
+            return;
+        }
+    };
+    if let Ok(register_half) = read_half.try_clone() {
+        lock_conns(shared).push((conn_id, register_half));
+    }
+    // A shutdown that raced past registration must still force this
+    // reader off its socket.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = read_half.shutdown(Shutdown::Read);
+    }
+    let reader = {
+        let shared = shared.clone();
+        pool::spawn_service("hisres-serve-reader", move || reader_loop(&shared, read_half, tx))
+    };
+    writer_loop(&stream, &rx);
+    if let Ok(service) = reader {
+        let _ = service.join();
+    }
+    lock_conns(shared).retain(|(id, _)| *id != conn_id);
+}
+
+/// Parses request lines off one connection and enqueues them. Queries go
+/// through non-blocking admission (`try_push`); a full queue answers
+/// `overloaded` directly. Control commands, parse errors and the final
+/// EOF marker are never shed.
+fn reader_loop(shared: &ServerShared, stream: TcpStream, resp: mpsc::Sender<WriterMsg>) {
+    let mut seq = 0u64;
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let job = Job {
+            parsed: Some(parse_request(&line)),
+            started: Instant::now(),
+            seq,
+            resp: resp.clone(),
+        };
+        seq += 1;
+        let is_query = matches!(&job.parsed, Some(Ok(Request::Query(_))));
+        let outcome = if is_query { shared.queue.try_push(job) } else { blocking_push(shared, job) };
+        match outcome {
+            Ok(()) => {}
+            Err(PushError::Full(job)) => {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                let id = match &job.parsed {
+                    Some(Ok(Request::Query(q))) => q.id.as_deref(),
+                    _ => None,
+                };
+                let e = ServeError::Overloaded { depth: shared.queue.capacity() };
+                let ms = job.started.elapsed().as_secs_f64() * 1e3;
+                let _ = resp.send((job.seq, error_line(id, &e, ms), false));
+            }
+            Err(PushError::Closed(job)) => {
+                let e = ServeError::Internal("server is shutting down".into());
+                let ms = job.started.elapsed().as_secs_f64() * 1e3;
+                let _ = resp.send((job.seq, error_line(None, &e, ms), false));
+                break;
+            }
+        }
+    }
+    // EOF: the marker rides the same queue behind this connection's
+    // requests, so the batcher emits the final stats line only after all
+    // of them are answered.
+    let marker = Job { parsed: None, started: Instant::now(), seq, resp: resp.clone() };
+    if blocking_push(shared, marker).is_err() {
+        // batcher already gone: release the writer directly
+        let _ = resp.send((seq, String::new(), true));
+    }
+}
+
+fn blocking_push(shared: &ServerShared, job: Job) -> Result<(), PushError<Job>> {
+    shared.queue.push(job).map_err(PushError::Closed)
+}
+
+/// Writes replies back in per-connection request order: messages may
+/// arrive out of order (rejections answer instantly while admitted
+/// requests wait for the batcher), so a reorder buffer holds them until
+/// their sequence number is next.
+fn writer_loop(stream: &TcpStream, rx: &mpsc::Receiver<WriterMsg>) {
+    let mut out = BufWriter::new(stream);
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, (String, bool)> = BTreeMap::new();
+    let mut dead = false;
+    while let Ok((seq, line, close)) = rx.recv() {
+        pending.insert(seq, (line, close));
+        while let Some((line, close)) = pending.remove(&next) {
+            next += 1;
+            if !dead && !line.is_empty() {
+                let write = writeln!(out, "{line}").and_then(|_| out.flush());
+                if write.is_err() {
+                    // client hung up: keep draining so the batcher's
+                    // sends never error, but stop writing
+                    dead = true;
+                }
+            }
+            if close {
+                return;
+            }
+        }
+    }
+}
+
+/// Answers one coalesced batch on the engine-owning thread. Returns true
+/// when a shutdown request was in the batch.
+fn process_batch(engine: &ServeEngine, shared: &ServerShared, jobs: Vec<Job>) -> bool {
+    engine.sync_rejected(shared.rejected.load(Ordering::Relaxed));
+    let mut items = Vec::with_capacity(jobs.len());
+    let mut routes = Vec::with_capacity(jobs.len());
+    let mut eofs = Vec::new();
+    for job in jobs {
+        match job.parsed {
+            Some(parsed) => {
+                items.push((parsed, job.started));
+                routes.push((job.seq, job.resp));
+            }
+            None => eofs.push(job),
+        }
+    }
+    let mut shutdown = false;
+    if !items.is_empty() {
+        for (reply, (seq, resp)) in engine.handle_parsed_batch(items).into_iter().zip(routes) {
+            if reply.shutdown {
+                shutdown = true;
+            }
+            let _ = resp.send((seq, reply.line, false));
+        }
+    }
+    // EOF markers last: within a batch they can only belong to
+    // connections whose requests were just answered above.
+    for job in eofs {
+        let _ = job.resp.send((job.seq, engine.stats_line(), true));
+    }
+    shutdown
 }
 
 /// Loads a model for serving from either a **model checkpoint** or a full

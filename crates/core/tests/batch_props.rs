@@ -1,0 +1,164 @@
+//! Batch-equivalence property tests: the batched `score_at` path the
+//! concurrent serving batcher rides on must be **byte-identical**, per
+//! query, to one-at-a-time sequential scoring — for random query mixes
+//! (duplicates included) and across the model configurations that change
+//! how the globally relevant graph is built (pruned top-k, two-phase,
+//! global stack off).
+
+use hisres::config::HisResConfig;
+use hisres::eval::{score_at, ScoreCtx};
+use hisres::model::HisRes;
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use hisres_util::check::vec as prop_vec;
+use hisres_util::{prop_assert, props};
+
+const NUM_ENTITIES: usize = 16;
+const NUM_RELATIONS: usize = 3;
+
+fn tiny_ctx() -> ScoreCtx {
+    let cfg = SyntheticConfig {
+        num_entities: NUM_ENTITIES,
+        num_relations: NUM_RELATIONS,
+        num_timestamps: 12,
+        periodic_patterns: 6,
+        period_range: (2, 4),
+        causal_rules: 1,
+        trigger_events_per_t: 2,
+        recency_draws_per_t: 2,
+        noise_events_per_t: 1,
+        seed: 11,
+        ..Default::default()
+    };
+    let data = DatasetSplits::from_tkg("batch-props-syn", "1 step", &generate(&cfg).tkg);
+    ScoreCtx::at_end_of(&data)
+}
+
+fn tiny_model(mutate: impl FnOnce(&mut HisResConfig)) -> HisRes {
+    let mut cfg = HisResConfig {
+        dim: 8,
+        conv_channels: 2,
+        history_len: 3,
+        ..Default::default()
+    };
+    mutate(&mut cfg);
+    HisRes::new(&cfg, NUM_ENTITIES, NUM_RELATIONS)
+}
+
+/// Asserts every row of one batched `score_at` call is bit-equal to a
+/// solo call for that query.
+fn assert_batch_matches_sequential(model: &HisRes, ctx: &ScoreCtx, queries: &[(u32, u32)]) {
+    let batched = score_at(model, ctx, queries);
+    assert_eq!(batched.shape(), (queries.len(), NUM_ENTITIES));
+    for (i, &q) in queries.iter().enumerate() {
+        let solo = score_at(model, ctx, &[q]);
+        let same = batched
+            .row(i)
+            .iter()
+            .zip(solo.row(0))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            same,
+            "row {i} (query {q:?}) of a {}-query batch differs from solo scoring",
+            queries.len()
+        );
+    }
+}
+
+/// Queries drawn over the full id space, inverse relations included, with
+/// a deliberately small domain so duplicates are common.
+fn query_mix(raw: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    raw.into_iter()
+        .map(|(s, r)| (s % NUM_ENTITIES as u32, r % (2 * NUM_RELATIONS) as u32))
+        .collect()
+}
+
+props! {
+    cases = 8;
+
+    fn batched_scores_match_sequential_default_config(
+        raw in prop_vec((0u32..64, 0u32..64), 1..10),
+    ) {
+        let ctx = tiny_ctx();
+        let model = tiny_model(|_| {});
+        let queries = query_mix(raw);
+        assert_batch_matches_sequential(&model, &ctx, &queries);
+        prop_assert!(true);
+    }
+
+    fn batched_scores_match_sequential_pruned_topk(
+        raw in prop_vec((0u32..64, 0u32..64), 1..10),
+    ) {
+        let ctx = tiny_ctx();
+        let model = tiny_model(|cfg| cfg.global_prune_topk = Some(2));
+        let queries = query_mix(raw);
+        assert_batch_matches_sequential(&model, &ctx, &queries);
+        prop_assert!(true);
+    }
+
+    fn batched_scores_match_sequential_two_phase(
+        raw in prop_vec((0u32..64, 0u32..64), 1..10),
+    ) {
+        let ctx = tiny_ctx();
+        let model = tiny_model(|cfg| cfg.use_two_phase = true);
+        let queries = query_mix(raw);
+        assert_batch_matches_sequential(&model, &ctx, &queries);
+        prop_assert!(true);
+    }
+
+    fn batched_scores_match_sequential_global_off(
+        raw in prop_vec((0u32..64, 0u32..64), 1..8),
+    ) {
+        let ctx = tiny_ctx();
+        let model = tiny_model(|cfg| cfg.use_global = false);
+        let queries = query_mix(raw);
+        assert_batch_matches_sequential(&model, &ctx, &queries);
+        prop_assert!(true);
+    }
+}
+
+#[test]
+fn empty_batch_returns_zero_rows() {
+    let ctx = tiny_ctx();
+    let model = tiny_model(|_| {});
+    let scores = score_at(&model, &ctx, &[]);
+    assert_eq!(scores.shape(), (0, NUM_ENTITIES));
+}
+
+#[test]
+fn duplicate_queries_share_one_answer_row() {
+    let ctx = tiny_ctx();
+    let model = tiny_model(|_| {});
+    let queries = [(3, 1), (3, 1), (5, 0), (3, 1)];
+    let batched = score_at(&model, &ctx, &queries);
+    for i in [1, 3] {
+        let same = batched
+            .row(0)
+            .iter()
+            .zip(batched.row(i))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "duplicate query row {i} differs from row 0");
+    }
+}
+
+/// The pre-batching equivalence claim, stated directly: batching must
+/// also match the *old* sequential implementation (`HisResEval::score`
+/// per single query), not merely be self-consistent.
+#[test]
+fn batched_rows_match_the_eval_protocol_for_singletons() {
+    use hisres::eval::ExtrapolationModel;
+    let ctx = tiny_ctx();
+    let model = tiny_model(|_| {});
+    let queries = [(0u32, 0u32), (7, 4), (15, 5), (7, 4)];
+    let batched = score_at(&model, &ctx, &queries);
+    let eval = hisres::trainer::HisResEval { model: &model };
+    for (i, &q) in queries.iter().enumerate() {
+        let solo = eval.score(&ctx.as_history(), &[q]);
+        let same = batched
+            .row(i)
+            .iter()
+            .zip(solo.row(0))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "row {i} differs from the sequential eval protocol");
+    }
+}

@@ -12,7 +12,8 @@
 //! | [`bench`] | `criterion` | warm-up + median-of-N timer with a criterion-shaped builder API and `criterion_group!`/`criterion_main!` |
 //! | [`fsio`] | `tempfile`/`atomicwrites` | atomic temp-file + fsync + rename writes, a versioned + checksummed checkpoint envelope, and scripted fault injection (writes *and* reads) for crash tests |
 //! | [`retry`] | `backoff`/`retry` | bounded retry with deterministic exponential backoff and a caller-supplied transient-error predicate |
-//! | [`pool`] | `rayon` | persistent worker pool (`std::thread` + channels), disjoint-output `par_chunks_mut` partitioning that is bit-identical across thread counts, `HISRES_THREADS`/`--threads` sizing, scoped `with_threads` overrides |
+//! | [`pool`] | `rayon` | persistent worker pool (`std::thread` + channels), disjoint-output `par_chunks_mut` partitioning that is bit-identical across thread counts, `HISRES_THREADS`/`--threads` sizing, scoped `with_threads` overrides, named `spawn_service` threads for blocking I/O |
+//! | [`sync`] | `crossbeam-channel` | bounded MPMC queue with non-blocking `try_push` rejection (admission control), deadline `pop_timeout`, and close-and-drain shutdown |
 //!
 //! Beyond removing the network from the build, owning the PRNG makes seeded
 //! randomness an explicit reproducibility contract: the synthetic datasets,
@@ -26,3 +27,4 @@ pub mod json;
 pub mod pool;
 pub mod retry;
 pub mod rng;
+pub mod sync;

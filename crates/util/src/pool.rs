@@ -303,6 +303,49 @@ pub fn current_threads() -> usize {
     current().threads()
 }
 
+/// A named long-lived I/O service thread spawned by [`spawn_service`].
+///
+/// Unlike pool workers, a service thread is *not* part of the
+/// deterministic data-parallel contract: it must never run model math.
+/// The serving front end uses services for connection acceptors and
+/// per-connection readers — work that blocks on sockets, not on tensors.
+pub struct Service<T> {
+    handle: Option<JoinHandle<T>>,
+}
+
+impl<T> Service<T> {
+    /// Waits for the service to finish and returns its result, or `None`
+    /// if the service panicked (a panic is contained, never re-raised:
+    /// a dying connection reader must not take the server down).
+    pub fn join(mut self) -> Option<T> {
+        self.handle.take().and_then(|h| h.join().ok())
+    }
+}
+
+/// Spawns a dedicated OS thread for blocking I/O work (socket accept
+/// loops, connection readers). This is the **only** sanctioned
+/// thread-spawn outside the pool itself — the `pool-only-threading` lint
+/// confines raw `thread::spawn` to this file so every thread in the
+/// process is accounted for here.
+///
+/// Service threads are marked as pool workers so any parallel kernel
+/// accidentally invoked on one runs inline on the serial pool instead of
+/// re-entering the global pool (see [`current`]); the deterministic
+/// kernels stay on the caller threads they were designed for.
+pub fn spawn_service<T, F>(name: &str, f: F) -> std::io::Result<Service<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let handle = std::thread::Builder::new()
+        .name(name.to_owned())
+        .spawn(move || {
+            IN_WORKER.with(|w| w.set(true));
+            f()
+        })?;
+    Ok(Service { handle: Some(handle) })
+}
+
 /// Runs `f` with every parallel kernel on this thread using a temporary
 /// pool of exactly `threads` threads — the hook the thread-count
 /// determinism property tests and the kernel bench sweep are built on.

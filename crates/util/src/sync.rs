@@ -1,0 +1,322 @@
+//! Bounded MPMC queue — the admission-control primitive of the concurrent
+//! serving front end.
+//!
+//! `std::sync::mpsc` channels are unbounded (or rendezvous, for
+//! `sync_channel`, whose `Receiver` is single-consumer); the serving path
+//! needs the opposite shape: **many** producers (connection readers),
+//! **many** consumers (the batcher today; shard batchers tomorrow), a hard
+//! depth bound, and a *non-blocking* producer-side failure so an
+//! overloaded server can reject a request with a typed response instead of
+//! stalling the client's whole connection.
+//!
+//! The queue carries no determinism contract — it orders items by arrival
+//! under a single mutex and is used only on the I/O plane. Model math
+//! stays on [`crate::pool`], whose partitioning is what keeps scores
+//! bit-identical; see the determinism notes there.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (the item is handed back for a typed
+    /// rejection). Only returned by [`BoundedQueue::try_push`].
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+///
+/// * [`try_push`](Self::try_push) never blocks: a full queue returns
+///   [`PushError::Full`] with the item, which is what backpressure
+///   rejection is built on.
+/// * [`push`](Self::push) blocks while full — for control items that must
+///   not be load-shed (connection EOF markers).
+/// * [`pop_timeout`](Self::pop_timeout) lets a consumer poll with a
+///   deadline so it can interleave queue draining with other work
+///   (batch-window coalescing, shutdown checks).
+/// * [`close`](Self::close) wakes every waiter; pops then drain the
+///   remaining items and return `None` only once the queue is empty.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (0 is treated as 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured depth bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// True once [`close`](Self::close) has run.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Enqueues without blocking; a full or closed queue hands the item
+    /// back in the error.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is full. Returns the item back
+    /// as `Err` if the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        let item = st.items.pop_front();
+        if item.is_some() {
+            drop(st);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues, blocking until an item arrives. Returns `None` only when
+    /// the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues, blocking for at most `timeout`. Returns `None` on
+    /// timeout or when the queue is closed and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Closes the queue: future pushes fail, every blocked waiter wakes,
+    /// and pops drain the remaining items before returning `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_push_full_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(PushError::Full(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // draining frees a slot again
+        assert_eq!(q.try_pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_on_an_idle_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let t0 = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_a_slot() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<u32> = (0..3).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+}

@@ -1,16 +1,27 @@
 #!/usr/bin/env bash
-# Kernel performance harness: builds and runs the `kernels` bench binary,
-# which sweeps the parallel tensor kernels over 1/2/4 worker threads plus
-# serial seed-reference kernels, and writes BENCH_kernels.json at the repo
-# root (atomic write; previous results are replaced).
+# Performance harnesses. Default mode builds and runs the `kernels` bench
+# binary, which sweeps the parallel tensor kernels over 1/2/4 worker
+# threads plus serial seed-reference kernels, and writes
+# BENCH_kernels.json at the repo root (atomic write; previous results are
+# replaced). `--serve` instead runs the `loadgen` serving benchmark, which
+# sweeps offered load against the concurrent TCP front end and writes
+# BENCH_serve.json (throughput, p50/p99, degraded/rejected fractions).
 #
-#   scripts/bench.sh            full shapes (the EXPERIMENTS.md numbers)
-#   scripts/bench.sh --quick    CI-sized shapes, a few seconds end to end
+#   scripts/bench.sh                    kernel sweep, full shapes
+#   scripts/bench.sh --quick            kernel sweep, CI-sized
+#   scripts/bench.sh --serve            serving load sweep, full size
+#   scripts/bench.sh --serve --quick    serving load sweep, CI-sized
 #
 # Extra arguments are passed through to the binary (e.g. --out FILE).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline -p hisres-bench --bin kernels
-target/release/kernels "$@"
+bin=kernels
+if [[ "${1:-}" == "--serve" ]]; then
+  bin=loadgen
+  shift
+fi
+
+cargo build --release --offline -p hisres-bench --bin "$bin"
+"target/release/$bin" "$@"

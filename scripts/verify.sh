@@ -138,6 +138,74 @@ for needle in \
 done
 echo "serve smoke test: OK (typed errors, budget degradation, stats, retried load)"
 
+# ---- concurrent serve smoke test --------------------------------------------
+# Two *simultaneous* TCP clients against the concurrent front end: each
+# tags its requests with its own ids, and every reply must come back on
+# the right connection, in request order. A third connection then issues
+# {"cmd":"shutdown"} and the server process must exit cleanly.
+"$bin" serve --model "$smoke/straight.ckpt" --data "$smoke/data" \
+    --listen 127.0.0.1:0 --workers 2 --max-conns 3 \
+    2>"$smoke/serve_err.log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$smoke/serve_err.log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "ERROR: concurrent serve never reported its listen port:" >&2
+    cat "$smoke/serve_err.log" >&2
+    exit 1
+fi
+run_client() {
+    local tag=$1
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '{"s": 1, "r": 0, "id": "%s-1"}\n{"s": 2, "r": 1, "id": "%s-2"}\n' \
+        "$tag" "$tag" >&3
+    head -n 2 <&3
+    exec 3>&- 3<&-
+}
+run_client a >"$smoke/client_a.out" &
+a_pid=$!
+run_client b >"$smoke/client_b.out" &
+b_pid=$!
+wait "$a_pid" "$b_pid"
+for tag in a b; do
+    other=$([ "$tag" = a ] && echo b || echo a)
+    out="$smoke/client_$tag.out"
+    for needle in "\"id\":\"$tag-1\"" "\"id\":\"$tag-2\""; do
+        if ! grep -qF "$needle" "$out"; then
+            echo "ERROR: concurrent client $tag is missing its reply $needle:" >&2
+            cat "$out" >&2
+            exit 1
+        fi
+    done
+    if grep -qF "\"id\":\"$other-" "$out"; then
+        echo "ERROR: client $tag received client $other's replies (cross-wired):" >&2
+        cat "$out" >&2
+        exit 1
+    fi
+done
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf '{"cmd": "shutdown"}\n' >&3
+if ! head -n 1 <&3 | grep -qF '"shutdown":true'; then
+    echo "ERROR: shutdown command was not acknowledged" >&2
+    exit 1
+fi
+exec 3>&- 3<&-
+if ! wait "$serve_pid"; then
+    echo "ERROR: concurrent serve exited non-zero after shutdown" >&2
+    cat "$smoke/serve_err.log" >&2
+    exit 1
+fi
+if ! grep -qF "concurrent front end: 2 worker(s)" "$smoke/serve_err.log"; then
+    echo "ERROR: serve did not start the concurrent front end:" >&2
+    cat "$smoke/serve_err.log" >&2
+    exit 1
+fi
+echo "concurrent serve smoke test: OK (2 simultaneous clients, no cross-wiring, clean shutdown)"
+
 # ---- thread-count determinism smoke test ------------------------------------
 # The data-parallel kernel layer must never change results: training the
 # same model at 1 and 4 worker threads must produce byte-identical
@@ -159,5 +227,14 @@ echo "thread determinism smoke test: OK (1-thread == 4-thread checkpoint)"
 scripts/bench.sh --quick --out "$smoke/BENCH_kernels.json" >/dev/null
 target/release/kernels --check "$smoke/BENCH_kernels.json"
 echo "kernel bench smoke test: OK (quick sweep + JSON schema check)"
+
+# ---- serving bench smoke test -----------------------------------------------
+# A quick load-generator sweep must run end to end against a live
+# concurrent server and emit a BENCH_serve.json that passes its own schema
+# check (stage outcomes adding up, rejections measured in the burst stage,
+# fallback answers measured in the degraded stage).
+scripts/bench.sh --serve --quick --out "$smoke/BENCH_serve.json" >/dev/null
+target/release/loadgen --check "$smoke/BENCH_serve.json"
+echo "serving bench smoke test: OK (quick load sweep + JSON schema check)"
 
 echo "verify.sh: OK"

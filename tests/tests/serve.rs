@@ -1,10 +1,12 @@
 //! End-to-end tests of the serving subsystem: request validation,
 //! deadline degradation, panic isolation with poisoning, stats
-//! accounting, retrying checkpoint loads, and both transports.
+//! accounting, retrying checkpoint loads, both transports, and the
+//! concurrent front end (interleaved clients, admission-control
+//! backpressure, shutdown draining).
 
 use hisres::serve::{
-    load_servable_model, serve_lines, serve_tcp, ModelScorer, ServeConfig, ServeEngine,
-    ServeScorer,
+    load_servable_model, serve_concurrent, serve_lines, serve_tcp, ModelScorer, ServeConfig,
+    ServeEngine, ServeScorer, ServerConfig,
 };
 use hisres::{HisRes, HisResConfig, ScoreCtx, TrainCheckpoint};
 use hisres_baselines::FrequencyScorer;
@@ -299,6 +301,296 @@ fn tcp_transport_round_trips_and_survives_client_hangup() {
     let v = json::parse(reply.trim()).unwrap();
     assert!(is_ok(&v), "{v:?}");
     assert_eq!(engine.stats().ok, 1);
+}
+
+/// A full scorer that takes a fixed wall-clock time per call — drives
+/// the admission-control and budget-degradation tests deterministically.
+struct SlowScorer {
+    ne: usize,
+    delay: Duration,
+}
+
+impl ServeScorer for SlowScorer {
+    fn name(&self) -> &str {
+        "slow"
+    }
+    fn score(&self, queries: &[(u32, u32)]) -> NdArray {
+        std::thread::sleep(self.delay);
+        let mut out = NdArray::zeros(queries.len(), self.ne);
+        for q in 0..queries.len() {
+            for (o, v) in out.row_mut(q).iter_mut().enumerate() {
+                *v = o as f32;
+            }
+        }
+        out
+    }
+}
+
+/// Writes `lines` down one connection (optionally pacing them), half-closes
+/// the write side, and returns every reply line parsed as JSON.
+fn run_client(
+    addr: std::net::SocketAddr,
+    lines: Vec<String>,
+    pace: Option<Duration>,
+) -> Vec<Value> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    for line in &lines {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        if let Some(d) = pace {
+            stream.flush().unwrap();
+            std::thread::sleep(d);
+        }
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    BufReader::new(stream)
+        .lines()
+        .map(|l| {
+            let l = l.unwrap();
+            json::parse(&l).unwrap_or_else(|e| panic!("bad reply line {l:?}: {e}"))
+        })
+        .collect()
+}
+
+fn reply_id(v: &Value) -> Option<&str> {
+    v.get("id").and_then(Value::as_str)
+}
+
+fn stats_of(v: &Value) -> &Value {
+    match v.get("stats") {
+        Some(s) => s,
+        None => panic!("expected a stats line, got {v:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_get_ordered_uncrossed_replies_and_stats_add_up() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 12;
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // Interleaved mix per client: tagged valid queries, one bad-json line
+    // and one out-of-range entity; client 3 paces its writes (the slow
+    // client that must not stall anyone else).
+    let client_lines = |c: usize| -> Vec<String> {
+        (0..PER_CLIENT)
+            .map(|i| match i {
+                4 => "this is not json".to_owned(),
+                8 => format!("{{\"s\": 9999, \"r\": 0, \"id\": \"c{c}-{i}\"}}"),
+                _ => format!("{{\"s\": {}, \"r\": 0, \"topk\": 2, \"id\": \"c{c}-{i}\"}}", i % NE),
+            })
+            .collect()
+    };
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let lines = client_lines(c);
+            let pace = (c == 3).then(|| Duration::from_millis(2));
+            std::thread::spawn(move || run_client(addr, lines, pace))
+        })
+        .collect();
+
+    // The engine is !Send, so the batcher runs here on the main thread;
+    // fewer workers than clients exercises connection queueing too.
+    let cfg = ServerConfig {
+        workers: 3,
+        max_queue: 256,
+        batch_window_ms: 1.0,
+        max_connections: Some(CLIENTS),
+    };
+    serve_concurrent(&engine, listener, &cfg).unwrap();
+
+    for (c, client) in clients.into_iter().enumerate() {
+        let replies = client.join().unwrap();
+        // one reply per request line, plus the final stats line
+        assert_eq!(replies.len(), PER_CLIENT + 1, "client {c}");
+        for (i, v) in replies[..PER_CLIENT].iter().enumerate() {
+            match i {
+                4 => assert_eq!(error_kind(v), Some("bad_json"), "client {c} line {i}"),
+                8 => {
+                    assert_eq!(error_kind(v), Some("entity_out_of_range"), "client {c} line {i}");
+                    // errors echo the id too: ordering is still checkable
+                    assert_eq!(reply_id(v), Some(format!("c{c}-{i}").as_str()));
+                }
+                _ => {
+                    assert!(is_ok(v), "client {c} line {i}: {v:?}");
+                    // replies arrive in request order with the request's
+                    // own id — no lost and no cross-wired responses
+                    assert_eq!(reply_id(v), Some(format!("c{c}-{i}").as_str()));
+                    let preds = match v.get("predictions") {
+                        Some(Value::Arr(p)) => p,
+                        other => panic!("missing predictions: {other:?}"),
+                    };
+                    let top: Vec<u64> =
+                        preds.iter().filter_map(|p| p.get("o")?.as_u64()).collect();
+                    assert_eq!(top, vec![NE as u64 - 1, NE as u64 - 2], "client {c} line {i}");
+                }
+            }
+        }
+        let stats = stats_of(&replies[PER_CLIENT]);
+        assert!(stats.get("requests").and_then(Value::as_u64).is_some());
+    }
+
+    // totals add up across the whole run: every line of every client was
+    // counted, nothing was rejected, nothing panicked
+    let stats = engine.stats();
+    assert_eq!(stats.requests, CLIENTS * PER_CLIENT);
+    assert_eq!(stats.ok, CLIENTS * (PER_CLIENT - 2));
+    assert_eq!(stats.error_total(), CLIENTS * 2);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
+fn shutdown_drains_already_admitted_requests_before_exit() {
+    let engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // One pipelined burst: five queries then a shutdown command. The
+    // queries are queued ahead of the shutdown, so every one must still
+    // be answered before the server exits (the queue drains).
+    let mut lines: Vec<String> =
+        (0..5).map(|i| format!("{{\"s\": {i}, \"r\": 0, \"id\": \"q{i}\"}}")).collect();
+    lines.push("{\"cmd\": \"shutdown\"}".to_owned());
+    let client = std::thread::spawn(move || run_client(addr, lines, None));
+
+    // no max_connections: the loop ends because the shutdown drains it
+    let cfg = ServerConfig {
+        workers: 2,
+        max_queue: 64,
+        batch_window_ms: 0.0,
+        max_connections: None,
+    };
+    serve_concurrent(&engine, listener, &cfg).unwrap();
+
+    let replies = client.join().unwrap();
+    // five answers, the shutdown ack, the final stats line
+    assert_eq!(replies.len(), 7, "{replies:?}");
+    for (i, v) in replies[..5].iter().enumerate() {
+        assert!(is_ok(v), "query {i}: {v:?}");
+        assert_eq!(reply_id(v), Some(format!("q{i}").as_str()));
+    }
+    assert_eq!(replies[5].get("shutdown"), Some(&Value::Bool(true)));
+    let stats = stats_of(&replies[6]);
+    assert_eq!(stats.get("requests").and_then(Value::as_u64), Some(6));
+    assert_eq!(stats.get("ok").and_then(Value::as_u64), Some(5));
+}
+
+#[test]
+fn overload_rejects_with_typed_overloaded_and_never_panics() {
+    const BURST: usize = 40;
+    // Each full pass holds the batcher for a fixed wall-clock time, so a
+    // fast pipelined burst must overflow the depth-1 queue.
+    let engine = engine_with(
+        Box::new(SlowScorer { ne: NE, delay: Duration::from_millis(15) }),
+        ServeConfig::default(),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let lines: Vec<String> =
+        (0..BURST).map(|i| format!("{{\"s\": {}, \"r\": 0, \"id\": \"b{i}\"}}", i % NE)).collect();
+    let client = std::thread::spawn(move || run_client(addr, lines, None));
+
+    let cfg = ServerConfig {
+        workers: 1,
+        max_queue: 1,
+        batch_window_ms: 0.0,
+        max_connections: Some(1),
+    };
+    serve_concurrent(&engine, listener, &cfg).unwrap();
+
+    let replies = client.join().unwrap();
+    assert_eq!(replies.len(), BURST + 1);
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    for v in &replies[..BURST] {
+        if is_ok(v) {
+            ok += 1;
+        } else {
+            assert_eq!(error_kind(v), Some("overloaded"), "{v:?}");
+            overloaded += 1;
+        }
+    }
+    assert_eq!(ok + overloaded, BURST, "no reply may be lost");
+    assert!(overloaded > 0, "a depth-1 queue must shed part of a {BURST}-deep burst");
+    assert!(ok > 0, "admitted requests must still be answered");
+
+    // the stats line and the engine agree: rejections are counted
+    // separately from engine requests, and nothing panicked
+    let stats = stats_of(&replies[BURST]);
+    assert_eq!(stats.get("requests").and_then(Value::as_u64), Some(ok as u64));
+    assert_eq!(stats.get("rejected").and_then(Value::as_u64), Some(overloaded as u64));
+    assert_eq!(stats.get("panics").and_then(Value::as_u64), Some(0));
+    let engine_stats = engine.stats();
+    assert_eq!(engine_stats.requests, ok);
+    assert_eq!(engine_stats.rejected, overloaded);
+    assert_eq!(engine_stats.panics, 0, "backpressure must not poison the engine");
+    assert!(!engine.poisoned());
+}
+
+#[test]
+fn degraded_fraction_is_monotone_under_a_shrinking_budget() {
+    const QUERIES: usize = 10;
+    let mut fractions = Vec::new();
+    for budget_ms in [1e9, 2.0, 0.0] {
+        let cfg = ServeConfig { default_budget_ms: Some(budget_ms), ..Default::default() };
+        let engine =
+            engine_with(Box::new(SlowScorer { ne: NE, delay: Duration::from_millis(5) }), cfg);
+        engine.calibrate();
+        assert!(engine.estimated_full_ms() >= 5.0, "calibration must see the 5 ms floor");
+        for i in 0..QUERIES {
+            let v = handle(&engine, &format!("{{\"s\": {}, \"r\": 0}}", i % NE));
+            assert!(is_ok(&v), "{v:?}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.panics, 0, "budget degradation must not touch the poison counter");
+        assert!(!engine.poisoned());
+        fractions.push(stats.degraded as f64 / QUERIES as f64);
+    }
+    assert!(
+        fractions.windows(2).all(|w| w[0] <= w[1]),
+        "degraded fraction must not shrink as the budget shrinks: {fractions:?}"
+    );
+    assert_eq!(fractions[0], 0.0, "an effectively unlimited budget never degrades");
+    assert_eq!(*fractions.last().unwrap(), 1.0, "a zero budget always degrades");
+}
+
+#[test]
+fn batched_engine_replies_match_singleton_replies() {
+    use hisres::serve::parse_request;
+    use std::time::Instant;
+    let lines = [
+        "{\"s\": 1, \"r\": 0, \"topk\": 3, \"id\": \"a\"}",
+        "not json",
+        "{\"s\": 2, \"r\": 5, \"topk\": 2, \"id\": \"b\"}",
+        "{\"s\": 9999, \"r\": 0, \"id\": \"c\"}",
+        "{\"s\": 1, \"r\": 0, \"topk\": 3, \"id\": \"d\"}",
+    ];
+    let batched_engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    let items = lines.iter().map(|l| (parse_request(l), Instant::now())).collect();
+    let batched = batched_engine.handle_parsed_batch(items);
+
+    let solo_engine = engine_with(Box::new(RampScorer { ne: NE }), ServeConfig::default());
+    for (line, reply) in lines.iter().zip(&batched) {
+        let b = json::parse(&reply.line).unwrap();
+        let s = handle(&solo_engine, line);
+        // identical up to timing: same status, id, error kind, predictions
+        assert_eq!(is_ok(&b), is_ok(&s), "{line}");
+        assert_eq!(reply_id(&b), reply_id(&s), "{line}");
+        assert_eq!(error_kind(&b), error_kind(&s), "{line}");
+        assert_eq!(b.get("predictions"), s.get("predictions"), "{line}");
+        assert_eq!(b.get("degraded"), s.get("degraded"), "{line}");
+    }
+    // and the two engines' books agree
+    let (b, s) = (batched_engine.stats(), solo_engine.stats());
+    assert_eq!(b.requests, s.requests);
+    assert_eq!(b.ok, s.ok);
+    assert_eq!(b.errors, s.errors);
+    assert_eq!(b.degraded, s.degraded);
 }
 
 #[test]
