@@ -1,0 +1,316 @@
+//! Distributed-training benchmark: epoch wall-clock for `--distributed`
+//! sync mode at 1/2/4 workers (plus a single-process reference and one
+//! bounded-staleness async point), and the supervisor's recovery latency
+//! after an injected worker SIGKILL.
+//!
+//! Results go to `BENCH_dist.json` (atomic write, schema-tagged),
+//! mirroring `kernels` / `loadgen`. Every sync stage also re-checks the
+//! headline invariant — final parameters byte-identical to
+//! single-process training — so a perf regression hunt can never trade
+//! away correctness silently.
+//!
+//! **Caveat (as for the kernel bench):** this container pins one core, so
+//! worker counts cannot show wall-clock speedup here; sync mode is
+//! additionally sequential *by design* (step delegation relays the RNG
+//! through every step), so its sweep measures protocol + process overhead,
+//! not parallel scaling. The async stage is where extra workers can
+//! overlap compute with coordinator-side bookkeeping.
+//!
+//! ```text
+//! distbench [--quick] [--out FILE] [--exe PATH]   run the sweep
+//! distbench --check FILE                          validate a results file
+//! ```
+
+use hisres::dist::{train_distributed, DistConfig, LossPolicy};
+use hisres::trainer::{train_with, TrainOptions};
+use hisres::{HisRes, HisResConfig, TrainConfig};
+use hisres_comms::HeartbeatConfig;
+use hisres_data::datasets::load as load_builtin;
+use hisres_util::json::{self, FromJson};
+use hisres_util::{fsio, impl_json};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SCHEMA: &str = "hisres-bench-dist/v1";
+const DATASET: &str = "icews14s-syn";
+
+/// The `BENCH_dist.json` document.
+struct BenchFile {
+    /// Format tag for downstream tooling.
+    schema: String,
+    /// True when produced by `--quick` (fewer epochs — not comparable
+    /// with full runs).
+    quick: bool,
+    /// Built-in dataset every stage trains on.
+    dataset: String,
+    /// Epochs per training run.
+    epochs: usize,
+    /// One entry per stage.
+    results: Vec<StageStats>,
+}
+
+impl_json!(BenchFile { schema, quick, dataset, epochs, results });
+
+/// One benchmark stage.
+struct StageStats {
+    /// `single`, `sync`, `async`, or `recovery`.
+    stage: String,
+    /// Worker processes (0 for the single-process reference).
+    workers: usize,
+    /// Bounded staleness the stage ran with.
+    staleness: usize,
+    /// Whole-run wall-clock.
+    wall_ms: f64,
+    /// Wall-clock per epoch.
+    epoch_ms: f64,
+    /// Final parameters byte-identical to the single-process reference
+    /// (expected true for `single`, `sync`, `recovery`; false for `async`).
+    byte_identical: bool,
+    /// Worker-loss incidents the supervisor handled.
+    worker_losses: usize,
+    /// Recovery latency of the first incident (0 when none).
+    recovery_ms: f64,
+}
+
+impl_json!(StageStats {
+    stage,
+    workers,
+    staleness,
+    wall_ms,
+    epoch_ms,
+    byte_identical,
+    worker_losses,
+    recovery_ms
+});
+
+impl StageStats {
+    fn row(&self) -> String {
+        format!(
+            "{:<9} {:>1} worker(s)  staleness {:>1}  {:>8.1} ms/run  {:>7.1} ms/epoch  \
+             identical {:<5}  losses {:>1}  recovery {:>6.1} ms",
+            self.stage,
+            self.workers,
+            self.staleness,
+            self.wall_ms,
+            self.epoch_ms,
+            self.byte_identical,
+            self.worker_losses,
+            self.recovery_ms,
+        )
+    }
+}
+
+fn model_for(data_entities: usize, data_relations: usize) -> HisRes {
+    let cfg = HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() };
+    HisRes::new(&cfg, data_entities, data_relations)
+}
+
+fn dist_cfg(exe: &PathBuf, workers: usize, staleness: usize) -> DistConfig {
+    DistConfig {
+        workers,
+        staleness,
+        on_loss: LossPolicy::Respawn,
+        heartbeat: HeartbeatConfig {
+            interval: Duration::from_millis(100),
+            timeout: Duration::from_secs(5),
+        },
+        step_timeout: Duration::from_secs(120),
+        worker_exe: exe.clone(),
+        worker_base_args: vec![
+            "dist-worker".into(),
+            "--data".into(),
+            DATASET.into(),
+            "--quiet".into(),
+        ],
+        worker_extra_args: Vec::new(),
+        max_respawns: 3,
+    }
+}
+
+fn run_suite(quick: bool, out_path: &str, exe: &PathBuf) -> Result<(), String> {
+    if !exe.is_file() {
+        return Err(format!(
+            "worker executable {} not found — build it first (cargo build --release -p hisres-cli)",
+            exe.display()
+        ));
+    }
+    let epochs = if quick { 2 } else { 4 };
+    let data = load_builtin(DATASET);
+    let tc = TrainConfig { epochs, patience: 0, verbose: false, ..Default::default() };
+    let mut results = Vec::new();
+
+    // single-process reference: the byte-identity yardstick and the
+    // overhead baseline every distributed stage is compared against
+    let reference = model_for(data.num_entities(), data.num_relations());
+    let started = Instant::now();
+    train_with(&reference, &data, &tc, &TrainOptions::default())
+        .map_err(|e| format!("single-process reference run: {e}"))?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let ref_params = reference.store.to_json();
+    results.push(StageStats {
+        stage: "single".into(),
+        workers: 0,
+        staleness: 0,
+        wall_ms,
+        epoch_ms: wall_ms / epochs as f64,
+        byte_identical: true,
+        worker_losses: 0,
+        recovery_ms: 0.0,
+    });
+
+    let mut dist_stage =
+        |stage: &str, dc: &DistConfig, expect_identical: bool| -> Result<(), String> {
+            let model = model_for(data.num_entities(), data.num_relations());
+            let started = Instant::now();
+            let report = train_distributed(&model, &data, &tc, &TrainOptions::default(), dc)
+                .map_err(|e| format!("{stage} ({} workers): {e}", dc.workers))?;
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let identical = model.store.to_json() == ref_params;
+            if identical != expect_identical {
+                return Err(format!(
+                    "{stage} ({} workers): byte-identity was {identical}, expected {expect_identical}",
+                    dc.workers
+                ));
+            }
+            results.push(StageStats {
+                stage: stage.into(),
+                workers: dc.workers,
+                staleness: dc.staleness,
+                wall_ms,
+                epoch_ms: wall_ms / epochs as f64,
+                byte_identical: identical,
+                worker_losses: report.worker_losses.len(),
+                recovery_ms: report
+                    .worker_losses
+                    .first()
+                    .map_or(0.0, |e| e.recovered_ms as f64),
+            });
+            Ok(())
+        };
+
+    for workers in [1usize, 2, 4] {
+        dist_stage("sync", &dist_cfg(exe, workers, 0), true)?;
+    }
+    dist_stage("async", &dist_cfg(exe, 2, 2), false)?;
+
+    // recovery latency: SIGKILL worker 0 on its 3rd assigned step, time
+    // the supervisor's respawn + re-dispatch, and keep byte-identity
+    let mut dc = dist_cfg(exe, 2, 0);
+    dc.worker_extra_args = vec![vec!["--die-on-step".into(), "2".into()], vec![]];
+    dist_stage("recovery", &dc, true)?;
+
+    for s in &results {
+        println!("{}", s.row());
+    }
+    let doc = BenchFile {
+        schema: SCHEMA.to_owned(),
+        quick,
+        dataset: DATASET.to_owned(),
+        epochs,
+        results,
+    };
+    let text = json::to_string(&doc).map_err(|e| format!("serialising results: {e}"))?;
+    fsio::atomic_write(out_path, text.as_bytes())
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {} stages to {out_path}", doc.results.len());
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let doc = BenchFile::from_json(&value).map_err(|e| format!("{path}: bad schema: {e}"))?;
+    if doc.schema != SCHEMA {
+        return Err(format!("{path}: schema {:?}, expected {SCHEMA:?}", doc.schema));
+    }
+    if doc.epochs == 0 {
+        return Err(format!("{path}: zero epochs"));
+    }
+    for s in &doc.results {
+        if !(s.wall_ms.is_finite() && s.wall_ms > 0.0 && s.epoch_ms.is_finite() && s.epoch_ms > 0.0)
+        {
+            return Err(format!("{path}: stage {} has non-positive timings", s.stage));
+        }
+        if matches!(s.stage.as_str(), "single" | "sync" | "recovery") && !s.byte_identical {
+            return Err(format!("{path}: stage {} lost byte-identity", s.stage));
+        }
+    }
+    for (stage, want_workers) in [("single", vec![0]), ("sync", vec![1, 2, 4])] {
+        for w in want_workers {
+            if !doc.results.iter().any(|s| s.stage == stage && s.workers == w) {
+                return Err(format!("{path}: missing {stage} stage at {w} worker(s)"));
+            }
+        }
+    }
+    match doc.results.iter().find(|s| s.stage == "recovery") {
+        None => return Err(format!("{path}: missing the recovery stage")),
+        Some(r) => {
+            if r.worker_losses == 0 || r.recovery_ms <= 0.0 {
+                return Err(format!(
+                    "{path}: the recovery stage measured no worker-loss recovery"
+                ));
+            }
+        }
+    }
+    println!(
+        "{path}: ok — {} stages over {DATASET} x{} epochs{}",
+        doc.results.len(),
+        doc.epochs,
+        if doc.quick { " [quick]" } else { "" },
+    );
+    Ok(())
+}
+
+fn default_exe() -> PathBuf {
+    // distbench and the hisres CLI land in the same target directory;
+    // prefer the sibling binary so the bench runs from any cwd
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("hisres")))
+        .unwrap_or_else(|| PathBuf::from("target/release/hisres"))
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_dist.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut exe = default_exe();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(v) => check = Some(v.clone()),
+                None => return usage("--check needs a path"),
+            },
+            "--exe" => match it.next() {
+                Some(v) => exe = PathBuf::from(v),
+                None => return usage("--exe needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let r = match check {
+        Some(path) => check_file(&path),
+        None => run_suite(quick, &out, &exe),
+    };
+    match r {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> std::process::ExitCode {
+    eprintln!(
+        "error: {msg}\nusage: distbench [--quick] [--out FILE] [--exe PATH] | distbench --check FILE"
+    );
+    std::process::ExitCode::FAILURE
+}

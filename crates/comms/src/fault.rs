@@ -1,0 +1,170 @@
+//! Scripted network fault injection, the wire-level sibling of
+//! [`hisres_util::fsio::FaultInjector`].
+//!
+//! Faults are scripted against the Nth *send* on a connection: a frame
+//! can be torn mid-write (the peer sees a truncated frame), carry a
+//! corrupted payload (the peer's checksum verification fails), stall
+//! before hitting the wire (the peer's read deadline trips), be dropped
+//! with the whole connection, or dribble out slowly. The injector uses
+//! interior mutability so a shared `&NetFaultInjector` threads through
+//! otherwise-immutable call chains, and every constructor mirrors the
+//! `fsio` naming so the two fault vocabularies read the same.
+
+use std::cell::Cell;
+
+/// How a scripted fault manifests inside a framed send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultMode {
+    /// Only the first `n` bytes of the encoded frame reach the wire, then
+    /// the write half shuts down — the peer reads a torn frame
+    /// (`WireError::Truncated`).
+    TruncateFrame(usize),
+    /// One payload byte is flipped after the checksum was computed — the
+    /// peer reads a full frame that fails verification
+    /// (`WireError::ChecksumMismatch`).
+    CorruptPayload,
+    /// The send sleeps this many milliseconds before writing — a stalled
+    /// peer; the reader's deadline decides whether it survives.
+    StallMs(u64),
+    /// The connection is shut down (both halves) without sending — the
+    /// peer sees EOF (`WireError::Closed` between frames).
+    DropConnection,
+    /// The frame is written in `chunk`-byte pieces with `delay_ms` sleeps
+    /// in between — a slow link; arrives intact unless a deadline trips.
+    SlowWrite {
+        /// Bytes per write call.
+        chunk: usize,
+        /// Sleep between chunks, in milliseconds.
+        delay_ms: u64,
+    },
+}
+
+/// Scripts [`NetFaultMode`]s into the Nth send of a connection.
+#[derive(Debug, Default)]
+pub struct NetFaultInjector {
+    sends: Cell<usize>,
+    faults: Vec<(usize, NetFaultMode)>,
+}
+
+impl NetFaultInjector {
+    /// An injector that never fires — the production path.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail the `n`th send (0-based) with `mode`; all others succeed.
+    pub fn fail_nth_send(n: usize, mode: NetFaultMode) -> Self {
+        NetFaultInjector { sends: Cell::new(0), faults: vec![(n, mode)] }
+    }
+
+    /// Adds another scripted fault.
+    pub fn and_fail(mut self, n: usize, mode: NetFaultMode) -> Self {
+        self.faults.push((n, mode));
+        self
+    }
+
+    /// Number of sends attempted through this injector so far.
+    pub fn sends_attempted(&self) -> usize {
+        self.sends.get()
+    }
+
+    /// The fault (if any) scripted for the send happening now; advances
+    /// the send counter.
+    pub fn next_fault(&self) -> Option<NetFaultMode> {
+        let idx = self.sends.get();
+        self.sends.set(idx + 1);
+        self.faults.iter().find(|(n, _)| *n == idx).map(|(_, m)| *m)
+    }
+
+    /// Parses a CLI fault script: `;`-separated `N:MODE` entries where
+    /// `MODE` is `corrupt`, `truncate[:BYTES]`, `stall:MS`, `drop`, or
+    /// `slow:CHUNK:MS`. Example: `"2:corrupt;5:stall:500"`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut inj = NetFaultInjector::none();
+        for entry in spec.split(';').filter(|e| !e.is_empty()) {
+            let (nth, mode) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("fault entry {entry:?} is not N:MODE"))?;
+            let n: usize = nth
+                .parse()
+                .map_err(|_| format!("fault entry {entry:?}: bad send index {nth:?}"))?;
+            let mut parts = mode.split(':');
+            let kind = parts.next().unwrap_or("");
+            let arg = |p: Option<&str>, what: &str| -> Result<u64, String> {
+                p.ok_or_else(|| format!("fault {kind:?} needs {what}"))?
+                    .parse()
+                    .map_err(|_| format!("fault {kind:?}: bad {what}"))
+            };
+            let m = match kind {
+                "corrupt" => NetFaultMode::CorruptPayload,
+                "truncate" => {
+                    let keep = match parts.next() {
+                        Some(b) => b
+                            .parse()
+                            .map_err(|_| format!("fault truncate: bad byte count {b:?}"))?,
+                        None => 8, // tear inside the frame header
+                    };
+                    NetFaultMode::TruncateFrame(keep)
+                }
+                "stall" => NetFaultMode::StallMs(arg(parts.next(), "milliseconds")?),
+                "drop" => NetFaultMode::DropConnection,
+                "slow" => NetFaultMode::SlowWrite {
+                    chunk: arg(parts.next(), "chunk size")? as usize,
+                    delay_ms: arg(parts.next(), "delay")?,
+                },
+                other => return Err(format!("unknown fault mode {other:?}")),
+            };
+            inj.faults.push((n, m));
+        }
+        Ok(inj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_on_scripted_send() {
+        let inj = NetFaultInjector::fail_nth_send(1, NetFaultMode::CorruptPayload);
+        assert_eq!(inj.next_fault(), None);
+        assert_eq!(inj.next_fault(), Some(NetFaultMode::CorruptPayload));
+        assert_eq!(inj.next_fault(), None);
+        assert_eq!(inj.sends_attempted(), 3);
+    }
+
+    #[test]
+    fn and_fail_scripts_multiple_faults() {
+        let inj = NetFaultInjector::fail_nth_send(0, NetFaultMode::DropConnection)
+            .and_fail(2, NetFaultMode::StallMs(5));
+        assert_eq!(inj.next_fault(), Some(NetFaultMode::DropConnection));
+        assert_eq!(inj.next_fault(), None);
+        assert_eq!(inj.next_fault(), Some(NetFaultMode::StallMs(5)));
+    }
+
+    #[test]
+    fn parses_cli_scripts() {
+        let inj = NetFaultInjector::parse("0:corrupt;1:truncate:3;2:stall:250;3:drop;4:slow:16:2")
+            .unwrap();
+        assert_eq!(inj.next_fault(), Some(NetFaultMode::CorruptPayload));
+        assert_eq!(inj.next_fault(), Some(NetFaultMode::TruncateFrame(3)));
+        assert_eq!(inj.next_fault(), Some(NetFaultMode::StallMs(250)));
+        assert_eq!(inj.next_fault(), Some(NetFaultMode::DropConnection));
+        assert_eq!(
+            inj.next_fault(),
+            Some(NetFaultMode::SlowWrite { chunk: 16, delay_ms: 2 })
+        );
+        assert_eq!(
+            NetFaultInjector::parse("1:truncate").unwrap().faults,
+            vec![(1, NetFaultMode::TruncateFrame(8))]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_scripts() {
+        assert!(NetFaultInjector::parse("nonsense").is_err());
+        assert!(NetFaultInjector::parse("x:corrupt").is_err());
+        assert!(NetFaultInjector::parse("0:explode").is_err());
+        assert!(NetFaultInjector::parse("0:stall").is_err());
+    }
+}

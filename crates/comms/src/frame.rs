@@ -1,0 +1,504 @@
+//! Length-prefixed, checksummed framing over `std::net` TCP.
+//!
+//! Every frame is `magic(u32) | len(u32) | crc(u64) | payload`, all
+//! little-endian, where `crc` is the workspace FNV-1a-64 of the payload —
+//! the same hash the checkpoint envelope uses, so one corruption
+//! vocabulary covers disk and wire. Reads are *deadline-bounded*: a
+//! [`FramedConn`] always carries a timeout and every `recv` either
+//! returns a frame, a typed [`WireError`], or a [`WireError::Timeout`]
+//! when the deadline passes — it can never hang. Sends thread through a
+//! [`NetFaultInjector`](crate::fault::NetFaultInjector) so tests script
+//! torn frames, corrupted checksums, stalls, and dropped connections.
+
+use crate::fault::{NetFaultInjector, NetFaultMode};
+use hisres_util::fsio::fnv1a64;
+use hisres_util::retry::{with_backoff_jittered, BackoffPolicy, JitterPolicy};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Frame magic: `"HRES"` little-endian. A connection speaking anything
+/// else fails fast with [`WireError::BadMagic`].
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"HRES");
+
+/// Upper bound on a frame payload (64 MiB). A length beyond this is
+/// treated as stream corruption, not an allocation request.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Bytes in the fixed frame header (`magic | len | crc`).
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 8;
+
+/// Typed failure surface of the wire layer. Every comms path returns one
+/// of these; none of them panic and none of them hang.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// A deadline-bounded read ran out of time.
+    Timeout {
+        /// What the reader was waiting for (e.g. `"frame header"`).
+        during: &'static str,
+        /// The deadline that expired.
+        after: Duration,
+    },
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The peer closed the connection mid-frame — a torn write.
+    Truncated {
+        /// Bytes the frame promised.
+        expected: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+    /// A frame announced a payload larger than [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The announced length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The first four bytes of a frame were not [`FRAME_MAGIC`].
+    BadMagic(u32),
+    /// Payload bytes did not hash to the header checksum.
+    ChecksumMismatch {
+        /// Checksum carried in the header.
+        expected: u64,
+        /// Checksum of the bytes that arrived.
+        actual: u64,
+    },
+    /// Handshake found incompatible protocol versions.
+    VersionMismatch {
+        /// Our protocol version.
+        ours: u32,
+        /// The peer's protocol version.
+        theirs: u32,
+    },
+    /// Structurally invalid message contents (decode underflow, unknown
+    /// tag, trailing bytes, semantic nonsense).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Timeout { during, after } => {
+                write!(f, "timed out after {after:?} waiting for {during}")
+            }
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "torn frame: expected {expected} bytes, connection ended after {got}")
+            }
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            WireError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether a reconnect-and-retry could plausibly clear this error.
+    /// Version mismatches and protocol violations are deterministic — they
+    /// would fail identically on retry — while socket-level trouble
+    /// (timeouts, closed/torn connections, I/O errors, corruption in
+    /// flight) is worth another attempt.
+    pub fn is_transient(&self) -> bool {
+        !matches!(
+            self,
+            WireError::VersionMismatch { .. } | WireError::Protocol(_)
+        )
+    }
+}
+
+/// A TCP stream that speaks checksummed frames under a read deadline.
+pub struct FramedConn {
+    stream: TcpStream,
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for FramedConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FramedConn")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("timeout", &self.timeout)
+            .finish()
+    }
+}
+
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+impl FramedConn {
+    /// Wraps a connected stream with the given read deadline. Disables
+    /// Nagle so small control frames (heartbeats, step results) flush
+    /// immediately.
+    pub fn new(stream: TcpStream, timeout: Duration) -> Result<Self, WireError> {
+        stream.set_nodelay(true)?;
+        Ok(FramedConn { stream, timeout })
+    }
+
+    /// Connects to `addr` and wraps the stream; the connect itself is also
+    /// bounded by `timeout`.
+    pub fn connect(addr: &SocketAddr, timeout: Duration) -> Result<Self, WireError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        FramedConn::new(stream, timeout)
+    }
+
+    /// Connects with bounded exponential backoff and deterministic jitter
+    /// (seed the jitter from a stable identity such as the worker id so N
+    /// reconnecting workers spread apart instead of thundering-herding the
+    /// coordinator).
+    pub fn connect_with_backoff(
+        addr: &SocketAddr,
+        timeout: Duration,
+        policy: &BackoffPolicy,
+        jitter: Option<&JitterPolicy>,
+    ) -> Result<Self, WireError> {
+        with_backoff_jittered(policy, jitter, WireError::is_transient, |_| {
+            FramedConn::connect(addr, timeout)
+        })
+    }
+
+    /// The configured read deadline.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Replaces the read deadline used by subsequent `recv`s.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The peer's address, when the socket still knows it.
+    pub fn peer_addr(&self) -> Option<SocketAddr> {
+        self.stream.peer_addr().ok()
+    }
+
+    /// Shuts down both halves of the connection; subsequent operations on
+    /// either side fail fast instead of timing out.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Sends one frame. With an injector, the scripted fault for this send
+    /// (if any) is applied: torn and dropped sends return the error the
+    /// *peer* will also observe; stalls and slow writes delay but succeed.
+    pub fn send(&mut self, payload: &[u8], faults: &NetFaultInjector) -> Result<(), WireError> {
+        let frame = encode_frame(payload);
+        match faults.next_fault() {
+            None => {
+                self.stream.write_all(&frame)?;
+                Ok(())
+            }
+            Some(NetFaultMode::TruncateFrame(keep)) => {
+                let keep = keep.min(frame.len());
+                self.stream.write_all(&frame[..keep])?;
+                let _ = self.stream.flush();
+                let _ = self.stream.shutdown(Shutdown::Write);
+                Err(WireError::Truncated { expected: frame.len(), got: keep })
+            }
+            Some(NetFaultMode::CorruptPayload) => {
+                let mut bad = frame;
+                // flip one payload bit, leaving the header checksum stale
+                let idx = FRAME_HEADER_LEN.min(bad.len() - 1);
+                bad[idx] ^= 0x01;
+                self.stream.write_all(&bad)?;
+                Ok(())
+            }
+            Some(NetFaultMode::StallMs(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.stream.write_all(&frame)?;
+                Ok(())
+            }
+            Some(NetFaultMode::DropConnection) => {
+                let _ = self.stream.shutdown(Shutdown::Both);
+                Err(WireError::Closed)
+            }
+            Some(NetFaultMode::SlowWrite { chunk, delay_ms }) => {
+                let chunk = chunk.max(1);
+                for piece in frame.chunks(chunk) {
+                    self.stream.write_all(piece)?;
+                    let _ = self.stream.flush();
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Receives one frame under the connection's configured deadline.
+    pub fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        self.recv_timeout(self.timeout)
+    }
+
+    /// Waits up to `wait` for at least one byte to become readable,
+    /// without consuming anything. `Ok(true)` means a subsequent `recv`
+    /// will find data immediately (so a poll loop never abandons a
+    /// half-read frame); `Ok(false)` is a quiet socket; a clean EOF
+    /// surfaces as [`WireError::Closed`]. This is what lets a supervisor
+    /// interleave heartbeat checks, child waits, and listener pumping
+    /// while a step is in flight.
+    pub fn poll_ready(&mut self, wait: Duration) -> Result<bool, WireError> {
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+        let mut probe = [0u8; 1];
+        match self.stream.peek(&mut probe) {
+            Ok(0) => Err(WireError::Closed),
+            Ok(_) => Ok(true),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(WireError::Io(e)),
+        }
+    }
+
+    /// Receives one frame, verifying magic, length bound, and checksum,
+    /// under an explicit deadline. A clean EOF *before* any header byte is
+    /// [`WireError::Closed`]; an EOF mid-frame is [`WireError::Truncated`].
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, WireError> {
+        let deadline = Instant::now() + timeout;
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.read_exact_deadline(&mut header, deadline, timeout, "frame header", true)?;
+
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::TooLarge { len, max: MAX_FRAME_LEN });
+        }
+        let expected_crc = u64::from_le_bytes([
+            header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+            header[15],
+        ]);
+
+        let mut payload = vec![0u8; len];
+        self.read_exact_deadline(&mut payload, deadline, timeout, "frame payload", false)?;
+
+        let actual = fnv1a64(&payload);
+        if actual != expected_crc {
+            return Err(WireError::ChecksumMismatch { expected: expected_crc, actual });
+        }
+        Ok(payload)
+    }
+
+    /// Fills `buf` from the stream, polling in bounded slices until the
+    /// deadline. `at_frame_start` decides how an EOF at offset zero is
+    /// classified (clean close vs torn frame).
+    fn read_exact_deadline(
+        &mut self,
+        buf: &mut [u8],
+        deadline: Instant,
+        total: Duration,
+        during: &'static str,
+        at_frame_start: bool,
+    ) -> Result<(), WireError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WireError::Timeout { during, after: total });
+            }
+            // bounded slice so a stalled peer can't pin us past the deadline
+            let slice = (deadline - now).min(Duration::from_millis(100));
+            self.stream.set_read_timeout(Some(slice.max(Duration::from_millis(1))))?;
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return if at_frame_start && filled == 0 {
+                        Err(WireError::Closed)
+                    } else {
+                        Err(WireError::Truncated {
+                            expected: buf.len(),
+                            got: filled,
+                        })
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    // poll again until the deadline decides
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn pair(timeout_ms: u64) -> (FramedConn, FramedConn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let t = Duration::from_millis(timeout_ms);
+        (
+            FramedConn::new(client, t).unwrap(),
+            FramedConn::new(server, t).unwrap(),
+        )
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let (mut a, mut b) = pair(2000);
+        let faults = NetFaultInjector::none();
+        a.send(b"hello", &faults).unwrap();
+        a.send(&[0u8; 0], &faults).unwrap();
+        let big: Vec<u8> = (0..65536u32).map(|i| (i % 251) as u8).collect();
+        a.send(&big, &faults).unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        assert_eq!(b.recv().unwrap(), Vec::<u8>::new());
+        assert_eq!(b.recv().unwrap(), big);
+    }
+
+    #[test]
+    fn torn_frame_surfaces_as_truncated_on_both_sides() {
+        let (mut a, mut b) = pair(2000);
+        let faults = NetFaultInjector::fail_nth_send(0, NetFaultMode::TruncateFrame(9));
+        let sent = a.send(b"payload!", &faults);
+        assert!(matches!(sent, Err(WireError::Truncated { .. })), "{sent:?}");
+        let got = b.recv();
+        assert!(matches!(got, Err(WireError::Truncated { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let (mut a, mut b) = pair(2000);
+        let faults = NetFaultInjector::fail_nth_send(0, NetFaultMode::CorruptPayload);
+        a.send(b"checksummed", &faults).unwrap();
+        let got = b.recv();
+        assert!(matches!(got, Err(WireError::ChecksumMismatch { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn silent_peer_times_out_instead_of_hanging() {
+        let (_a, mut b) = pair(120);
+        let start = Instant::now();
+        let got = b.recv();
+        assert!(matches!(got, Err(WireError::Timeout { .. })), "{got:?}");
+        assert!(start.elapsed() < Duration::from_secs(5), "deadline not honored");
+    }
+
+    #[test]
+    fn dropped_connection_reads_as_closed() {
+        let (mut a, mut b) = pair(2000);
+        let faults = NetFaultInjector::fail_nth_send(0, NetFaultMode::DropConnection);
+        assert!(matches!(a.send(b"x", &faults), Err(WireError::Closed)));
+        let got = b.recv();
+        assert!(matches!(got, Err(WireError::Closed)), "{got:?}");
+    }
+
+    #[test]
+    fn slow_write_arrives_intact() {
+        let (mut a, mut b) = pair(5000);
+        let faults = NetFaultInjector::fail_nth_send(0, NetFaultMode::SlowWrite { chunk: 3, delay_ms: 1 });
+        let msg: Vec<u8> = (0..64u8).collect();
+        a.send(&msg, &faults).unwrap();
+        assert_eq!(b.recv().unwrap(), msg);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let (a, mut b) = pair(2000);
+        // hand-craft a frame announcing an absurd payload
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        raw.extend_from_slice(&(u32::MAX).to_le_bytes());
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        let mut s = a.stream.try_clone().unwrap();
+        s.write_all(&raw).unwrap();
+        let got = b.recv();
+        assert!(matches!(got, Err(WireError::TooLarge { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (a, mut b) = pair(2000);
+        let mut s = a.stream.try_clone().unwrap();
+        s.write_all(&[0xAA; FRAME_HEADER_LEN]).unwrap();
+        let got = b.recv();
+        assert!(matches!(got, Err(WireError::BadMagic(_))), "{got:?}");
+    }
+
+    #[test]
+    fn transiency_classification() {
+        assert!(WireError::Closed.is_transient());
+        assert!(WireError::Timeout { during: "x", after: Duration::ZERO }.is_transient());
+        assert!(WireError::ChecksumMismatch { expected: 1, actual: 2 }.is_transient());
+        assert!(!WireError::VersionMismatch { ours: 1, theirs: 2 }.is_transient());
+        assert!(!WireError::Protocol("junk".into()).is_transient());
+    }
+
+    #[test]
+    fn connect_with_backoff_reaches_a_late_listener() {
+        // bind, learn the addr, drop the listener, then rebind after a delay
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let spawn = std::thread::Builder::new()
+            .name("late-listener".into())
+            .spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                let l = TcpListener::bind(addr).unwrap();
+                let _ = l.accept();
+            })
+            .unwrap();
+        let policy = BackoffPolicy {
+            attempts: 30,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(50),
+        };
+        let jitter = JitterPolicy::new(1);
+        let conn = FramedConn::connect_with_backoff(
+            &addr,
+            Duration::from_millis(500),
+            &policy,
+            Some(&jitter),
+        );
+        assert!(conn.is_ok(), "{:?}", conn.err());
+        let _ = spawn.join();
+    }
+}

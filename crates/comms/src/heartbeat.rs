@@ -1,0 +1,244 @@
+//! Liveness: periodic worker heartbeats and lease-based failure detection.
+//!
+//! Each worker dedicates a second TCP connection to heartbeats so a
+//! coordinator blocked on a long gradient step still observes liveness.
+//! The coordinator side is a [`FailureDetector`]: a lease table mapping
+//! worker slot → last-heard instant, shared across the per-connection
+//! monitor threads. A worker whose lease outlives the timeout is declared
+//! lost; the supervisor decides what to do about it (respawn,
+//! redistribute, abort). Locking is poison-safe: a panicking monitor
+//! thread must not take the whole training run down with a poisoned
+//! mutex, so the detector recovers the inner state instead of
+//! propagating.
+
+use crate::fault::NetFaultInjector;
+use crate::frame::{FramedConn, WireError};
+use crate::proto::{send_msg, Msg};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Heartbeat cadence and patience.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often a worker sends a heartbeat.
+    pub interval: Duration,
+    /// How long the coordinator waits past the last heartbeat before
+    /// declaring the worker lost. Should be several intervals.
+    pub timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(250),
+            timeout: Duration::from_millis(2000),
+        }
+    }
+}
+
+/// Shared lease table: worker slot → last heartbeat instant.
+#[derive(Debug)]
+pub struct FailureDetector {
+    leases: Mutex<BTreeMap<u32, Instant>>,
+    timeout: Duration,
+}
+
+impl FailureDetector {
+    /// An empty table with the given lease timeout.
+    pub fn new(timeout: Duration) -> Self {
+        FailureDetector { leases: Mutex::new(BTreeMap::new()), timeout }
+    }
+
+    fn table(&self) -> MutexGuard<'_, BTreeMap<u32, Instant>> {
+        // recover from a poisoned lock: the table is a plain map, always
+        // structurally valid, so the poison carries no torn invariant
+        self.leases.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Records a heartbeat (or an initial lease at spawn time) for `worker`.
+    pub fn beat(&self, worker: u32) {
+        self.table().insert(worker, Instant::now());
+    }
+
+    /// Drops `worker` from the table (it exited or was declared lost);
+    /// it can no longer expire.
+    pub fn remove(&self, worker: u32) {
+        self.table().remove(&worker);
+    }
+
+    /// Whether `worker` currently holds a lease.
+    pub fn is_tracked(&self, worker: u32) -> bool {
+        self.table().contains_key(&worker)
+    }
+
+    /// Time since `worker`'s last heartbeat, if tracked.
+    pub fn silence(&self, worker: u32) -> Option<Duration> {
+        self.table().get(&worker).map(|t| t.elapsed())
+    }
+
+    /// Workers whose lease has outlived the timeout, in ascending slot
+    /// order (deterministic handling order for the supervisor).
+    pub fn expired(&self) -> Vec<u32> {
+        let now = Instant::now();
+        self.table()
+            .iter()
+            .filter(|(_, &t)| now.duration_since(t) > self.timeout)
+            .map(|(&w, _)| w)
+            .collect()
+    }
+
+    /// The configured lease timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+}
+
+/// Worker-side heartbeat pump: sends [`Msg::Heartbeat`] every `interval`
+/// until `stop` is raised, the connection fails, or (fault injection)
+/// `stall_after` beats have been sent — after which the loop goes silent
+/// without exiting, simulating a wedged-but-alive worker. Returns the
+/// number of heartbeats sent.
+pub fn heartbeat_loop(
+    mut conn: FramedConn,
+    worker_id: u32,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+    stall_after: Option<u64>,
+) -> u64 {
+    let faults = NetFaultInjector::none();
+    let mut seq: u64 = 0;
+    while !stop.load(Ordering::Relaxed) {
+        if stall_after.is_some_and(|n| seq >= n) {
+            // injected stall: stay alive, say nothing
+            std::thread::sleep(interval);
+            continue;
+        }
+        let msg = Msg::Heartbeat { worker_id, seq };
+        match send_msg(&mut conn, &msg, &faults) {
+            Ok(()) => seq += 1,
+            Err(WireError::Io(_)) | Err(WireError::Closed) => break,
+            Err(_) => break,
+        }
+        std::thread::sleep(interval);
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_beats_do_not_expire() {
+        let d = FailureDetector::new(Duration::from_secs(60));
+        d.beat(0);
+        d.beat(1);
+        assert!(d.expired().is_empty());
+        assert!(d.is_tracked(0));
+        assert!(d.silence(1).unwrap() < Duration::from_secs(1));
+        assert_eq!(d.silence(9), None);
+    }
+
+    #[test]
+    fn stale_leases_expire_in_slot_order() {
+        let d = FailureDetector::new(Duration::from_millis(1));
+        d.beat(2);
+        d.beat(0);
+        d.beat(7);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(d.expired(), vec![0, 2, 7]);
+        d.remove(2);
+        assert_eq!(d.expired(), vec![0, 7]);
+        assert!(!d.is_tracked(2));
+    }
+
+    #[test]
+    fn a_new_beat_renews_the_lease() {
+        let d = FailureDetector::new(Duration::from_millis(30));
+        d.beat(4);
+        std::thread::sleep(Duration::from_millis(10));
+        d.beat(4);
+        assert!(d.expired().is_empty());
+    }
+
+    #[test]
+    fn detector_survives_a_poisoned_lock() {
+        let d = Arc::new(FailureDetector::new(Duration::from_secs(1)));
+        let d2 = Arc::clone(&d);
+        // poison the mutex by panicking while holding it
+        let _ = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = d2.leases.lock().unwrap();
+                panic!("poison");
+            })
+            .unwrap()
+            .join();
+        d.beat(1);
+        assert!(d.is_tracked(1), "poisoned lock must be recovered, not fatal");
+    }
+
+    #[test]
+    fn heartbeat_loop_pumps_until_stopped() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let t = Duration::from_millis(1000);
+        let conn = FramedConn::new(client, t).unwrap();
+        let mut sconn = FramedConn::new(server, t).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let pump = std::thread::Builder::new()
+            .name("hb-pump".into())
+            .spawn(move || heartbeat_loop(conn, 5, Duration::from_millis(5), stop2, None))
+            .unwrap();
+
+        // observe at least two beats with increasing seq
+        let m1 = crate::proto::recv_msg(&mut sconn).unwrap();
+        let m2 = crate::proto::recv_msg(&mut sconn).unwrap();
+        match (m1, m2) {
+            (
+                Msg::Heartbeat { worker_id: 5, seq: s1 },
+                Msg::Heartbeat { worker_id: 5, seq: s2 },
+            ) => assert!(s2 > s1),
+            other => panic!("unexpected messages {other:?}"),
+        }
+        stop.store(true, Ordering::Relaxed);
+        let sent = pump.join().unwrap();
+        assert!(sent >= 2);
+    }
+
+    #[test]
+    fn stalled_heartbeats_stop_arriving_but_loop_stays_alive() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let t = Duration::from_millis(80);
+        let conn = FramedConn::new(client, t).unwrap();
+        let mut sconn = FramedConn::new(server, t).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let pump = std::thread::Builder::new()
+            .name("hb-stall".into())
+            .spawn(move || heartbeat_loop(conn, 9, Duration::from_millis(5), stop2, Some(1)))
+            .unwrap();
+
+        // exactly one beat arrives, then silence → recv times out
+        assert!(matches!(
+            crate::proto::recv_msg(&mut sconn).unwrap(),
+            Msg::Heartbeat { worker_id: 9, seq: 0 }
+        ));
+        assert!(matches!(
+            crate::proto::recv_msg(&mut sconn),
+            Err(WireError::Timeout { .. })
+        ));
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(pump.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! `hisres-comms`: a std-only wire protocol for distributed HisRES
+//! training.
+//!
+//! What a tokio/tonic stack would provide — framing, checksums,
+//! deadlines, typed messages, fault injection for tests — rebuilt on
+//! `std::net` TCP so the workspace stays hermetic:
+//!
+//! - [`wire`]: little-endian codec primitives; floats travel bit-exact.
+//! - [`frame`]: `magic | len | fnv1a64 | payload` frames with
+//!   deadline-bounded reads ([`frame::FramedConn`]) — no read can hang.
+//! - [`proto`]: the coordinator ⇄ worker message vocabulary
+//!   ([`proto::Msg`]) with a version handshake.
+//! - [`heartbeat`]: worker liveness pumps and the coordinator's
+//!   lease-based [`heartbeat::FailureDetector`].
+//! - [`fault`]: [`fault::NetFaultInjector`] scripts torn frames,
+//!   corrupted checksums, stalls, drops, and slow writes into the Nth
+//!   send — the network sibling of `fsio::FaultInjector`.
+//!
+//! Every fallible path returns a typed [`frame::WireError`]; the crate
+//! is a panic-free zone enforced by `hisres-lint`.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod frame;
+pub mod heartbeat;
+pub mod proto;
+pub mod wire;
+
+pub use fault::{NetFaultInjector, NetFaultMode};
+pub use frame::{FramedConn, WireError, FRAME_MAGIC, MAX_FRAME_LEN};
+pub use heartbeat::{FailureDetector, HeartbeatConfig};
+pub use proto::{Msg, PROTOCOL_VERSION};

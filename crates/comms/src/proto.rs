@@ -1,0 +1,371 @@
+//! The distributed-training message vocabulary.
+//!
+//! One tag byte selects the message, followed by the [`crate::wire`]
+//! encoding of its fields. Floats (losses, gradients, parameters) travel
+//! as raw bit patterns so a decoded value is bit-identical to what the
+//! sender held — the cross-process determinism contract rests on this.
+//!
+//! The conversation: a worker opens a control connection and sends
+//! [`Msg::Join`]; the coordinator answers [`Msg::Welcome`] (carrying the
+//! full model/training configuration as JSON) or [`Msg::Reject`]. A
+//! second connection is dedicated to heartbeats ([`Msg::HeartbeatHello`]
+//! then periodic [`Msg::Heartbeat`]s). Work flows as [`Msg::Assign`]
+//! (parameters + RNG state for one gradient step) answered by
+//! [`Msg::StepDone`] (loss, pre-clip norm, advanced RNG, gradients);
+//! [`Msg::Shutdown`] ends the epoch loop cleanly.
+
+use crate::fault::NetFaultInjector;
+use crate::frame::{FramedConn, WireError};
+use crate::wire::{Reader, Writer};
+use std::time::Duration;
+
+/// Version of the wire vocabulary. Bumped on any incompatible change;
+/// both sides refuse to proceed on a mismatch (`WireError::VersionMismatch`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Per-parameter gradients for one step: `None` for a parameter the step
+/// never touched, bit-exact values otherwise. Ordered by the parameter
+/// store's registration order on both sides.
+pub type GradVec = Vec<Option<Vec<f32>>>;
+
+/// Every message either side can utter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → coordinator: first message on the control connection.
+    Join {
+        /// The worker's [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// The slot id the worker was spawned to fill.
+        worker_id: u32,
+    },
+    /// Coordinator → worker: handshake accepted; everything a stateless
+    /// worker needs to rebuild the model and dataset.
+    Welcome {
+        /// The coordinator's [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// `HisResConfig` as JSON.
+        config_json: String,
+        /// `TrainConfig` as JSON (the worker needs `grad_clip` and `seed`).
+        train_json: String,
+        /// Entity vocabulary size the model was built with.
+        num_entities: u32,
+        /// Relation vocabulary size the model was built with.
+        num_relations: u32,
+        /// How often the worker should heartbeat, in milliseconds.
+        heartbeat_interval_ms: u64,
+    },
+    /// Coordinator → worker: handshake refused (the worker exits).
+    Reject {
+        /// Human-readable refusal.
+        reason: String,
+    },
+    /// Worker → coordinator: first message on the heartbeat connection,
+    /// binding it to a worker slot.
+    HeartbeatHello {
+        /// The slot id this heartbeat stream belongs to.
+        worker_id: u32,
+    },
+    /// Worker → coordinator: periodic liveness proof.
+    Heartbeat {
+        /// The sending worker's slot id.
+        worker_id: u32,
+        /// Monotonic per-worker sequence number.
+        seq: u64,
+    },
+    /// Coordinator → worker: compute one gradient step.
+    Assign {
+        /// Epoch index (0-based).
+        epoch: u32,
+        /// Snapshot index within the epoch.
+        step: u32,
+        /// Exact RNG state to run the step under.
+        rng: [u64; 4],
+        /// Full flattened parameter vector, bit-exact.
+        params: Vec<f32>,
+    },
+    /// Worker → coordinator: the result of one assigned step.
+    StepDone {
+        /// Echo of the assignment's epoch.
+        epoch: u32,
+        /// Echo of the assignment's step.
+        step: u32,
+        /// The loss value's IEEE-754 bits.
+        loss_bits: u32,
+        /// The pre-clip gradient norm's IEEE-754 bits.
+        pre_clip_bits: u32,
+        /// RNG state after the step's sampling, relayed back so the
+        /// coordinator's stream stays bit-identical to single-process.
+        rng: [u64; 4],
+        /// Clipped gradients, or `None` when a guard tripped on the worker
+        /// (non-finite loss or gradient norm) and no step should be taken.
+        grads: Option<GradVec>,
+    },
+    /// Coordinator → worker: work is done; exit cleanly.
+    Shutdown,
+}
+
+const TAG_JOIN: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_REJECT: u8 = 3;
+const TAG_HB_HELLO: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+const TAG_ASSIGN: u8 = 6;
+const TAG_STEP_DONE: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+
+impl Msg {
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Msg::Join { .. } => "Join",
+            Msg::Welcome { .. } => "Welcome",
+            Msg::Reject { .. } => "Reject",
+            Msg::HeartbeatHello { .. } => "HeartbeatHello",
+            Msg::Heartbeat { .. } => "Heartbeat",
+            Msg::Assign { .. } => "Assign",
+            Msg::StepDone { .. } => "StepDone",
+            Msg::Shutdown => "Shutdown",
+        }
+    }
+
+    /// Serializes to the tagged payload the framing layer wraps.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Msg::Join { protocol, worker_id } => {
+                w.put_u8(TAG_JOIN);
+                w.put_u32(*protocol);
+                w.put_u32(*worker_id);
+            }
+            Msg::Welcome {
+                protocol,
+                config_json,
+                train_json,
+                num_entities,
+                num_relations,
+                heartbeat_interval_ms,
+            } => {
+                w.put_u8(TAG_WELCOME);
+                w.put_u32(*protocol);
+                w.put_str(config_json);
+                w.put_str(train_json);
+                w.put_u32(*num_entities);
+                w.put_u32(*num_relations);
+                w.put_u64(*heartbeat_interval_ms);
+            }
+            Msg::Reject { reason } => {
+                w.put_u8(TAG_REJECT);
+                w.put_str(reason);
+            }
+            Msg::HeartbeatHello { worker_id } => {
+                w.put_u8(TAG_HB_HELLO);
+                w.put_u32(*worker_id);
+            }
+            Msg::Heartbeat { worker_id, seq } => {
+                w.put_u8(TAG_HEARTBEAT);
+                w.put_u32(*worker_id);
+                w.put_u64(*seq);
+            }
+            Msg::Assign { epoch, step, rng, params } => {
+                w.put_u8(TAG_ASSIGN);
+                w.put_u32(*epoch);
+                w.put_u32(*step);
+                w.put_u64x4(rng);
+                w.put_f32s(params);
+            }
+            Msg::StepDone { epoch, step, loss_bits, pre_clip_bits, rng, grads } => {
+                w.put_u8(TAG_STEP_DONE);
+                w.put_u32(*epoch);
+                w.put_u32(*step);
+                w.put_u32(*loss_bits);
+                w.put_u32(*pre_clip_bits);
+                w.put_u64x4(rng);
+                match grads {
+                    None => w.put_u8(0),
+                    Some(per_param) => {
+                        w.put_u8(1);
+                        w.put_u32(per_param.len() as u32);
+                        for g in per_param {
+                            match g {
+                                None => w.put_u8(0),
+                                Some(v) => {
+                                    w.put_u8(1);
+                                    w.put_f32s(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Msg::Shutdown => {
+                w.put_u8(TAG_SHUTDOWN);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Parses a tagged payload; rejects unknown tags and trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Msg, WireError> {
+        let mut r = Reader::new(payload);
+        let tag = r.take_u8()?;
+        let msg = match tag {
+            TAG_JOIN => Msg::Join { protocol: r.take_u32()?, worker_id: r.take_u32()? },
+            TAG_WELCOME => Msg::Welcome {
+                protocol: r.take_u32()?,
+                config_json: r.take_str()?,
+                train_json: r.take_str()?,
+                num_entities: r.take_u32()?,
+                num_relations: r.take_u32()?,
+                heartbeat_interval_ms: r.take_u64()?,
+            },
+            TAG_REJECT => Msg::Reject { reason: r.take_str()? },
+            TAG_HB_HELLO => Msg::HeartbeatHello { worker_id: r.take_u32()? },
+            TAG_HEARTBEAT => Msg::Heartbeat { worker_id: r.take_u32()?, seq: r.take_u64()? },
+            TAG_ASSIGN => Msg::Assign {
+                epoch: r.take_u32()?,
+                step: r.take_u32()?,
+                rng: r.take_u64x4()?,
+                params: r.take_f32s()?,
+            },
+            TAG_STEP_DONE => {
+                let epoch = r.take_u32()?;
+                let step = r.take_u32()?;
+                let loss_bits = r.take_u32()?;
+                let pre_clip_bits = r.take_u32()?;
+                let rng = r.take_u64x4()?;
+                let grads = match r.take_u8()? {
+                    0 => None,
+                    1 => {
+                        let n = r.take_u32()? as usize;
+                        let mut per_param = Vec::with_capacity(n.min(65536));
+                        for _ in 0..n {
+                            per_param.push(match r.take_u8()? {
+                                0 => None,
+                                1 => Some(r.take_f32s()?),
+                                other => {
+                                    return Err(WireError::Protocol(format!(
+                                        "bad per-param gradient presence byte {other}"
+                                    )))
+                                }
+                            });
+                        }
+                        Some(per_param)
+                    }
+                    other => {
+                        return Err(WireError::Protocol(format!(
+                            "bad gradient presence byte {other}"
+                        )))
+                    }
+                };
+                Msg::StepDone { epoch, step, loss_bits, pre_clip_bits, rng, grads }
+            }
+            TAG_SHUTDOWN => Msg::Shutdown,
+            other => return Err(WireError::Protocol(format!("unknown message tag {other}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Sends one message through a framed connection (with fault injection).
+pub fn send_msg(
+    conn: &mut FramedConn,
+    msg: &Msg,
+    faults: &NetFaultInjector,
+) -> Result<(), WireError> {
+    conn.send(&msg.encode(), faults)
+}
+
+/// Receives and decodes one message under the connection's deadline.
+pub fn recv_msg(conn: &mut FramedConn) -> Result<Msg, WireError> {
+    Msg::decode(&conn.recv()?)
+}
+
+/// Receives and decodes one message under an explicit deadline.
+pub fn recv_msg_timeout(conn: &mut FramedConn, timeout: Duration) -> Result<Msg, WireError> {
+    Msg::decode(&conn.recv_timeout(timeout)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Msg) {
+        let back = Msg::decode(&m.encode()).unwrap();
+        // compare re-encoded bytes: bit-exact, and NaN-proof where
+        // PartialEq on floats is not
+        assert_eq!(m.encode(), back.encode(), "round trip changed {}", m.name());
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Msg::Join { protocol: PROTOCOL_VERSION, worker_id: 3 });
+        round_trip(Msg::Welcome {
+            protocol: PROTOCOL_VERSION,
+            config_json: "{\"dim\":8}".into(),
+            train_json: "{\"lr\":0.01}".into(),
+            num_entities: 20,
+            num_relations: 4,
+            heartbeat_interval_ms: 250,
+        });
+        round_trip(Msg::Reject { reason: "version mismatch".into() });
+        round_trip(Msg::HeartbeatHello { worker_id: 1 });
+        round_trip(Msg::Heartbeat { worker_id: 1, seq: 42 });
+        round_trip(Msg::Assign {
+            epoch: 2,
+            step: 17,
+            rng: [1, 2, 3, 4],
+            params: vec![f32::NAN, -0.0, 1.5],
+        });
+        round_trip(Msg::StepDone {
+            epoch: 2,
+            step: 17,
+            loss_bits: 0.75f32.to_bits(),
+            pre_clip_bits: f32::INFINITY.to_bits(),
+            rng: [5, 6, 7, 8],
+            grads: Some(vec![None, Some(vec![0.25, -1.0]), Some(vec![])]),
+        });
+        round_trip(Msg::StepDone {
+            epoch: 0,
+            step: 0,
+            loss_bits: f32::NAN.to_bits(),
+            pre_clip_bits: 0,
+            rng: [0, 0, 0, 1],
+            grads: None,
+        });
+        round_trip(Msg::Shutdown);
+    }
+
+    #[test]
+    fn nan_params_survive_bit_exact() {
+        let m = Msg::Assign { epoch: 0, step: 0, rng: [9, 9, 9, 9], params: vec![f32::NAN] };
+        match Msg::decode(&m.encode()).unwrap() {
+            Msg::Assign { params, .. } => {
+                assert_eq!(params[0].to_bits(), f32::NAN.to_bits());
+            }
+            other => panic!("decoded wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_typed_errors() {
+        assert!(matches!(Msg::decode(&[0xEE]), Err(WireError::Protocol(_))));
+        let mut buf = Msg::Shutdown.encode();
+        buf.push(0);
+        assert!(matches!(Msg::decode(&buf), Err(WireError::Protocol(_))));
+        // torn StepDone payload: presence byte missing
+        let done = Msg::StepDone {
+            epoch: 1,
+            step: 1,
+            loss_bits: 0,
+            pre_clip_bits: 0,
+            rng: [1, 2, 3, 4],
+            grads: None,
+        };
+        let enc = done.encode();
+        assert!(matches!(
+            Msg::decode(&enc[..enc.len() - 1]),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

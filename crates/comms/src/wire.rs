@@ -1,0 +1,233 @@
+//! Little-endian binary codec primitives for the wire protocol.
+//!
+//! Floats travel as raw IEEE-754 bit patterns (`to_bits`/`from_bits`), so
+//! a value decodes to the *exact* bits that were encoded — the
+//! bit-identical distributed-training contract depends on this.
+//! Decoding is fully bounds-checked and never panics: every `take_*`
+//! returns a typed [`WireError::Protocol`] on underflow.
+
+use crate::frame::WireError;
+
+/// Append-only encoder. Infallible; the framing layer length-prefixes and
+/// checksums the finished buffer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its raw bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice, bit-exact.
+    pub fn put_f32s(&mut self, v: &[f32]) {
+        self.put_u32(v.len() as u32);
+        self.buf.reserve(v.len() * 4);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Appends a fixed `[u64; 4]` (an RNG state), little-endian.
+    pub fn put_u64x4(&mut self, v: &[u64; 4]) {
+        for &w in v {
+            self.put_u64(w);
+        }
+    }
+}
+
+/// Bounds-checked decoder over a received payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn underflow(what: &str, need: usize, have: usize) -> WireError {
+    WireError::Protocol(format!("payload underflow decoding {what}: need {need} bytes, have {have}"))
+}
+
+impl<'a> Reader<'a> {
+    /// Decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, what: &str, n: usize) -> Result<&'a [u8], WireError> {
+        let have = self.buf.len() - self.pos;
+        if n > have {
+            return Err(underflow(what, n, have));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take("u8", 1)?[0])
+    }
+
+    /// A little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take("u32", 4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// A little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take("u64", 8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// An `f32` from its raw bit pattern.
+    pub fn take_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.take_u32()?))
+    }
+
+    /// A length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.take_u32()? as usize;
+        self.take("bytes", n)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, WireError> {
+        let raw = self.take_bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| WireError::Protocol("string field is not UTF-8".into()))
+    }
+
+    /// A length-prefixed `f32` vector, bit-exact.
+    pub fn take_f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.take_u32()? as usize;
+        let raw = self.take("f32s", n.checked_mul(4).ok_or_else(|| {
+            WireError::Protocol(format!("f32 vector length {n} overflows"))
+        })?)?;
+        let mut out = Vec::with_capacity(n);
+        for chunk in raw.chunks_exact(4) {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(chunk);
+            out.push(f32::from_bits(u32::from_le_bytes(b)));
+        }
+        Ok(out)
+    }
+
+    /// A fixed `[u64; 4]` (an RNG state).
+    pub fn take_u64x4(&mut self) -> Result<[u64; 4], WireError> {
+        let mut out = [0u64; 4];
+        for w in &mut out {
+            *w = self.take_u64()?;
+        }
+        Ok(out)
+    }
+
+    /// Asserts the payload was fully consumed — trailing bytes mean the
+    /// two sides disagree about the message layout.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Protocol(format!(
+                "{} trailing byte(s) after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-0.0);
+        w.put_str("héllo");
+        w.put_u64x4(&[1, 2, 3, u64::MAX]);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.take_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        assert_eq!(r.take_u64x4().unwrap(), [1, 2, 3, u64::MAX]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f32s_are_bit_exact() {
+        let xs = vec![f32::NAN, f32::INFINITY, -0.0, 1.5e-39, 3.141_592_7];
+        let mut w = Writer::new();
+        w.put_f32s(&xs);
+        let buf = w.into_vec();
+        let back = Reader::new(&buf).take_f32s().unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&xs), bits(&back));
+    }
+
+    #[test]
+    fn underflow_is_a_typed_error_not_a_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.take_u32(), Err(WireError::Protocol(_))));
+        // a huge length prefix must not allocate or panic
+        let mut r = Reader::new(&[0xff, 0xff, 0xff, 0xff]);
+        assert!(matches!(r.take_bytes(), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(9);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        r.take_u32().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod dist;
 pub mod eval;
 pub mod model;
 pub mod multistep;
@@ -61,6 +62,10 @@ pub mod trainer;
 
 pub use checkpoint::TrainCheckpoint;
 pub use config::{GlobalAggregator, GuardPolicy, HisResConfig, TrainConfig};
+pub use dist::{
+    run_worker, train_distributed, DistConfig, DistReport, LossPolicy, WorkerConfig,
+    WorkerLossEvent,
+};
 pub use eval::{
     evaluate, evaluate_relations, score_at, EvalResult, ExtrapolationModel, HistoryCtx, ScoreCtx,
     Split,

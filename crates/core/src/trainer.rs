@@ -124,6 +124,19 @@ pub enum TrainError {
     },
     /// A resume checkpoint does not match the model or dataset.
     ResumeMismatch(String),
+    /// A wire-protocol failure that survived retry and recovery
+    /// (distributed training).
+    Comms(hisres_comms::WireError),
+    /// A worker was lost and the `--on-worker-loss` policy did not allow
+    /// (or could not complete) recovery.
+    WorkerLost {
+        /// Slot id of the lost worker.
+        worker: u32,
+        /// Why it was declared lost.
+        cause: String,
+    },
+    /// Spawning or supervising a worker process failed.
+    Supervise(String),
 }
 
 impl fmt::Display for TrainError {
@@ -135,6 +148,11 @@ impl fmt::Display for TrainError {
                 "training diverged at epoch {epoch}, step {step}: {kind:?} (GuardPolicy::Abort)"
             ),
             TrainError::ResumeMismatch(m) => write!(f, "cannot resume: {m}"),
+            TrainError::Comms(e) => write!(f, "distributed training comms failure: {e}"),
+            TrainError::WorkerLost { worker, cause } => {
+                write!(f, "worker {worker} lost ({cause}) and not recoverable under the loss policy")
+            }
+            TrainError::Supervise(m) => write!(f, "worker supervision failed: {m}"),
         }
     }
 }
@@ -143,6 +161,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Checkpoint(e) => Some(e),
+            TrainError::Comms(e) => Some(e),
             _ => None,
         }
     }
@@ -151,6 +170,12 @@ impl std::error::Error for TrainError {
 impl From<CheckpointError> for TrainError {
     fn from(e: CheckpointError) -> Self {
         TrainError::Checkpoint(e)
+    }
+}
+
+impl From<hisres_comms::WireError> for TrainError {
+    fn from(e: hisres_comms::WireError) -> Self {
+        TrainError::Comms(e)
     }
 }
 
@@ -213,20 +238,69 @@ pub fn train(
 }
 
 /// The last known-good training state, held in memory for
-/// [`GuardPolicy::RollbackWithLrBackoff`].
-struct GoodState {
-    params: String,
-    opt: AdamState,
-    rng: StdRng,
+/// [`GuardPolicy::RollbackWithLrBackoff`]. Shared with the distributed
+/// coordinator, which mirrors the single-process guard handling exactly.
+pub(crate) struct GoodState {
+    pub(crate) params: String,
+    pub(crate) opt: AdamState,
+    pub(crate) rng: StdRng,
 }
 
 impl GoodState {
-    fn capture(model: &HisRes, opt: &Adam, rng: &StdRng) -> GoodState {
+    pub(crate) fn capture(model: &HisRes, opt: &Adam, rng: &StdRng) -> GoodState {
         GoodState {
             params: model.store.to_json(),
             opt: opt.export_state(),
             rng: rng.clone(),
         }
+    }
+}
+
+/// Computes the training loss for snapshot `t` given the running global
+/// history index. This is *the* step kernel: the single-process trainer
+/// and every distributed worker call this one function, so a step
+/// computed remotely is bit-identical to the same step computed locally
+/// (same snapshots, same RNG state in, same loss and gradients out).
+///
+/// Requires `t > 0`, a non-empty `snaps[t]`, and `global` holding exactly
+/// the non-empty snapshots before `t`.
+pub(crate) fn step_loss(
+    model: &HisRes,
+    snaps: &[Snapshot],
+    t: usize,
+    global: &GlobalHistoryIndex,
+    rng: &mut StdRng,
+) -> hisres_tensor::Tensor {
+    let target = &snaps[t];
+    let l = model.cfg.history_len;
+    let nr = model.num_relations();
+    let start = t.saturating_sub(l);
+    let history = &snaps[start..t];
+    let k = model.cfg.global_prune_topk.unwrap_or(usize::MAX);
+    if model.cfg.use_two_phase {
+        let raw_pairs: Vec<(u32, u32)> = target.triples.iter().map(|&(s, r, _)| (s, r)).collect();
+        let inv_pairs: Vec<(u32, u32)> = target
+            .triples
+            .iter()
+            .map(|&(_, r, o)| (o, r + nr as u32))
+            .collect();
+        let (rg, ig) = if model.cfg.use_global {
+            (
+                global.relevant_graph_pruned(&raw_pairs, k),
+                global.relevant_graph_pruned(&inv_pairs, k),
+            )
+        } else {
+            (EdgeList::new(), EdgeList::new())
+        };
+        model.loss_at_two_phase(history, target.t, &target.triples, &rg, &ig, rng)
+    } else {
+        let queries = query_pairs(&target.triples, nr);
+        let g_edges = if model.cfg.use_global {
+            global.relevant_graph_pruned(&queries, k)
+        } else {
+            EdgeList::new()
+        };
+        model.loss_at(history, target.t, &target.triples, &g_edges, rng)
     }
 }
 
@@ -242,7 +316,6 @@ pub fn train_with(
     let mut opt = Adam::new(model.store.params().cloned().collect(), tc.lr);
     let mut rng = StdRng::seed_from_u64(tc.seed);
     let snaps = snapshots_of(&data.train);
-    let l = model.cfg.history_len;
     let nr = model.num_relations();
     let no_faults = FaultInjector::none();
     let faults = opts.faults.unwrap_or(&no_faults);
@@ -293,36 +366,8 @@ pub fn train_with(
                 global.add_snapshot(target, nr);
                 continue;
             }
-            let start = t.saturating_sub(l);
-            let history = &snaps[start..t];
-            let k = model.cfg.global_prune_topk.unwrap_or(usize::MAX);
             opt.zero_grad();
-            let loss = if model.cfg.use_two_phase {
-                let raw_pairs: Vec<(u32, u32)> =
-                    target.triples.iter().map(|&(s, r, _)| (s, r)).collect();
-                let inv_pairs: Vec<(u32, u32)> = target
-                    .triples
-                    .iter()
-                    .map(|&(_, r, o)| (o, r + nr as u32))
-                    .collect();
-                let (rg, ig) = if model.cfg.use_global {
-                    (
-                        global.relevant_graph_pruned(&raw_pairs, k),
-                        global.relevant_graph_pruned(&inv_pairs, k),
-                    )
-                } else {
-                    (EdgeList::new(), EdgeList::new())
-                };
-                model.loss_at_two_phase(history, target.t, &target.triples, &rg, &ig, &mut rng)
-            } else {
-                let queries = query_pairs(&target.triples, nr);
-                let g_edges = if model.cfg.use_global {
-                    global.relevant_graph_pruned(&queries, k)
-                } else {
-                    EdgeList::new()
-                };
-                model.loss_at(history, target.t, &target.triples, &g_edges, &mut rng)
-            };
+            let loss = step_loss(model, &snaps, t, &global, &mut rng);
             let lv = loss.value().item();
             // Divergence guard — always on, unlike the debug_assert! it
             // replaces, because divergence is precisely a release-build,

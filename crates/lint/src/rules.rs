@@ -64,6 +64,7 @@ const LIBRARY_SRC: &[&str] = &[
     "crates/core/src/",
     "crates/baselines/src/",
     "crates/lint/src/",
+    "crates/comms/src/",
 ];
 /// Modules on the gradient path: bit-determinism of training trajectories
 /// depends on these never observing wall-clock time or hash iteration
@@ -83,8 +84,14 @@ pub fn config() -> Vec<RuleConfig> {
             id: "panic-free-zone",
             severity: Severity::Error,
             description: "no .unwrap()/.expect()/panic-family macros in the \
-                          serving loop or the atomic-write helper",
-            include: &["crates/core/src/serve.rs", "crates/util/src/fsio.rs"],
+                          serving loop, the atomic-write helper, the wire \
+                          protocol, or the distributed trainer",
+            include: &[
+                "crates/core/src/serve.rs",
+                "crates/util/src/fsio.rs",
+                "crates/comms/src/",
+                "crates/core/src/dist.rs",
+            ],
             exclude: &[],
             skip_test_code: true,
         },

@@ -1,0 +1,16 @@
+// Fixture: panic-free-zone now covers crates/comms/src/ (line 4) and the
+// workspace-wide atomic-writes-only rule catches a bare write (line 5).
+pub fn decode(input: Option<u32>, path: &std::path::Path) -> std::io::Result<u32> {
+    let v = input.unwrap();
+    std::fs::write(path, v.to_le_bytes())?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: panic-free-zone now covers the distributed coordinator/worker
+// path crates/core/src/dist.rs (line 4).
+pub fn supervise(input: Option<u32>) -> u32 {
+    let v = input.unwrap();
+    v + 1
+}

@@ -33,12 +33,15 @@ fn bad_tree_reports_one_violation_per_rule_with_exact_positions() {
     assert_eq!(
         keys(&report),
         vec![
+            ("atomic-writes-only".into(), "crates/comms/src/frame.rs".into(), 5),
             ("atomic-writes-only".into(), "crates/data/src/export.rs".into(), 3),
             ("determinism".into(), "crates/tensor/src/timing.rs".into(), 4),
             ("determinism".into(), "crates/tensor/src/timing.rs".into(), 5),
             ("float-eq".into(), "crates/graph/src/cmp.rs".into(), 3),
             ("lint-allow-syntax".into(), "crates/core/src/serve.rs".into(), 7),
             ("no-debug-leftovers".into(), "crates/nn/src/debug.rs".into(), 3),
+            ("panic-free-zone".into(), "crates/comms/src/frame.rs".into(), 4),
+            ("panic-free-zone".into(), "crates/core/src/dist.rs".into(), 4),
             ("panic-free-zone".into(), "crates/core/src/serve.rs".into(), 4),
             ("pool-only-threading".into(), "crates/core/src/worker.rs".into(), 3),
         ]

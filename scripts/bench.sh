@@ -7,10 +7,20 @@
 # sweeps offered load against the concurrent TCP front end and writes
 # BENCH_serve.json (throughput, p50/p99, degraded/rejected fractions).
 #
+#
+# `--dist` runs the `distbench` distributed-training benchmark: epoch
+# wall-clock for `train --distributed` sync mode at 1/2/4 workers (plus a
+# single-process reference and an async point) and the supervisor's
+# recovery latency after an injected worker SIGKILL, written to
+# BENCH_dist.json. It needs the `hisres` CLI binary as the worker
+# executable, so that is built too.
+#
 #   scripts/bench.sh                    kernel sweep, full shapes
 #   scripts/bench.sh --quick            kernel sweep, CI-sized
 #   scripts/bench.sh --serve            serving load sweep, full size
 #   scripts/bench.sh --serve --quick    serving load sweep, CI-sized
+#   scripts/bench.sh --dist             distributed-training sweep
+#   scripts/bench.sh --dist --quick     distributed sweep, CI-sized
 #
 # Extra arguments are passed through to the binary (e.g. --out FILE).
 set -euo pipefail
@@ -18,10 +28,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bin=kernels
-if [[ "${1:-}" == "--serve" ]]; then
-  bin=loadgen
-  shift
-fi
+case "${1:-}" in
+  --serve)
+    bin=loadgen
+    shift
+    ;;
+  --dist)
+    bin=distbench
+    shift
+    # the distributed bench spawns the CLI binary as its worker fleet
+    cargo build --release --offline -p hisres-cli
+    ;;
+esac
 
 cargo build --release --offline -p hisres-bench --bin "$bin"
 "target/release/$bin" "$@"

@@ -72,6 +72,9 @@ if bad_out=$(cargo run -q --release -p hisres-lint --offline -- \
 fi
 for needle in \
     'crates/core/src/serve.rs:4:' \
+    'crates/comms/src/frame.rs:4:' \
+    'crates/comms/src/frame.rs:5:' \
+    'crates/core/src/dist.rs:4:' \
     'panic-free-zone' \
     'atomic-writes-only' \
     'pool-only-threading' \
@@ -221,6 +224,33 @@ if ! cmp -s "$smoke/t1.ckpt" "$smoke/t4.ckpt"; then
 fi
 echo "thread determinism smoke test: OK (1-thread == 4-thread checkpoint)"
 
+# ---- distributed training smoke test ----------------------------------------
+# Sync-mode distributed training must be byte-identical to single-process
+# training on the same seed (t1.ckpt from the smoke above uses the same
+# flags), and must STAY byte-identical when a worker is SIGKILLed
+# mid-epoch and respawned by the supervisor.
+"$bin" train --data "$smoke/data" --dim 8 --epochs 2 --patience 0 --quiet \
+    --distributed --workers 2 --out "$smoke/dist.ckpt" 2>/dev/null
+if ! cmp -s "$smoke/t1.ckpt" "$smoke/dist.ckpt"; then
+    echo "ERROR: --distributed --workers 2 produced a different checkpoint" >&2
+    echo "than single-process training — sync mode is not byte-identical." >&2
+    exit 1
+fi
+"$bin" train --data "$smoke/data" --dim 8 --epochs 2 --patience 0 --quiet \
+    --distributed --workers 2 --dist-die-on 0@2 \
+    --out "$smoke/dist_kill.ckpt" 2>"$smoke/dist_kill.log"
+if ! grep -q "dist: worker 0 recovered in .* via respawn" "$smoke/dist_kill.log"; then
+    echo "ERROR: the forced worker kill was never detected/recovered:" >&2
+    cat "$smoke/dist_kill.log" >&2
+    exit 1
+fi
+if ! cmp -s "$smoke/t1.ckpt" "$smoke/dist_kill.ckpt"; then
+    echo "ERROR: the checkpoint differs after a worker was SIGKILLed" >&2
+    echo "mid-epoch and respawned — crash recovery is not byte-identical." >&2
+    exit 1
+fi
+echo "distributed smoke test: OK (2-worker sync == single-process, kill-recovery byte-identical)"
+
 # ---- kernel bench smoke test ------------------------------------------------
 # A quick bench sweep must run end to end and emit a BENCH_kernels.json
 # that parses against the hisres_util::json schema (--check re-reads it).
@@ -236,5 +266,13 @@ echo "kernel bench smoke test: OK (quick sweep + JSON schema check)"
 scripts/bench.sh --serve --quick --out "$smoke/BENCH_serve.json" >/dev/null
 target/release/loadgen --check "$smoke/BENCH_serve.json"
 echo "serving bench smoke test: OK (quick load sweep + JSON schema check)"
+
+# ---- distributed bench smoke test -------------------------------------------
+# A quick distributed sweep must run end to end — real worker processes,
+# an injected SIGKILL, byte-identity re-checked inside the bench — and
+# emit a BENCH_dist.json that passes its own schema check.
+scripts/bench.sh --dist --quick --out "$smoke/BENCH_dist.json" >/dev/null
+target/release/distbench --check "$smoke/BENCH_dist.json"
+echo "distributed bench smoke test: OK (quick sweep + JSON schema check)"
 
 echo "verify.sh: OK"

@@ -1,0 +1,110 @@
+//! Worker-process helper for the distributed-training integration tests.
+//!
+//! `tests/tests/distributed.rs` runs the coordinator in-process and
+//! spawns this binary as the worker fleet (cargo builds same-package
+//! bins before integration tests, exposing the path as
+//! `CARGO_BIN_EXE_dist_worker`). Besides a TSV directory, `--data`
+//! accepts `syn:ENTITIES:RELATIONS:TIMESTAMPS:SEED` so the tests and the
+//! workers can construct the identical in-memory synthetic dataset
+//! without touching disk.
+
+use hisres::dist::{run_worker, WorkerConfig};
+use hisres_comms::NetFaultInjector;
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use std::process::ExitCode;
+
+fn resolve_data(spec: &str) -> Result<DatasetSplits, String> {
+    if let Some(rest) = spec.strip_prefix("syn:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 4 {
+            return Err(format!("--data {spec:?}: expected syn:E:R:T:SEED"));
+        }
+        let num = |i: usize| -> Result<usize, String> {
+            parts[i].parse().map_err(|_| format!("--data {spec:?}: bad number {:?}", parts[i]))
+        };
+        let cfg = SyntheticConfig {
+            num_entities: num(0)?,
+            num_relations: num(1)?,
+            num_timestamps: num(2)?,
+            seed: num(3)? as u64,
+            ..Default::default()
+        };
+        // must mirror the test helper exactly: same name, same granularity
+        return Ok(DatasetSplits::from_tkg("tiny", "1 step", &generate(&cfg).tkg));
+    }
+    let path = std::path::Path::new(spec);
+    if path.is_dir() {
+        return hisres_data::loader::load_dir(path, spec, 1).map_err(|e| e.to_string());
+    }
+    Err(format!("--data {spec:?} is neither syn:… nor a directory"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut data_spec = None;
+    let mut connect = None;
+    let mut worker_id = None;
+    let mut die_on_step = None;
+    let mut stall_after = None;
+    let mut net_faults = NetFaultInjector::none();
+    let mut verbose = true;
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = || -> Result<&str, String> {
+            argv.get(i + 1).map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--data" => data_spec = Some(value()?.to_owned()),
+            "--connect" => {
+                connect =
+                    Some(value()?.parse().map_err(|_| "--connect must be HOST:PORT".to_owned())?)
+            }
+            "--worker-id" => {
+                worker_id =
+                    Some(value()?.parse::<u32>().map_err(|_| "--worker-id: bad id".to_owned())?)
+            }
+            "--die-on-step" => {
+                die_on_step = Some(
+                    value()?.parse::<u64>().map_err(|_| "--die-on-step: bad step".to_owned())?,
+                )
+            }
+            "--stall-heartbeats-after" => {
+                stall_after = Some(
+                    value()?
+                        .parse::<u64>()
+                        .map_err(|_| "--stall-heartbeats-after: bad count".to_owned())?,
+                )
+            }
+            "--net-faults" => net_faults = NetFaultInjector::parse(value()?)?,
+            "--quiet" => {
+                verbose = false;
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    let data = resolve_data(&data_spec.ok_or("--data is required")?)?;
+    let wc = WorkerConfig {
+        connect: connect.ok_or("--connect is required")?,
+        worker_id: worker_id.ok_or("--worker-id is required")?,
+        die_on_step,
+        stall_heartbeats_after: stall_after,
+        net_faults,
+        verbose,
+    };
+    run_worker(&wc, &data).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dist_worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
