@@ -1,0 +1,321 @@
+//! Online-ingestion benchmark for the WAL-backed serving path: sweeps
+//! ingest batch size × state-snapshot cadence against a real
+//! [`IngestSession`] over a synthetic timeline, measuring per-batch
+//! ingest latency (WAL fsync + incremental encoder advance), sustained
+//! quad throughput, WAL growth, and — after dropping the session — the
+//! cold-restart recovery wall-clock for that exact durability
+//! configuration.
+//!
+//! Results go to `BENCH_ingest.json` (atomic write, schema-tagged) so
+//! successive runs can be diffed as a durability-cost trajectory,
+//! mirroring `loadgen` / `BENCH_serve.json`.
+//!
+//! ```text
+//! ingestbench [--quick] [--out FILE]   run the sweep (quick: CI-sized)
+//! ingestbench --check FILE             validate a results file parses
+//! ```
+
+use hisres::ingest::{IngestSession, IngestSessionConfig};
+use hisres::{HisRes, HisResConfig, ScoreCtx};
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use hisres_util::bench::LatencyRecorder;
+use hisres_util::json::{self, FromJson};
+use hisres_util::{fsio, impl_json};
+use std::time::Instant;
+
+const SCHEMA: &str = "hisres-bench-ingest/v1";
+
+/// Synthetic-world size: matches the `loadgen` serving bench so the two
+/// perf files describe the same model scale.
+const NUM_ENTITIES: usize = 32;
+const NUM_RELATIONS: usize = 4;
+
+/// The `BENCH_ingest.json` document.
+struct BenchFile {
+    /// Format tag for downstream tooling.
+    schema: String,
+    /// True when produced by `--quick` (fewer batches — not comparable
+    /// with full runs).
+    quick: bool,
+    /// Ingest batches driven through every swept configuration.
+    batches: usize,
+    /// One entry per (batch size, snapshot cadence) point.
+    results: Vec<ConfigStats>,
+}
+
+impl_json!(BenchFile { schema, quick, batches, results });
+
+/// One swept durability configuration.
+struct ConfigStats {
+    /// Quads per ingest batch.
+    batch_size: usize,
+    /// State snapshot cadence in batches (0 = never, WAL-replay only).
+    snapshot_every: u64,
+    /// Batches applied (== final applied sequence number).
+    batches: usize,
+    /// Total quads ingested.
+    quads: usize,
+    /// Sustained ingestion rate over the stage wall-clock.
+    throughput_qps: f64,
+    /// Median per-batch ingest latency (append + fsync + encoder step).
+    p50_ms: f64,
+    /// Tail per-batch ingest latency (includes snapshot-writing batches).
+    p99_ms: f64,
+    /// WAL size after the run, before any restart.
+    wal_bytes: u64,
+    /// Cold-restart wall-clock: reopen the session over the same WAL and
+    /// state snapshot until it is ready to serve again.
+    recovery_ms: f64,
+    /// WAL records replayed into the encoder during that restart —
+    /// 0 when the final snapshot already covered the whole log.
+    replayed_records: u64,
+    /// Whether the restart resumed from a state snapshot at all.
+    resumed_from_snapshot: bool,
+}
+
+impl_json!(ConfigStats {
+    batch_size,
+    snapshot_every,
+    batches,
+    quads,
+    throughput_qps,
+    p50_ms,
+    p99_ms,
+    wal_bytes,
+    recovery_ms,
+    replayed_records,
+    resumed_from_snapshot
+});
+
+impl ConfigStats {
+    fn row(&self) -> String {
+        format!(
+            "batch {:>3} x snapshot_every {:>3}  {:>7.0} quads/s  p50 {:>7.3} ms  \
+             p99 {:>7.3} ms  wal {:>7} B  recovery {:>7.3} ms  replayed {:>3}{}",
+            self.batch_size,
+            self.snapshot_every,
+            self.throughput_qps,
+            self.p50_ms,
+            self.p99_ms,
+            self.wal_bytes,
+            self.recovery_ms,
+            self.replayed_records,
+            if self.resumed_from_snapshot { "" } else { "  (no snapshot)" },
+        )
+    }
+}
+
+/// Deterministic quad stream: batch `seq` yields `n` triples spread over
+/// the entity/relation vocabulary.
+fn batch_triples(seq: u64, n: usize) -> Vec<(u32, u32, u32)> {
+    (0..n)
+        .map(|i| {
+            let k = seq as u32 * 7 + i as u32;
+            (
+                k % NUM_ENTITIES as u32,
+                k % NUM_RELATIONS as u32,
+                (k * 3 + 1) % NUM_ENTITIES as u32,
+            )
+        })
+        .collect()
+}
+
+/// A fresh deterministic model + scoring context over the synthetic base
+/// timeline. Built once per configuration so recovery timing includes
+/// exactly what a real restart does on top of it (WAL open, state load,
+/// replay) and not the model construction itself.
+fn build_parts() -> (HisRes, ScoreCtx) {
+    let data = DatasetSplits::from_tkg(
+        "ingestbench",
+        "1 step",
+        &generate(&SyntheticConfig {
+            num_entities: NUM_ENTITIES,
+            num_relations: NUM_RELATIONS,
+            num_timestamps: 24,
+            seed: 7,
+            ..Default::default()
+        })
+        .tkg,
+    );
+    let model_cfg =
+        HisResConfig { dim: 16, conv_channels: 2, history_len: 3, ..Default::default() };
+    let model = HisRes::new(&model_cfg, NUM_ENTITIES, NUM_RELATIONS);
+    let ctx = ScoreCtx::from_quads(NUM_ENTITIES, NUM_RELATIONS, data.all_quads());
+    (model, ctx)
+}
+
+fn session_cfg(tag: &str, snapshot_every: u64) -> IngestSessionConfig {
+    let wal = std::env::temp_dir()
+        .join(format!("hisres_ingestbench_{tag}_{}.wal", std::process::id()));
+    let mut cfg = IngestSessionConfig::new(wal);
+    cfg.snapshot_every = snapshot_every;
+    cfg
+}
+
+fn cleanup(cfg: &IngestSessionConfig) {
+    std::fs::remove_file(&cfg.wal_path).ok();
+    std::fs::remove_file(&cfg.state_path).ok();
+}
+
+/// Drives one (batch size, snapshot cadence) point end to end.
+fn run_config(
+    batch_size: usize,
+    snapshot_every: u64,
+    batches: usize,
+) -> Result<ConfigStats, String> {
+    let tag = format!("b{batch_size}_s{snapshot_every}");
+    let cfg = session_cfg(&tag, snapshot_every);
+    cleanup(&cfg);
+
+    let (model, ctx) = build_parts();
+    let mut session = IngestSession::open(model, ctx, cfg.clone())
+        .map_err(|e| format!("opening ingest session: {e}"))?;
+
+    let mut rec = LatencyRecorder::new();
+    let started = Instant::now();
+    for seq in 1..=batches as u64 {
+        let triples = batch_triples(seq, batch_size);
+        let t0 = Instant::now();
+        session
+            .ingest(seq, None, &triples)
+            .map_err(|e| format!("ingest seq {seq}: {e}"))?;
+        rec.record_ms(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let wal_bytes =
+        std::fs::metadata(&cfg.wal_path).map_err(|e| format!("stat WAL: {e}"))?.len();
+    drop(session);
+
+    // Cold restart over the same durable artifacts: this is the crash-
+    // recovery cost a server pays for this snapshot cadence.
+    let (model, ctx) = build_parts();
+    let t0 = Instant::now();
+    let reopened = IngestSession::open(model, ctx, cfg.clone())
+        .map_err(|e| format!("reopening ingest session: {e}"))?;
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if reopened.applied_seq() != batches as u64 {
+        return Err(format!(
+            "recovery lost batches: applied_seq {} after {batches} ingests",
+            reopened.applied_seq()
+        ));
+    }
+    let recovery = reopened.recovery().clone();
+    drop(reopened);
+    cleanup(&cfg);
+
+    let quads = batches * batch_size;
+    Ok(ConfigStats {
+        batch_size,
+        snapshot_every,
+        batches,
+        quads,
+        throughput_qps: if elapsed_s > 0.0 { quads as f64 / elapsed_s } else { 0.0 },
+        p50_ms: rec.percentile_ms(50.0).unwrap_or(0.0),
+        p99_ms: rec.percentile_ms(99.0).unwrap_or(0.0),
+        wal_bytes,
+        recovery_ms,
+        replayed_records: recovery.replayed_records,
+        resumed_from_snapshot: recovery.resumed_from_snapshot,
+    })
+}
+
+fn run_suite(quick: bool, out_path: &str) -> Result<(), String> {
+    let (batch_sizes, cadences, batches): (&[usize], &[u64], usize) = if quick {
+        (&[1, 16], &[1, 8], 24)
+    } else {
+        (&[1, 8, 64], &[1, 8, 0], 128)
+    };
+    let mut results = Vec::new();
+    for &batch_size in batch_sizes {
+        for &snapshot_every in cadences {
+            let stats = run_config(batch_size, snapshot_every, batches)?;
+            println!("{}", stats.row());
+            results.push(stats);
+        }
+    }
+    let doc = BenchFile { schema: SCHEMA.to_owned(), quick, batches, results };
+    let text = json::to_string(&doc).map_err(|e| format!("serialising results: {e}"))?;
+    fsio::atomic_write(out_path, text.as_bytes())
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {} configurations to {out_path}", doc.results.len());
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let doc = BenchFile::from_json(&value).map_err(|e| format!("{path}: bad schema: {e}"))?;
+    if doc.schema != SCHEMA {
+        return Err(format!("{path}: schema {:?}, expected {SCHEMA:?}", doc.schema));
+    }
+    if doc.results.is_empty() {
+        return Err(format!("{path}: no swept configurations"));
+    }
+    for s in &doc.results {
+        let label = format!("batch {} / snapshot_every {}", s.batch_size, s.snapshot_every);
+        if !(s.throughput_qps.is_finite() && s.throughput_qps > 0.0) {
+            return Err(format!("{path}: {label} has non-positive throughput"));
+        }
+        if !(s.p50_ms.is_finite() && s.p99_ms.is_finite() && s.p50_ms <= s.p99_ms) {
+            return Err(format!("{path}: {label} has inconsistent percentiles"));
+        }
+        if !(s.recovery_ms.is_finite() && s.recovery_ms >= 0.0) {
+            return Err(format!("{path}: {label} has a bad recovery time"));
+        }
+        if s.quads != s.batches * s.batch_size || s.batches != doc.batches {
+            return Err(format!("{path}: {label} quad accounting does not add up"));
+        }
+        if s.wal_bytes == 0 {
+            return Err(format!("{path}: {label} recorded an empty WAL"));
+        }
+    }
+    if !doc.results.iter().any(|s| s.resumed_from_snapshot) {
+        return Err(format!("{path}: no configuration ever resumed from a state snapshot"));
+    }
+    println!(
+        "{path}: ok — {} configurations, {} batches each{}",
+        doc.results.len(),
+        doc.batches,
+        if doc.quick { " [quick]" } else { "" },
+    );
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_ingest.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(v) => check = Some(v.clone()),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let r = match check {
+        Some(path) => check_file(&path),
+        None => run_suite(quick, &out),
+    };
+    match r {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> std::process::ExitCode {
+    eprintln!("error: {msg}\nusage: ingestbench [--quick] [--out FILE] | ingestbench --check FILE");
+    std::process::ExitCode::FAILURE
+}

@@ -391,6 +391,7 @@ fn run_suite(quick: bool, out_path: &str, cfg: ServerConfig) -> Result<(), Strin
         max_queue: 2,
         batch_window_ms: 0.0,
         max_connections: Some(1),
+        ..ServerConfig::default()
     };
     let burst_n = plan.burst;
     let burst_driver =

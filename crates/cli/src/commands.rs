@@ -4,8 +4,9 @@ use crate::args::Args;
 use hisres::serve::{
     install_term_handler, load_servable_model, serve_concurrent, serve_lines, serve_tcp,
     ModelScorer, ServeConfig, ServerConfig,
-    ServeEngine,
+    ServeEngine, SessionScorer,
 };
+use hisres::ingest::{IngestSession, IngestSessionConfig};
 use hisres::dist::{train_distributed, DistConfig, LossPolicy, WorkerConfig};
 use hisres::trainer::{train_with, HisResEval, TrainOptions};
 use hisres::{
@@ -351,11 +352,15 @@ pub fn predict(args: &Args) -> CmdResult {
 ///
 /// Loads the checkpoint once (with bounded retry over transient I/O
 /// errors), prepares the full model and a precomputed frequency fallback
-/// over the dataset's whole timeline, then answers requests line by line
-/// on stdin/stdout or, with `--listen`, over TCP. Every request is
-/// validated into typed structured errors; over-budget requests degrade
-/// to the fallback scorer and are flagged `"degraded": true`; a final
-/// stats block is emitted at EOF.
+/// over the dataset's timeline, then answers requests line by line on
+/// stdin/stdout or, with `--listen`, over TCP. The timeline is not
+/// frozen at startup: with `--wal FILE` the server opens a durable
+/// ingest session — `{"cmd":"ingest"}` appends new events behind a
+/// fsync'd write-ahead log, advances the encoder incrementally, and a
+/// restart replays the WAL back to byte-identical serving state. Every
+/// request is validated into typed structured errors; over-budget
+/// requests degrade to the fallback scorer and are flagged
+/// `"degraded": true`; a final stats block is emitted at EOF.
 pub fn serve_cmd(args: &Args) -> CmdResult {
     let model_path = args.require("model")?.to_owned();
     let data_spec = args.require("data")?.to_owned();
@@ -389,6 +394,32 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
     }
     if max_queue == 0 {
         return Err("--max-queue must be at least 1".into());
+    }
+    let wal = args.get("wal").map(std::path::PathBuf::from);
+    let ingest_state = args.get("ingest-state").map(std::path::PathBuf::from);
+    let snapshot_every = args.get_parse("snapshot-every", 8u64)?;
+    let fsync_budget_ms = match args.get("fsync-budget-ms") {
+        None => None,
+        Some(v) => {
+            let b: f64 =
+                v.parse().map_err(|_| format!("--fsync-budget-ms: cannot parse {v:?}"))?;
+            if !b.is_finite() || b <= 0.0 {
+                return Err("--fsync-budget-ms must be a positive number".into());
+            }
+            Some(b)
+        }
+    };
+    let replay_lag_budget = match args.get("replay-lag-budget") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>().map_err(|_| format!("--replay-lag-budget: cannot parse {v:?}"))?,
+        ),
+    };
+    let max_ingest_queue = args.get_parse("max-ingest-queue", 8usize)?;
+    if wal.is_none()
+        && (ingest_state.is_some() || fsync_budget_ms.is_some() || replay_lag_budget.is_some())
+    {
+        return Err("--ingest-state/--fsync-budget-ms/--replay-lag-budget require --wal".into());
     }
     args.reject_unknown()?;
 
@@ -429,13 +460,55 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
         FrequencyScorer::from_quads(data.num_entities(), data.num_relations(), &all);
     let ctx = ScoreCtx::at_end_of(&data);
     let cfg = ServeConfig { default_budget_ms: budget, default_topk: topk, max_panics };
-    let mut engine = ServeEngine::new(
-        cfg,
-        data.num_entities(),
-        data.num_relations(),
-        Box::new(ModelScorer { model, ctx }),
-        Box::new(fallback),
-    );
+    let mut engine = match wal {
+        Some(wal_path) => {
+            let mut icfg = IngestSessionConfig::new(wal_path);
+            if let Some(p) = ingest_state {
+                icfg.state_path = p;
+            }
+            icfg.snapshot_every = snapshot_every;
+            icfg.fsync_budget_ms = fsync_budget_ms;
+            icfg.replay_lag_budget = replay_lag_budget;
+            let session = IngestSession::open(model, ctx, icfg)?;
+            let rec = session.recovery().clone();
+            eprintln!(
+                "ingest session open: applied_seq {}, frontier t {}, {} WAL record(s) \
+                 ({} re-applied, {} damaged tail byte(s) discarded), {}",
+                session.applied_seq(),
+                session.frontier_t(),
+                rec.wal_records,
+                rec.replayed_records,
+                rec.truncated_bytes,
+                if rec.resumed_from_snapshot {
+                    "resumed from state snapshot"
+                } else {
+                    "seeded from dataset timeline"
+                },
+            );
+            if session.read_only() {
+                eprintln!(
+                    "WARNING: ingest session is read-only: {}",
+                    session.stats().read_only_reason
+                );
+            }
+            let session = std::rc::Rc::new(std::cell::RefCell::new(session));
+            ServeEngine::new(
+                cfg,
+                data.num_entities(),
+                data.num_relations(),
+                Box::new(SessionScorer { session: session.clone() }),
+                Box::new(fallback),
+            )
+            .with_ingest(session)
+        }
+        None => ServeEngine::new(
+            cfg,
+            data.num_entities(),
+            data.num_relations(),
+            Box::new(ModelScorer { model, ctx }),
+            Box::new(fallback),
+        ),
+    };
 
     // Optional name vocabularies, the ICEWS dump convention.
     let dir = std::path::Path::new(&data_spec);
@@ -480,6 +553,7 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
                     max_queue,
                     batch_window_ms,
                     max_connections: max_conns,
+                    max_ingest_queue,
                 };
                 eprintln!(
                     "concurrent front end: {workers} worker(s), queue depth {max_queue}, \

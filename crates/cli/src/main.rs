@@ -59,10 +59,20 @@ COMMANDS:
              scorer passes (bit-identical per query) and rejected with a
              typed \"overloaded\" error when the queue is full
              (--workers 0 restores the sequential loop).
+             With --wal FILE the timeline is live: {\"cmd\": \"ingest\",
+             \"seq\": N, \"quads\": [[S,R,O],...]} durably appends new
+             events behind a fsync'd write-ahead log and advances the
+             encoder one incremental step; a restart replays the WAL
+             back to byte-identical serving state. Duplicate seqs are
+             idempotent no-ops; WAL trouble degrades ingest (not
+             queries) to a read-only mode flagged in stats.
              --model FILE --data DIR|NAME [--listen ADDR] [--topk N=10]
              [--budget-ms F] [--max-poison N=3] [--load-retries N=3]
              [--max-conns N] [--inject-load-faults N] [--workers N=4]
              [--max-queue N=64] [--batch-window-ms F=2]
+             [--wal FILE] [--ingest-state FILE=WAL.state]
+             [--snapshot-every N=8] [--fsync-budget-ms F]
+             [--replay-lag-budget N] [--max-ingest-queue N=8]
   lint       Check workspace source against the repo invariant rules
              (panic-free serving, atomic writes, pool-only threading,
              grad-path determinism, debug leftovers, float equality)

@@ -55,6 +55,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod dist;
 pub mod eval;
+pub mod ingest;
 pub mod model;
 pub mod multistep;
 pub mod serve;
@@ -70,12 +71,13 @@ pub use eval::{
     evaluate, evaluate_relations, score_at, EvalResult, ExtrapolationModel, HistoryCtx, ScoreCtx,
     Split,
 };
-pub use model::{Encoded, HisRes};
+pub use ingest::{IngestError, IngestOutcome, IngestSession, IngestSessionConfig};
+pub use model::{Encoded, EncoderState, HisRes};
 pub use multistep::evaluate_multistep;
 pub use serve::{
     error_line, load_servable_model, parse_request, serve_concurrent, serve_lines, serve_tcp,
-    ModelScorer, QueryRequest, Reply, Request, ServeConfig, ServeEngine, ServeError, ServeScorer,
-    ServeStats, ServerConfig, SymbolRef,
+    IngestRequest, ModelScorer, QueryRequest, Reply, Request, ServeConfig, ServeEngine,
+    ServeError, ServeScorer, ServeStats, ServerConfig, SessionScorer, SymbolRef,
 };
 pub use trainer::{
     train, train_with, GuardAction, GuardEvent, GuardKind, HisResEval, TrainError, TrainOptions,

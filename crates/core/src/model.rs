@@ -50,6 +50,49 @@ pub struct Encoded {
     pub relations: Tensor,
 }
 
+/// The multi-granularity evolution state as an explicit, serializable
+/// value — what [`HisRes::encode_local`] recomputes from scratch on every
+/// call, made incremental for online ingestion.
+///
+/// The state is advanced one snapshot at a time by
+/// [`HisRes::advance_encoder_state`] (O(one snapshot) per step), read by
+/// [`HisRes::state_local_encoding`], and round-trips through JSON
+/// bit-exactly (every matrix entry is an `f32`, which the workspace JSON
+/// layer preserves exactly) — the property the WAL-recovery path's
+/// byte-identical-state guarantee rests on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncoderState {
+    /// `[num_entities, d]` intra-snapshot entity matrix `H_t` (eq. 1–5).
+    pub entities: NdArray,
+    /// `[2·num_relations, d]` evolved relation matrix `R_t` (eq. 6).
+    pub relations: NdArray,
+    /// `[num_entities, d]` inter-snapshot (merged-window) matrix (eq. 7).
+    pub inter: NdArray,
+    /// Snapshots accumulated toward the next inter-snapshot window —
+    /// always fewer than `cfg.granularity`.
+    pub pending: Vec<Snapshot>,
+    /// Next expected timestamp on the dense timeline (one past the last
+    /// snapshot folded in).
+    pub t: u32,
+    /// Intra-snapshot GRU steps performed over this state's lifetime.
+    /// Advancing by one snapshot increments this by exactly one however
+    /// long the absorbed history is — the O(new)-work observable the
+    /// ingestion tests assert on.
+    pub intra_steps: u64,
+    /// Completed inter-snapshot window steps.
+    pub inter_steps: u64,
+}
+
+hisres_util::impl_json!(EncoderState {
+    entities,
+    relations,
+    inter,
+    pending,
+    t,
+    intra_steps,
+    inter_steps
+});
+
 /// The HisRES model. All trainable parameters live in [`HisRes::store`].
 pub struct HisRes {
     /// Hyper-parameters this model was built with.
@@ -371,6 +414,135 @@ impl HisRes {
         };
 
         Encoded { entities, relations: rels }
+    }
+
+    /// A fresh [`EncoderState`]: initial (statically enhanced) entity
+    /// table, relation table, nothing pending, timeline at 0.
+    pub fn initial_encoder_state(&self) -> EncoderState {
+        hisres_tensor::no_grad(|| {
+            let e0 = self.initial_entities().value_clone();
+            EncoderState {
+                entities: e0.clone(),
+                relations: self.rel_emb.table.value_clone(),
+                inter: e0,
+                pending: Vec::new(),
+                t: 0,
+                intra_steps: 0,
+                inter_steps: 0,
+            }
+        })
+    }
+
+    /// One online evolution step (§3.2 as a forward recurrence): folds a
+    /// single new snapshot into `state` — one intra-snapshot CompGCN+GRU
+    /// step (eq. 1–6), plus one inter-snapshot merged-window step (eq. 7)
+    /// each time `cfg.granularity` snapshots have accumulated. Work is
+    /// O(one snapshot), independent of how much history the state has
+    /// already absorbed; the counters on [`EncoderState`] expose that.
+    ///
+    /// Unlike [`encode_local`](Self::encode_local), which re-walks a
+    /// sliding window with prediction-relative time gaps, the online
+    /// recurrence folds each snapshot exactly once with a unit time gap,
+    /// so replaying the same snapshot sequence — within one process or
+    /// across crash-recovery restarts — reproduces the state
+    /// bit-for-bit. Ordering and timestamp validation is the caller's
+    /// job (the ingest layer rejects out-of-order batches).
+    pub fn advance_encoder_state(&self, state: &mut EncoderState, snap: &Snapshot) {
+        hisres_tensor::no_grad(|| {
+            if self.cfg.use_evolutionary {
+                let h = Tensor::constant(state.entities.clone());
+                let rels = Tensor::constant(state.relations.clone());
+                let e_in = match &self.time_enc {
+                    Some(te) => te.apply(&h, 1.0),
+                    None => h.clone(),
+                };
+                let edges = EdgeList::from_snapshot(snap, self.num_relations);
+                let mut e_agg = e_in.clone();
+                let mut r_agg = rels.clone();
+                for layer in &self.intra_layers {
+                    let (e, r) = layer.forward(&e_agg, &r_agg, &edges);
+                    e_agg = e;
+                    r_agg = r;
+                }
+                state.entities = self.ent_gru.forward(&e_agg, &e_in).value_clone();
+                let pooled = self.relation_pooled(&e_in, &edges);
+                state.relations = self.rel_gru.forward(&r_agg, &pooled).value_clone();
+
+                if self.cfg.use_inter_snapshot {
+                    state.pending.push(snap.clone());
+                    if state.pending.len() >= self.cfg.granularity {
+                        state.inter =
+                            self.inter_window_step(&state.inter, &state.pending).value_clone();
+                        state.pending.clear();
+                        state.inter_steps += 1;
+                    }
+                }
+            }
+            state.intra_steps += 1;
+            state.t = snap.t.saturating_add(1);
+        });
+    }
+
+    /// Folds a timeline through the online recurrence from a fresh state
+    /// — how a serving process builds its starting state from the
+    /// dataset's snapshots before live ingestion begins.
+    pub fn fold_encoder_state(&self, history: &[Snapshot]) -> EncoderState {
+        let mut state = self.initial_encoder_state();
+        for snap in history {
+            self.advance_encoder_state(&mut state, snap);
+        }
+        state
+    }
+
+    /// One inter-snapshot window step (eq. 7): aggregates the merged
+    /// window and steps the inter GRU from `hgg`.
+    fn inter_window_step(&self, hgg: &NdArray, window: &[Snapshot]) -> Tensor {
+        let refs: Vec<&Snapshot> = window.iter().collect();
+        let edges = EdgeList::from_merged_snapshots(&refs, self.num_relations);
+        let hgg_t = Tensor::constant(hgg.clone());
+        let mut e_agg = hgg_t.clone();
+        let mut r_pass = self.rel_emb.table.clone();
+        for layer in &self.inter_layers {
+            let (e, r) = layer.forward(&e_agg, &r_pass, &edges);
+            e_agg = e;
+            r_pass = r;
+        }
+        self.inter_gru.forward(&e_agg, &hgg_t)
+    }
+
+    /// The fused local encoding (eq. 8–9) `state` currently implies —
+    /// the online counterpart of [`encode_local`](Self::encode_local)'s
+    /// return value, ready for [`encode_global_with`]
+    /// (Self::encode_global_with) and the decoders. A partially filled
+    /// inter window contributes through a provisional merged-window step
+    /// (mirroring the trailing partial chunk of the batch path) without
+    /// mutating the durable state.
+    pub fn state_local_encoding(&self, state: &EncoderState) -> Encoded {
+        hisres_tensor::no_grad(|| {
+            let rels = Tensor::constant(state.relations.clone());
+            if !self.cfg.use_evolutionary || state.intra_steps == 0 {
+                return Encoded {
+                    entities: Tensor::constant(state.entities.clone()),
+                    relations: rels,
+                };
+            }
+            let e_g = Tensor::constant(state.entities.clone());
+            let entities = if self.cfg.use_inter_snapshot {
+                let hgg = if state.pending.is_empty() {
+                    Tensor::constant(state.inter.clone())
+                } else {
+                    self.inter_window_step(&state.inter, &state.pending)
+                };
+                if self.cfg.use_self_gating_local {
+                    self.sg_local.fuse(&e_g, &hgg)
+                } else {
+                    gating::sum_fusion(&e_g, &hgg)
+                }
+            } else {
+                e_g
+            };
+            Encoded { entities, relations: rels }
+        })
     }
 
     /// Scores every entity as the object of each `(s, r)` query (eq. 12):
@@ -775,6 +947,46 @@ mod tests {
             ),
             "got: {err}"
         );
+    }
+
+    #[test]
+    fn encoder_state_fold_is_deterministic_and_json_exact() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let a = m.fold_encoder_state(&snaps);
+        let b = m.fold_encoder_state(&snaps);
+        assert_eq!(a, b);
+        // serialization is bit-exact: state -> JSON -> state -> JSON
+        let text = hisres_util::json::to_string(&a).unwrap();
+        let back: EncoderState = hisres_util::json::from_str(&text).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(hisres_util::json::to_string(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn advance_is_one_step_regardless_of_absorbed_history() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let mut st = m.fold_encoder_state(&snaps);
+        assert_eq!(st.intra_steps, snaps.len() as u64);
+        let before = st.intra_steps;
+        m.advance_encoder_state(&mut st, &Snapshot { t: 3, triples: vec![(2, 0, 3)] });
+        assert_eq!(st.intra_steps, before + 1);
+        assert_eq!(st.t, 4);
+    }
+
+    #[test]
+    fn state_local_encoding_feeds_global_and_decoder() {
+        let m = build();
+        let snaps = toy_snapshots();
+        let st = m.fold_encoder_state(&snaps);
+        let local = m.state_local_encoding(&st);
+        assert_eq!(local.entities.shape(), (4, 8));
+        let g = global_graph(&snaps, &[(0, 0)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = m.encode_global_with(&local, &g, false, &mut rng);
+        let scores = m.score_objects(&enc, &[(0, 0)], false, &mut rng);
+        assert_eq!(scores.shape(), (1, 4));
     }
 
     #[test]

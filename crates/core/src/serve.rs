@@ -1,5 +1,7 @@
 //! Fault-tolerant inference serving: a JSONL request/response loop over a
-//! trained model.
+//! trained model and, optionally, a live WAL-backed ingest session — the
+//! served timeline is *not* frozen at checkpoint load; `{"cmd":"ingest"}`
+//! extends it durably while queries keep flowing.
 //!
 //! The batch evaluator assumes clean benchmark queries; this module
 //! assumes every request is hostile, late, or referencing entities the
@@ -31,13 +33,23 @@
 //!   one batched scorer pass (bit-identical per query to solo scoring —
 //!   see `score_at`), and a full queue answers with a typed
 //!   [`ServeError::Overloaded`] rejection instead of stalling clients.
+//! * **Durable online ingestion** — with an attached
+//!   [`IngestSession`], `{"cmd":"ingest"}` appends new quads behind a
+//!   fsync'd write-ahead log and advances the encoder incrementally (one
+//!   step per new snapshot, never a history rescan). Sequence numbers
+//!   make retries idempotent (`duplicate` acknowledgements), gaps are
+//!   typed `ingest_out_of_order` rejections, a bounded in-flight ingest
+//!   budget rejects excess writers with `overloaded`, and WAL trouble
+//!   degrades the session to read-only — flagged in `stats` — instead of
+//!   serving undurable acknowledgements.
 //! * **Observability** — [`ServeStats`] counts requests, errors by kind,
-//!   degraded answers, panics and admission rejections, and reports
-//!   p50/p99 latency; it is served on `{"cmd":"stats"}` and emitted as a
-//!   final line at EOF.
+//!   degraded answers, panics, admission rejections and ingest activity,
+//!   and reports p50/p99 latency; it is served on `{"cmd":"stats"}` and
+//!   emitted as a final line at EOF.
 
 use crate::checkpoint::{TrainCheckpoint, TRAIN_STATE_KIND};
 use crate::eval::{score_at, ScoreCtx};
+use crate::ingest::{IngestError, IngestOutcome, IngestSession};
 use crate::model::{HisRes, MODEL_KIND};
 use hisres_graph::Vocab;
 use hisres_tensor::{CheckpointError, NdArray};
@@ -53,6 +65,7 @@ use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -125,6 +138,31 @@ pub enum ServeError {
         /// The configured queue depth that was exceeded.
         depth: usize,
     },
+    /// `{"cmd":"ingest"}` on a server with no attached ingest session.
+    IngestUnsupported,
+    /// An ingest sequence number skips ahead — an earlier batch is
+    /// missing. Duplicates are *not* errors (they get an idempotent
+    /// `"ingest":"duplicate"` acknowledgement); only gaps reject.
+    IngestOutOfOrder {
+        /// Sequence number the client sent.
+        seq: u64,
+        /// The only sequence number the session will apply next.
+        expected: u64,
+    },
+    /// An ingest batch timestamped off the timeline frontier.
+    BadTimestamp {
+        /// Timestamp the client sent.
+        t: u32,
+        /// The frontier timestamp the session expects.
+        expected: u32,
+    },
+    /// The ingest session has degraded to read-only mode (WAL append
+    /// failure, fsync latency or replay lag over budget). Queries still
+    /// work; writes are refused until the operator intervenes.
+    ReadOnly(String),
+    /// The write-ahead log rejected the append — the batch is not
+    /// durable and was not applied.
+    Wal(String),
     /// The engine could not produce an answer (both scorers failed).
     Internal(String),
 }
@@ -140,6 +178,11 @@ impl ServeError {
             ServeError::EntityOutOfRange { .. } => "entity_out_of_range",
             ServeError::RelationOutOfRange { .. } => "relation_out_of_range",
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::IngestUnsupported => "ingest_unsupported",
+            ServeError::IngestOutOfOrder { .. } => "ingest_out_of_order",
+            ServeError::BadTimestamp { .. } => "bad_timestamp",
+            ServeError::ReadOnly(_) => "read_only",
+            ServeError::Wal(_) => "wal",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -165,12 +208,52 @@ impl fmt::Display for ServeError {
                 f,
                 "server overloaded: the request queue is at capacity ({depth}); retry later"
             ),
+            ServeError::IngestUnsupported => write!(
+                f,
+                "ingest not supported: this server has no write-ahead log attached \
+                 (start it with --wal)"
+            ),
+            ServeError::IngestOutOfOrder { seq, expected } => {
+                write!(f, "out-of-order ingest: got seq {seq}, expected {expected}")
+            }
+            ServeError::BadTimestamp { t, expected } => {
+                write!(f, "bad ingest timestamp {t}: the timeline frontier is {expected}")
+            }
+            ServeError::ReadOnly(reason) => {
+                write!(f, "ingest disabled (read-only mode): {reason}")
+            }
+            ServeError::Wal(m) => write!(f, "WAL failure: {m}"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<IngestError> for ServeError {
+    fn from(e: IngestError) -> ServeError {
+        match e {
+            IngestError::OutOfOrder { seq, expected } => {
+                ServeError::IngestOutOfOrder { seq, expected }
+            }
+            IngestError::BadTimestamp { t, expected } => ServeError::BadTimestamp { t, expected },
+            IngestError::EntityOutOfRange { id, num_entities } => {
+                ServeError::EntityOutOfRange { id, num_entities }
+            }
+            // Ingested events carry *raw* relation ids only (inverses are
+            // derived), so the query-side raw+inverse range message would
+            // mislead here.
+            IngestError::RelationOutOfRange { id, num_relations } => ServeError::BadRequest(
+                format!(
+                    "relation id {id} out of range: ingested events use raw relation ids \
+                     0..{num_relations} (inverses are derived server-side)"
+                ),
+            ),
+            IngestError::ReadOnly { reason } => ServeError::ReadOnly(reason),
+            IngestError::Wal(m) => ServeError::Wal(m),
+        }
+    }
+}
 
 /// An entity or relation reference in a request: a dense id or a
 /// vocabulary name.
@@ -199,11 +282,29 @@ pub struct QueryRequest {
     pub id: Option<String>,
 }
 
+/// One durable ingest batch:
+/// `{"cmd":"ingest","seq":N,"quads":[[s,r,o],...]}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestRequest {
+    /// Client-assigned contiguous sequence number (first batch is 1).
+    /// Re-sending an applied seq is an idempotent no-op.
+    pub seq: u64,
+    /// Timestamp of the new snapshot; defaults to the timeline frontier
+    /// so clients need not track it.
+    pub t: Option<u32>,
+    /// The batch's `(s, r, o)` events (raw relation ids).
+    pub quads: Vec<(u32, u32, u32)>,
+    /// Opaque client correlation id, echoed in the response.
+    pub id: Option<String>,
+}
+
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// An object-prediction query.
     Query(QueryRequest),
+    /// `{"cmd":"ingest"}` — durably append a batch of new events.
+    Ingest(IngestRequest),
     /// `{"cmd":"stats"}` — report [`ServeStats`].
     Stats,
     /// `{"cmd":"shutdown"}` — stop the loop after replying.
@@ -229,6 +330,75 @@ fn field_u32(v: &Value, field: &str) -> Result<SymbolRef, ServeError> {
     }
 }
 
+fn parse_id(v: &Value) -> Result<Option<String>, ServeError> {
+    match v.get("id") {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(n @ Value::Num(_)) => match n.as_i64() {
+            Some(i) => Ok(Some(i.to_string())),
+            None => Err(ServeError::BadRequest("id must be a string or integer".into())),
+        },
+        Some(_) => Err(ServeError::BadRequest("id must be a string or integer".into())),
+    }
+}
+
+/// Parses the body of an `{"cmd":"ingest"}` request. Range checks on the
+/// ids are the session's job (it owns the vocabulary sizes); here only
+/// shape and integer-ness are enforced.
+fn parse_ingest(v: &Value) -> Result<Request, ServeError> {
+    let seq = v
+        .get("seq")
+        .ok_or_else(|| ServeError::BadRequest("ingest requires a \"seq\" field".into()))?
+        .as_u64()
+        .ok_or_else(|| {
+            ServeError::BadRequest("seq must be a non-negative integer".into())
+        })?;
+    let t = match v.get("t") {
+        None => None,
+        Some(t) => Some(
+            t.as_u64()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| {
+                    ServeError::BadRequest("t must be a non-negative integer timestamp".into())
+                })?,
+        ),
+    };
+    let quads_v = v
+        .get("quads")
+        .ok_or_else(|| ServeError::BadRequest("ingest requires a \"quads\" array".into()))?;
+    let Value::Arr(items) = quads_v else {
+        return Err(ServeError::BadRequest("quads must be an array of [s,r,o] triples".into()));
+    };
+    let mut quads = Vec::with_capacity(items.len());
+    for item in items {
+        let Value::Arr(tri) = item else {
+            return Err(ServeError::BadRequest(
+                "each quads entry must be an [s,r,o] array".into(),
+            ));
+        };
+        if tri.len() != 3 {
+            return Err(ServeError::BadRequest(format!(
+                "each quads entry must have exactly 3 elements, got {}",
+                tri.len()
+            )));
+        }
+        let mut ids = [0u32; 3];
+        for (slot, field) in ids.iter_mut().zip(tri) {
+            *slot = field
+                .as_u64()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| {
+                    ServeError::BadRequest(
+                        "quads entries must be non-negative integer ids".into(),
+                    )
+                })?;
+        }
+        quads.push((ids[0], ids[1], ids[2]));
+    }
+    let id = parse_id(v)?;
+    Ok(Request::Ingest(IngestRequest { seq, t, quads, id }))
+}
+
 /// Parses one JSONL request line. Never panics: byte garbage, deep
 /// nesting, wrong field types and absurd numbers all come back as typed
 /// [`ServeError`]s (property-tested in `serve_props.rs`).
@@ -241,6 +411,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         return match cmd.as_str() {
             Some("stats") => Ok(Request::Stats),
             Some("shutdown") => Ok(Request::Shutdown),
+            Some("ingest") => parse_ingest(&v),
             Some(other) => Err(ServeError::BadRequest(format!("unknown cmd {other:?}"))),
             None => Err(ServeError::BadRequest("cmd must be a string".into())),
         };
@@ -267,17 +438,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
             Some(ms)
         }
     };
-    let id = match v.get("id") {
-        None => None,
-        Some(Value::Str(s)) => Some(s.clone()),
-        Some(n @ Value::Num(_)) => match n.as_i64() {
-            Some(i) => Some(i.to_string()),
-            None => {
-                return Err(ServeError::BadRequest("id must be a string or integer".into()))
-            }
-        },
-        Some(_) => return Err(ServeError::BadRequest("id must be a string or integer".into())),
-    };
+    let id = parse_id(&v)?;
     Ok(Request::Query(QueryRequest { s, r, topk, budget_ms, id }))
 }
 
@@ -307,6 +468,24 @@ impl ServeScorer for ModelScorer {
     }
 }
 
+/// The full HisRES model over a **live** ingest session: scores reflect
+/// every durably applied ingest batch, not a frozen end-of-checkpoint
+/// timeline. Shares the session with the engine's ingest path (both run
+/// on the single batcher thread, so `Rc<RefCell>` suffices).
+pub struct SessionScorer {
+    /// The WAL-backed session (also held by [`ServeEngine::with_ingest`]).
+    pub session: Rc<RefCell<IngestSession>>,
+}
+
+impl ServeScorer for SessionScorer {
+    fn name(&self) -> &str {
+        "hisres-online"
+    }
+    fn score(&self, queries: &[(u32, u32)]) -> NdArray {
+        self.session.borrow().score(queries)
+    }
+}
+
 /// Serving counters, reported via `{"cmd":"stats"}` and at shutdown.
 #[derive(Debug, Default)]
 pub struct ServeStats {
@@ -325,6 +504,10 @@ pub struct ServeStats {
     /// included in `requests`; the front end folds its counter in via
     /// [`ServeEngine::sync_rejected`].
     pub rejected: usize,
+    /// Ingest batches durably applied through the serving layer.
+    pub ingested: usize,
+    /// Idempotent duplicate-seq ingest acknowledgements.
+    pub ingest_duplicates: usize,
     latency: LatencyRecorder,
 }
 
@@ -349,6 +532,8 @@ impl ServeStats {
             ("degraded".into(), Value::Num(self.degraded as f64)),
             ("panics".into(), Value::Num(self.panics as f64)),
             ("rejected".into(), Value::Num(self.rejected as f64)),
+            ("ingested".into(), Value::Num(self.ingested as f64)),
+            ("ingest_duplicates".into(), Value::Num(self.ingest_duplicates as f64)),
             (
                 "p50_ms".into(),
                 self.latency.percentile_ms(50.0).map_or(Value::Null, |m| Value::Num(round3(m))),
@@ -442,6 +627,9 @@ pub struct ServeEngine {
     est_full_ms: Cell<f64>,
     panics: Cell<usize>,
     stats: RefCell<ServeStats>,
+    /// Live WAL-backed ingest session; `None` serves a frozen timeline
+    /// and answers `{"cmd":"ingest"}` with `ingest_unsupported`.
+    ingest: Option<Rc<RefCell<IngestSession>>>,
 }
 
 impl ServeEngine {
@@ -464,6 +652,7 @@ impl ServeEngine {
             est_full_ms: Cell::new(0.0),
             panics: Cell::new(0),
             stats: RefCell::new(ServeStats::default()),
+            ingest: None,
         }
     }
 
@@ -472,6 +661,15 @@ impl ServeEngine {
     pub fn with_vocabs(mut self, entities: Option<Vocab>, relations: Option<Vocab>) -> Self {
         self.entity_vocab = entities;
         self.relation_vocab = relations;
+        self
+    }
+
+    /// Attaches a live ingest session, enabling `{"cmd":"ingest"}`. Pass
+    /// the same `Rc` wrapped in a [`SessionScorer`] as the full scorer so
+    /// queries see ingested events; the engine only *writes* through this
+    /// handle.
+    pub fn with_ingest(mut self, session: Rc<RefCell<IngestSession>>) -> Self {
+        self.ingest = Some(session);
         self
     }
 
@@ -511,12 +709,40 @@ impl ServeEngine {
         self.stats.borrow()
     }
 
-    /// The `{"ok":true,"stats":{...}}` line.
+    /// The `{"ok":true,"stats":{...}}` line. With an ingest session
+    /// attached, the stats object gains an `"ingest"` sub-object
+    /// (applied/duplicate counters, fsync EMA, the `read_only` degraded
+    /// flag and the durable frontier) appended after the engine counters
+    /// so existing field positions never move.
     pub fn stats_line(&self) -> String {
-        let v = Value::Obj(vec![
-            ("ok".into(), Value::Bool(true)),
-            ("stats".into(), self.stats.borrow().to_value()),
-        ]);
+        let mut stats = self.stats.borrow().to_value();
+        if let (Some(session), Value::Obj(fields)) = (&self.ingest, &mut stats) {
+            let s = session.borrow();
+            let ing = s.stats();
+            fields.push((
+                "ingest".into(),
+                Value::Obj(vec![
+                    ("applied_seq".into(), Value::Num(s.applied_seq() as f64)),
+                    ("frontier_t".into(), Value::Num(s.frontier_t() as f64)),
+                    ("applied_batches".into(), Value::Num(ing.applied_batches as f64)),
+                    ("applied_quads".into(), Value::Num(ing.applied_quads as f64)),
+                    ("duplicates".into(), Value::Num(ing.duplicates as f64)),
+                    ("snapshots_written".into(), Value::Num(ing.snapshots_written as f64)),
+                    ("snapshot_failures".into(), Value::Num(ing.snapshot_failures as f64)),
+                    ("fsync_ema_ms".into(), Value::Num(round3(ing.fsync_ema_ms))),
+                    ("read_only".into(), Value::Bool(ing.read_only)),
+                    (
+                        "read_only_reason".into(),
+                        if ing.read_only {
+                            Value::Str(ing.read_only_reason.clone())
+                        } else {
+                            Value::Null
+                        },
+                    ),
+                ]),
+            ));
+        }
+        let v = Value::Obj(vec![("ok".into(), Value::Bool(true)), ("stats".into(), stats)]);
         to_line(v)
     }
 
@@ -560,6 +786,13 @@ impl ServeEngine {
     /// invisible to clients. All degraded rows likewise share one
     /// fallback call. A panic in the batched full pass degrades the whole
     /// batch's full rows and counts once against the poison counter.
+    ///
+    /// Ingest requests apply during phase 1, *before* the batch's scorer
+    /// pass: within one coalesced batch, every query sees the state after
+    /// all of that batch's ingests. Clients that need a pre-ingest answer
+    /// must simply ask before ingesting — ordering across connections
+    /// inside one batch window is otherwise arbitrary, and this rule
+    /// makes it deterministic.
     pub fn handle_parsed_batch(
         &self,
         items: Vec<(Result<Request, ServeError>, Instant)>,
@@ -586,6 +819,7 @@ impl ServeEngine {
                     }
                     .into_shutdown(),
                 ),
+                Ok(Request::Ingest(req)) => Slot::Done(self.handle_ingest(req, started)),
                 Ok(Request::Query(q)) => {
                     let resolved = self
                         .resolve_entity(&q.s)
@@ -726,6 +960,47 @@ impl ServeEngine {
                 },
             })
             .collect()
+    }
+
+    /// Applies one ingest request against the attached session. Runs on
+    /// the batcher thread during phase 1, so the WAL fsync and the
+    /// encoder step are ordered before the batch's scorer pass.
+    fn handle_ingest(&self, req: IngestRequest, started: Instant) -> Reply {
+        let Some(session) = &self.ingest else {
+            return self.error_reply(req.id, ServeError::IngestUnsupported, started);
+        };
+        let outcome = session.borrow_mut().ingest(req.seq, req.t, &req.quads);
+        match outcome {
+            Ok(outcome) => {
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                let mut fields = vec![("ok".into(), Value::Bool(true))];
+                if let Some(id) = req.id {
+                    fields.push(("id".into(), Value::Str(id)));
+                }
+                match outcome {
+                    IngestOutcome::Applied { seq, quads, snapshot_written } => {
+                        let mut st = self.stats.borrow_mut();
+                        st.ingested += 1;
+                        st.latency.record_ms(ms);
+                        fields.push(("ingest".into(), Value::Str("applied".into())));
+                        fields.push(("seq".into(), Value::Num(seq as f64)));
+                        fields.push(("quads".into(), Value::Num(quads as f64)));
+                        fields.push(("snapshot_written".into(), Value::Bool(snapshot_written)));
+                    }
+                    IngestOutcome::Duplicate { seq, applied_seq } => {
+                        let mut st = self.stats.borrow_mut();
+                        st.ingest_duplicates += 1;
+                        st.latency.record_ms(ms);
+                        fields.push(("ingest".into(), Value::Str("duplicate".into())));
+                        fields.push(("seq".into(), Value::Num(seq as f64)));
+                        fields.push(("applied_seq".into(), Value::Num(applied_seq as f64)));
+                    }
+                }
+                fields.push(("latency_ms".into(), Value::Num(round3(ms))));
+                Reply { line: to_line(Value::Obj(fields)), shutdown: false }
+            }
+            Err(e) => self.error_reply(req.id, e.into(), started),
+        }
     }
 
     fn resolve_entity(&self, sym: &SymbolRef) -> Result<u32, ServeError> {
@@ -971,11 +1246,23 @@ pub struct ServerConfig {
     /// Stop accepting after this many connections (tests); `None` serves
     /// until shutdown.
     pub max_connections: Option<usize>,
+    /// Bound on ingest requests admitted but not yet applied. Ingests
+    /// fsync a WAL on the batcher thread, so they are orders of magnitude
+    /// heavier than queries; a small dedicated budget keeps a burst of
+    /// writers from starving readers. Excess ingests are rejected with a
+    /// typed [`ServeError::Overloaded`]. Clamped to at least 1.
+    pub max_ingest_queue: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, max_queue: 64, batch_window_ms: 2.0, max_connections: None }
+        ServerConfig {
+            workers: 4,
+            max_queue: 64,
+            batch_window_ms: 2.0,
+            max_connections: None,
+            max_ingest_queue: 8,
+        }
     }
 }
 
@@ -1002,6 +1289,12 @@ struct ServerShared {
     /// Queries refused at admission (folded into stats via
     /// [`ServeEngine::sync_rejected`]).
     rejected: AtomicUsize,
+    /// Ingest requests admitted and not yet handed to the engine;
+    /// bounded by `ingest_limit` at the reader (typed `overloaded`
+    /// rejection), decremented by the batcher as it takes them.
+    ingest_inflight: AtomicUsize,
+    /// `ServerConfig::max_ingest_queue`, clamped.
+    ingest_limit: usize,
     shutdown: AtomicBool,
     /// Connections accepted and not yet fully served.
     active: AtomicUsize,
@@ -1028,7 +1321,10 @@ fn lock_conns(shared: &ServerShared) -> std::sync::MutexGuard<'_, Vec<(u64, TcpS
 /// Admission control: when the queue is full, query requests are rejected
 /// immediately on the reader thread with a typed `overloaded` error
 /// response (control commands and EOF markers are never shed — they block
-/// that one connection instead). `{"cmd":"shutdown"}` from any client
+/// that one connection instead). Ingest requests pass a second, smaller
+/// gate first — [`ServerConfig::max_ingest_queue`] bounds ingests
+/// admitted but not yet applied, since each one costs a WAL fsync plus an
+/// encoder step on the batcher thread. `{"cmd":"shutdown"}` from any client
 /// stops accepting, forces EOF on every open connection, and drains the
 /// queue — every request already admitted still gets its reply and every
 /// connection its final stats line.
@@ -1042,6 +1338,8 @@ pub fn serve_concurrent(
     let shared = Arc::new(ServerShared {
         queue: BoundedQueue::new(cfg.max_queue.max(1)),
         rejected: AtomicUsize::new(0),
+        ingest_inflight: AtomicUsize::new(0),
+        ingest_limit: cfg.max_ingest_queue.max(1),
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
         accepting_done: AtomicBool::new(false),
@@ -1206,8 +1504,10 @@ fn serve_connection(shared: &Arc<ServerShared>, conn_id: u64, stream: TcpStream)
 
 /// Parses request lines off one connection and enqueues them. Queries go
 /// through non-blocking admission (`try_push`); a full queue answers
-/// `overloaded` directly. Control commands, parse errors and the final
-/// EOF marker are never shed.
+/// `overloaded` directly. Ingests additionally reserve a slot in the
+/// dedicated in-flight ingest budget first — WAL fsyncs on the batcher
+/// thread are too expensive to admit unboundedly. Control commands,
+/// parse errors and the final EOF marker are never shed.
 fn reader_loop(shared: &ServerShared, stream: TcpStream, resp: mpsc::Sender<WriterMsg>) {
     let mut seq = 0u64;
     for line in BufReader::new(stream).lines() {
@@ -1223,16 +1523,26 @@ fn reader_loop(shared: &ServerShared, stream: TcpStream, resp: mpsc::Sender<Writ
         };
         seq += 1;
         let is_query = matches!(&job.parsed, Some(Ok(Request::Query(_))));
-        let outcome = if is_query { shared.queue.try_push(job) } else { blocking_push(shared, job) };
+        let is_ingest = matches!(&job.parsed, Some(Ok(Request::Ingest(_))));
+        let outcome = if is_ingest {
+            push_ingest(shared, job)
+        } else if is_query {
+            shared.queue.try_push(job)
+        } else {
+            blocking_push(shared, job)
+        };
         match outcome {
             Ok(()) => {}
             Err(PushError::Full(job)) => {
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
                 let id = match &job.parsed {
                     Some(Ok(Request::Query(q))) => q.id.as_deref(),
+                    Some(Ok(Request::Ingest(iq))) => iq.id.as_deref(),
                     _ => None,
                 };
-                let e = ServeError::Overloaded { depth: shared.queue.capacity() };
+                let depth =
+                    if is_ingest { shared.ingest_limit } else { shared.queue.capacity() };
+                let e = ServeError::Overloaded { depth };
                 let ms = job.started.elapsed().as_secs_f64() * 1e3;
                 let _ = resp.send((job.seq, error_line(id, &e, ms), false));
             }
@@ -1256,6 +1566,24 @@ fn reader_loop(shared: &ServerShared, stream: TcpStream, resp: mpsc::Sender<Writ
 
 fn blocking_push(shared: &ServerShared, job: Job) -> Result<(), PushError<Job>> {
     shared.queue.push(job).map_err(PushError::Closed)
+}
+
+/// Non-blocking ingest admission: reserves a slot in the dedicated
+/// in-flight ingest budget *before* pushing onto the shared queue. The
+/// slot is released by the batcher as it takes the job
+/// ([`process_batch`]), or here when either bound refuses it.
+fn push_ingest(shared: &ServerShared, job: Job) -> Result<(), PushError<Job>> {
+    if shared.ingest_inflight.fetch_add(1, Ordering::SeqCst) >= shared.ingest_limit {
+        shared.ingest_inflight.fetch_sub(1, Ordering::SeqCst);
+        return Err(PushError::Full(job));
+    }
+    match shared.queue.try_push(job) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            shared.ingest_inflight.fetch_sub(1, Ordering::SeqCst);
+            Err(e)
+        }
+    }
 }
 
 /// Writes replies back in per-connection request order: messages may
@@ -1290,6 +1618,16 @@ fn writer_loop(stream: &TcpStream, rx: &mpsc::Receiver<WriterMsg>) {
 /// when a shutdown request was in the batch.
 fn process_batch(engine: &ServeEngine, shared: &ServerShared, jobs: Vec<Job>) -> bool {
     engine.sync_rejected(shared.rejected.load(Ordering::Relaxed));
+    // Release the in-flight ingest budget for every ingest job this batch
+    // takes off the queue; new ingests may now be admitted while these
+    // apply.
+    let ingests = jobs
+        .iter()
+        .filter(|j| matches!(&j.parsed, Some(Ok(Request::Ingest(_)))))
+        .count();
+    if ingests > 0 {
+        shared.ingest_inflight.fetch_sub(ingests, Ordering::SeqCst);
+    }
     let mut items = Vec::with_capacity(jobs.len());
     let mut routes = Vec::with_capacity(jobs.len());
     let mut eofs = Vec::new();

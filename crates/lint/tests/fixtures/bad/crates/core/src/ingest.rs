@@ -1,0 +1,14 @@
+// Fixture: one panic-free-zone violation (line 4) inside the durable
+// ingest scope. Everything else here must stay silent.
+pub fn apply(seq: Option<u64>) -> u64 {
+    let s = seq.unwrap();
+    s + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::apply(Some(1)), 2);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: one panic-free-zone violation (line 4); the fs::write on
+// line 6 must stay SILENT — wal.rs is excluded from atomic-writes-only.
+pub fn append(buf: Option<&[u8]>) -> usize {
+    let b = buf.expect("buffer present");
+    let n = b.len();
+    let _ = std::fs::write("frames.wal", b);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

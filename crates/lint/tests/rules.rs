@@ -42,7 +42,9 @@ fn bad_tree_reports_one_violation_per_rule_with_exact_positions() {
             ("no-debug-leftovers".into(), "crates/nn/src/debug.rs".into(), 3),
             ("panic-free-zone".into(), "crates/comms/src/frame.rs".into(), 4),
             ("panic-free-zone".into(), "crates/core/src/dist.rs".into(), 4),
+            ("panic-free-zone".into(), "crates/core/src/ingest.rs".into(), 4),
             ("panic-free-zone".into(), "crates/core/src/serve.rs".into(), 4),
+            ("panic-free-zone".into(), "crates/util/src/wal.rs".into(), 4),
             ("pool-only-threading".into(), "crates/core/src/worker.rs".into(), 3),
         ]
     );
@@ -70,7 +72,7 @@ fn diagnostics_carry_snippets_and_columns() {
     let unwrap = report
         .diagnostics
         .iter()
-        .find(|d| d.rule == "panic-free-zone")
+        .find(|d| d.rule == "panic-free-zone" && d.file == "crates/core/src/serve.rs")
         .expect("panic-free-zone diagnostic");
     assert_eq!(unwrap.snippet, "let v = input.unwrap();");
     assert!(unwrap.col > 0);

@@ -300,6 +300,15 @@ impl FaultInjector {
         self.faults.iter().find(|(n, _)| *n == idx).map(|(_, m)| *m)
     }
 
+    /// Consumes the next scripted write fault, if any. Lets alternative
+    /// durable-write paths — the WAL's [`crate::wal`] append, which is
+    /// deliberately *not* an atomic replace — share one injector script
+    /// with [`atomic_write_with`]. Each call advances the write counter
+    /// exactly like an atomic write would.
+    pub fn take_write_fault(&self) -> Option<FaultMode> {
+        self.next_fault()
+    }
+
     fn next_read_fails(&self) -> bool {
         let idx = self.reads.get();
         self.reads.set(idx + 1);

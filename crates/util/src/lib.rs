@@ -14,6 +14,7 @@
 //! | [`retry`] | `backoff`/`retry` | bounded retry with deterministic exponential backoff and a caller-supplied transient-error predicate |
 //! | [`pool`] | `rayon` | persistent worker pool (`std::thread` + channels), disjoint-output `par_chunks_mut` partitioning that is bit-identical across thread counts, `HISRES_THREADS`/`--threads` sizing, scoped `with_threads` overrides, named `spawn_service` threads for blocking I/O |
 //! | [`sync`] | `crossbeam-channel` | bounded MPMC queue with non-blocking `try_push` rejection (admission control), deadline `pop_timeout`, and close-and-drain shutdown |
+//! | [`wal`] | `okaywal`/log crates | append-only write-ahead log: length-prefixed FNV-1a-checksummed records, fsync'd batch appends, torn-tail truncation on open, and a Skip/Abort/Truncate corrupt-record policy |
 //!
 //! Beyond removing the network from the build, owning the PRNG makes seeded
 //! randomness an explicit reproducibility contract: the synthetic datasets,
@@ -28,3 +29,4 @@ pub mod pool;
 pub mod retry;
 pub mod rng;
 pub mod sync;
+pub mod wal;

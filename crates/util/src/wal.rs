@@ -1,0 +1,473 @@
+//! Append-only write-ahead log with checksummed, length-prefixed records.
+//!
+//! Where [`crate::fsio`] gives *atomic replacement* (a whole file swapped
+//! in one rename), the WAL gives *durable appends*: each record is framed
+//! as
+//!
+//! ```text
+//! [len: u64 LE] [crc: fnv1a64(payload) u64 LE] [payload: len bytes]
+//! ```
+//!
+//! and an append batch is a single `write_all` + `fdatasync`, so a batch
+//! is durable once [`Wal::append_batch`] returns. A crash can only damage
+//! the *unacknowledged tail* of the file — a frame whose bytes never all
+//! reached disk. [`Wal::open`] therefore scans from the front, keeps every
+//! intact record, and handles damage by policy:
+//!
+//! - an **incomplete tail frame** (fewer bytes than the header promises,
+//!   or a header cut short) is always truncated away — it is a torn write
+//!   of a batch that was never acknowledged;
+//! - a **checksum mismatch** on a fully-framed record is dispatched on
+//!   [`CorruptPolicy`]: `Truncate` discards that record and everything
+//!   after it (the standard WAL rule — an fsync'd prefix cannot go bad,
+//!   so the first bad frame marks where durability ended), `Skip` drops
+//!   just that record and keeps scanning (salvage mode), `Abort` returns
+//!   a typed [`WalError::Corrupt`] and touches nothing.
+//!
+//! Faults are scripted through the same [`FaultInjector`] the atomic
+//! writer uses ([`FaultInjector::take_write_fault`]): an error before
+//! anything is written, a torn append that leaves a partial frame, or a
+//! "crash" between write and fsync.
+
+use crate::fsio::{fnv1a64, FaultInjector, FaultMode};
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes of framing before each payload: length + checksum, both `u64` LE.
+pub const RECORD_HEADER_BYTES: usize = 16;
+
+/// What [`Wal::open`] does with a fully-framed record whose checksum does
+/// not match its payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptPolicy {
+    /// Discard the bad record and everything after it, truncating the
+    /// file there. The right policy for a log whose appends are fsync'd:
+    /// corruption marks the point where acknowledged durability ended.
+    Truncate,
+    /// Drop only the bad record and keep scanning — salvage mode for
+    /// logs where later records are independently useful.
+    Skip,
+    /// Refuse to open: return [`WalError::Corrupt`] and leave the file
+    /// untouched.
+    Abort,
+}
+
+/// Typed failures from [`Wal::open`].
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A fully-framed record failed its checksum under
+    /// [`CorruptPolicy::Abort`].
+    Corrupt {
+        /// Byte offset of the bad record's frame header.
+        offset: u64,
+        /// Checksum the frame header recorded.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Corrupt { offset, expected, actual } => write!(
+                f,
+                "WAL record at byte {offset} is corrupt: header crc {expected:016x}, payload {actual:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// What [`Wal::open`] recovered from an existing log file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes removed from the end of the file: a torn tail frame, plus —
+    /// under [`CorruptPolicy::Truncate`] — the first corrupt record and
+    /// everything after it.
+    pub truncated_bytes: u64,
+    /// Corrupt records dropped in place under [`CorruptPolicy::Skip`].
+    pub skipped_corrupt: usize,
+}
+
+/// Builds the on-disk frame for one payload. Public so tests (and fault
+/// drills) can craft exact byte sequences, including deliberately torn
+/// ones.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn injected(msg: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {msg}"))
+}
+
+/// An open write-ahead log: scan-verified on open, append-only after.
+#[derive(Debug)]
+pub struct Wal {
+    file: fs::File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replaying every
+    /// intact record and repairing tail damage per `policy`. Returns the
+    /// log positioned for appends plus the [`Replay`] of what survived.
+    pub fn open(path: impl AsRef<Path>, policy: CorruptPolicy) -> Result<(Wal, Replay), WalError> {
+        let path = path.as_ref();
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(WalError::Io(e)),
+        };
+
+        let mut replay = Replay::default();
+        let mut off = 0usize;
+        // End of the region to keep on disk. Under `Skip`, corrupt-but-
+        // fully-framed records stay in the file (only the torn tail is
+        // cut); under `Truncate`, the file ends at the last good record
+        // before the first corruption.
+        let mut keep_end = 0usize;
+        while bytes.len() - off >= RECORD_HEADER_BYTES {
+            let len = read_u64_le(&bytes, off);
+            let crc = read_u64_le(&bytes, off + 8);
+            let Some(end) = (len as usize)
+                .checked_add(RECORD_HEADER_BYTES)
+                .and_then(|frame| off.checked_add(frame))
+            else {
+                // Absurd length — a frame header torn mid-write.
+                break;
+            };
+            if end > bytes.len() {
+                // Incomplete tail frame: the payload never fully landed.
+                break;
+            }
+            let payload = &bytes[off + RECORD_HEADER_BYTES..end];
+            let actual = fnv1a64(payload);
+            if actual != crc {
+                match policy {
+                    CorruptPolicy::Abort => {
+                        return Err(WalError::Corrupt { offset: off as u64, expected: crc, actual });
+                    }
+                    CorruptPolicy::Truncate => break,
+                    CorruptPolicy::Skip => {
+                        replay.skipped_corrupt += 1;
+                        off = end;
+                        keep_end = end;
+                        continue;
+                    }
+                }
+            } else {
+                replay.records.push(payload.to_vec());
+                off = end;
+                keep_end = end;
+            }
+        }
+        replay.truncated_bytes = (bytes.len() - keep_end) as u64;
+
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        if replay.truncated_bytes > 0 {
+            file.set_len(keep_end as u64)?;
+            file.sync_data()?;
+        }
+        Ok((
+            Wal { file, path: path.to_path_buf(), len: keep_end as u64 },
+            replay,
+        ))
+    }
+
+    /// Appends one record; durable once this returns. See
+    /// [`Wal::append_batch`] for the multi-record form (one fsync).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.append_batch(&[payload])
+    }
+
+    /// Appends a batch of records with a single `write` + `fdatasync` —
+    /// the whole batch becomes durable together.
+    pub fn append_batch(&mut self, payloads: &[&[u8]]) -> io::Result<()> {
+        self.append_batch_with(payloads, &FaultInjector::none())
+    }
+
+    /// [`Wal::append_batch`] with scripted faults: `ErrorBeforeWrite`
+    /// fails before any byte is written, `TornWrite(n)` writes only the
+    /// first `n` bytes of the batch (simulated power loss mid-append),
+    /// `CrashBeforeRename` writes everything but skips the fsync — the
+    /// batch *may* survive but was never acknowledged.
+    pub fn append_batch_with(
+        &mut self,
+        payloads: &[&[u8]],
+        faults: &FaultInjector,
+    ) -> io::Result<()> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            buf.extend_from_slice(&frame(p));
+        }
+        match faults.take_write_fault() {
+            Some(FaultMode::ErrorBeforeWrite) => {
+                return Err(injected("I/O error before WAL append"));
+            }
+            Some(FaultMode::TornWrite(keep)) => {
+                self.file.write_all(&buf[..keep.min(buf.len())])?;
+                self.file.sync_data().ok();
+                return Err(injected("torn WAL append (crash mid-write)"));
+            }
+            Some(FaultMode::CrashBeforeRename) => {
+                self.file.write_all(&buf)?;
+                return Err(injected("crash before WAL fsync"));
+            }
+            None => {}
+        }
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes of acknowledged log — framing included.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no record has ever been acknowledged.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::vec;
+    use crate::{prop_assert, prop_assert_eq, props};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hisres_wal_{tag}_{}", std::process::id()))
+    }
+
+    fn reopen(path: &Path, policy: CorruptPolicy) -> Replay {
+        let (_, replay) = Wal::open(path, policy).unwrap();
+        replay
+    }
+
+    #[test]
+    fn append_then_reopen_round_trips() {
+        let p = tmp_path("roundtrip");
+        fs::remove_file(&p).ok();
+        let (mut wal, replay) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+        assert!(replay.records.is_empty());
+        wal.append(b"alpha").unwrap();
+        wal.append_batch(&[b"beta", b""]).unwrap();
+        drop(wal);
+        let replay = reopen(&p, CorruptPolicy::Abort);
+        assert_eq!(replay.records, vec![b"alpha".to_vec(), b"beta".to_vec(), Vec::new()]);
+        assert_eq!(replay.truncated_bytes, 0);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let p = tmp_path("torn");
+        fs::remove_file(&p).ok();
+        let (mut wal, _) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+        wal.append(b"good").unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: half a frame lands.
+        let torn = frame(b"never acknowledged");
+        let mut raw = fs::read(&p).unwrap();
+        raw.extend_from_slice(&torn[..torn.len() / 2]);
+        fs::write(&p, &raw).unwrap();
+
+        let (mut wal, replay) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+        assert_eq!(replay.records, vec![b"good".to_vec()]);
+        assert_eq!(replay.truncated_bytes as usize, torn.len() / 2);
+        // The file really was repaired: appends after recovery frame cleanly.
+        wal.append(b"after").unwrap();
+        drop(wal);
+        let replay = reopen(&p, CorruptPolicy::Abort);
+        assert_eq!(replay.records, vec![b"good".to_vec(), b"after".to_vec()]);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn torn_header_shorter_than_frame_is_truncated() {
+        let p = tmp_path("tornhdr");
+        fs::remove_file(&p).ok();
+        let (mut wal, _) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+        wal.append(b"keep").unwrap();
+        drop(wal);
+        let mut raw = fs::read(&p).unwrap();
+        raw.extend_from_slice(&[0x7f; 5]); // 5 bytes of a 16-byte header
+        fs::write(&p, &raw).unwrap();
+        let replay = reopen(&p, CorruptPolicy::Abort);
+        assert_eq!(replay.records, vec![b"keep".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 5);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_record_policies_differ() {
+        let p = tmp_path("policies");
+        for policy in [CorruptPolicy::Truncate, CorruptPolicy::Skip, CorruptPolicy::Abort] {
+            fs::remove_file(&p).ok();
+            let (mut wal, _) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+            wal.append_batch(&[b"first", b"second", b"third"]).unwrap();
+            drop(wal);
+            // Flip a payload byte inside "second" (frame 2's last byte).
+            let mut raw = fs::read(&p).unwrap();
+            let second_end = 2 * RECORD_HEADER_BYTES + b"first".len() + b"second".len();
+            raw[second_end - 1] ^= 0xff;
+            fs::write(&p, &raw).unwrap();
+
+            match policy {
+                CorruptPolicy::Truncate => {
+                    let (wal, replay) = Wal::open(&p, policy).unwrap();
+                    assert_eq!(replay.records, vec![b"first".to_vec()]);
+                    assert_eq!(replay.skipped_corrupt, 0);
+                    // "second" and "third" are both gone from disk.
+                    assert_eq!(wal.len(), (RECORD_HEADER_BYTES + b"first".len()) as u64);
+                }
+                CorruptPolicy::Skip => {
+                    let (_, replay) = Wal::open(&p, policy).unwrap();
+                    assert_eq!(replay.records, vec![b"first".to_vec(), b"third".to_vec()]);
+                    assert_eq!(replay.skipped_corrupt, 1);
+                    assert_eq!(replay.truncated_bytes, 0);
+                }
+                CorruptPolicy::Abort => {
+                    let err = Wal::open(&p, policy).unwrap_err();
+                    let WalError::Corrupt { offset, .. } = err else {
+                        panic!("expected Corrupt, got {err}");
+                    };
+                    assert_eq!(offset as usize, RECORD_HEADER_BYTES + b"first".len());
+                    // Abort touches nothing: a later Skip open still salvages.
+                    let (_, replay) = Wal::open(&p, CorruptPolicy::Skip).unwrap();
+                    assert_eq!(replay.records.len(), 2);
+                }
+            }
+        }
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn injected_append_faults_keep_acknowledged_prefix() {
+        let p = tmp_path("faults");
+        fs::remove_file(&p).ok();
+        let (mut wal, _) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+        wal.append(b"acked").unwrap();
+        let inj = FaultInjector::fail_nth_write(0, FaultMode::TornWrite(7))
+            .and_fail(1, FaultMode::ErrorBeforeWrite);
+        assert!(wal.append_batch_with(&[b"torn victim"], &inj).is_err());
+        assert!(wal.append_batch_with(&[b"never written"], &inj).is_err());
+        drop(wal);
+        let (_, replay) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+        assert_eq!(replay.records, vec![b"acked".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 7);
+        fs::remove_file(&p).ok();
+    }
+
+    props! {
+        cases = 24;
+
+        /// Any batch of arbitrary byte payloads survives a close + reopen
+        /// bit-for-bit, in order.
+        fn wal_round_trip_prop(payloads in vec(vec(0u8..=255u8, 0..40), 1..12), case in 0u32..1_000_000) {
+            let p = tmp_path(&format!("prop_rt_{case}"));
+            fs::remove_file(&p).ok();
+            let (mut wal, _) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+            let refs: Vec<&[u8]> = payloads.iter().map(|v| v.as_slice()).collect();
+            wal.append_batch(&refs).unwrap();
+            drop(wal);
+            let (_, replay) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+            prop_assert_eq!(&replay.records, &payloads);
+            prop_assert_eq!(replay.truncated_bytes, 0);
+            fs::remove_file(&p).ok();
+        }
+
+        /// Cutting the file at any byte inside the last frame truncates
+        /// exactly back to the earlier records.
+        fn wal_torn_tail_prop(payloads in vec(vec(0u8..=255u8, 0..24), 2..8), cut_back in 1usize..20, case in 0u32..1_000_000) {
+            let p = tmp_path(&format!("prop_torn_{case}"));
+            fs::remove_file(&p).ok();
+            let (mut wal, _) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+            let refs: Vec<&[u8]> = payloads.iter().map(|v| v.as_slice()).collect();
+            wal.append_batch(&refs).unwrap();
+            drop(wal);
+            let raw = fs::read(&p).unwrap();
+            let last_frame = RECORD_HEADER_BYTES + payloads.last().unwrap().len();
+            let cut = raw.len() - cut_back.min(last_frame);
+            fs::write(&p, &raw[..cut]).unwrap();
+            let (_, replay) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+            // Whether the cut removed the whole last frame or left a
+            // strict prefix of it, everything before survives and the
+            // last record is gone.
+            prop_assert_eq!(&replay.records, &payloads[..payloads.len() - 1]);
+            prop_assert_eq!(fs::metadata(&p).unwrap().len() as usize, raw.len() - last_frame);
+            fs::remove_file(&p).ok();
+        }
+
+        /// Flipping one payload byte of a middle record: Skip keeps the
+        /// others, Abort reports the exact frame offset, Truncate cuts
+        /// from the bad frame on.
+        fn wal_corrupt_policy_prop(payloads in vec(vec(0u8..=255u8, 1..24), 3..8), which in 0usize..6, case in 0u32..1_000_000) {
+            let p = tmp_path(&format!("prop_corrupt_{case}"));
+            fs::remove_file(&p).ok();
+            let (mut wal, _) = Wal::open(&p, CorruptPolicy::Abort).unwrap();
+            let refs: Vec<&[u8]> = payloads.iter().map(|v| v.as_slice()).collect();
+            wal.append_batch(&refs).unwrap();
+            drop(wal);
+            let victim = which % payloads.len();
+            let offset: usize = payloads[..victim]
+                .iter()
+                .map(|q| RECORD_HEADER_BYTES + q.len())
+                .sum();
+            let mut raw = fs::read(&p).unwrap();
+            raw[offset + RECORD_HEADER_BYTES] ^= 0x55;
+            fs::write(&p, &raw).unwrap();
+
+            let err = Wal::open(&p, CorruptPolicy::Abort).unwrap_err();
+            let WalError::Corrupt { offset: at, .. } = err else {
+                panic!("expected Corrupt, got {err}");
+            };
+            prop_assert_eq!(at as usize, offset);
+
+            let (_, skipped) = Wal::open(&p, CorruptPolicy::Skip).unwrap();
+            let mut expect = payloads.clone();
+            expect.remove(victim);
+            prop_assert_eq!(&skipped.records, &expect);
+            prop_assert_eq!(skipped.skipped_corrupt, 1);
+
+            let (_, cut) = Wal::open(&p, CorruptPolicy::Truncate).unwrap();
+            prop_assert_eq!(&cut.records, &payloads[..victim]);
+            prop_assert!(fs::metadata(&p).unwrap().len() as usize == offset);
+            fs::remove_file(&p).ok();
+        }
+    }
+}

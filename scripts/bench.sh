@@ -15,12 +15,20 @@
 # BENCH_dist.json. It needs the `hisres` CLI binary as the worker
 # executable, so that is built too.
 #
+# `--ingest` runs the `ingestbench` online-ingestion benchmark: a sweep
+# of ingest batch size × state-snapshot cadence through a WAL-backed
+# IngestSession, measuring per-batch latency (fsync + incremental encoder
+# advance), quad throughput, WAL growth, and cold-restart recovery time,
+# written to BENCH_ingest.json.
+#
 #   scripts/bench.sh                    kernel sweep, full shapes
 #   scripts/bench.sh --quick            kernel sweep, CI-sized
 #   scripts/bench.sh --serve            serving load sweep, full size
 #   scripts/bench.sh --serve --quick    serving load sweep, CI-sized
 #   scripts/bench.sh --dist             distributed-training sweep
 #   scripts/bench.sh --dist --quick     distributed sweep, CI-sized
+#   scripts/bench.sh --ingest           ingestion durability sweep
+#   scripts/bench.sh --ingest --quick   ingestion sweep, CI-sized
 #
 # Extra arguments are passed through to the binary (e.g. --out FILE).
 set -euo pipefail
@@ -38,6 +46,10 @@ case "${1:-}" in
     shift
     # the distributed bench spawns the CLI binary as its worker fleet
     cargo build --release --offline -p hisres-cli
+    ;;
+  --ingest)
+    bin=ingestbench
+    shift
     ;;
 esac
 

@@ -75,6 +75,8 @@ for needle in \
     'crates/comms/src/frame.rs:4:' \
     'crates/comms/src/frame.rs:5:' \
     'crates/core/src/dist.rs:4:' \
+    'crates/core/src/ingest.rs:4:' \
+    'crates/util/src/wal.rs:4:' \
     'panic-free-zone' \
     'atomic-writes-only' \
     'pool-only-threading' \
@@ -251,6 +253,103 @@ if ! cmp -s "$smoke/t1.ckpt" "$smoke/dist_kill.ckpt"; then
 fi
 echo "distributed smoke test: OK (2-worker sync == single-process, kill-recovery byte-identical)"
 
+# ---- online ingestion crash-recovery smoke test ------------------------------
+# Serve with a live WAL-backed ingest session, stream ingest batches at it,
+# SIGKILL the server mid-stream, restart it over the same WAL, replay the
+# client's stream (already-durable batches must come back as duplicates),
+# and demand the recovered server's query scores match an uninterrupted
+# reference run exactly.
+ingest_line() {
+    printf '{"cmd":"ingest","seq":%d,"quads":[[%d,0,%d]]}\n' \
+        "$1" "$(( $1 % 5 ))" "$(( ($1 + 1) % 5 ))"
+}
+start_ingest_serve() {
+    # $1: WAL path, $2: stderr log. Sets ingest_pid and ingest_port.
+    "$bin" serve --model "$smoke/straight.ckpt" --data "$smoke/data" \
+        --listen 127.0.0.1:0 --wal "$1" --snapshot-every 2 2>"$2" &
+    ingest_pid=$!
+    ingest_port=""
+    for _ in $(seq 1 100); do
+        ingest_port=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$2")
+        [ -n "$ingest_port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$ingest_port" ]; then
+        echo "ERROR: ingest serve never reported its listen port:" >&2
+        cat "$2" >&2
+        exit 1
+    fi
+}
+
+# Reference run: six batches, a query, a clean shutdown.
+start_ingest_serve "$smoke/ref.wal" "$smoke/ingest_ref.log"
+exec 3<>"/dev/tcp/127.0.0.1/$ingest_port"
+for seq in 1 2 3 4 5 6; do
+    ingest_line "$seq" >&3
+    if ! head -n 1 <&3 | grep -qF '"ingest":"applied"'; then
+        echo "ERROR: reference ingest seq $seq was not applied" >&2
+        exit 1
+    fi
+done
+printf '{"s": 3, "r": 1, "topk": 5, "id": "qref"}\n{"cmd": "shutdown"}\n' >&3
+ref_preds=$(head -n 2 <&3 | grep -o '"predictions":\[[^]]*\]' || true)
+exec 3>&- 3<&-
+wait "$ingest_pid"
+if [ -z "$ref_preds" ]; then
+    echo "ERROR: reference ingest run produced no predictions" >&2
+    exit 1
+fi
+
+# Crash run: three acknowledged batches, a fourth racing a SIGKILL.
+start_ingest_serve "$smoke/crash.wal" "$smoke/ingest_crash.log"
+exec 3<>"/dev/tcp/127.0.0.1/$ingest_port"
+for seq in 1 2 3; do
+    ingest_line "$seq" >&3
+    head -n 1 <&3 >/dev/null
+done
+ingest_line 4 >&3
+kill -9 "$ingest_pid"
+wait "$ingest_pid" 2>/dev/null || true
+exec 3>&- 3<&- || true
+
+# Restart over the same WAL: the session must announce its recovery, the
+# replayed stream must be applied-or-deduplicated, and the query must be
+# byte-identical to the uninterrupted reference.
+start_ingest_serve "$smoke/crash.wal" "$smoke/ingest_recover.log"
+if ! grep -q "ingest session open:" "$smoke/ingest_recover.log"; then
+    echo "ERROR: restarted serve did not report its ingest recovery:" >&2
+    cat "$smoke/ingest_recover.log" >&2
+    exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/$ingest_port"
+for seq in 1 2 3 4 5 6; do
+    ingest_line "$seq" >&3
+    reply=$(head -n 1 <&3)
+    if ! grep -qE '"ingest":"(applied|duplicate)"' <<<"$reply"; then
+        echo "ERROR: replayed ingest seq $seq was rejected after restart:" >&2
+        echo "$reply" >&2
+        exit 1
+    fi
+done
+printf '{"s": 3, "r": 1, "topk": 5, "id": "qrec"}\n{"cmd": "stats"}\n{"cmd": "shutdown"}\n' >&3
+recover_out=$(head -n 3 <&3)
+exec 3>&- 3<&-
+wait "$ingest_pid"
+rec_preds=$(grep -o '"predictions":\[[^]]*\]' <<<"$recover_out" || true)
+if [ "$ref_preds" != "$rec_preds" ]; then
+    echo "ERROR: scores after kill -9 + restart differ from the" >&2
+    echo "uninterrupted run:" >&2
+    echo "  reference: $ref_preds" >&2
+    echo "  recovered: $rec_preds" >&2
+    exit 1
+fi
+if ! grep -qF '"applied_seq":6' <<<"$recover_out"; then
+    echo "ERROR: recovered server stats never reached applied_seq 6:" >&2
+    echo "$recover_out" >&2
+    exit 1
+fi
+echo "ingest crash-recovery smoke test: OK (kill -9 mid-ingest, restart, byte-identical scores)"
+
 # ---- kernel bench smoke test ------------------------------------------------
 # A quick bench sweep must run end to end and emit a BENCH_kernels.json
 # that parses against the hisres_util::json schema (--check re-reads it).
@@ -274,5 +373,13 @@ echo "serving bench smoke test: OK (quick load sweep + JSON schema check)"
 scripts/bench.sh --dist --quick --out "$smoke/BENCH_dist.json" >/dev/null
 target/release/distbench --check "$smoke/BENCH_dist.json"
 echo "distributed bench smoke test: OK (quick sweep + JSON schema check)"
+
+# ---- ingestion bench smoke test ----------------------------------------------
+# A quick ingestion durability sweep must run end to end — real WAL fsyncs,
+# state snapshots, and a timed cold restart per configuration — and emit a
+# BENCH_ingest.json that passes its own schema check.
+scripts/bench.sh --ingest --quick --out "$smoke/BENCH_ingest.json" >/dev/null
+target/release/ingestbench --check "$smoke/BENCH_ingest.json"
+echo "ingestion bench smoke test: OK (quick sweep + JSON schema check)"
 
 echo "verify.sh: OK"

@@ -1,0 +1,112 @@
+//! Ingest-serving helper for the crash-recovery integration tests.
+//!
+//! `tests/tests/ingest.rs` spawns this binary (cargo builds same-package
+//! bins before integration tests, exposing the path as
+//! `CARGO_BIN_EXE_ingest_server`), reads the bound port off the first
+//! stdout line, streams `{"cmd":"ingest"}` batches at it, and SIGKILLs
+//! it mid-stream. The model is built fresh from a fixed seed and the
+//! base timeline is hard-coded, so every spawn is parameter-identical:
+//! any divergence after a restart can only come from the WAL recovery
+//! path under test.
+
+use hisres::ingest::{IngestSession, IngestSessionConfig};
+use hisres::serve::{serve_concurrent, ServeConfig, ServeEngine, ServerConfig, SessionScorer};
+use hisres::{HisRes, HisResConfig, ScoreCtx};
+use hisres_baselines::FrequencyScorer;
+use hisres_graph::Quad;
+use std::cell::RefCell;
+use std::io::Write;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+const NE: usize = 8;
+const NR: usize = 2;
+
+/// Must stay in lockstep with `base_quads` in `tests/tests/ingest.rs`.
+fn base_quads() -> Vec<Quad> {
+    vec![
+        Quad::new(0, 0, 1, 0),
+        Quad::new(1, 1, 2, 0),
+        Quad::new(2, 0, 3, 1),
+        Quad::new(3, 1, 4, 2),
+    ]
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut wal = None;
+    let mut snapshot_every = 2u64;
+    let mut max_ingest_queue = 8usize;
+    let mut batch_window_ms = 1.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = || -> Result<&str, String> {
+            argv.get(i + 1).map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--wal" => wal = Some(std::path::PathBuf::from(value()?)),
+            "--snapshot-every" => {
+                snapshot_every =
+                    value()?.parse().map_err(|_| format!("bad --snapshot-every"))?;
+            }
+            "--max-ingest-queue" => {
+                max_ingest_queue =
+                    value()?.parse().map_err(|_| format!("bad --max-ingest-queue"))?;
+            }
+            "--batch-window-ms" => {
+                batch_window_ms =
+                    value()?.parse().map_err(|_| format!("bad --batch-window-ms"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    let wal = wal.ok_or("--wal is required")?;
+
+    let model_cfg =
+        HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() };
+    let model = HisRes::new(&model_cfg, NE, NR);
+    let ctx = ScoreCtx::from_quads(NE, NR, base_quads());
+    let mut icfg = IngestSessionConfig::new(wal);
+    icfg.snapshot_every = snapshot_every;
+    let session = IngestSession::open(model, ctx, icfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "ingest_server: applied_seq {}, frontier t {}, resumed_from_snapshot {}",
+        session.applied_seq(),
+        session.frontier_t(),
+        session.recovery().resumed_from_snapshot
+    );
+    let session = Rc::new(RefCell::new(session));
+    let fallback = FrequencyScorer::from_quads(NE, NR, &base_quads());
+    let engine = ServeEngine::new(
+        ServeConfig::default(),
+        NE,
+        NR,
+        Box::new(SessionScorer { session: session.clone() }),
+        Box::new(fallback),
+    )
+    .with_ingest(session);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    println!("listening on {}", listener.local_addr().map_err(|e| e.to_string())?);
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let server_cfg = ServerConfig {
+        workers: 2,
+        max_queue: 64,
+        batch_window_ms,
+        max_connections: None,
+        max_ingest_queue,
+    };
+    serve_concurrent(&engine, listener, &server_cfg).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ingest_server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

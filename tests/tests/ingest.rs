@@ -1,0 +1,445 @@
+//! Durable online ingestion end to end: the `{"cmd":"ingest"}` protocol
+//! through the serving engine, WAL fault drills (torn tail, corrupted
+//! record), O(new)-work accounting, ingest backpressure over TCP, and
+//! the kill -9 crash-recovery acceptance test against a real server
+//! process (`tests/src/bin/ingest_server.rs`).
+
+use hisres::ingest::{IngestSession, IngestSessionConfig};
+use hisres::serve::{serve_concurrent, ServeConfig, ServeEngine, ServerConfig, SessionScorer};
+use hisres::{HisRes, HisResConfig, ScoreCtx};
+use hisres_baselines::FrequencyScorer;
+use hisres_graph::Quad;
+use hisres_util::fsio::{FaultInjector, FaultMode};
+use hisres_util::json::{self, Value};
+use hisres_util::wal;
+use std::cell::RefCell;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+const NE: usize = 8;
+const NR: usize = 2;
+
+/// Must stay in lockstep with `base_quads` in
+/// `tests/src/bin/ingest_server.rs`.
+fn base_quads() -> Vec<Quad> {
+    vec![
+        Quad::new(0, 0, 1, 0),
+        Quad::new(1, 1, 2, 0),
+        Quad::new(2, 0, 3, 1),
+        Quad::new(3, 1, 4, 2),
+    ]
+}
+
+fn tmp_wal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hisres_ingest_it_{tag}_{}.wal", std::process::id()))
+}
+
+fn cleanup(cfg: &IngestSessionConfig) {
+    std::fs::remove_file(&cfg.wal_path).ok();
+    std::fs::remove_file(&cfg.state_path).ok();
+}
+
+fn tiny_model() -> HisRes {
+    let cfg = HisResConfig { dim: 8, conv_channels: 2, history_len: 3, ..Default::default() };
+    HisRes::new(&cfg, NE, NR)
+}
+
+fn open_session(cfg: &IngestSessionConfig) -> IngestSession {
+    IngestSession::open(tiny_model(), ScoreCtx::from_quads(NE, NR, base_quads()), cfg.clone())
+        .expect("ingest session opens")
+}
+
+/// Wraps a session the way `hisres serve --wal` does: the same `Rc` is
+/// the full scorer and the engine's ingest sink.
+fn engine_over(session: IngestSession) -> (ServeEngine, Rc<RefCell<IngestSession>>) {
+    let session = Rc::new(RefCell::new(session));
+    let engine = ServeEngine::new(
+        ServeConfig::default(),
+        NE,
+        NR,
+        Box::new(SessionScorer { session: session.clone() }),
+        Box::new(FrequencyScorer::from_quads(NE, NR, &base_quads())),
+    )
+    .with_ingest(session.clone());
+    (engine, session)
+}
+
+fn handle(engine: &ServeEngine, line: &str) -> Value {
+    json::parse(&engine.handle_line(line).line).expect("reply must be valid JSON")
+}
+
+fn error_kind(v: &Value) -> Option<&str> {
+    v.get("error")?.get("kind")?.as_str()
+}
+
+fn ingest_field(v: &Value) -> Option<&str> {
+    v.get("ingest")?.as_str()
+}
+
+fn ingest_line(seq: u64, i: u32) -> String {
+    let (s, r, o) = (i % NE as u32, i % NR as u32, (i + 1) % NE as u32);
+    format!("{{\"cmd\":\"ingest\",\"seq\":{seq},\"quads\":[[{s},{r},{o}]],\"id\":\"q{seq}\"}}")
+}
+
+#[test]
+fn ingest_protocol_applies_deduplicates_and_rejects_gaps() {
+    let cfg = IngestSessionConfig::new(tmp_wal("proto"));
+    cleanup(&cfg);
+    let (engine, session) = engine_over(open_session(&cfg));
+
+    let applied = handle(&engine, &ingest_line(1, 0));
+    assert_eq!(ingest_field(&applied), Some("applied"), "{applied:?}");
+    assert_eq!(applied.get("seq").and_then(Value::as_u64), Some(1));
+    assert_eq!(applied.get("quads").and_then(Value::as_u64), Some(1));
+    assert_eq!(applied.get("id").and_then(Value::as_str), Some("q1"));
+    assert!(matches!(applied.get("snapshot_written"), Some(Value::Bool(_))));
+
+    // Re-sending the same seq is an acknowledged no-op.
+    let before = session.borrow().state_json();
+    let dup = handle(&engine, &ingest_line(1, 0));
+    assert_eq!(ingest_field(&dup), Some("duplicate"), "{dup:?}");
+    assert_eq!(dup.get("applied_seq").and_then(Value::as_u64), Some(1));
+    assert_eq!(session.borrow().state_json(), before);
+
+    // A gap is a typed rejection and also a no-op.
+    let gap = handle(&engine, &ingest_line(5, 1));
+    assert_eq!(error_kind(&gap), Some("ingest_out_of_order"), "{gap:?}");
+    assert_eq!(session.borrow().state_json(), before);
+
+    // Malformed ingest bodies are bad_request, not panics.
+    for line in [
+        "{\"cmd\":\"ingest\"}",
+        "{\"cmd\":\"ingest\",\"seq\":1}",
+        "{\"cmd\":\"ingest\",\"seq\":-1,\"quads\":[]}",
+        "{\"cmd\":\"ingest\",\"seq\":1,\"quads\":[[0,0]]}",
+        "{\"cmd\":\"ingest\",\"seq\":1,\"quads\":[[0,0,\"x\"]]}",
+        "{\"cmd\":\"ingest\",\"seq\":1,\"quads\":3}",
+    ] {
+        let v = handle(&engine, line);
+        assert_eq!(error_kind(&v), Some("bad_request"), "{line} -> {v:?}");
+    }
+
+    // Out-of-vocabulary ids map to typed kinds.
+    let v = handle(&engine, "{\"cmd\":\"ingest\",\"seq\":2,\"quads\":[[99,0,1]]}");
+    assert_eq!(error_kind(&v), Some("entity_out_of_range"), "{v:?}");
+    let v = handle(&engine, "{\"cmd\":\"ingest\",\"seq\":2,\"quads\":[[0,7,1]]}");
+    assert_eq!(error_kind(&v), Some("bad_request"), "{v:?}");
+
+    // Queries interleave with ingestion on the same engine.
+    let q = handle(&engine, "{\"s\":0,\"r\":0,\"topk\":3}");
+    assert!(matches!(q.get("ok"), Some(Value::Bool(true))), "{q:?}");
+    cleanup(&cfg);
+}
+
+#[test]
+fn engine_without_session_answers_ingest_unsupported() {
+    let engine = ServeEngine::new(
+        ServeConfig::default(),
+        NE,
+        NR,
+        Box::new(FrequencyScorer::from_quads(NE, NR, &base_quads())),
+        Box::new(FrequencyScorer::from_quads(NE, NR, &base_quads())),
+    );
+    let v = handle(&engine, &ingest_line(1, 0));
+    assert_eq!(error_kind(&v), Some("ingest_unsupported"), "{v:?}");
+}
+
+#[test]
+fn wal_failure_turns_read_only_and_stats_flag_it() {
+    let cfg = IngestSessionConfig::new(tmp_wal("readonly"));
+    cleanup(&cfg);
+    let (engine, session) = engine_over(open_session(&cfg));
+    assert_eq!(ingest_field(&handle(&engine, &ingest_line(1, 0))), Some("applied"));
+
+    session
+        .borrow_mut()
+        .inject_wal_faults(FaultInjector::fail_nth_write(0, FaultMode::ErrorBeforeWrite));
+    let v = handle(&engine, &ingest_line(2, 1));
+    assert_eq!(error_kind(&v), Some("wal"), "{v:?}");
+    let v = handle(&engine, &ingest_line(3, 2));
+    assert_eq!(error_kind(&v), Some("read_only"), "{v:?}");
+
+    // The degradation is visible in the stats block...
+    let stats = handle(&engine, "{\"cmd\":\"stats\"}");
+    let ing = stats.get("stats").and_then(|s| s.get("ingest")).expect("ingest stats");
+    assert!(matches!(ing.get("read_only"), Some(Value::Bool(true))), "{ing:?}");
+    assert_eq!(ing.get("applied_seq").and_then(Value::as_u64), Some(1));
+    // ...and queries still answer.
+    let q = handle(&engine, "{\"s\":0,\"r\":0}");
+    assert!(matches!(q.get("ok"), Some(Value::Bool(true))), "{q:?}");
+    cleanup(&cfg);
+}
+
+/// Drives `n` batches through a fresh session at `tag`, returning the
+/// session (for state/score comparison) and its config.
+fn ingested_session(tag: &str, n: u64) -> (IngestSession, IngestSessionConfig) {
+    let cfg = IngestSessionConfig::new(tmp_wal(tag));
+    cleanup(&cfg);
+    let mut s = open_session(&cfg);
+    for seq in 1..=n {
+        s.ingest(seq, None, &[batch_triple(seq)]).expect("ingest applies");
+    }
+    (s, cfg)
+}
+
+fn batch_triple(seq: u64) -> (u32, u32, u32) {
+    let i = (seq - 1) as u32;
+    (i % NE as u32, i % NR as u32, (i + 1) % NE as u32)
+}
+
+#[test]
+fn torn_wal_tail_is_discarded_and_recovery_matches_uninterrupted() {
+    let (reference, cfg_ref) = ingested_session("torn_ref", 6);
+
+    let cfg = IngestSessionConfig::new(tmp_wal("torn"));
+    cleanup(&cfg);
+    let mut s = open_session(&cfg);
+    for seq in 1..=4u64 {
+        s.ingest(seq, None, &[batch_triple(seq)]).expect("ingest applies");
+    }
+    drop(s);
+    // A crash mid-append leaves a torn frame at the tail.
+    let torn = wal::frame(b"payload that never finished writing");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&cfg.wal_path).unwrap();
+    f.write_all(&torn[..torn.len() - 7]).unwrap();
+    drop(f);
+
+    let mut s = open_session(&cfg);
+    assert!(s.recovery().truncated_bytes > 0, "torn tail must be counted");
+    assert_eq!(s.applied_seq(), 4, "intact records all replay");
+    for seq in 5..=6u64 {
+        s.ingest(seq, None, &[batch_triple(seq)]).expect("ingest applies");
+    }
+    assert_eq!(s.state_json(), reference.state_json());
+    let queries = [(0u32, 0u32), (3, 1), (5, 2)];
+    assert_eq!(s.score(&queries), reference.score(&queries));
+    cleanup(&cfg);
+    cleanup(&cfg_ref);
+}
+
+#[test]
+fn corrupted_wal_record_is_discarded_and_reingest_matches_uninterrupted() {
+    let (reference, cfg_ref) = ingested_session("corrupt_ref", 6);
+
+    let cfg = IngestSessionConfig::new(tmp_wal("corrupt"));
+    cleanup(&cfg);
+    let mut s = open_session(&cfg);
+    for seq in 1..=4u64 {
+        s.ingest(seq, None, &[batch_triple(seq)]).expect("ingest applies");
+    }
+    drop(s);
+    // Flip the last payload byte: record 4's checksum no longer matches,
+    // so the ingest session's Truncate policy cuts the log back to the
+    // durable prefix (records 1..=3).
+    let mut raw = std::fs::read(&cfg.wal_path).unwrap();
+    let last = raw.len() - 1;
+    raw[last] ^= 0x40;
+    std::fs::write(&cfg.wal_path, &raw).unwrap();
+
+    let mut s = open_session(&cfg);
+    assert_eq!(s.applied_seq(), 3, "the corrupted record must not replay");
+    assert!(s.recovery().truncated_bytes > 0);
+    // The client re-sends from its own frontier; seq 4 applies fresh.
+    for seq in 4..=6u64 {
+        s.ingest(seq, None, &[batch_triple(seq)]).expect("ingest applies");
+    }
+    assert_eq!(s.state_json(), reference.state_json());
+    let queries = [(0u32, 0u32), (3, 1), (5, 2)];
+    assert_eq!(s.score(&queries), reference.score(&queries));
+    cleanup(&cfg);
+    cleanup(&cfg_ref);
+}
+
+#[test]
+fn one_ingest_is_one_encoder_step_regardless_of_history_depth() {
+    // A 40-snapshot base timeline, far longer than history_len = 3.
+    let quads: Vec<Quad> =
+        (0..40u32).map(|t| Quad::new(t % NE as u32, t % NR as u32, (t + 2) % NE as u32, t)).collect();
+    let cfg = IngestSessionConfig::new(tmp_wal("onew"));
+    cleanup(&cfg);
+    let mut s =
+        IngestSession::open(tiny_model(), ScoreCtx::from_quads(NE, NR, quads), cfg.clone())
+            .expect("session opens");
+    // Opening folds only the modeling window, not the whole timeline.
+    assert_eq!(s.state().intra_steps, 3, "open is O(history_len), not O(history)");
+    for seq in 1..=5u64 {
+        let before = s.state().intra_steps;
+        s.ingest(seq, None, &[batch_triple(seq)]).expect("ingest applies");
+        assert_eq!(
+            s.state().intra_steps,
+            before + 1,
+            "one new snapshot must cost exactly one encoder step"
+        );
+    }
+    cleanup(&cfg);
+}
+
+#[test]
+fn ingest_burst_is_bounded_by_typed_overloaded_rejections() {
+    let cfg = IngestSessionConfig::new(tmp_wal("burst"));
+    cleanup(&cfg);
+    let (engine, _session) = engine_over(open_session(&cfg));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // One pipelined burst of 6 ingests into an in-flight budget of 1,
+    // with a long batch window: while the first ingest waits in the
+    // batcher, the rest must be refused at admission with a typed
+    // overloaded error (never silently queued, never blocking readers).
+    let client = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut burst = String::new();
+        for seq in 1..=6u64 {
+            burst.push_str(&ingest_line(seq, (seq - 1) as u32));
+            burst.push('\n');
+        }
+        burst.push_str("{\"cmd\":\"shutdown\"}\n");
+        stream.write_all(burst.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        BufReader::new(stream)
+            .lines()
+            .map(|l| json::parse(&l.unwrap()).unwrap())
+            .collect::<Vec<Value>>()
+    });
+    let server_cfg = ServerConfig {
+        workers: 1,
+        max_queue: 64,
+        batch_window_ms: 300.0,
+        max_connections: Some(1),
+        max_ingest_queue: 1,
+    };
+    serve_concurrent(&engine, listener, &server_cfg).unwrap();
+    let replies = client.join().unwrap();
+
+    let applied = replies.iter().filter(|v| ingest_field(v) == Some("applied")).count();
+    let overloaded =
+        replies.iter().filter(|v| error_kind(v) == Some("overloaded")).count();
+    let out_of_order =
+        replies.iter().filter(|v| error_kind(v) == Some("ingest_out_of_order")).count();
+    assert!(applied >= 1, "at least the first ingest applies: {replies:?}");
+    assert!(overloaded >= 1, "the burst must trip the ingest budget: {replies:?}");
+    assert_eq!(
+        applied + overloaded + out_of_order,
+        6,
+        "every ingest gets a typed answer: {replies:?}"
+    );
+    cleanup(&cfg);
+}
+
+// ---- the kill -9 acceptance test --------------------------------------
+
+struct ServerProc {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+}
+
+fn spawn_server(wal: &std::path::Path) -> ServerProc {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_ingest_server"))
+        .args(["--wal", wal.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn ingest_server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected server banner {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    ServerProc { child, addr }
+}
+
+struct Client {
+    stream: std::net::TcpStream,
+    reader: BufReader<std::net::TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        Client { reader: BufReader::new(stream.try_clone().unwrap()), stream }
+    }
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+    fn rpc(&mut self, line: &str) -> Value {
+        self.send(line);
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        json::parse(&reply).unwrap_or_else(|e| panic!("bad reply {reply:?}: {e}"))
+    }
+}
+
+const QUERY: &str = "{\"s\":0,\"r\":0,\"topk\":8}";
+
+fn predictions(v: &Value) -> &Value {
+    v.get("predictions").unwrap_or_else(|| panic!("no predictions in {v:?}"))
+}
+
+#[test]
+fn killed_mid_ingest_server_restarts_to_byte_identical_scores() {
+    let wal_a = tmp_wal("kill_ref");
+    let wal_b = tmp_wal("kill");
+    for p in [&wal_a, &wal_b] {
+        cleanup(&IngestSessionConfig::new(p.clone()));
+    }
+
+    // Reference run: six batches, never interrupted.
+    let mut server = spawn_server(&wal_a);
+    let mut client = Client::connect(server.addr);
+    for seq in 1..=6u64 {
+        let v = client.rpc(&ingest_line(seq, (seq - 1) as u32));
+        assert_eq!(ingest_field(&v), Some("applied"), "{v:?}");
+    }
+    let reference = client.rpc(QUERY);
+    client.send("{\"cmd\":\"shutdown\"}");
+    server.child.wait().expect("reference server exits");
+
+    // Crash run: three acknowledged batches, then SIGKILL racing the
+    // fourth — the kernel kills the process wherever it happens to be
+    // (parsing, fsyncing, or advancing the encoder).
+    let mut server = spawn_server(&wal_b);
+    let mut client = Client::connect(server.addr);
+    for seq in 1..=3u64 {
+        let v = client.rpc(&ingest_line(seq, (seq - 1) as u32));
+        assert_eq!(ingest_field(&v), Some("applied"), "{v:?}");
+    }
+    client.send(&ingest_line(4, 3));
+    server.child.kill().expect("SIGKILL the server");
+    server.child.wait().expect("killed server reaps");
+    drop(client);
+
+    // Restart over the same WAL. The client replays from its own
+    // frontier: already-durable batches come back as duplicates, the
+    // rest apply fresh — either way both runs converge on seq 6.
+    let mut server = spawn_server(&wal_b);
+    let mut client = Client::connect(server.addr);
+    for seq in 1..=6u64 {
+        let v = client.rpc(&ingest_line(seq, (seq - 1) as u32));
+        assert!(
+            matches!(ingest_field(&v), Some("applied") | Some("duplicate")),
+            "replayed ingest must be applied or deduplicated: {v:?}"
+        );
+    }
+    let recovered = client.rpc(QUERY);
+    assert_eq!(
+        predictions(&recovered),
+        predictions(&reference),
+        "recovered scores must be byte-identical to the uninterrupted run"
+    );
+    let stats = client.rpc("{\"cmd\":\"stats\"}");
+    let ing = stats.get("stats").and_then(|s| s.get("ingest")).expect("ingest stats");
+    assert_eq!(ing.get("applied_seq").and_then(Value::as_u64), Some(6));
+    assert!(matches!(ing.get("read_only"), Some(Value::Bool(false))), "{ing:?}");
+    client.send("{\"cmd\":\"shutdown\"}");
+    server.child.wait().expect("recovered server exits");
+
+    for p in [&wal_a, &wal_b] {
+        cleanup(&IngestSessionConfig::new(p.clone()));
+    }
+}

@@ -399,6 +399,7 @@ fn concurrent_clients_get_ordered_uncrossed_replies_and_stats_add_up() {
         max_queue: 256,
         batch_window_ms: 1.0,
         max_connections: Some(CLIENTS),
+        ..ServerConfig::default()
     };
     serve_concurrent(&engine, listener, &cfg).unwrap();
 
@@ -463,6 +464,7 @@ fn shutdown_drains_already_admitted_requests_before_exit() {
         max_queue: 64,
         batch_window_ms: 0.0,
         max_connections: None,
+        ..ServerConfig::default()
     };
     serve_concurrent(&engine, listener, &cfg).unwrap();
 
@@ -500,6 +502,7 @@ fn overload_rejects_with_typed_overloaded_and_never_panics() {
         max_queue: 1,
         batch_window_ms: 0.0,
         max_connections: Some(1),
+        ..ServerConfig::default()
     };
     serve_concurrent(&engine, listener, &cfg).unwrap();
 
