@@ -6,20 +6,34 @@
 //! measurable within one run.
 //!
 //! Results go to `BENCH_kernels.json` (atomic write) so successive runs
-//! can be diffed as a perf trajectory.
+//! can be diffed as a perf trajectory. The whole binary runs under a
+//! counting global allocator so the suite can also report
+//! `allocs_per_call` — heap allocations per steady-state no-grad
+//! forward+score+top-k serving call after arena warmup (pinned at 0).
 //!
 //! ```text
 //! kernels [--quick] [--out FILE]    run the suite (quick: CI-sized)
+//!         [--regress BASE [--tolerance F]]
+//!                                   then gate threads=1 medians against a
+//!                                   baseline results file (default 0.25)
 //! kernels --check FILE              validate a results file parses
 //! ```
 
+use hisres::topk::{topk_row_into, BlockNorms, TopkScratch};
 use hisres_graph::{Quad, TimeFilter};
-use hisres_tensor::{no_grad, NdArray};
+use hisres_nn::{ConvTransE, GruCell};
+use hisres_tensor::{no_grad, NdArray, ParamStore, Scratch};
+use hisres_util::alloc::CountingAlloc;
 use hisres_util::bench::{time_fn, BenchStats, Criterion};
 use hisres_util::json::FromJson;
 use hisres_util::pool::with_threads;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::SeedableRng;
 use hisres_util::{fsio, impl_json, json};
 use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// Thread counts swept for every parallel kernel.
 const THREADS: [usize; 3] = [1, 2, 4];
@@ -31,11 +45,16 @@ struct BenchFile {
     /// True when produced by `--quick` (smaller shapes, fewer samples —
     /// not comparable with full runs).
     quick: bool,
+    /// Heap allocations per steady-state no-grad forward+score+top-k call
+    /// (GRU advance + decoder query + pruned top-k) after one warmup call
+    /// filled the scratch arena, measured under a 1-thread pool. The
+    /// zero-allocation contract pins this at exactly 0.
+    allocs_per_call: f64,
     /// One entry per (kernel, thread count).
     results: Vec<BenchStats>,
 }
 
-impl_json!(BenchFile { schema, quick, results });
+impl_json!(BenchFile { schema, quick, allocs_per_call, results });
 
 const SCHEMA: &str = "hisres-bench-kernels/v1";
 
@@ -103,7 +122,56 @@ struct Shapes {
     rank_rows: usize,
 }
 
-fn run_suite(quick: bool, out_path: &str) -> Result<(), String> {
+/// Heap allocations per steady-state serving call, after warmup.
+///
+/// Composes the actual serving hot path — GRU encoder advance over the
+/// entity matrix, ConvTransE decoder query, Cauchy–Schwarz-pruned top-k
+/// per query row — entirely out of the scratch arena, warms it up with
+/// one call, then counts allocator hits across `CALLS` further calls.
+/// Runs under a 1-thread pool, the configuration the zero-allocation
+/// contract is specified for (`par_chunks_mut` executes inline there).
+fn measure_allocs_per_call(shapes: &Shapes) -> f64 {
+    const K: usize = 10;
+    const CALLS: u64 = 16;
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let gru = GruCell::new(&mut store, "gru", shapes.dim, &mut rng);
+    let dec = ConvTransE::new(&mut store, "dec", shapes.dim, 4, 3, 0.0, &mut rng);
+    let table =
+        NdArray::from_vec(noise(shapes.entities * shapes.dim, 21), &[shapes.entities, shapes.dim]);
+    let agg =
+        NdArray::from_vec(noise(shapes.entities * shapes.dim, 22), &[shapes.entities, shapes.dim]);
+    let s_emb =
+        NdArray::from_vec(noise(shapes.queries * shapes.dim, 23), &[shapes.queries, shapes.dim]);
+    let r_emb =
+        NdArray::from_vec(noise(shapes.queries * shapes.dim, 24), &[shapes.queries, shapes.dim]);
+    let norms = BlockNorms::new(&table);
+    let mut scratch = Scratch::new();
+    let mut ws = TopkScratch::new();
+    let mut out: Vec<(u32, f32)> = Vec::new();
+
+    with_threads(1, || {
+        let mut call = || {
+            no_grad(|| {
+                let h = gru.forward_nograd(&agg, &table, &mut scratch);
+                let q = dec.query_nograd(&s_emb, &r_emb, &mut scratch);
+                for i in 0..shapes.queries {
+                    topk_row_into(q.row(i), &table, Some(&norms), K, &mut ws, &mut out);
+                }
+                scratch.give(h);
+                scratch.give(q);
+            });
+        };
+        call(); // warmup: fills the arena pools, grows the top-k buffers
+        let before = ALLOC.allocations();
+        for _ in 0..CALLS {
+            call();
+        }
+        (ALLOC.allocations() - before) as f64 / CALLS as f64
+    })
+}
+
+fn run_suite(quick: bool, out_path: &str) -> Result<BenchFile, String> {
     let (config, shapes) = if quick {
         (
             Criterion::default()
@@ -161,6 +229,10 @@ fn run_suite(quick: bool, out_path: &str) -> Result<(), String> {
         matmul_nt_seed_reference(&q, &table)
     }));
 
+    // Arena-backed decoder output: one buffer reused across every timed
+    // call, the shape `serve.rs` steady state runs in.
+    let mut arena_out = NdArray::zeros(shapes.queries, shapes.entities);
+
     for t in THREADS {
         record(with_threads(t, || {
             time_fn("matmul", t, &config, || mm_a.matmul(&mm_b))
@@ -171,6 +243,13 @@ fn run_suite(quick: bool, out_path: &str) -> Result<(), String> {
             // comparable with `decoder_score_seed_serial`
             time_fn("decoder_score", t, &config, || {
                 no_grad(|| q.matmul_nt(&table))
+            })
+        }));
+        record(with_threads(t, || {
+            // same kernel, writing into a caller-owned reused buffer:
+            // isolates the allocation/zero-fill overhead `Scratch` removes
+            time_fn("decoder_score_arena", t, &config, || {
+                no_grad(|| q.matmul_nt_into(&table, &mut arena_out))
             })
         }));
         record(with_threads(t, || {
@@ -195,15 +274,46 @@ fn run_suite(quick: bool, out_path: &str) -> Result<(), String> {
         }));
     }
 
-    let doc = BenchFile { schema: SCHEMA.to_owned(), quick, results };
+    // Top-k short-circuit scoring over a norm-skewed entity table. Trained
+    // embedding tables have strongly non-uniform row norms (high-degree
+    // entities dominate), which is exactly what the Cauchy–Schwarz block
+    // bounds exploit; the iid-noise `table` above is the pruning worst
+    // case (bounds never cross the threshold, the scorer degrades to a
+    // dense scan plus heap upkeep). Dense cost at these shapes is
+    // `decoder_score` at 1 thread — matmul time is value-independent, so
+    // it doubles as the same-table dense reference.
+    let mut skewed = table.clone();
+    for i in 0..shapes.entities {
+        let scale = 1.0 / (1.0 + 16.0 * i as f32 / shapes.entities as f32);
+        for v in skewed.row_mut(i) {
+            *v *= scale;
+        }
+    }
+    let norms = BlockNorms::new(&skewed);
+    let mut ws = TopkScratch::new();
+    let mut topk_out: Vec<(u32, f32)> = Vec::new();
+    record(with_threads(1, || {
+        time_fn("decoder_score_topk", 1, &config, || {
+            no_grad(|| {
+                for i in 0..shapes.queries {
+                    topk_row_into(q.row(i), &skewed, Some(&norms), 10, &mut ws, &mut topk_out);
+                }
+            })
+        })
+    }));
+
+    let allocs_per_call = measure_allocs_per_call(&shapes);
+    println!("{:<36}  steady-state allocs/call: {allocs_per_call}", "alloc_harness");
+
+    let doc = BenchFile { schema: SCHEMA.to_owned(), quick, allocs_per_call, results };
     let text = json::to_string(&doc).map_err(|e| format!("serialising results: {e}"))?;
     fsio::atomic_write(out_path, text.as_bytes())
         .map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("\nwrote {} results to {out_path}", doc.results.len());
-    Ok(())
+    Ok(doc)
 }
 
-fn check_file(path: &str) -> Result<(), String> {
+fn load_file(path: &str) -> Result<BenchFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let value = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
     let doc = BenchFile::from_json(&value).map_err(|e| format!("{path}: bad schema: {e}"))?;
@@ -218,8 +328,16 @@ fn check_file(path: &str) -> Result<(), String> {
             return Err(format!("{path}: {} has non-positive median", s.name));
         }
     }
+    if !(doc.allocs_per_call.is_finite() && doc.allocs_per_call >= 0.0) {
+        return Err(format!("{path}: allocs_per_call {} is not a count", doc.allocs_per_call));
+    }
+    Ok(doc)
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let doc = load_file(path)?;
     println!(
-        "{path}: ok — {} results ({}){}",
+        "{path}: ok — {} results ({}), {} allocs/call{}",
         doc.results.len(),
         doc.results
             .iter()
@@ -228,9 +346,68 @@ fn check_file(path: &str) -> Result<(), String> {
             .into_iter()
             .collect::<Vec<_>>()
             .join(", "),
+        doc.allocs_per_call,
         if doc.quick { " [quick]" } else { "" },
     );
     Ok(())
+}
+
+/// Kernels gated by `--regress`: a fresh run's threads=1 median may not
+/// regress past the baseline's by more than the tolerance.
+const GATE_KERNELS: [&str; 3] = ["matmul", "decoder_score", "eval_rank_fanout"];
+
+fn regress_check(
+    doc: &BenchFile,
+    base: &BenchFile,
+    base_path: &str,
+    tolerance: f64,
+) -> Result<(), String> {
+    let mode = |quick: bool| if quick { "--quick" } else { "full" };
+    if base.quick != doc.quick {
+        return Err(format!(
+            "{base_path}: baseline is a {} run but this run is {} — medians are not comparable",
+            mode(base.quick),
+            mode(doc.quick),
+        ));
+    }
+    let median = |file: &BenchFile, name: &str| {
+        file.results
+            .iter()
+            .find(|s| s.name == name && s.threads == 1)
+            .map(|s| s.median_ns)
+    };
+    let mut regressed: Vec<&str> = Vec::new();
+    println!();
+    for name in GATE_KERNELS {
+        let b = median(base, name)
+            .ok_or_else(|| format!("{base_path}: no threads=1 result for {name}"))?;
+        let c = median(doc, name)
+            .ok_or_else(|| format!("fresh run has no threads=1 result for {name}"))?;
+        let delta = c / b - 1.0;
+        let verdict = if delta > tolerance {
+            regressed.push(name);
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "regress {name:<20} base {b:>12.0} ns  now {c:>12.0} ns  ({:+6.1}%)  {verdict}",
+            delta * 100.0,
+        );
+    }
+    if regressed.is_empty() {
+        println!(
+            "regression gate: OK (threads=1 medians within {:.0}% of {base_path})",
+            tolerance * 100.0,
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            ">{:.0}% median regression vs {base_path} on: {}",
+            tolerance * 100.0,
+            regressed.join(", "),
+        ))
+    }
 }
 
 fn main() -> std::process::ExitCode {
@@ -238,6 +415,8 @@ fn main() -> std::process::ExitCode {
     let mut quick = false;
     let mut out = "BENCH_kernels.json".to_owned();
     let mut check: Option<String> = None;
+    let mut regress: Option<String> = None;
+    let mut tolerance = 0.25f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -250,23 +429,49 @@ fn main() -> std::process::ExitCode {
                 Some(v) => check = Some(v.clone()),
                 None => return usage("--check needs a path"),
             },
+            "--regress" => match it.next() {
+                Some(v) => regress = Some(v.clone()),
+                None => return usage("--regress needs a baseline path"),
+            },
+            "--tolerance" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(t)) if t.is_finite() && t >= 0.0 => tolerance = t,
+                _ => return usage("--tolerance needs a non-negative number"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
     let r = match check {
         Some(path) => check_file(&path),
-        None => run_suite(quick, &out),
+        None => {
+            // Load the baseline up front: --out may point at the same file.
+            let base = match &regress {
+                Some(p) => match load_file(p) {
+                    Ok(b) => Some((b, p.clone())),
+                    Err(e) => return fail(&e),
+                },
+                None => None,
+            };
+            run_suite(quick, &out).and_then(|doc| match base {
+                Some((b, p)) => regress_check(&doc, &b, &p, tolerance),
+                None => Ok(()),
+            })
+        }
     };
     match r {
         Ok(()) => std::process::ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::ExitCode::FAILURE
-        }
+        Err(e) => fail(&e),
     }
 }
 
+fn fail(e: &str) -> std::process::ExitCode {
+    eprintln!("error: {e}");
+    std::process::ExitCode::FAILURE
+}
+
 fn usage(msg: &str) -> std::process::ExitCode {
-    eprintln!("error: {msg}\nusage: kernels [--quick] [--out FILE] | kernels --check FILE");
+    eprintln!(
+        "error: {msg}\nusage: kernels [--quick] [--out FILE] [--regress BASE [--tolerance F]] \
+         | kernels --check FILE"
+    );
     std::process::ExitCode::FAILURE
 }

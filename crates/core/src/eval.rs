@@ -320,6 +320,79 @@ pub fn score_at(model: &crate::model::HisRes, ctx: &ScoreCtx, queries: &[(u32, u
     out
 }
 
+/// Top-k entity predictions for each `(s, r)` query at the end of `ctx`'s
+/// timeline — the short-circuit twin of [`score_at`].
+///
+/// Per row the result is bit-identical to taking [`score_at`]'s dense row,
+/// sorting with the serving comparator (score descending, id ascending)
+/// and truncating to `k`; a row is `None` exactly when the dense row
+/// contains a non-finite score (the serving layer's degrade condition).
+///
+/// The pair grouping mirrors [`score_at`]. Pairs whose globally relevant
+/// graph is empty (always, when `use_global` is off) share one fused
+/// entity table, so its [`BlockNorms`](crate::topk::BlockNorms) are
+/// computed once and every such pair's scoring fan-out is pruned by the
+/// Cauchy–Schwarz short-circuit; a pair with its own globally-augmented
+/// table is scored without norms — precomputing them would cost as much
+/// as the one dense row they could save.
+pub fn score_at_topk(
+    model: &crate::model::HisRes,
+    ctx: &ScoreCtx,
+    queries: &[(u32, u32)],
+    k: usize,
+) -> Vec<Option<Vec<(u32, f32)>>> {
+    use hisres_tensor::no_grad;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::SeedableRng;
+    use std::collections::BTreeMap;
+
+    let mut out: Vec<Option<Vec<(u32, f32)>>> = vec![None; queries.len()];
+    if queries.is_empty() {
+        return out;
+    }
+    let start = ctx.snapshots.len().saturating_sub(model.cfg.history_len);
+    let history = &ctx.snapshots[start..];
+    let prune_k = model.cfg.global_prune_topk.unwrap_or(usize::MAX);
+
+    let mut groups: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+    for (i, &pair) in queries.iter().enumerate() {
+        groups.entry(pair).or_default().push(i);
+    }
+
+    no_grad(|| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let local = model.encode_local(history, ctx.t, false, &mut rng);
+        // Lazily built shared encoding for empty-global-graph pairs: the
+        // encoder is a deterministic function of (local, edges) in eval
+        // mode, so every such pair sees a bitwise-equal entity table.
+        let mut shared: Option<(crate::model::Encoded, crate::topk::BlockNorms)> = None;
+        for (&pair, rows) in &groups {
+            let g_edges = if model.cfg.use_global {
+                ctx.global.relevant_graph_pruned(&[pair], prune_k)
+            } else {
+                hisres_graph::EdgeList::new()
+            };
+            let mut rng = StdRng::seed_from_u64(0);
+            let preds = if g_edges.is_empty() {
+                if shared.is_none() {
+                    let enc = model.encode_global_with(&local, &g_edges, false, &mut rng);
+                    let norms = model.entity_block_norms(&enc);
+                    shared = Some((enc, norms));
+                }
+                let (enc, norms) = shared.as_ref().expect("just filled");
+                model.score_objects_topk(enc, &[pair], k, Some(norms))
+            } else {
+                let enc = model.encode_global_with(&local, &g_edges, false, &mut rng);
+                model.score_objects_topk(&enc, &[pair], k, None)
+            };
+            for &i in rows {
+                out[i] = preds[0].clone();
+            }
+        }
+    });
+    out
+}
+
 /// Evaluates the *relation prediction* task of the joint objective
 /// (eq. 15): for each test event, rank all `2R` relations (raw + inverse)
 /// given the entity pair `(s, o)`, time-filtered against other true

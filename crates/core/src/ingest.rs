@@ -483,6 +483,55 @@ impl IngestSession {
         out
     }
 
+    /// Top-k entity predictions against the current ingested state — the
+    /// online counterpart of [`crate::eval::score_at_topk`], bit-identical
+    /// per row to ranking [`Self::score`]'s dense output (score descending,
+    /// id ascending) and truncating to `k`; `None` rows carry a non-finite
+    /// score and must be degraded by the caller.
+    pub fn score_topk(&self, queries: &[(u32, u32)], k: usize) -> Vec<Option<Vec<(u32, f32)>>> {
+        let mut out: Vec<Option<Vec<(u32, f32)>>> = vec![None; queries.len()];
+        if queries.is_empty() {
+            return out;
+        }
+        let prune_k = self.model.cfg.global_prune_topk.unwrap_or(usize::MAX);
+        let mut groups: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for (i, &pair) in queries.iter().enumerate() {
+            groups.entry(pair).or_default().push(i);
+        }
+        no_grad(|| {
+            let local = self.model.state_local_encoding(&self.state);
+            let mut shared: Option<(crate::model::Encoded, crate::topk::BlockNorms)> = None;
+            for (&pair, rows) in &groups {
+                let g_edges = if self.model.cfg.use_global {
+                    self.global.relevant_graph_pruned(&[pair], prune_k)
+                } else {
+                    EdgeList::new()
+                };
+                let mut rng = StdRng::seed_from_u64(0);
+                let preds = if g_edges.is_empty() {
+                    if shared.is_none() {
+                        let enc = self.model.encode_global_with(&local, &g_edges, false, &mut rng);
+                        let norms = self.model.entity_block_norms(&enc);
+                        shared = Some((enc, norms));
+                    }
+                    match shared.as_ref() {
+                        Some((enc, norms)) => {
+                            self.model.score_objects_topk(enc, &[pair], k, Some(norms))
+                        }
+                        None => Vec::new(),
+                    }
+                } else {
+                    let enc = self.model.encode_global_with(&local, &g_edges, false, &mut rng);
+                    self.model.score_objects_topk(&enc, &[pair], k, None)
+                };
+                for &i in rows {
+                    out[i] = preds.first().cloned().flatten();
+                }
+            }
+        });
+        out
+    }
+
     fn enter_read_only(&mut self, reason: String) {
         if !self.stats.read_only {
             self.stats.read_only = true;

@@ -59,6 +59,7 @@ pub mod ingest;
 pub mod model;
 pub mod multistep;
 pub mod serve;
+pub mod topk;
 pub mod trainer;
 
 pub use checkpoint::TrainCheckpoint;
@@ -68,8 +69,8 @@ pub use dist::{
     WorkerLossEvent,
 };
 pub use eval::{
-    evaluate, evaluate_relations, score_at, EvalResult, ExtrapolationModel, HistoryCtx, ScoreCtx,
-    Split,
+    evaluate, evaluate_relations, score_at, score_at_topk, EvalResult, ExtrapolationModel,
+    HistoryCtx, ScoreCtx, Split,
 };
 pub use ingest::{IngestError, IngestOutcome, IngestSession, IngestSessionConfig};
 pub use model::{Encoded, EncoderState, HisRes};
@@ -79,6 +80,7 @@ pub use serve::{
     IngestRequest, ModelScorer, QueryRequest, Reply, Request, ServeConfig, ServeEngine,
     ServeError, ServeScorer, ServeStats, ServerConfig, SessionScorer, SymbolRef,
 };
+pub use topk::{top_k, topk_row_into, BlockNorms, TopkScratch};
 pub use trainer::{
     train, train_with, GuardAction, GuardEvent, GuardKind, HisResEval, TrainError, TrainOptions,
     TrainReport,

@@ -22,14 +22,16 @@
 //! synthetic analogs carry no static side information.
 
 use crate::config::{GlobalAggregator, HisResConfig};
+use crate::topk::{self, BlockNorms, TopkScratch};
 use hisres_graph::{EdgeList, Snapshot};
 use hisres_nn::{
     gating, CompGcnLayer, ConvGatLayer, ConvTransE, Embedding, GruCell, RgatLayer, SelfGating,
     TimeEncoding,
 };
-use hisres_tensor::{CheckpointError, NdArray, ParamStore, Tensor};
+use hisres_tensor::{CheckpointError, NdArray, ParamStore, Scratch, Tensor};
 use hisres_util::rng::rngs::StdRng;
 use hisres_util::rng::{Rng, SeedableRng};
+use std::cell::RefCell;
 
 /// Envelope kind tag of [`HisRes::save_checkpoint`] files.
 pub const MODEL_KIND: &str = "model";
@@ -116,6 +118,12 @@ pub struct HisRes {
     sg_global: SelfGating,
     dec_ent: ConvTransE,
     dec_rel: ConvTransE,
+    /// Scratch arena for the allocation-free no-grad serving kernels.
+    /// `HisRes` is already `!Sync` (its tensors are `Rc`-backed), so a
+    /// `RefCell` costs nothing in capability and keeps every `&self`
+    /// scoring entry point signature-stable.
+    scratch: RefCell<Scratch>,
+    topk_ws: RefCell<TopkScratch>,
 }
 
 impl HisRes {
@@ -233,6 +241,8 @@ impl HisRes {
             sg_global,
             dec_ent,
             dec_rel,
+            scratch: RefCell::new(Scratch::new()),
+            topk_ws: RefCell::new(TopkScratch::new()),
         }
     }
 
@@ -464,9 +474,17 @@ impl HisRes {
                     e_agg = e;
                     r_agg = r;
                 }
-                state.entities = self.ent_gru.forward(&e_agg, &e_in).value_clone();
+                // GRU steps through the allocation-free fastpath, bit-identical
+                // to `forward(..).value_clone()`; the displaced state buffers
+                // go back to the arena, so steady-state advances recycle them.
                 let pooled = self.relation_pooled(&e_in, &edges);
-                state.relations = self.rel_gru.forward(&r_agg, &pooled).value_clone();
+                let mut scratch = self.scratch.borrow_mut();
+                let new_ent =
+                    self.ent_gru.forward_nograd(&e_agg.value(), &e_in.value(), &mut scratch);
+                scratch.give(std::mem::replace(&mut state.entities, new_ent));
+                let new_rel =
+                    self.rel_gru.forward_nograd(&r_agg.value(), &pooled.value(), &mut scratch);
+                scratch.give(std::mem::replace(&mut state.relations, new_rel));
 
                 if self.cfg.use_inter_snapshot {
                     state.pending.push(snap.clone());
@@ -559,6 +577,59 @@ impl HisRes {
         let s_emb = enc.entities.gather_rows(&s_ids);
         let r_emb = enc.relations.gather_rows(&r_ids);
         self.dec_ent.score(&s_emb, &r_emb, &enc.entities, training, rng)
+    }
+
+    /// Per-block entity-table norms for top-k pruning, precomputed from an
+    /// encoding's (fused) entity matrix. Worth the one extra table pass
+    /// only when several queries score against the *same* table — the
+    /// callers pass `None` to [`Self::score_objects_topk`] otherwise.
+    pub fn entity_block_norms(&self, enc: &Encoded) -> BlockNorms {
+        BlockNorms::new(&enc.entities.value())
+    }
+
+    /// Top-k entity predictions for each `(s, r)` query, bit-identical to
+    /// ranking [`Self::score_objects`]'s eval-mode scores with the serving
+    /// comparator (score descending, id ascending) and truncating to `k`.
+    ///
+    /// Runs entirely on the no-grad fastpath over the model's scratch
+    /// arena: after one warmup call the decoder forward allocates nothing,
+    /// and with `norms` supplied the Cauchy–Schwarz short-circuit skips
+    /// candidates that provably cannot reach the running k-th score.
+    ///
+    /// A row comes back `None` when some computed score is non-finite —
+    /// the same per-row verdict the dense path reaches by scanning all
+    /// `|E|` scores — so callers degrade exactly the rows the full path
+    /// would.
+    pub fn score_objects_topk(
+        &self,
+        enc: &Encoded,
+        queries: &[(u32, u32)],
+        k: usize,
+        norms: Option<&BlockNorms>,
+    ) -> Vec<Option<Vec<(u32, f32)>>> {
+        hisres_tensor::no_grad(|| {
+            let ent = enc.entities.value();
+            let rel = enc.relations.value();
+            let mut scratch = self.scratch.borrow_mut();
+            let mut ws = self.topk_ws.borrow_mut();
+            let mut s_emb = scratch.take(queries.len(), ent.cols());
+            let mut r_emb = scratch.take(queries.len(), rel.cols());
+            for (i, &(s, r)) in queries.iter().enumerate() {
+                s_emb.row_mut(i).copy_from_slice(ent.row(s as usize));
+                r_emb.row_mut(i).copy_from_slice(rel.row(r as usize));
+            }
+            let q = self.dec_ent.query_nograd(&s_emb, &r_emb, &mut scratch);
+            let mut buf: Vec<(u32, f32)> = Vec::with_capacity(k.min(ent.rows()));
+            let mut results = Vec::with_capacity(queries.len());
+            for i in 0..queries.len() {
+                let ok = topk::topk_row_into(q.row(i), &ent, norms, k, &mut ws, &mut buf);
+                results.push(ok.then(|| buf.clone()));
+            }
+            scratch.give(s_emb);
+            scratch.give(r_emb);
+            scratch.give(q);
+            results
+        })
     }
 
     /// Scores every relation for each `(s, o)` pair (the relation

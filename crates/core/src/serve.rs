@@ -51,6 +51,7 @@ use crate::checkpoint::{TrainCheckpoint, TRAIN_STATE_KIND};
 use crate::eval::{score_at, ScoreCtx};
 use crate::ingest::{IngestError, IngestOutcome, IngestSession};
 use crate::model::{HisRes, MODEL_KIND};
+use crate::topk::top_k;
 use hisres_graph::Vocab;
 use hisres_tensor::{CheckpointError, NdArray};
 use hisres_util::bench::LatencyRecorder;
@@ -449,6 +450,20 @@ pub trait ServeScorer {
     fn name(&self) -> &str;
     /// Scores all entities for each query: `[queries.len(), num_entities]`.
     fn score(&self, queries: &[(u32, u32)]) -> NdArray;
+    /// Top-k predictions per query, bit-identical to ranking
+    /// [`ServeScorer::score`]'s rows with [`crate::topk::top_k`]: each row
+    /// is `Some` of the best `k` `(entity, score)` pairs, or `None` when
+    /// the dense row would contain a non-finite score (the engine degrades
+    /// that row, exactly as on the dense path). Scorers without a
+    /// short-circuit implementation return `None` (the default) and the
+    /// engine falls back to [`ServeScorer::score`].
+    fn score_topk(
+        &self,
+        _queries: &[(u32, u32)],
+        _k: usize,
+    ) -> Option<Vec<Option<Vec<(u32, f32)>>>> {
+        None
+    }
 }
 
 /// The full HisRES model over a prepared end-of-timeline context.
@@ -465,6 +480,13 @@ impl ServeScorer for ModelScorer {
     }
     fn score(&self, queries: &[(u32, u32)]) -> NdArray {
         score_at(&self.model, &self.ctx, queries)
+    }
+    fn score_topk(
+        &self,
+        queries: &[(u32, u32)],
+        k: usize,
+    ) -> Option<Vec<Option<Vec<(u32, f32)>>>> {
+        Some(crate::eval::score_at_topk(&self.model, &self.ctx, queries, k))
     }
 }
 
@@ -483,6 +505,13 @@ impl ServeScorer for SessionScorer {
     }
     fn score(&self, queries: &[(u32, u32)]) -> NdArray {
         self.session.borrow().score(queries)
+    }
+    fn score_topk(
+        &self,
+        queries: &[(u32, u32)],
+        k: usize,
+    ) -> Option<Vec<Option<Vec<(u32, f32)>>>> {
+        Some(self.session.borrow().score_topk(queries, k))
     }
 }
 
@@ -875,10 +904,25 @@ impl ServeEngine {
                     Slot::Done(_) => None,
                 })
                 .collect();
+            // The batch is ranked once at the largest requested depth; a
+            // per-query cutoff is then a prefix of that ranking (the
+            // comparator is a total order), so every client sees the same
+            // predictions the dense path would produce.
+            let kmax = full_idx
+                .iter()
+                .map(|&i| match &slots[i] {
+                    Slot::Pending(p) => p.topk,
+                    Slot::Done(_) => 0,
+                })
+                .max()
+                .unwrap_or(0);
             let t0 = Instant::now();
             let full = &self.full;
-            match catch_unwind(AssertUnwindSafe(|| full.score(&queries))) {
-                Ok(scores) => {
+            match catch_unwind(AssertUnwindSafe(|| match full.score_topk(&queries, kmax) {
+                Some(preds) => ScorePass::TopK(preds),
+                None => ScorePass::Dense(full.score(&queries)),
+            })) {
+                Ok(pass) => {
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     let est = self.est_full_ms.get();
                     self.est_full_ms.set(if est.is_finite() && est > 0.0 {
@@ -886,16 +930,41 @@ impl ServeEngine {
                     } else {
                         ms
                     });
-                    let shape_ok = scores.shape() == (queries.len(), self.num_entities);
-                    for (row, &i) in full_idx.iter().enumerate() {
-                        if let Slot::Pending(p) = &mut slots[i] {
-                            // Non-finite scores (a NaN deep in the
-                            // encoder) are as unusable as a panic — that
-                            // row is served by the fallback instead.
-                            if shape_ok && scores.row(row).iter().all(|v| v.is_finite()) {
-                                p.predictions = Some(top_k(scores.row(row), p.topk));
-                            } else {
-                                p.degrade = Some("invalid_scores");
+                    match pass {
+                        ScorePass::TopK(mut preds) => {
+                            let shape_ok = preds.len() == queries.len();
+                            for (row, &i) in full_idx.iter().enumerate() {
+                                if let Slot::Pending(p) = &mut slots[i] {
+                                    // A `None` row carries a non-finite
+                                    // score — as unusable as a panic; the
+                                    // fallback serves it instead.
+                                    match if shape_ok { preds[row].take() } else { None } {
+                                        Some(mut list) => {
+                                            list.truncate(p.topk);
+                                            p.predictions = Some(list);
+                                        }
+                                        None => p.degrade = Some("invalid_scores"),
+                                    }
+                                }
+                            }
+                        }
+                        ScorePass::Dense(scores) => {
+                            let shape_ok =
+                                scores.shape() == (queries.len(), self.num_entities);
+                            for (row, &i) in full_idx.iter().enumerate() {
+                                if let Slot::Pending(p) = &mut slots[i] {
+                                    // Non-finite scores (a NaN deep in the
+                                    // encoder) are as unusable as a panic —
+                                    // that row is served by the fallback
+                                    // instead.
+                                    if shape_ok
+                                        && scores.row(row).iter().all(|v| v.is_finite())
+                                    {
+                                        p.predictions = Some(top_k(scores.row(row), p.topk));
+                                    } else {
+                                        p.degrade = Some("invalid_scores");
+                                    }
+                                }
                             }
                         }
                     }
@@ -1163,16 +1232,11 @@ fn sanitize(score: f32) -> f64 {
     }
 }
 
-/// Deterministic top-k: score descending, entity id ascending on ties.
-fn top_k(row: &[f32], k: usize) -> Vec<(u32, f32)> {
-    let mut idx: Vec<u32> = (0..row.len() as u32).collect();
-    idx.sort_by(|&a, &b| {
-        row[b as usize]
-            .total_cmp(&row[a as usize])
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx.into_iter().map(|o| (o, row[o as usize])).collect()
+/// One full-scorer pass: either short-circuit top-k rankings or a dense
+/// score matrix from a scorer without a top-k path.
+enum ScorePass {
+    TopK(Vec<Option<Vec<(u32, f32)>>>),
+    Dense(NdArray),
 }
 
 /// Drives the engine over a line-oriented transport: one JSON response

@@ -1,0 +1,366 @@
+//! Exact top-k short-circuit scoring for the decoder's `q · Eᵀ` fan-out.
+//!
+//! Serving only ever reports the best `k ≪ |E|` entities per query, yet the
+//! full path scores all `|E|` candidates and sorts. This module prunes that
+//! fan-out **without changing a single reported bit**: per-block L2 norms of
+//! the entity table (precomputed once per table by [`BlockNorms`]) give a
+//! Cauchy–Schwarz upper bound on every candidate's dot product, and any
+//! candidate whose bound falls strictly below the running k-th score cannot
+//! enter the top-k, so its dot is never computed. Survivors are scored with
+//! the same [`blocked_dot`] kernel the no-grad `matmul_nt` uses for each
+//! cell, and the final sort uses the same comparator as the full path's
+//! sort-everything-truncate, so the result is `to_bits`-identical (the
+//! property tests under `tests/topk_props.rs` pin this across k, thread
+//! counts and degenerate inputs).
+//!
+//! # Exactness argument
+//!
+//! For query block `q_b` and candidate block `e_b`, Cauchy–Schwarz gives
+//! `Σ|q_i e_i| ≤ Σ_b ‖q_b‖‖e_b‖ = UB` (all accumulated in `f64`). Every
+//! partial sum of the f32 dot — in *any* association order — is bounded in
+//! magnitude by `Σ|q_i e_i| · (1 + γ_n)` with `γ_n ≈ n·2⁻²³`, far below the
+//! `1e-4` slack applied here for any realistic embedding width. So when
+//! `UB · (1 + slack) < kth_score` strictly, the candidate's computed f32
+//! score is (a) finite — no overflow is possible below a finite threshold —
+//! and (b) strictly below the k-th score, so it loses to all k kept
+//! candidates regardless of id tie-breaking. Skipping it is unobservable.
+//!
+//! Pruning only engages when the table and the query row are entirely
+//! finite (a NaN score would otherwise *win* under `total_cmp` descending
+//! and must be surfaced, not pruned) and when `k < |E|`; in every other
+//! case the same loop simply scores all candidates — still bit-identical,
+//! still allocation-free after warmup.
+
+use hisres_tensor::{blocked_dot, NdArray};
+use std::cmp::Ordering;
+
+/// Candidates per norm block. Small enough that a surviving block bound is
+/// tight, large enough that the bound pass is a cheap fraction of the dot.
+const BLOCK: usize = 16;
+
+/// Multiplicative slack covering f32 summation error of the real kernel
+/// against the exact-arithmetic Cauchy–Schwarz bound (see module docs).
+const UB_SLACK: f64 = 1e-4;
+
+/// Per-row, per-block L2 norms of an entity table, precomputed once per
+/// table (cost: one pass, the same as scoring a single extra query row).
+pub struct BlockNorms {
+    rows: usize,
+    cols: usize,
+    blocks: usize,
+    /// `rows * blocks` norms, row-major, accumulated in f64.
+    norms: Vec<f64>,
+    /// Whether every table entry is finite; pruning is disabled otherwise.
+    finite: bool,
+}
+
+impl BlockNorms {
+    /// Computes block norms for `table` (`[num_entities, dim]`).
+    pub fn new(table: &NdArray) -> Self {
+        let (rows, cols) = table.shape();
+        let blocks = (cols + BLOCK - 1) / BLOCK;
+        let mut norms = vec![0.0f64; rows * blocks]; // lint:allow(no-hot-alloc): once-per-table precompute, not the per-call serving path
+        let mut finite = true;
+        for i in 0..rows {
+            for (b, chunk) in table.row(i).chunks(BLOCK).enumerate() {
+                let mut s = 0.0f64;
+                for &v in chunk {
+                    finite &= v.is_finite();
+                    s += (v as f64) * (v as f64);
+                }
+                norms[i * blocks + b] = s.sqrt();
+            }
+        }
+        Self { rows, cols, blocks, norms, finite }
+    }
+
+    /// Whether every entry of the source table was finite.
+    pub fn all_finite(&self) -> bool {
+        self.finite
+    }
+}
+
+/// Reusable per-thread workspace for [`topk_row_into`]: holds the query
+/// row's block norms so steady-state calls allocate nothing.
+pub struct TopkScratch {
+    qnorms: Vec<f64>,
+}
+
+impl TopkScratch {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self { qnorms: Vec::new() } // lint:allow(no-hot-alloc): empty construction, grows once on warmup then reused
+    }
+
+    /// Fills `qnorms` with the query's per-block norms; returns whether
+    /// the query row is entirely finite.
+    fn load_query(&mut self, query: &[f32], blocks: usize) -> bool {
+        self.qnorms.clear();
+        self.qnorms.resize(blocks, 0.0);
+        let mut finite = true;
+        for (b, chunk) in query.chunks(BLOCK).enumerate() {
+            let mut s = 0.0f64;
+            for &v in chunk {
+                finite &= v.is_finite();
+                s += (v as f64) * (v as f64);
+            }
+            self.qnorms[b] = s.sqrt();
+        }
+        finite
+    }
+}
+
+impl Default for TopkScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The serving order: score descending under `total_cmp`, entity id
+/// ascending on ties — a total order, so every sort of distinct ids is
+/// deterministic and truncation at any k is well-defined.
+pub fn rank_cmp(a: &(u32, f32), b: &(u32, f32)) -> Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Deterministic full-sort top-k over a dense score row: score descending,
+/// entity id ascending on ties. The reference the pruned path must match.
+pub fn top_k(row: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut idx: Vec<u32> = (0..row.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        row[b as usize]
+            .total_cmp(&row[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.into_iter().map(|o| (o, row[o as usize])).collect()
+}
+
+/// Exact top-k of `query · tableᵀ`, bit-identical to scoring every entity
+/// with the no-grad matmul and applying [`top_k`].
+///
+/// `norms` enables Cauchy–Schwarz pruning when supplied (pass `None` for a
+/// table that is scored once — computing norms would cost as much as the
+/// scoring it saves). `out` is cleared and reused; after one warmup call a
+/// steady-state invocation performs no heap allocation.
+///
+/// Returns `false` — with `out` left empty — when some computed score is
+/// non-finite, the same per-row verdict the full path reaches via its
+/// all-finite scan (pruned candidates are provably finite; see module
+/// docs), so callers degrade exactly the rows the full path would.
+pub fn topk_row_into(
+    query: &[f32],
+    table: &NdArray,
+    norms: Option<&BlockNorms>,
+    k: usize,
+    ws: &mut TopkScratch,
+    out: &mut Vec<(u32, f32)>,
+) -> bool {
+    let (n, d) = table.shape();
+    assert_eq!(query.len(), d, "query/table width mismatch");
+    out.clear();
+    let k = k.min(n);
+    if k == 0 {
+        return true;
+    }
+    let prune = match norms {
+        Some(bn) => {
+            assert_eq!((bn.rows, bn.cols), (n, d), "norms/table shape mismatch");
+            bn.finite && k < n && ws.load_query(query, bn.blocks)
+        }
+        None => false,
+    };
+    for i in 0..n {
+        if prune && out.len() == k {
+            // `out[0]` is the weakest kept candidate (heap root), so its
+            // score is the running k-th score.
+            let thresh = out[0].1 as f64;
+            let bn = norms.expect("prune implies norms");
+            let base = i * bn.blocks;
+            let mut ub = 0.0f64;
+            for (b, &qn) in ws.qnorms.iter().enumerate() {
+                ub += qn * bn.norms[base + b];
+            }
+            if ub * (1.0 + UB_SLACK) < thresh {
+                continue;
+            }
+        }
+        let score = blocked_dot(query, table.row(i));
+        if !score.is_finite() {
+            out.clear();
+            return false;
+        }
+        let cand = (i as u32, score);
+        if out.len() < k {
+            heap_push(out, cand);
+        } else if rank_cmp(&cand, &out[0]) == Ordering::Less {
+            heap_replace_root(out, cand);
+        }
+    }
+    out.sort_unstable_by(rank_cmp);
+    true
+}
+
+/// Binary max-heap on "rank badly": the root is the weakest kept candidate
+/// under [`rank_cmp`], i.e. the current k-th.
+fn heap_push(h: &mut Vec<(u32, f32)>, item: (u32, f32)) {
+    h.push(item);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let p = (i - 1) / 2;
+        if rank_cmp(&h[i], &h[p]) == Ordering::Greater {
+            h.swap(i, p);
+            i = p;
+        } else {
+            break;
+        }
+    }
+}
+
+fn heap_replace_root(h: &mut [(u32, f32)], item: (u32, f32)) {
+    h[0] = item;
+    let mut i = 0usize;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut m = i;
+        if l < h.len() && rank_cmp(&h[l], &h[m]) == Ordering::Greater {
+            m = l;
+        }
+        if r < h.len() && rank_cmp(&h[r], &h[m]) == Ordering::Greater {
+            m = r;
+        }
+        if m == i {
+            break;
+        }
+        h.swap(i, m);
+        i = m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisres_util::rng::rngs::StdRng;
+    use hisres_util::rng::{Rng, SeedableRng};
+
+    fn noise(rows: usize, cols: usize, seed: u64) -> NdArray {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NdArray::from_vec(
+            (0..rows * cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+            &[rows, cols],
+        )
+    }
+
+    fn full_reference(query: &[f32], table: &NdArray, k: usize) -> Vec<(u32, f32)> {
+        let row: Vec<f32> = (0..table.rows())
+            .map(|i| blocked_dot(query, table.row(i)))
+            .collect();
+        top_k(&row, k)
+    }
+
+    fn assert_bits_eq(got: &[(u32, f32)], want: &[(u32, f32)]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.0, w.0);
+            assert_eq!(g.1.to_bits(), w.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn pruned_matches_full_sort_across_k() {
+        let table = noise(257, 19, 1);
+        let q = noise(1, 19, 2);
+        let norms = BlockNorms::new(&table);
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        for k in [0, 1, 5, 64, 257, 1000] {
+            assert!(topk_row_into(q.row(0), &table, Some(&norms), k, &mut ws, &mut out));
+            assert_bits_eq(&out, &full_reference(q.row(0), &table, k));
+        }
+    }
+
+    #[test]
+    fn no_norms_path_matches_full_sort() {
+        let table = noise(64, 8, 3);
+        let q = noise(1, 8, 4);
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        assert!(topk_row_into(q.row(0), &table, None, 10, &mut ws, &mut out));
+        assert_bits_eq(&out, &full_reference(q.row(0), &table, 10));
+    }
+
+    #[test]
+    fn score_ties_break_by_ascending_id() {
+        // identical rows → identical scores; ids must come back ascending.
+        let table = NdArray::full(6, 4, 0.25);
+        let q = NdArray::full(1, 4, 1.0);
+        let norms = BlockNorms::new(&table);
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        assert!(topk_row_into(q.row(0), &table, Some(&norms), 3, &mut ws, &mut out));
+        assert_eq!(out.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_bits_eq(&out, &full_reference(q.row(0), &table, 3));
+    }
+
+    #[test]
+    fn nan_in_table_degrades_the_row_not_the_ranking() {
+        let mut table = noise(32, 6, 5);
+        table.row_mut(7)[3] = f32::NAN;
+        let q = noise(1, 6, 6);
+        let norms = BlockNorms::new(&table);
+        assert!(!norms.all_finite());
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        // Full path verdict: a NaN score exists → the row is unusable.
+        assert!(!topk_row_into(q.row(0), &table, Some(&norms), 5, &mut ws, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nan_query_degrades_the_row() {
+        let table = noise(16, 4, 7);
+        let q = NdArray::from_vec(vec![1.0, f32::NAN, 0.0, 2.0], &[1, 4]);
+        let norms = BlockNorms::new(&table);
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        assert!(!topk_row_into(q.row(0), &table, Some(&norms), 5, &mut ws, &mut out));
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers_without_growth() {
+        let table = noise(512, 24, 8);
+        let norms = BlockNorms::new(&table);
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        let q = noise(4, 24, 9);
+        assert!(topk_row_into(q.row(0), &table, Some(&norms), 10, &mut ws, &mut out));
+        let (cap_out, cap_q) = (out.capacity(), ws.qnorms.capacity());
+        for r in 1..4 {
+            assert!(topk_row_into(q.row(r), &table, Some(&norms), 10, &mut ws, &mut out));
+            assert_bits_eq(&out, &full_reference(q.row(r), &table, 10));
+        }
+        assert_eq!(out.capacity(), cap_out, "result buffer must be reused");
+        assert_eq!(ws.qnorms.capacity(), cap_q, "query-norm buffer must be reused");
+    }
+
+    #[test]
+    fn adversarial_near_threshold_scores_stay_exact() {
+        // Rows scaled so upper bounds cluster tightly around the k-th
+        // score — the regime where a sloppy bound would mis-prune.
+        let mut table = noise(128, 16, 10);
+        for i in 0..128 {
+            let s = 1.0 + (i % 7) as f32 * 1e-6;
+            for v in table.row_mut(i) {
+                *v *= s;
+            }
+        }
+        let q = noise(1, 16, 11);
+        let norms = BlockNorms::new(&table);
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        for k in [1, 3, 17] {
+            assert!(topk_row_into(q.row(0), &table, Some(&norms), k, &mut ws, &mut out));
+            assert_bits_eq(&out, &full_reference(q.row(0), &table, k));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Zero-allocation regression test for the steady-state serving kernels.
+//!
+//! Installs a counting global allocator for this whole test binary and
+//! asserts that one steady-state no-grad forward + score + top-k call —
+//! GRU state advance, ConvTransE decoder query, Cauchy–Schwarz-pruned
+//! top-k — performs **zero** heap allocations after one warmup call filled
+//! the scratch arena. Runs under a 1-thread pool: `par_chunks_mut` executes
+//! inline when it has a single task, which is the configuration the
+//! zero-allocation contract is specified for (the multi-thread fork boxes
+//! one closure per worker by design).
+
+use hisres::topk::{topk_row_into, BlockNorms, TopkScratch};
+use hisres_nn::{ConvTransE, GruCell};
+use hisres_tensor::{no_grad, NdArray, ParamStore, Scratch};
+use hisres_util::alloc::CountingAlloc;
+use hisres_util::pool::with_threads;
+use hisres_util::rng::rngs::StdRng;
+use hisres_util::rng::{Rng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn noise(rows: usize, cols: usize, seed: u64) -> NdArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NdArray::from_vec(
+        (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        &[rows, cols],
+    )
+}
+
+#[test]
+fn steady_state_forward_and_score_allocate_nothing() {
+    const ENTITIES: usize = 512;
+    const DIM: usize = 32;
+    const QUERIES: usize = 8;
+    const K: usize = 10;
+
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let gru = GruCell::new(&mut store, "gru", DIM, &mut rng);
+    let dec = ConvTransE::new(&mut store, "dec", DIM, 4, 3, 0.0, &mut rng);
+
+    let table = noise(ENTITIES, DIM, 1);
+    let agg = noise(ENTITIES, DIM, 2);
+    let s_emb = noise(QUERIES, DIM, 3);
+    let r_emb = noise(QUERIES, DIM, 4);
+    let norms = BlockNorms::new(&table);
+
+    let mut scratch = Scratch::new();
+    let mut ws = TopkScratch::new();
+    let mut out: Vec<(u32, f32)> = Vec::new();
+
+    let call = |scratch: &mut Scratch, ws: &mut TopkScratch, out: &mut Vec<(u32, f32)>| {
+        no_grad(|| {
+            // Encoder advance: one GRU step over the entity matrix.
+            let h = gru.forward_nograd(&agg, &table, scratch);
+            // Decoder: query vectors, then exact pruned top-k per query.
+            let q = dec.query_nograd(&s_emb, &r_emb, scratch);
+            for i in 0..QUERIES {
+                assert!(topk_row_into(q.row(i), &table, Some(&norms), K, ws, out));
+                assert_eq!(out.len(), K);
+            }
+            scratch.give(h);
+            scratch.give(q);
+        });
+    };
+
+    with_threads(1, || {
+        // Warmup: fills the arena pools and grows the top-k buffers.
+        call(&mut scratch, &mut ws, &mut out);
+        let misses = scratch.misses();
+
+        let before = ALLOC.allocations();
+        call(&mut scratch, &mut ws, &mut out);
+        let after = ALLOC.allocations();
+
+        assert_eq!(scratch.misses(), misses, "scratch arena must be warm");
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state forward+score+topk must not allocate"
+        );
+    });
+}

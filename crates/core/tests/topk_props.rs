@@ -1,0 +1,204 @@
+//! Property tests of the top-k short-circuit scorer: for every k, thread
+//! count and model configuration, `score_at_topk` must be **bit-identical**
+//! to ranking the dense `score_at` rows with the serving comparator and
+//! truncating — and degenerate (NaN/infinite) embeddings must degrade a
+//! row, never mis-rank it.
+
+use hisres::config::HisResConfig;
+use hisres::eval::{score_at, score_at_topk, ScoreCtx};
+use hisres::model::HisRes;
+use hisres::topk::{top_k, topk_row_into, BlockNorms, TopkScratch};
+use hisres_data::synthetic::{generate, SyntheticConfig};
+use hisres_data::DatasetSplits;
+use hisres_tensor::NdArray;
+use hisres_util::check::vec as prop_vec;
+use hisres_util::pool::with_threads;
+use hisres_util::{prop_assert, props};
+
+const NUM_ENTITIES: usize = 16;
+const NUM_RELATIONS: usize = 3;
+
+fn tiny_ctx() -> ScoreCtx {
+    let cfg = SyntheticConfig {
+        num_entities: NUM_ENTITIES,
+        num_relations: NUM_RELATIONS,
+        num_timestamps: 12,
+        periodic_patterns: 6,
+        period_range: (2, 4),
+        causal_rules: 1,
+        trigger_events_per_t: 2,
+        recency_draws_per_t: 2,
+        noise_events_per_t: 1,
+        seed: 23,
+        ..Default::default()
+    };
+    let data = DatasetSplits::from_tkg("topk-props-syn", "1 step", &generate(&cfg).tkg);
+    ScoreCtx::at_end_of(&data)
+}
+
+fn tiny_model(mutate: impl FnOnce(&mut HisResConfig)) -> HisRes {
+    let mut cfg = HisResConfig {
+        dim: 8,
+        conv_channels: 2,
+        history_len: 3,
+        ..Default::default()
+    };
+    mutate(&mut cfg);
+    HisRes::new(&cfg, NUM_ENTITIES, NUM_RELATIONS)
+}
+
+fn query_mix(raw: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    raw.into_iter()
+        .map(|(s, r)| (s % NUM_ENTITIES as u32, r % (2 * NUM_RELATIONS) as u32))
+        .collect()
+}
+
+/// Asserts `score_at_topk` equals dense scoring + [`top_k`] per row, to
+/// the bit, at depth `k`.
+fn assert_topk_matches_dense(model: &HisRes, ctx: &ScoreCtx, queries: &[(u32, u32)], k: usize) {
+    let dense = score_at(model, ctx, queries);
+    let fast = score_at_topk(model, ctx, queries, k);
+    assert_eq!(fast.len(), queries.len());
+    for (i, row) in fast.iter().enumerate() {
+        let want = top_k(dense.row(i), k.min(NUM_ENTITIES));
+        let got = match row {
+            Some(got) => got,
+            None => panic!("row {i} (query {:?}, k={k}) degraded on finite scores", queries[i]),
+        };
+        assert_eq!(got.len(), want.len(), "row {i} depth mismatch at k={k}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.0, w.0, "row {i} id order differs from dense ranking at k={k}");
+            assert_eq!(
+                g.1.to_bits(),
+                w.1.to_bits(),
+                "row {i} score bits differ from dense ranking at k={k}"
+            );
+        }
+    }
+}
+
+props! {
+    cases = 6;
+
+    fn topk_matches_dense_ranking_across_k_default_config(
+        raw in prop_vec((0u32..64, 0u32..64), 1..8),
+    ) {
+        let ctx = tiny_ctx();
+        let model = tiny_model(|_| {});
+        let queries = query_mix(raw);
+        for k in [1, 10, NUM_ENTITIES] {
+            assert_topk_matches_dense(&model, &ctx, &queries, k);
+        }
+        prop_assert!(true);
+    }
+
+    fn topk_matches_dense_ranking_global_off(
+        raw in prop_vec((0u32..64, 0u32..64), 1..8),
+    ) {
+        // use_global off → every pair shares the local table → the pruned
+        // (BlockNorms) code path serves every row.
+        let ctx = tiny_ctx();
+        let model = tiny_model(|cfg| cfg.use_global = false);
+        let queries = query_mix(raw);
+        for k in [1, 10, NUM_ENTITIES] {
+            assert_topk_matches_dense(&model, &ctx, &queries, k);
+        }
+        prop_assert!(true);
+    }
+
+    fn topk_is_thread_count_invariant(
+        raw in prop_vec((0u32..64, 0u32..64), 1..6),
+    ) {
+        let ctx = tiny_ctx();
+        let model = tiny_model(|_| {});
+        let queries = query_mix(raw);
+        let reference = with_threads(1, || score_at_topk(&model, &ctx, &queries, 10));
+        for threads in [2usize, 4] {
+            let got = with_threads(threads, || score_at_topk(&model, &ctx, &queries, 10));
+            prop_assert!(reference.len() == got.len());
+            for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        prop_assert!(a.len() == b.len(), "row {i} depth differs at {threads} threads");
+                        for (x, y) in a.iter().zip(b) {
+                            prop_assert!(
+                                x.0 == y.0 && x.1.to_bits() == y.1.to_bits(),
+                                "row {i} differs at {threads} threads"
+                            );
+                        }
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "row {i} verdict differs at {threads} threads"),
+                }
+            }
+        }
+    }
+
+    fn random_tables_prune_exactly(
+        vals in prop_vec(-8.0f32..8.0, 64),
+        qvals in prop_vec(-8.0f32..8.0, 8),
+    ) {
+        // Kernel-level check on raw random embeddings, all three depths.
+        let table = NdArray::from_vec(vals, &[8, 8]);
+        let q = NdArray::from_vec(qvals, &[1, 8]);
+        let norms = BlockNorms::new(&table);
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        let row: Vec<f32> = (0..8).map(|i| hisres_tensor::blocked_dot(q.row(0), table.row(i))).collect();
+        for k in [1usize, 3, 8] {
+            prop_assert!(topk_row_into(q.row(0), &table, Some(&norms), k, &mut ws, &mut out));
+            let want = top_k(&row, k);
+            prop_assert!(out.len() == want.len());
+            for (g, w) in out.iter().zip(&want) {
+                prop_assert!(g.0 == w.0 && g.1.to_bits() == w.1.to_bits(), "k={k} mismatch");
+            }
+        }
+    }
+
+    fn degenerate_embeddings_degrade_not_misrank(
+        vals in prop_vec(-8.0f32..8.0, 64),
+        poison_row in 0usize..8,
+        poison_col in 0usize..8,
+        kind in 0u8..3,
+    ) {
+        let mut table = NdArray::from_vec(vals, &[8, 8]);
+        table.row_mut(poison_row)[poison_col] = match kind {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let q = NdArray::full(1, 8, 1.0);
+        let norms = BlockNorms::new(&table);
+        prop_assert!(!norms.all_finite());
+        let mut ws = TopkScratch::new();
+        let mut out = Vec::new();
+        let ok = topk_row_into(q.row(0), &table, Some(&norms), 4, &mut ws, &mut out);
+        // The dense path's verdict: degrade iff some score is non-finite.
+        let any_bad = (0..8).any(|i| !hisres_tensor::blocked_dot(q.row(0), table.row(i)).is_finite());
+        prop_assert!(ok == !any_bad, "degrade verdict differs from dense scan");
+        if ok {
+            let row: Vec<f32> = (0..8).map(|i| hisres_tensor::blocked_dot(q.row(0), table.row(i))).collect();
+            let want = top_k(&row, 4);
+            for (g, w) in out.iter().zip(&want) {
+                prop_assert!(g.0 == w.0 && g.1.to_bits() == w.1.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn k_of_entire_vocabulary_is_the_full_ranking() {
+    let ctx = tiny_ctx();
+    let model = tiny_model(|_| {});
+    let queries = [(3u32, 1u32), (5, 0)];
+    assert_topk_matches_dense(&model, &ctx, &queries, NUM_ENTITIES);
+    // And beyond-vocabulary depths clamp.
+    assert_topk_matches_dense(&model, &ctx, &queries, NUM_ENTITIES * 4);
+}
+
+#[test]
+fn empty_query_batch_is_empty() {
+    let ctx = tiny_ctx();
+    let model = tiny_model(|_| {});
+    assert!(score_at_topk(&model, &ctx, &[], 5).is_empty());
+}

@@ -41,19 +41,38 @@ impl TimeFilter {
     /// averaged (standard `(strictly_higher + ties/2)` midpoint), which
     /// avoids rewarding models that emit constant scores.
     pub fn filtered_rank(&self, scores: &[f32], q: &Quad) -> f64 {
+        // Count over ALL entities first, then subtract the filtered ones —
+        // the inner loop is a branch-free scan instead of a per-element
+        // `truth.contains` lookup. Result is identical: each skipped index
+        // (gold + other true objects, deduplicated by construction)
+        // contributes to exactly one counter, and that contribution is
+        // removed exactly once below. NaN scores compare neither higher
+        // nor equal, so they drop out of both formulations alike.
         let gold = q.o as usize;
         let gold_score = scores[gold];
-        let truth = self.true_objects(q.s, q.r, q.t);
         let mut higher = 0usize;
         let mut ties = 0usize;
-        for (i, &sc) in scores.iter().enumerate() {
-            if i == gold || truth.contains(&(i as u32)) {
-                continue;
-            }
+        for &sc in scores {
             if sc > gold_score {
                 higher += 1;
             } else if sc == gold_score {
                 ties += 1;
+            }
+        }
+        // gold itself counted as a tie unless its score is NaN
+        if !gold_score.is_nan() {
+            ties -= 1;
+        }
+        for &o in self.true_objects(q.s, q.r, q.t) {
+            let i = o as usize;
+            if i == gold || i >= scores.len() {
+                continue;
+            }
+            let sc = scores[i];
+            if sc > gold_score {
+                higher -= 1;
+            } else if sc == gold_score {
+                ties -= 1;
             }
         }
         1.0 + higher as f64 + ties as f64 / 2.0

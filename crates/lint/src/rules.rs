@@ -76,6 +76,13 @@ const GRAD_PATH: &[&str] = &[
     "crates/core/src/trainer.rs",
     "crates/core/src/multistep.rs",
 ];
+/// The allocation-free no-grad serving kernels: steady-state calls promise
+/// zero heap allocations (pinned by `crates/core/tests/alloc_free.rs`), so
+/// ad-hoc `Vec` construction here is a latent per-call regression.
+const HOT_ALLOC_PATHS: &[&str] = &[
+    "crates/nn/src/fastpath.rs",
+    "crates/core/src/topk.rs",
+];
 
 /// The shipped rule set. Order here is the order rules run and report.
 pub fn config() -> Vec<RuleConfig> {
@@ -135,6 +142,17 @@ pub fn config() -> Vec<RuleConfig> {
             description: "dbg!/eprintln! in library crates is debug output \
                           that should be removed or routed through a caller",
             include: LIBRARY_SRC,
+            exclude: &[],
+            skip_test_code: true,
+        },
+        RuleConfig {
+            id: "no-hot-alloc",
+            severity: Severity::Error,
+            description: "Vec::new/vec!/.to_vec() on the allocation-free \
+                          serving kernels; take buffers from the Scratch \
+                          arena, or annotate construction-time allocation \
+                          with a reasoned lint:allow",
+            include: HOT_ALLOC_PATHS,
             exclude: &[],
             skip_test_code: true,
         },
@@ -368,6 +386,7 @@ pub fn check_file(ctx: &FileCtx, rules: &[RuleConfig], suppressed: &mut usize) -
             "pool-only-threading" => check_pool_threading(ctx, cfg, &mut raw),
             "determinism" => check_determinism(ctx, cfg, &mut raw),
             "no-debug-leftovers" => check_debug_leftovers(ctx, cfg, &mut raw),
+            "no-hot-alloc" => check_hot_alloc(ctx, cfg, &mut raw),
             "float-eq" => check_float_eq(ctx, cfg, &mut raw),
             other => raw.push(Diagnostic {
                 rule: "lint-config",
@@ -560,6 +579,46 @@ fn check_debug_leftovers(ctx: &FileCtx, cfg: &RuleConfig, out: &mut Vec<Diagnost
                 cfg,
                 a,
                 format!("{}! in library code looks like a debugging leftover", a.text),
+                out,
+            );
+        }
+    }
+}
+
+/// `Vec::new` / `vec![` / `.to_vec()` in the allocation-free kernel files.
+fn check_hot_alloc(ctx: &FileCtx, cfg: &RuleConfig, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.tokens;
+    for w in ctx.code.windows(2) {
+        let (a, b) = (&toks[w[0]], &toks[w[1]]);
+        if a.kind == TokKind::Ident && a.text == "vec" && b.text == "!" {
+            emit(
+                ctx,
+                cfg,
+                a,
+                "vec! allocates on the hot path; take a buffer from the Scratch arena".into(),
+                out,
+            );
+        }
+    }
+    for w in ctx.code.windows(3) {
+        let (a, b, c) = (&toks[w[0]], &toks[w[1]], &toks[w[2]]);
+        if a.text == "Vec" && b.text == "::" && c.text == "new" {
+            emit(
+                ctx,
+                cfg,
+                a,
+                "Vec::new on the hot path grows by reallocating; reuse a caller-owned buffer"
+                    .into(),
+                out,
+            );
+        }
+        if a.text == "." && b.text == "to_vec" && c.text == "(" {
+            emit(
+                ctx,
+                cfg,
+                b,
+                ".to_vec() copies into a fresh allocation; write into a Scratch buffer instead"
+                    .into(),
                 out,
             );
         }

@@ -1,0 +1,9 @@
+// Fixture: three no-hot-alloc violations (lines 3, 4, 5).
+pub fn forward_hot(n: usize, xs: &[f32]) -> Vec<f32> {
+    let mut buf = vec![0.0f32; n];
+    let copy = xs.to_vec();
+    let mut spare: Vec<f32> = Vec::new();
+    spare.extend_from_slice(&copy);
+    buf.extend_from_slice(&spare);
+    buf
+}

@@ -16,12 +16,15 @@ use hisres_tensor::{ParamStore, Tensor};
 use hisres_util::rng::Rng;
 
 /// The convolutional scoring decoder.
+///
+/// Fields are crate-visible so [`crate::fastpath`] can run the same
+/// forward through the allocation-free `_into` kernels.
 pub struct ConvTransE {
-    kernels: Tensor,
-    channels: usize,
-    kernel_width: usize,
-    fc: Linear,
-    dropout: f32,
+    pub(crate) kernels: Tensor,
+    pub(crate) channels: usize,
+    pub(crate) kernel_width: usize,
+    pub(crate) fc: Linear,
+    pub(crate) dropout: f32,
 }
 
 impl ConvTransE {

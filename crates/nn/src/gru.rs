@@ -10,13 +10,16 @@ use hisres_tensor::{ParamStore, Tensor};
 use hisres_util::rng::Rng;
 
 /// A GRU cell `h' = GRU(x, h)` over `[n, dim]` matrices.
+///
+/// Fields are crate-visible so [`crate::fastpath`] can run the same six
+/// linear maps through the allocation-free `_into` kernels.
 pub struct GruCell {
-    wz: Linear,
-    uz: Linear,
-    wr: Linear,
-    ur: Linear,
-    wh: Linear,
-    uh: Linear,
+    pub(crate) wz: Linear,
+    pub(crate) uz: Linear,
+    pub(crate) wr: Linear,
+    pub(crate) ur: Linear,
+    pub(crate) wh: Linear,
+    pub(crate) uh: Linear,
 }
 
 impl GruCell {

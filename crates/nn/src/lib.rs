@@ -21,6 +21,11 @@
 //! * [`SelfGating`] — the adaptive fusion gate (eq. 8–9 and 13–14);
 //! * [`ConvTransE`] — the convolutional decoder (eq. 12).
 //!
+//! The [`fastpath`] module adds allocation-free `no_grad` forwards for the
+//! serving-critical layers ([`Linear`], [`GruCell`], [`ConvTransE`]) over a
+//! [`hisres_tensor::Scratch`] arena; they are `to_bits`-identical to the
+//! autograd forwards.
+//!
 //! All layers register their parameters in a caller-supplied
 //! [`hisres_tensor::ParamStore`] under hierarchical names, take explicit
 //! RNGs for initialisation, and are pure functions of tensors at forward
@@ -30,6 +35,7 @@ pub mod compgcn;
 pub mod convgat;
 pub mod convtranse;
 pub mod embedding;
+pub mod fastpath;
 pub mod gating;
 pub mod gru;
 pub mod linear;

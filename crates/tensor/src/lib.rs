@@ -55,10 +55,12 @@ pub mod init;
 pub mod ndarray;
 pub mod ops;
 pub mod optim;
+pub mod scratch;
 pub mod store;
 pub mod tensor;
 
-pub use ndarray::NdArray;
+pub use ndarray::{blocked_dot, NdArray};
 pub use optim::{clip_grad_norm, Adam, AdamState, Sgd};
+pub use scratch::Scratch;
 pub use store::{CheckpointError, ParamStore};
 pub use tensor::{no_grad, Tensor};

@@ -41,6 +41,17 @@ const PAR_FLOPS_PER_TASK: usize = 16 * 1024;
 /// Minimum elements per task for cheap elementwise kernels.
 const PAR_ELEMS_PER_TASK: usize = 16 * 1024;
 
+/// Cache-tile byte budget for the matmul family: one tile of the streamed
+/// operand is kept L1-resident while every output row that needs it is
+/// updated. 32 KiB matches the common per-core L1d size; the tile shape is
+/// a pure function of the operand shapes (never of the thread count), so
+/// tiling cannot affect determinism.
+const TILE_BYTES: usize = 32 * 1024;
+
+/// Output rows advanced together per kk-tile in [`NdArray::matmul`], so a
+/// resident tile of the right operand is reused across several rows.
+const MM_ROW_TILE: usize = 8;
+
 /// `o[j] += a * b[j]`. Every output element is updated independently, so
 /// the compiler is free to vectorise this loop — and does; a hand-unrolled
 /// version was measured *slower* because the indexed accesses defeat the
@@ -67,13 +78,119 @@ fn dot_serial(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// Hand-written AVX2 forms of the 8-lane kernels, selected at runtime.
+///
+/// The 8 accumulator lanes of [`dot8_scalar`] map onto exactly one 256-bit
+/// register, and `vmulps`/`vaddps` are lane-wise IEEE-754 single-precision
+/// operations — Rust never enables floating-point contraction, so no FMA is
+/// emitted — which makes every lane's accumulation sequence, and therefore
+/// the final bit pattern, identical to the scalar kernel on any CPU. The
+/// scalar fallback stays the source of truth; these only widen the issue.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use std::arch::x86_64::*;
+
+    /// One-time cached CPUID probe for AVX2.
+    #[inline]
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+    }
+
+    /// [`super::dot8_scalar`] with the 8 lanes held in one AVX register.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available ([`available`]) and that
+    /// `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot8(a: &[f32], b: &[f32]) -> f32 {
+        let head = (a.len() / 8) * 8;
+        let mut acc = _mm256_setzero_ps();
+        for o in (0..head).step_by(8) {
+            // SAFETY: o + 8 <= head <= a.len() == b.len().
+            let av = unsafe { _mm256_loadu_ps(a.as_ptr().add(o)) };
+            let bv = unsafe { _mm256_loadu_ps(b.as_ptr().add(o)) };
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+        }
+        let mut l = [0.0f32; 8];
+        // SAFETY: `l` is exactly 8 f32s.
+        unsafe { _mm256_storeu_ps(l.as_mut_ptr(), acc) };
+        let mut tail = 0.0f32;
+        for (&av, &bv) in a[head..].iter().zip(&b[head..]) {
+            tail += av * bv;
+        }
+        ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7])) + tail
+    }
+
+    /// [`super::dot8_x4_scalar`] on AVX registers: four accumulator
+    /// vectors sharing each `a` load. Same bit-identity argument as
+    /// [`dot8`].
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available ([`available`]) and that all
+    /// five slices have equal length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot8_x4(
+        a: &[f32],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) -> [f32; 4] {
+        let head = (a.len() / 8) * 8;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        for o in (0..head).step_by(8) {
+            // SAFETY: o + 8 <= head <= the common slice length.
+            unsafe {
+                let av = _mm256_loadu_ps(a.as_ptr().add(o));
+                let b0v = _mm256_loadu_ps(b0.as_ptr().add(o));
+                let b1v = _mm256_loadu_ps(b1.as_ptr().add(o));
+                let b2v = _mm256_loadu_ps(b2.as_ptr().add(o));
+                let b3v = _mm256_loadu_ps(b3.as_ptr().add(o));
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, b0v));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, b1v));
+                acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(av, b2v));
+                acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(av, b3v));
+            }
+        }
+        let reduce = |acc: __m256, b: &[f32]| {
+            let mut l = [0.0f32; 8];
+            // SAFETY: `l` is exactly 8 f32s.
+            unsafe { _mm256_storeu_ps(l.as_mut_ptr(), acc) };
+            let mut tail = 0.0f32;
+            for (&av, &bv) in a[head..].iter().zip(&b[head..]) {
+                tail += av * bv;
+            }
+            ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7])) + tail
+        };
+        [reduce(acc0, b0), reduce(acc1, b1), reduce(acc2, b2), reduce(acc3, b3)]
+    }
+}
+
 /// Dot product with 8 independent accumulator lanes combined in a fixed
 /// pairwise order. The lane blocking is a compile-time constant, so the
 /// summation tree — and therefore the result bit pattern — is the same on
 /// every thread count and every call; it does differ from [`dot_serial`],
-/// which is why it is only used in inference (`no_grad`) mode.
+/// which is why it is only used in inference (`no_grad`) mode. Dispatches
+/// to the bit-identical AVX2 form of the same tree when the CPU has it.
 #[inline]
 fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot8 operand lengths");
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        // SAFETY: AVX2 probed above; lengths asserted equal.
+        return unsafe { avx::dot8(a, b) };
+    }
+    dot8_scalar(a, b)
+}
+
+/// Portable form of [`dot8`]; the source of truth for its bit pattern.
+#[inline]
+fn dot8_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; 8];
     let chunks = a.len() / 8;
@@ -95,6 +212,66 @@ fn dot8(a: &[f32], b: &[f32]) -> f32 {
         tail += av * bv;
     }
     ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// Four [`dot8`] products sharing one left row: `a·b0, a·b1, a·b2, a·b3`.
+/// Each output uses `dot8`'s exact lane assignment and reduction tree, so
+/// every element is bit-identical to calling [`dot8`] four times; fusing
+/// only shares the `a` loads across four independent accumulator groups,
+/// turning the latency-bound single-dot chain into four chains that keep
+/// the FMA ports busy — the decoder's `d×|E|` sweep is where this pays.
+#[inline]
+fn dot8_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    assert!(
+        b0.len() == a.len() && b1.len() == a.len() && b2.len() == a.len() && b3.len() == a.len(),
+        "dot8_x4 operand lengths"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        // SAFETY: AVX2 probed above; lengths asserted equal.
+        return unsafe { avx::dot8_x4(a, b0, b1, b2, b3) };
+    }
+    dot8_x4_scalar(a, b0, b1, b2, b3)
+}
+
+/// Portable form of [`dot8_x4`]; the source of truth for its bit pattern.
+#[inline]
+fn dot8_x4_scalar(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut acc0 = [0.0f32; 8];
+    let mut acc1 = [0.0f32; 8];
+    let mut acc2 = [0.0f32; 8];
+    let mut acc3 = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    let head = chunks * 8;
+    for (i, av) in a[..head].chunks_exact(8).enumerate() {
+        let o = i * 8;
+        let (bv0, bv1) = (&b0[o..o + 8], &b1[o..o + 8]);
+        let (bv2, bv3) = (&b2[o..o + 8], &b3[o..o + 8]);
+        for j in 0..8 {
+            acc0[j] += av[j] * bv0[j];
+            acc1[j] += av[j] * bv1[j];
+            acc2[j] += av[j] * bv2[j];
+            acc3[j] += av[j] * bv3[j];
+        }
+    }
+    let reduce = |acc: &[f32; 8], b: &[f32]| {
+        let mut tail = 0.0f32;
+        for (&av, &bv) in a[head..].iter().zip(&b[head..]) {
+            tail += av * bv;
+        }
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+    };
+    [reduce(&acc0, b0), reduce(&acc1, b1), reduce(&acc2, b2), reduce(&acc3, b3)]
+}
+
+/// The 8-lane blocked dot product used by the inference (`no_grad`) path of
+/// [`NdArray::matmul_nt`], exported so higher layers (the top-k
+/// short-circuit scorer in `hisres-core`) can score individual candidate
+/// rows with the **exact same summation tree** — `to_bits`-identical to a
+/// full `matmul_nt` of the same operands.
+#[inline]
+pub fn blocked_dot(a: &[f32], b: &[f32]) -> f32 {
+    dot8(a, b)
 }
 
 /// A dense, contiguous, row-major `f32` matrix.
@@ -257,17 +434,23 @@ impl NdArray {
         self
     }
 
-    /// Out-of-place transpose.
+    /// Out-of-place transpose (append-built: sequential writes, strided
+    /// reads — no redundant zero-fill).
     pub fn transpose(&self) -> NdArray {
         let (r, c) = self.shape;
-        let mut out = NdArray::zeros(c, r);
-        for i in 0..r {
-            let row = self.row(i);
-            for (j, &v) in row.iter().enumerate() {
-                out.data[j * r + i] = v;
+        let mut data = Vec::with_capacity(r * c);
+        for j in 0..c {
+            for i in 0..r {
+                data.push(self.data[i * c + j]);
             }
         }
-        out
+        NdArray { shape: (c, r), data }
+    }
+
+    /// Overwrites `self` with the contents of an identically-shaped `src`.
+    pub fn copy_from(&mut self, src: &NdArray) {
+        assert_eq!(self.shape, src.shape, "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Applies `f` elementwise out of place; chunk-parallel for large
@@ -281,6 +464,32 @@ impl NdArray {
             }
         });
         out
+    }
+
+    /// Applies `f` elementwise into a caller-owned identically-shaped
+    /// buffer — the `_into` form of [`NdArray::map`], bit-identical to it
+    /// (elementwise, so the partition cannot matter). Every element of
+    /// `out` is overwritten.
+    pub fn map_into(&self, out: &mut NdArray, f: impl Fn(f32) -> f32 + Sync) {
+        assert_eq!(self.shape, out.shape, "map_into shape mismatch");
+        pool::current().par_chunks_mut(&mut out.data, 1, PAR_ELEMS_PER_TASK, |off, chunk| {
+            let len = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&self.data[off..off + len]) {
+                *o = f(v);
+            }
+        });
+    }
+
+    /// `self[i] = f(self[i], other[i])` elementwise — the in-place form of
+    /// [`NdArray::zip`], bit-identical to it.
+    pub fn zip_assign(&mut self, other: &NdArray, f: impl Fn(f32, f32) -> f32 + Sync) {
+        assert_eq!(self.shape, other.shape, "zip_assign shape mismatch");
+        pool::current().par_chunks_mut(&mut self.data, 1, PAR_ELEMS_PER_TASK, |off, chunk| {
+            let len = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+                *a = f(*a, b);
+            }
+        });
     }
 
     /// Applies `f` elementwise in place.
@@ -353,33 +562,66 @@ impl NdArray {
 
     /// Matrix product `self · other` (`[n,k] · [k,m] → [n,m]`), cache-blocked
     /// `ikj` ordering so the inner loop is a contiguous unrolled axpy;
-    /// row-partitioned across the worker pool for large shapes.
+    /// row-partitioned across the worker pool for large shapes and kk-tiled
+    /// inside each task so a block of `other` stays L1-resident.
     pub fn matmul(&self, other: &NdArray) -> NdArray {
-        let (n, k) = self.shape;
+        let (n, _) = self.shape;
+        let (_, m) = other.shape;
+        let mut out = NdArray::zeros(n, m);
+        self.matmul_impl(other, &mut out);
+        out
+    }
+
+    /// [`NdArray::matmul`] writing into a caller-owned `[n, m]` buffer
+    /// (zero-filled here first — the kernel accumulates). The result is
+    /// bit-identical to the allocating version.
+    pub fn matmul_into(&self, other: &NdArray, out: &mut NdArray) {
+        assert_eq!(out.shape, (self.shape.0, other.shape.1), "matmul_into output shape");
+        out.fill_zero();
+        self.matmul_impl(other, out);
+    }
+
+    /// Accumulating matmul kernel over a pre-zeroed output.
+    ///
+    /// Tiled `(row-tile × kk-tile)`: within each pool chunk, [`MM_ROW_TILE`]
+    /// output rows advance through the kk range one L1-sized tile of `other`
+    /// at a time. For every output row the kk order is still strictly
+    /// ascending (tiles ascend, indices within a tile ascend), so the
+    /// per-element accumulation order — and the result bit pattern — is
+    /// identical to the untiled serial kernel in both grad and no-grad mode.
+    fn matmul_impl(&self, other: &NdArray, out: &mut NdArray) {
+        let (_, k) = self.shape;
         let (k2, m) = other.shape;
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let mut out = NdArray::zeros(n, m);
         if out.data.is_empty() {
-            return out;
+            return;
         }
         // Skipping zero left-operand entries is a big win for the one-hot
         // rows message passing produces, but `0 × NaN`/`0 × Inf` must stay
         // NaN for the divergence guards — so the fast path is only taken
         // when the right operand is known finite.
         let skip_zeros = !other.has_non_finite();
+        let kk_tile = (TILE_BYTES / 4 / m.max(1)).clamp(1, k.max(1));
         let min_rows = PAR_FLOPS_PER_TASK.div_ceil(k * m + 1).max(1);
         pool::current().par_chunks_mut(&mut out.data, m, min_rows, |row0, chunk| {
-            for (ri, o_row) in chunk.chunks_exact_mut(m).enumerate() {
-                let a_row = self.row(row0 + ri);
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if skip_zeros && a == 0.0 { // lint:allow(float-eq): bitwise zero-skip keeps the blocked dot identical to the serial kernel
-                        continue;
+            let rows = chunk.len() / m;
+            for r0 in (0..rows).step_by(MM_ROW_TILE) {
+                let r1 = (r0 + MM_ROW_TILE).min(rows);
+                for kk0 in (0..k).step_by(kk_tile) {
+                    let kk1 = (kk0 + kk_tile).min(k);
+                    for ri in r0..r1 {
+                        let o_row = &mut chunk[ri * m..(ri + 1) * m];
+                        let a_row = self.row(row0 + ri);
+                        for (kt, &a) in a_row[kk0..kk1].iter().enumerate() {
+                            if skip_zeros && a == 0.0 { // lint:allow(float-eq): bitwise zero-skip keeps the blocked dot identical to the serial kernel
+                                continue;
+                            }
+                            axpy8(o_row, a, other.row(kk0 + kt));
+                        }
                     }
-                    axpy8(o_row, a, other.row(kk));
                 }
             }
         });
-        out
     }
 
     /// Matrix product against a transposed right operand:
@@ -387,12 +629,38 @@ impl NdArray {
     /// row-wise, which is the cache-optimal layout for scoring a batch of
     /// query vectors against an embedding table.
     pub fn matmul_nt(&self, other: &NdArray) -> NdArray {
-        let (n, k) = self.shape;
+        let (n, _) = self.shape;
+        let (m, _) = other.shape;
+        let mut out = NdArray::zeros(n, m);
+        self.matmul_nt_impl(other, &mut out);
+        out
+    }
+
+    /// [`NdArray::matmul_nt`] writing into a caller-owned `[n, m]` buffer.
+    /// Every output element is fully overwritten, so the buffer is *not*
+    /// zero-filled first — this is the allocation- and fill-free form of
+    /// the decoder's scoring step. Bit-identical to the allocating version.
+    pub fn matmul_nt_into(&self, other: &NdArray, out: &mut NdArray) {
+        assert_eq!(out.shape, (self.shape.0, other.shape.0), "matmul_nt_into output shape");
+        self.matmul_nt_impl(other, out);
+    }
+
+    /// `self · otherᵀ` kernel, overwriting `out`.
+    ///
+    /// Tiled over the rows of `other` (the `|E|`-row embedding table in the
+    /// decoder): an L1-sized block of table rows is scored against every
+    /// query row of the chunk before moving on, so the table streams from
+    /// memory **once per call** instead of once per query row. Each output
+    /// element is still one complete dot product of the same two rows —
+    /// tiling only reorders which elements are computed when — so results
+    /// are bit-identical to the untiled kernel in both grad and no-grad
+    /// mode.
+    fn matmul_nt_impl(&self, other: &NdArray, out: &mut NdArray) {
+        let (_, k) = self.shape;
         let (m, k2) = other.shape;
         assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
-        let mut out = NdArray::zeros(n, m);
         if out.data.is_empty() {
-            return out;
+            return;
         }
         // Inference (`no_grad`) takes the 8-lane blocked dot; while gradients
         // are recorded we keep the historical serial summation order so the
@@ -400,17 +668,39 @@ impl NdArray {
         // mode is captured on the dispatching thread before fan-out, so all
         // tasks of one call agree regardless of the partition.
         let blocked = !crate::tensor::grad_enabled();
+        let j_tile = (TILE_BYTES / 4 / k.max(1)).clamp(8, m.max(8));
         let min_rows = PAR_FLOPS_PER_TASK.div_ceil(k * m + 1).max(1);
         pool::current().par_chunks_mut(&mut out.data, m, min_rows, |row0, chunk| {
-            for (ri, o_row) in chunk.chunks_exact_mut(m).enumerate() {
-                let a_row = self.row(row0 + ri);
-                for (j, o) in o_row.iter_mut().enumerate() {
-                    let b_row = other.row(j);
-                    *o = if blocked { dot8(a_row, b_row) } else { dot_serial(a_row, b_row) };
+            for j0 in (0..m).step_by(j_tile) {
+                let j1 = (j0 + j_tile).min(m);
+                for (ri, o_row) in chunk.chunks_exact_mut(m).enumerate() {
+                    let a_row = self.row(row0 + ri);
+                    if blocked {
+                        // Register-blocked: four table rows per step, each
+                        // output still its own dot8 tree (bit-identical).
+                        let mut j = j0;
+                        while j + 4 <= j1 {
+                            let d = dot8_x4(
+                                a_row,
+                                other.row(j),
+                                other.row(j + 1),
+                                other.row(j + 2),
+                                other.row(j + 3),
+                            );
+                            o_row[j..j + 4].copy_from_slice(&d);
+                            j += 4;
+                        }
+                        for (o, jj) in o_row[j..j1].iter_mut().zip(j..j1) {
+                            *o = dot8(a_row, other.row(jj));
+                        }
+                    } else {
+                        for (o, j) in o_row[j0..j1].iter_mut().zip(j0..j1) {
+                            *o = dot_serial(a_row, other.row(j));
+                        }
+                    }
                 }
             }
         });
-        out
     }
 
     /// Matrix product with a transposed *left* operand:
@@ -449,10 +739,22 @@ impl NdArray {
     /// Gathers rows by index: `out[i] = self[idx[i]]`; output-row
     /// partitioned across the pool for large gathers.
     pub fn gather_rows(&self, idx: &[u32]) -> NdArray {
+        let mut out = NdArray::zeros(idx.len(), self.cols());
+        self.gather_rows_impl(idx, &mut out);
+        out
+    }
+
+    /// [`NdArray::gather_rows`] writing into a caller-owned
+    /// `[idx.len(), cols]` buffer; every row is fully overwritten.
+    pub fn gather_rows_into(&self, idx: &[u32], out: &mut NdArray) {
+        assert_eq!(out.shape, (idx.len(), self.cols()), "gather_rows_into output shape");
+        self.gather_rows_impl(idx, out);
+    }
+
+    fn gather_rows_impl(&self, idx: &[u32], out: &mut NdArray) {
         let c = self.cols();
-        let mut out = NdArray::zeros(idx.len(), c);
         if out.data.is_empty() {
-            return out;
+            return;
         }
         let min_rows = PAR_ELEMS_PER_TASK.div_ceil(c).max(1);
         pool::current().par_chunks_mut(&mut out.data, c, min_rows, |row0, chunk| {
@@ -460,7 +762,6 @@ impl NdArray {
                 o_row.copy_from_slice(self.row(idx[row0 + ri] as usize));
             }
         });
-        out
     }
 
     /// Scatter-add of rows: `out[idx[i]] += self[i]`, with `out` having
@@ -481,7 +782,9 @@ impl NdArray {
         out
     }
 
-    /// Horizontal concatenation of matrices with equal row counts.
+    /// Horizontal concatenation of matrices with equal row counts. The
+    /// buffer is built by appending (no zero-fill-then-overwrite): every
+    /// element is written exactly once, in row-major output order.
     pub fn concat_cols(parts: &[&NdArray]) -> NdArray {
         assert!(!parts.is_empty());
         let rows = parts[0].rows();
@@ -489,27 +792,24 @@ impl NdArray {
             assert_eq!(p.rows(), rows, "concat_cols row mismatch");
         }
         let cols: usize = parts.iter().map(|p| p.cols()).sum();
-        let mut out = NdArray::zeros(rows, cols);
+        let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
-            let dst = out.row_mut(i);
-            let mut off = 0;
             for p in parts {
-                let pc = p.cols();
-                dst[off..off + pc].copy_from_slice(p.row(i));
-                off += pc;
+                data.extend_from_slice(p.row(i));
             }
         }
-        out
+        NdArray { shape: (rows, cols), data }
     }
 
-    /// Copies the column range `[from, to)` of every row.
+    /// Copies the column range `[from, to)` of every row (append-built, no
+    /// redundant zero-fill).
     pub fn slice_cols(&self, from: usize, to: usize) -> NdArray {
         assert!(from <= to && to <= self.cols(), "slice_cols range");
-        let mut out = NdArray::zeros(self.rows(), to - from);
+        let mut data = Vec::with_capacity(self.rows() * (to - from));
         for i in 0..self.rows() {
-            out.row_mut(i).copy_from_slice(&self.row(i)[from..to]);
+            data.extend_from_slice(&self.row(i)[from..to]);
         }
-        out
+        NdArray { shape: (self.rows(), to - from), data }
     }
 
     /// Mean over rows → `[1, cols]`.
@@ -547,6 +847,34 @@ impl NdArray {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The dispatching `dot8`/`dot8_x4` (AVX2 where the CPU has it) must be
+    /// `to_bits`-identical to the portable scalar kernels on every length,
+    /// including ragged tails and the empty slice — the whole no-grad
+    /// bit-stability story rests on this equivalence.
+    #[test]
+    fn simd_dot_kernels_match_scalar_bits() {
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 40) as f32 / 8388608.0 - 1.0
+        };
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 65, 127] {
+            let a: Vec<f32> = (0..len).map(|_| next()).collect();
+            let bs: Vec<Vec<f32>> = (0..4).map(|_| (0..len).map(|_| next()).collect()).collect();
+            for b in &bs {
+                assert_eq!(dot8(&a, b).to_bits(), dot8_scalar(&a, b).to_bits(), "len {len}");
+            }
+            let fused = dot8_x4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            let fused_scalar = dot8_x4_scalar(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for k in 0..4 {
+                assert_eq!(fused[k].to_bits(), dot8_scalar(&a, &bs[k]).to_bits(), "len {len}");
+                assert_eq!(fused[k].to_bits(), fused_scalar[k].to_bits(), "len {len}");
+            }
+        }
+    }
 
     #[test]
     fn from_vec_1d_becomes_row() {
@@ -671,6 +999,58 @@ mod tests {
         let table = NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.5, -6.25], &[3, 2]);
         let c = onehot.matmul(&table);
         assert_eq!(c.as_slice(), &[5.5, -6.25]);
+    }
+
+    #[test]
+    fn matmul_into_matches_allocating_even_with_dirty_buffer() {
+        let a = NdArray::from_vec((0..12).map(|v| v as f32 * 0.25 - 1.0).collect(), &[3, 4]);
+        let b = NdArray::from_vec((0..20).map(|v| (v as f32).sin()).collect(), &[4, 5]);
+        let want = a.matmul(&b);
+        let mut out = NdArray::full(3, 5, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn matmul_nt_into_matches_allocating_even_with_dirty_buffer() {
+        let a = NdArray::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[3, 4]);
+        let b = NdArray::from_vec((0..28).map(|v| (v as f32).cos()).collect(), &[7, 4]);
+        let want = a.matmul_nt(&b);
+        let mut out = NdArray::full(3, 7, -999.0);
+        a.matmul_nt_into(&b, &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn gather_rows_into_matches_allocating() {
+        let a = NdArray::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]);
+        let idx = [3u32, 0, 3, 1];
+        let want = a.gather_rows(&idx);
+        let mut out = NdArray::full(4, 3, f32::INFINITY);
+        a.gather_rows_into(&idx, &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn map_into_and_zip_assign_match_out_of_place() {
+        let a = NdArray::from_vec(vec![-1.0, 0.5, 2.0, -3.0], &[2, 2]);
+        let b = NdArray::from_vec(vec![4.0, -2.0, 0.25, 1.0], &[2, 2]);
+        let mut out = NdArray::full(2, 2, f32::NAN);
+        a.map_into(&mut out, |x| x * x + 1.0);
+        assert_eq!(out, a.map(|x| x * x + 1.0));
+        let mut c = a.clone();
+        c.zip_assign(&b, |x, y| x * y - 1.0);
+        assert_eq!(c, a.zip(&b, |x, y| x * y - 1.0));
+    }
+
+    #[test]
+    fn blocked_dot_matches_no_grad_matmul_nt_cell() {
+        let a: Vec<f32> = (0..37).map(|v| (v as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|v| (v as f32 * 0.7).cos()).collect();
+        let am = NdArray::from_vec(a.clone(), &[1, 37]);
+        let bm = NdArray::from_vec(b.clone(), &[1, 37]);
+        let full = crate::tensor::no_grad(|| am.matmul_nt(&bm));
+        assert_eq!(blocked_dot(&a, &b).to_bits(), full.get(0, 0).to_bits());
     }
 
     #[test]

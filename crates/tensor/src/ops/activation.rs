@@ -8,16 +8,65 @@
 //! the randomised slope is a regulariser whose expectation this matches,
 //! and determinism keeps every experiment exactly reproducible.
 
+use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
 
 /// The deterministic slope used by [`Tensor::rrelu`]: the expectation of
 /// PyTorch's default RReLU slope range `U(1/8, 1/3)`.
 pub const RRELU_SLOPE: f32 = (1.0 / 8.0 + 1.0 / 3.0) / 2.0;
 
+/// Scalar sigmoid shared by the autograd op and the `_into` kernel, so the
+/// two paths are `to_bits`-identical by construction.
+#[inline]
+fn sigmoid_scalar(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Scalar leaky-ReLU shared by the autograd op and the `_into` kernel.
+#[inline]
+fn leaky_relu_scalar(v: f32, slope: f32) -> f32 {
+    if v >= 0.0 {
+        v
+    } else {
+        slope * v
+    }
+}
+
+impl NdArray {
+    /// Elementwise logistic sigmoid into a caller-owned buffer —
+    /// bit-identical to the value [`Tensor::sigmoid`] produces.
+    pub fn sigmoid_into(&self, out: &mut NdArray) {
+        self.map_into(out, sigmoid_scalar);
+    }
+
+    /// Elementwise `tanh` into a caller-owned buffer — bit-identical to the
+    /// value [`Tensor::tanh_act`] produces.
+    pub fn tanh_into(&self, out: &mut NdArray) {
+        self.map_into(out, |x| x.tanh());
+    }
+
+    /// In-place logistic sigmoid — bit-identical to [`Tensor::sigmoid`]'s
+    /// value (elementwise, same scalar function).
+    pub fn sigmoid_inplace(&mut self) {
+        self.map_inplace(sigmoid_scalar);
+    }
+
+    /// In-place `tanh` — bit-identical to [`Tensor::tanh_act`]'s value.
+    pub fn tanh_inplace(&mut self) {
+        self.map_inplace(|x| x.tanh());
+    }
+
+    /// In-place deterministic RReLU ([`RRELU_SLOPE`]) — bit-identical to
+    /// the value [`Tensor::rrelu`] produces.
+    pub fn rrelu_inplace(&mut self) {
+        self.map_inplace(|v| leaky_relu_scalar(v, RRELU_SLOPE));
+    }
+}
+
 impl Tensor {
     /// Logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(&self) -> Tensor {
-        let y = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let y = self.value().map(sigmoid_scalar);
         let saved = y.clone();
         Tensor::from_op(y, vec![self.clone()], move |g| {
             vec![Some(g.zip(&saved, |gv, yv| gv * yv * (1.0 - yv)))]
@@ -41,7 +90,7 @@ impl Tensor {
     /// Leaky ReLU with negative-side `slope`.
     pub fn leaky_relu(&self, slope: f32) -> Tensor {
         let x = self.value_clone();
-        let y = x.map(|v| if v >= 0.0 { v } else { slope * v });
+        let y = x.map(|v| leaky_relu_scalar(v, slope));
         Tensor::from_op(y, vec![self.clone()], move |g| {
             vec![Some(g.zip(&x, |gv, xv| if xv >= 0.0 { gv } else { gv * slope }))]
         })
@@ -110,6 +159,30 @@ mod tests {
         let a = t(vec![-1.0]);
         let y = a.rrelu();
         assert!((y.value().item() + RRELU_SLOPE).abs() < 1e-6);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_tensor_ops() {
+        let vals = vec![-2.5, -0.1, 0.0, 0.3, 1.7, 42.0];
+        let x = NdArray::from_vec(vals.clone(), &[2, 3]);
+        let t = Tensor::constant(x.clone());
+
+        let mut out = NdArray::full(2, 3, f32::NAN);
+        x.sigmoid_into(&mut out);
+        for (a, b) in out.as_slice().iter().zip(t.sigmoid().value().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        x.tanh_into(&mut out);
+        for (a, b) in out.as_slice().iter().zip(t.tanh_act().value().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let mut r = x.clone();
+        r.rrelu_inplace();
+        for (a, b) in r.as_slice().iter().zip(t.rrelu().value().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

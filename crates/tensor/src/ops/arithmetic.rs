@@ -3,6 +3,31 @@
 use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
 
+impl NdArray {
+    /// Broadcast-adds a `[1, d]` bias row to every row of `self` in place —
+    /// the same element order [`Tensor::add_row`] uses (clone, then per-row
+    /// in-place add), so `x.clone()` + `add_row_assign` is bit-identical to
+    /// the autograd op's value.
+    pub fn add_row_assign(&mut self, bias: &NdArray) {
+        assert_eq!(bias.rows(), 1, "add_row_assign expects a [1, d] bias");
+        assert_eq!(bias.cols(), self.cols(), "add_row_assign width mismatch");
+        for i in 0..self.rows() {
+            let row = self.row_mut(i);
+            for (o, &bv) in row.iter_mut().zip(bias.as_slice()) {
+                *o += bv;
+            }
+        }
+    }
+
+    /// [`NdArray::add_row_assign`] writing into a caller-owned buffer:
+    /// `out = self`, then `out[i][j] += bias[j]`. Bit-identical to
+    /// [`Tensor::add_row`]'s value.
+    pub fn add_row_into(&self, bias: &NdArray, out: &mut NdArray) {
+        out.copy_from(self);
+        out.add_row_assign(bias);
+    }
+}
+
 impl Tensor {
     /// Elementwise `self + other` (identical shapes).
     pub fn add(&self, other: &Tensor) -> Tensor {
@@ -58,12 +83,7 @@ impl Tensor {
         assert_eq!(b.rows(), 1, "add_row expects a [1, d] bias");
         assert_eq!(b.cols(), x.cols(), "add_row width mismatch");
         let mut out = x.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            for (o, &bv) in row.iter_mut().zip(b.as_slice()) {
-                *o += bv;
-            }
-        }
+        out.add_row_assign(&b);
         drop((x, b));
         Tensor::from_op(out, vec![self.clone(), bias.clone()], |g| {
             let mut gb = NdArray::zeros(1, g.cols());

@@ -11,6 +11,42 @@ use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
 use std::rc::Rc;
 
+impl NdArray {
+    /// Dense row-wise softmax into a caller-owned identically-shaped
+    /// buffer. This is the forward kernel of [`Tensor::softmax_rows`]
+    /// (which calls it), so the two are bit-identical by construction:
+    /// each row's max/exp/sum/divide sequence runs entirely within one
+    /// task in serial order. Every element of `out` is overwritten.
+    pub fn softmax_rows_into(&self, out: &mut NdArray) {
+        assert_eq!(self.shape(), out.shape(), "softmax_rows_into shape mismatch");
+        let (_, c) = self.shape();
+        if out.is_empty() {
+            return;
+        }
+        let min_rows = (16 * 1024usize).div_ceil(c + 1).max(1);
+        hisres_util::pool::current().par_chunks_mut(
+            out.as_mut_slice(),
+            c,
+            min_rows,
+            |row0, chunk| {
+                for (ri, orow) in chunk.chunks_exact_mut(c).enumerate() {
+                    let row = self.row(row0 + ri);
+                    let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for (o, &v) in orow.iter_mut().zip(row) {
+                        let e = (v - mx).exp();
+                        *o = e;
+                        sum += e;
+                    }
+                    for o in orow.iter_mut() {
+                        *o /= sum;
+                    }
+                }
+            },
+        );
+    }
+}
+
 impl Tensor {
     /// Softmax of `self` (`[m, 1]` scores, one per edge) within segments:
     /// `out[i] = exp(s[i]) / Σ_{j : seg[j] == seg[i]} exp(s[j])`.
@@ -71,30 +107,7 @@ impl Tensor {
         let x = self.value();
         let (n, c) = x.shape();
         let mut out = NdArray::zeros(n, c);
-        if !out.is_empty() {
-            let x_ref: &NdArray = &x;
-            let min_rows = (16 * 1024usize).div_ceil(c + 1).max(1);
-            hisres_util::pool::current().par_chunks_mut(
-                out.as_mut_slice(),
-                c,
-                min_rows,
-                |row0, chunk| {
-                    for (ri, orow) in chunk.chunks_exact_mut(c).enumerate() {
-                        let row = x_ref.row(row0 + ri);
-                        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                        let mut sum = 0.0;
-                        for (o, &v) in orow.iter_mut().zip(row) {
-                            let e = (v - mx).exp();
-                            *o = e;
-                            sum += e;
-                        }
-                        for o in orow.iter_mut() {
-                            *o /= sum;
-                        }
-                    }
-                },
-            );
-        }
+        x.softmax_rows_into(&mut out);
         drop(x);
         let saved = out.clone();
         Tensor::from_op(out, vec![self.clone()], move |g| {

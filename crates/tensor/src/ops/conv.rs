@@ -9,6 +9,58 @@
 use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
 
+impl NdArray {
+    /// Same-padded 1-D convolution into a caller-owned `[b, c_out * l]`
+    /// buffer. This is the forward kernel of [`Tensor::conv1d_same`]
+    /// (which calls it), so the two are bit-identical by construction.
+    /// Every output element is overwritten (each position's accumulator is
+    /// computed from scratch), so the buffer needs no zero-fill.
+    pub fn conv1d_same_into(&self, weight: &NdArray, c_in: usize, k: usize, out: &mut NdArray) {
+        assert!(k % 2 == 1, "conv1d_same requires odd kernel width, got {k}");
+        let (b, ctl) = self.shape();
+        assert!(c_in > 0 && ctl % c_in == 0, "input width {ctl} not divisible by c_in {c_in}");
+        let l = ctl / c_in;
+        let (c_out, wk) = weight.shape();
+        assert_eq!(wk, c_in * k, "kernel bank width");
+        assert_eq!(out.shape(), (b, c_out * l), "conv1d_same_into output shape");
+        let pad = k / 2;
+        if out.is_empty() {
+            return;
+        }
+        // Batch-row parallel: each output row depends only on its own
+        // input row, so the partition cannot change results.
+        let row_flops = c_out * l * c_in * k;
+        let min_rows = (16 * 1024usize).div_ceil(row_flops + 1).max(1);
+        hisres_util::pool::current().par_chunks_mut(
+            out.as_mut_slice(),
+            c_out * l,
+            min_rows,
+            |row0, chunk| {
+                for (ri, orow) in chunk.chunks_exact_mut(c_out * l).enumerate() {
+                    let xrow = self.row(row0 + ri);
+                    for co in 0..c_out {
+                        let wrow = weight.row(co);
+                        for pos in 0..l {
+                            let mut acc = 0.0;
+                            for ci in 0..c_in {
+                                let xc = &xrow[ci * l..(ci + 1) * l];
+                                let wc = &wrow[ci * k..(ci + 1) * k];
+                                for (kk, &wv) in wc.iter().enumerate() {
+                                    let ip = pos + kk;
+                                    if ip >= pad && ip - pad < l {
+                                        acc += wv * xc[ip - pad];
+                                    }
+                                }
+                            }
+                            orow[co * l + pos] = acc;
+                        }
+                    }
+                }
+            },
+        );
+    }
+}
+
 impl Tensor {
     /// Same-padded 1-D convolution.
     ///
@@ -16,52 +68,14 @@ impl Tensor {
     /// * `weight`: `[c_out, c_in * k]` kernel bank (`k` odd)
     /// * returns `[b, c_out * l]`
     pub fn conv1d_same(&self, weight: &Tensor, c_in: usize, k: usize) -> Tensor {
-        assert!(k % 2 == 1, "conv1d_same requires odd kernel width, got {k}");
         let x = self.value();
         let w = weight.value();
         let (b, ctl) = x.shape();
         assert!(c_in > 0 && ctl % c_in == 0, "input width {ctl} not divisible by c_in {c_in}");
         let l = ctl / c_in;
-        let (c_out, wk) = w.shape();
-        assert_eq!(wk, c_in * k, "kernel bank width");
-        let pad = k / 2;
-
+        let (c_out, _) = w.shape();
         let mut out = NdArray::zeros(b, c_out * l);
-        // Forward pass is batch-row parallel: each output row depends only
-        // on its own input row, so the partition cannot change results.
-        if !out.is_empty() {
-            let x_ref: &NdArray = &x;
-            let w_ref: &NdArray = &w;
-            let row_flops = c_out * l * c_in * k;
-            let min_rows = (16 * 1024usize).div_ceil(row_flops + 1).max(1);
-            hisres_util::pool::current().par_chunks_mut(
-                out.as_mut_slice(),
-                c_out * l,
-                min_rows,
-                |row0, chunk| {
-                    for (ri, orow) in chunk.chunks_exact_mut(c_out * l).enumerate() {
-                        let xrow = x_ref.row(row0 + ri);
-                        for co in 0..c_out {
-                            let wrow = w_ref.row(co);
-                            for pos in 0..l {
-                                let mut acc = 0.0;
-                                for ci in 0..c_in {
-                                    let xc = &xrow[ci * l..(ci + 1) * l];
-                                    let wc = &wrow[ci * k..(ci + 1) * k];
-                                    for (kk, &wv) in wc.iter().enumerate() {
-                                        let ip = pos + kk;
-                                        if ip >= pad && ip - pad < l {
-                                            acc += wv * xc[ip - pad];
-                                        }
-                                    }
-                                }
-                                orow[co * l + pos] = acc;
-                            }
-                        }
-                    }
-                },
-            );
-        }
+        x.conv1d_same_into(&w, c_in, k, &mut out);
         drop((x, w));
         let (xs, ws) = (self.clone(), weight.clone());
         Tensor::from_op(out, vec![self.clone(), weight.clone()], move |g| {

@@ -1,0 +1,113 @@
+//! A size-keyed scratch arena for allocation-free no-grad kernels.
+//!
+//! The serving hot path (encoder advance → decoder query → score) runs the
+//! same tensor shapes on every call. [`Scratch`] keeps the buffers of one
+//! call alive for the next: [`Scratch::take`] checks a buffer out of a pool
+//! keyed by exact element count (allocating only on a pool miss) and
+//! [`Scratch::give`] returns it. After one warmup call every `take` is a
+//! pool hit, so the steady state performs **zero heap allocations** — the
+//! property `crates/core/tests/alloc_free.rs` pins with a counting global
+//! allocator.
+//!
+//! Checked-out buffers contain **stale data** from their previous use; every
+//! `_into` kernel either fully overwrites its output or (like
+//! [`NdArray::matmul_into`]) zero-fills it first, so callers never observe
+//! the garbage. The arena is deliberately not `Sync`: each serving worker
+//! owns its own `Scratch`, mirroring the thread-confined autograd tape.
+//!
+//! The pools use `BTreeMap`, not `HashMap`: the grad-path determinism lint
+//! bans hash-ordered collections throughout `crates/tensor`, and the handful
+//! of distinct sizes per model makes the tree lookup free in practice.
+
+use crate::ndarray::NdArray;
+use std::collections::BTreeMap;
+
+/// A reusable pool of `f32` buffers keyed by exact element count.
+#[derive(Default)]
+pub struct Scratch {
+    pools: BTreeMap<usize, Vec<Vec<f32>>>,
+    misses: u64,
+}
+
+impl Scratch {
+    /// An empty arena; every pool fills lazily on first [`Scratch::give`].
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Checks a `[rows, cols]` buffer out of the arena. On a pool hit the
+    /// returned array holds **stale values** from its previous use — the
+    /// caller must fully overwrite it (all `_into` kernels do). A miss
+    /// allocates a fresh zeroed buffer and counts toward [`Scratch::misses`].
+    pub fn take(&mut self, rows: usize, cols: usize) -> NdArray {
+        let len = rows * cols;
+        if let Some(buf) = self.pools.get_mut(&len).and_then(Vec::pop) {
+            return NdArray::from_vec(buf, &[rows, cols]);
+        }
+        self.misses += 1;
+        // The one sanctioned allocation of the hot path: a cold pool. After
+        // warmup every take is a hit and this line never runs again.
+        NdArray::zeros(rows, cols)
+    }
+
+    /// Returns a buffer to the arena for reuse by a later [`Scratch::take`]
+    /// of the same element count (any `rows × cols` factorisation matches).
+    pub fn give(&mut self, a: NdArray) {
+        let buf = a.into_vec();
+        self.pools.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Number of `take` calls that had to allocate. A steady-state caller
+    /// sees this stop growing after its first (warmup) call.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_after_give_reuses_the_buffer_without_allocating() {
+        let mut s = Scratch::new();
+        let a = s.take(4, 8);
+        assert_eq!(s.misses(), 1);
+        s.give(a);
+        let b = s.take(4, 8);
+        assert_eq!(s.misses(), 1, "second take of the same size must hit the pool");
+        assert_eq!(b.shape(), (4, 8));
+    }
+
+    #[test]
+    fn reuse_matches_on_element_count_not_shape() {
+        let mut s = Scratch::new();
+        s.give(NdArray::zeros(2, 16));
+        let b = s.take(8, 4);
+        assert_eq!(b.shape(), (8, 4));
+        assert_eq!(s.misses(), 0);
+    }
+
+    #[test]
+    fn distinct_sizes_use_distinct_pools() {
+        let mut s = Scratch::new();
+        s.give(NdArray::zeros(1, 4));
+        let b = s.take(1, 8);
+        assert_eq!(s.misses(), 1, "a 4-element buffer must not satisfy an 8-element take");
+        s.give(b);
+        let c = s.take(2, 4);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(c.shape(), (2, 4));
+    }
+
+    #[test]
+    fn reused_buffers_may_hold_stale_data() {
+        // Documented contract: take() does not clear recycled buffers.
+        let mut s = Scratch::new();
+        let mut a = s.take(1, 3);
+        a.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0]);
+        s.give(a);
+        let b = s.take(1, 3);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+}

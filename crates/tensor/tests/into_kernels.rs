@@ -1,0 +1,154 @@
+//! The cache-tiled matmul family and the `_into` buffer-reuse kernels must
+//! be **bit-identical** to the seed serial kernels — tiling and buffer
+//! reuse are pure performance changes, never numeric ones.
+//!
+//! The references below re-implement the seed accumulation orders exactly:
+//! `matmul` accumulated each output row in strictly ascending `kk` order
+//! (with the finiteness-gated zero skip), and `matmul_nt` computed each
+//! output element as one complete dot — serial single-accumulator in grad
+//! mode, the fixed 8-lane tree ([`blocked_dot`]) in `no_grad` mode. Shapes
+//! are drawn ragged and odd so tile boundaries (8-row tiles, 32 KiB kk/j
+//! tiles) land mid-matrix in both directions.
+
+use hisres_tensor::{blocked_dot, no_grad, NdArray, Scratch};
+use hisres_util::check::vec;
+use hisres_util::pool::with_threads;
+use hisres_util::{prop_assert, props};
+
+fn bits_eq(a: &NdArray, b: &NdArray) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The seed `matmul`: per output row, ascending-`kk` axpy accumulation
+/// with the finiteness-gated zero skip. No tiling, no parallelism.
+fn seed_matmul(a: &NdArray, b: &NdArray) -> NdArray {
+    let (n, k) = a.shape();
+    let (_, m) = b.shape();
+    let mut out = NdArray::zeros(n, m);
+    let skip_zeros = !b.has_non_finite();
+    for i in 0..n {
+        for kk in 0..k {
+            let av = a.get(i, kk);
+            if skip_zeros && av == 0.0 { // lint:allow(float-eq): replicates the kernel's bitwise zero-skip
+                continue;
+            }
+            let brow = b.row(kk);
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The seed `matmul_nt`: one complete dot per output element — serial
+/// single-accumulator order in grad mode, the fixed 8-lane blocked tree
+/// in inference mode.
+fn seed_matmul_nt(a: &NdArray, b: &NdArray, blocked: bool) -> NdArray {
+    let (n, k) = a.shape();
+    let (m, _) = b.shape();
+    let mut out = NdArray::zeros(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            let v = if blocked {
+                blocked_dot(a.row(i), b.row(j))
+            } else {
+                let mut acc = 0.0f32;
+                for (x, y) in a.row(i).iter().zip(b.row(j)) {
+                    acc += x * y;
+                }
+                acc
+            };
+            out.set(i, j, v);
+        }
+        let _ = k;
+    }
+    out
+}
+
+props! {
+    cases = 24;
+
+    // k up to 600 with small m makes the kk tile (32 KiB / m) land
+    // mid-range, so several tiles per row are exercised; sprinkled exact
+    // zeros exercise the skip path across tile boundaries.
+    fn tiled_matmul_matches_seed_serial_on_ragged_shapes(
+        dims in (1usize..=12, 1usize..=600, 1usize..=40),
+        a_buf in vec(-2.0f32..2.0, 12 * 600),
+        b_buf in vec(-2.0f32..2.0, 600 * 40),
+    ) {
+        let (n, k, m) = dims;
+        let mut av = a_buf[..n * k].to_vec();
+        for v in av.iter_mut().step_by(7) {
+            *v = 0.0;
+        }
+        let a = NdArray::from_vec(av, &[n, k]);
+        let b = NdArray::from_vec(b_buf[..k * m].to_vec(), &[k, m]);
+        let want = seed_matmul(&a, &b);
+        for t in [1usize, 2, 4] {
+            prop_assert!(bits_eq(&want, &with_threads(t, || a.matmul(&b))));
+        }
+    }
+
+    // m up to 600 with small k makes the j tile land mid-table; both dot
+    // kernels (grad serial, no_grad blocked) must survive the tiling.
+    fn tiled_matmul_nt_matches_seed_in_both_grad_modes(
+        dims in (1usize..=12, 1usize..=48, 1usize..=600),
+        a_buf in vec(-2.0f32..2.0, 12 * 48),
+        b_buf in vec(-2.0f32..2.0, 600 * 48),
+    ) {
+        let (n, k, m) = dims;
+        let a = NdArray::from_vec(a_buf[..n * k].to_vec(), &[n, k]);
+        let b = NdArray::from_vec(b_buf[..m * k].to_vec(), &[m, k]);
+        let want_grad = seed_matmul_nt(&a, &b, false);
+        let want_infer = seed_matmul_nt(&a, &b, true);
+        for t in [1usize, 2, 4] {
+            prop_assert!(bits_eq(&want_grad, &with_threads(t, || a.matmul_nt(&b))));
+            prop_assert!(bits_eq(
+                &want_infer,
+                &no_grad(|| with_threads(t, || a.matmul_nt(&b)))
+            ));
+        }
+    }
+
+    // `_into` kernels writing into recycled (dirty) scratch buffers must
+    // match their allocating twins bitwise.
+    fn into_kernels_match_allocating_through_dirty_scratch(
+        dims in (1usize..=10, 1usize..=32, 1usize..=200),
+        a_buf in vec(-2.0f32..2.0, 10 * 32),
+        b_buf in vec(-2.0f32..2.0, 200 * 32),
+    ) {
+        let (n, k, m) = dims;
+        let a = NdArray::from_vec(a_buf[..n * k].to_vec(), &[n, k]);
+        let bt = NdArray::from_vec(b_buf[..m * k].to_vec(), &[m, k]);
+        let b = bt.transpose();
+
+        let mut scratch = Scratch::new();
+        scratch.give(NdArray::full(n, m, f32::NAN));
+        let mut out = scratch.take(n, m);
+        no_grad(|| {
+            a.matmul_into(&b, &mut out);
+            prop_assert!(bits_eq(&out, &a.matmul(&b)));
+            a.matmul_nt_into(&bt, &mut out);
+            prop_assert!(bits_eq(&out, &a.matmul_nt(&bt)));
+        });
+        scratch.give(out);
+
+        let idx: Vec<u32> = (0..n as u32).map(|i| (i * 3) % m as u32).collect();
+        let mut gout = scratch.take(n, k);
+        bt.gather_rows_into(&idx, &mut gout);
+        prop_assert!(bits_eq(&gout, &bt.gather_rows(&idx)));
+
+        let bias = NdArray::from_vec(a_buf[..k].to_vec(), &[1, k]);
+        let mut aout = scratch.take(n, k);
+        gout.add_row_into(&bias, &mut aout);
+        let mut want = gout.clone();
+        want.add_row_assign(&bias);
+        prop_assert!(bits_eq(&aout, &want));
+    }
+}

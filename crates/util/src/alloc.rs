@@ -1,0 +1,115 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The serving kernels promise **zero heap allocations per steady-state
+//! call** (see `hisres_tensor::Scratch`). Asserting that promise needs an
+//! observer underneath the allocator itself: [`CountingAlloc`] wraps
+//! [`System`] and counts every `alloc`/`alloc_zeroed`/`realloc` event with
+//! relaxed atomics (a handful of nanoseconds per event — cheap enough to
+//! leave enabled for a whole test binary).
+//!
+//! Install it per test binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: hisres_util::alloc::CountingAlloc = hisres_util::alloc::CountingAlloc::new();
+//!
+//! let before = ALLOC.allocations();
+//! hot_call();
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! Counters only ever increase; callers diff snapshots instead of
+//! resetting, so concurrent tests in the same binary cannot race a reset.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts allocation events.
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter, `const` so it can be a `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        Self {
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocation events so far (`alloc` + `alloc_zeroed` + `realloc`).
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Deallocation events so far.
+    pub fn deallocations(&self) -> u64 {
+        self.frees.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested so far.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: every method delegates to `System` unchanged; the counters are
+// observation only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as the global allocator here (other tests in this
+    // binary allocate freely); exercised directly through the trait.
+    #[test]
+    fn counts_alloc_and_dealloc_events() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).expect("layout");
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let p2 = a.realloc(p, layout, 128);
+            assert!(!p2.is_null());
+            let l2 = Layout::from_size_align(128, 8).expect("layout");
+            a.dealloc(p2, l2);
+        }
+        assert_eq!(a.allocations(), 2);
+        assert_eq!(a.deallocations(), 1);
+        assert_eq!(a.bytes_allocated(), 64 + 128);
+    }
+}

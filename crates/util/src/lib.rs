@@ -15,12 +15,14 @@
 //! | [`pool`] | `rayon` | persistent worker pool (`std::thread` + channels), disjoint-output `par_chunks_mut` partitioning that is bit-identical across thread counts, `HISRES_THREADS`/`--threads` sizing, scoped `with_threads` overrides, named `spawn_service` threads for blocking I/O |
 //! | [`sync`] | `crossbeam-channel` | bounded MPMC queue with non-blocking `try_push` rejection (admission control), deadline `pop_timeout`, and close-and-drain shutdown |
 //! | [`wal`] | `okaywal`/log crates | append-only write-ahead log: length-prefixed FNV-1a-checksummed records, fsync'd batch appends, torn-tail truncation on open, and a Skip/Abort/Truncate corrupt-record policy |
+//! | [`alloc`] | `dhat`/`stats_alloc` | counting `#[global_allocator]` wrapper over `System` for zero-allocation regression tests of the serving kernels |
 //!
 //! Beyond removing the network from the build, owning the PRNG makes seeded
 //! randomness an explicit reproducibility contract: the synthetic datasets,
 //! parameter initialisation and training dynamics of every model in this
 //! workspace are bit-stable across machines and toolchains.
 
+pub mod alloc;
 pub mod bench;
 pub mod check;
 pub mod fsio;

@@ -22,6 +22,13 @@
 # written to BENCH_ingest.json.
 #
 #   scripts/bench.sh                    kernel sweep, full shapes
+#   scripts/bench.sh --kernels          same, spelled explicitly
+#   scripts/bench.sh --kernels --out /tmp/fresh.json --regress BENCH_kernels.json
+#                                       kernel sweep plus the regression
+#                                       gate: fails if any threads=1 median
+#                                       of matmul / decoder_score /
+#                                       eval_rank_fanout regressed >25%
+#                                       against the committed baseline
 #   scripts/bench.sh --quick            kernel sweep, CI-sized
 #   scripts/bench.sh --serve            serving load sweep, full size
 #   scripts/bench.sh --serve --quick    serving load sweep, CI-sized
@@ -37,6 +44,9 @@ cd "$(dirname "$0")/.."
 
 bin=kernels
 case "${1:-}" in
+  --kernels)
+    shift
+    ;;
   --serve)
     bin=loadgen
     shift

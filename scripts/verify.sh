@@ -77,7 +77,11 @@ for needle in \
     'crates/core/src/dist.rs:4:' \
     'crates/core/src/ingest.rs:4:' \
     'crates/util/src/wal.rs:4:' \
+    'crates/nn/src/fastpath.rs:3:' \
+    'crates/nn/src/fastpath.rs:4:' \
+    'crates/nn/src/fastpath.rs:5:' \
     'panic-free-zone' \
+    'no-hot-alloc' \
     'atomic-writes-only' \
     'pool-only-threading' \
     'determinism' \
@@ -351,11 +355,16 @@ fi
 echo "ingest crash-recovery smoke test: OK (kill -9 mid-ingest, restart, byte-identical scores)"
 
 # ---- kernel bench smoke test ------------------------------------------------
-# A quick bench sweep must run end to end and emit a BENCH_kernels.json
-# that parses against the hisres_util::json schema (--check re-reads it).
-scripts/bench.sh --quick --out "$smoke/BENCH_kernels.json" >/dev/null
+# A quick bench sweep must run end to end, emit a BENCH_kernels.json that
+# parses against the hisres_util::json schema (--check re-reads it), and
+# pass the quick regression gate against the committed quick baseline.
+# Tolerance is 1.0 (fail only past 2x) because quick samples on a shared
+# container are noisy; the tight 25% gate is the full-shape
+# `scripts/bench.sh --kernels --regress BENCH_kernels.json`.
+scripts/bench.sh --quick --out "$smoke/BENCH_kernels.json" \
+  --regress BENCH_kernels_quick.json --tolerance 1.0 >/dev/null
 target/release/kernels --check "$smoke/BENCH_kernels.json"
-echo "kernel bench smoke test: OK (quick sweep + JSON schema check)"
+echo "kernel bench smoke test: OK (quick sweep + schema check + regression gate)"
 
 # ---- serving bench smoke test -----------------------------------------------
 # A quick load-generator sweep must run end to end against a live
