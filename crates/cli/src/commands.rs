@@ -642,6 +642,8 @@ pub fn lint(args: &Args) -> CmdResult {
             s.push_str(&d.to_string());
             s.push('\n');
         }
+        s.push_str(&report.graph_summary());
+        s.push('\n');
         s.push_str(&format!(
             "hisres lint: {} file(s), {} diagnostic(s), {} suppressed{}",
             report.files_scanned,

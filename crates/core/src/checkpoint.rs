@@ -164,7 +164,7 @@ impl TrainCheckpoint {
     /// process wants from an interrupted training run.
     pub fn build_model_best(&self) -> Result<HisRes, CheckpointError> {
         self.config.validate().map_err(CheckpointError::Malformed)?;
-        let model = HisRes::new(&self.config, self.num_entities, self.num_relations);
+        let model = HisRes::new(&self.config, self.num_entities, self.num_relations); // lint:allow(panic-reachability): config passed validate() on the line above; construction asserts can no longer fire
         let params = self.best_params.as_deref().unwrap_or(&self.params);
         model.store.load_json(params)?;
         Ok(model)

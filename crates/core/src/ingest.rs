@@ -489,7 +489,7 @@ impl IngestSession {
     /// id ascending) and truncating to `k`; `None` rows carry a non-finite
     /// score and must be degraded by the caller.
     pub fn score_topk(&self, queries: &[(u32, u32)], k: usize) -> Vec<Option<Vec<(u32, f32)>>> {
-        let mut out: Vec<Option<Vec<(u32, f32)>>> = vec![None; queries.len()];
+        let mut out: Vec<Option<Vec<(u32, f32)>>> = vec![None; queries.len()]; // lint:allow(no-hot-alloc-reachable): per-batch result buffer, one slot per query in the request
         if queries.is_empty() {
             return out;
         }

@@ -59,7 +59,7 @@ impl BlockNorms {
     pub fn new(table: &NdArray) -> Self {
         let (rows, cols) = table.shape();
         let blocks = (cols + BLOCK - 1) / BLOCK;
-        let mut norms = vec![0.0f64; rows * blocks]; // lint:allow(no-hot-alloc): once-per-table precompute, not the per-call serving path
+        let mut norms = vec![0.0f64; rows * blocks]; // lint:allow(no-hot-alloc-reachable): once-per-table precompute, not the per-call serving path
         let mut finite = true;
         for i in 0..rows {
             for (b, chunk) in table.row(i).chunks(BLOCK).enumerate() {
@@ -89,7 +89,7 @@ pub struct TopkScratch {
 impl TopkScratch {
     /// An empty workspace; buffers grow on first use and are then reused.
     pub fn new() -> Self {
-        Self { qnorms: Vec::new() } // lint:allow(no-hot-alloc): empty construction, grows once on warmup then reused
+        Self { qnorms: Vec::new() }
     }
 
     /// Fills `qnorms` with the query's per-block norms; returns whether

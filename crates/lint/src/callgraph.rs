@@ -1,0 +1,697 @@
+//! Workspace call graph built on top of [`crate::parser`].
+//!
+//! Every `.rs` file is mapped to a (crate, module-path) location from
+//! its path plus the workspace's `Cargo.toml` manifests, each parsed
+//! [`crate::parser::FnDef`] becomes a node, and each call event becomes
+//! either an **edge** (resolved to a workspace function), an
+//! **ambiguous** method call (more than one workspace method shares the
+//! name — trait dispatch is not modelled, so we refuse to guess), an
+//! **external** call (`std`/`core`/`alloc` or a non-workspace crate), or
+//! an **unresolved** call (looked like a workspace path but no target
+//! was found). Nothing is silently dropped: all four buckets are counted
+//! in [`Stats`] and the unresolved ones carry their call sites for
+//! reporting.
+//!
+//! Resolution is deliberately conservative and purely syntactic:
+//!
+//! * path calls (`foo()`, `a::b::foo()`, `Type::method()`) are resolved
+//!   through the file's `use` map (including renames and glob imports
+//!   into workspace crates), `crate::`/`self::`/`super::` prefixes,
+//!   workspace lib names, and one level of crate-root re-exports
+//!   (`pub use` in `lib.rs`);
+//! * method calls (`recv.m(..)`) are resolved only when **exactly one**
+//!   workspace function named `m` takes a receiver; with several
+//!   candidates the call is classified ambiguous rather than fanned out
+//!   to all of them, keeping reachability sets honest.
+
+use crate::parser::{Ast, Event, EventKind, FnDef, UseDecl};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// One parsed source file, path relative to the analysis root.
+pub struct ParsedFile {
+    pub rel: String,
+    pub ast: Ast,
+}
+
+/// One function node in the graph.
+pub struct FnNode {
+    /// Display path, e.g. `hisres::serve::Server::handle_line`.
+    pub key: String,
+    pub crate_name: String,
+    /// Module path inside the crate (file modules + inline modules).
+    pub module: Vec<String>,
+    pub file: String,
+    pub def: FnDef,
+}
+
+/// A resolved call edge.
+#[derive(Clone)]
+pub struct Edge {
+    pub to: usize,
+    /// Call-site position inside the caller's file.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A call that pointed into the workspace but found no target.
+pub struct UnresolvedCall {
+    pub from: usize,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Graph-wide resolution counters, surfaced in the v2 JSON report.
+#[derive(Default, Clone, Copy)]
+pub struct Stats {
+    pub nodes: usize,
+    pub edges: usize,
+    /// Workspace-looking paths with no matching definition.
+    pub unresolved: usize,
+    /// Method names with >1 receiver-taking workspace candidate.
+    pub ambiguous: usize,
+    /// Calls into `std`/`core`/`alloc` or non-workspace crates.
+    pub external: usize,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    pub fns: Vec<FnNode>,
+    /// Outgoing edges per node index (same length as `fns`).
+    pub edges: Vec<Vec<Edge>>,
+    pub unresolved: Vec<UnresolvedCall>,
+    pub stats: Stats,
+}
+
+impl Graph {
+    /// Finds node indices by bare function name (all candidates).
+    pub fn find_by_name(&self, name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.def.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Scans the tree under `root` for `Cargo.toml` manifests, returning
+/// crate-dir (relative, `/`-separated) → lib/bin crate name with `-`
+/// mapped to `_`. Fixture trees without manifests fall back to the
+/// directory name in [`build`].
+pub fn crate_names(root: &Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy().to_string();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name == "Cargo.toml" {
+                if let Ok(text) = fs::read_to_string(&path) {
+                    if let Some(pkg) = manifest_name(&text) {
+                        let rel = path
+                            .parent()
+                            .and_then(|p| p.strip_prefix(root).ok())
+                            .map(|p| {
+                                p.components()
+                                    .map(|c| c.as_os_str().to_string_lossy())
+                                    .collect::<Vec<_>>()
+                                    .join("/")
+                            })
+                            .unwrap_or_default();
+                        out.insert(rel, pkg);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the crate name from a manifest: `[lib] name` wins over
+/// `[package] name` (the lib name is what `use` paths spell). Minimal
+/// line-oriented TOML reading — the workspace guard already enforces
+/// that manifests stay simple.
+fn manifest_name(text: &str) -> Option<String> {
+    let mut section = "";
+    let mut pkg = None;
+    let mut lib = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = line;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(eq) = rest.strip_prefix('=') {
+                let val = eq.trim().trim_matches('"').to_string();
+                match section {
+                    "[package]" => pkg = Some(val),
+                    "[lib]" => lib = Some(val),
+                    _ => {}
+                }
+            }
+        }
+    }
+    lib.or(pkg).map(|n| n.replace('-', "_"))
+}
+
+/// Where a file lives: its crate, in-crate module path, and whether the
+/// whole file is test code (integration-test trees).
+struct FileLoc {
+    crate_name: String,
+    module: Vec<String>,
+    is_test: bool,
+}
+
+/// Maps a relative file path to its crate/module location.
+///
+/// `crates/x/src/lib.rs` is the root of crate `x`; `src/a/b.rs` is
+/// module `a::b`; `src/main.rs` (when a `lib.rs` exists) and
+/// `src/bin/*.rs` are their own binary crates; `tests/*.rs` under a
+/// crate dir are integration-test crates with every fn marked test.
+fn locate(
+    rel: &str,
+    crates: &BTreeMap<String, String>,
+    has_lib: &BTreeMap<String, bool>,
+) -> FileLoc {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // Find the `src` or `tests` component splitting crate dir from file.
+    let split = parts
+        .iter()
+        .position(|p| *p == "src" || *p == "tests")
+        .unwrap_or(0);
+    let crate_dir = parts[..split].join("/");
+    let base = crates
+        .get(&crate_dir)
+        .cloned()
+        .unwrap_or_else(|| {
+            // Fixture fallback: last path component of the crate dir.
+            parts
+                .get(split.saturating_sub(1))
+                .map(|s| s.replace('-', "_"))
+                .unwrap_or_else(|| "root".into())
+        });
+    let kind = parts.get(split).copied().unwrap_or("src");
+    let rest: Vec<&str> = parts[split + 1..].to_vec();
+    if kind == "tests" {
+        let stem = rest
+            .last()
+            .map(|f| f.trim_end_matches(".rs"))
+            .unwrap_or("t");
+        return FileLoc {
+            crate_name: format!("{base}::tests::{stem}"),
+            module: Vec::new(),
+            is_test: true,
+        };
+    }
+    // src tree
+    let file = rest.last().copied().unwrap_or("lib.rs");
+    let stem = file.trim_end_matches(".rs");
+    let dirs: Vec<String> = rest[..rest.len().saturating_sub(1)]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    if dirs.first().map(String::as_str) == Some("bin") {
+        return FileLoc {
+            crate_name: format!("{base}::bin::{stem}"),
+            module: Vec::new(),
+            is_test: false,
+        };
+    }
+    if stem == "main" && dirs.is_empty() {
+        if *has_lib.get(&crate_dir).unwrap_or(&false) {
+            // Bin alongside a lib: its own crate; `use <lib>::..` paths
+            // resolve cross-crate into the lib as usual.
+            return FileLoc {
+                crate_name: format!("{base}::main"),
+                module: Vec::new(),
+                is_test: false,
+            };
+        }
+        return FileLoc { crate_name: base, module: Vec::new(), is_test: false };
+    }
+    let mut module = dirs;
+    if stem != "lib" && stem != "mod" && stem != "main" {
+        module.push(stem.to_string());
+    }
+    FileLoc { crate_name: base, module, is_test: false }
+}
+
+/// Builds the call graph from parsed files. `crates` maps crate dirs to
+/// lib names (see [`crate_names`]); fixture trees may pass an empty map.
+pub fn build(files: &[ParsedFile], crates: &BTreeMap<String, String>) -> Graph {
+    // Which crate dirs have a lib.rs (disambiguates main.rs roots).
+    let mut has_lib: BTreeMap<String, bool> = BTreeMap::new();
+    for f in files {
+        if let Some(dir) = f.rel.strip_suffix("/src/lib.rs") {
+            has_lib.insert(dir.to_string(), true);
+        }
+    }
+    let workspace_crates: std::collections::BTreeSet<String> =
+        crates.values().cloned().collect();
+    // Also count fixture fallback crate names as workspace-internal.
+    let mut internal: std::collections::BTreeSet<String> = workspace_crates.clone();
+
+    // ---- Pass 1: nodes + per-file context ------------------------------
+    let mut fns: Vec<FnNode> = Vec::new();
+    struct FileCtx<'a> {
+        uses: &'a [UseDecl],
+        rel: &'a str,
+    }
+    let mut file_ctxs: Vec<FileCtx<'_>> = Vec::new();
+    // (crate, path-with-::, kind) → node indices. Free fns are keyed
+    // `crate::mods::name`; methods additionally `crate::mods::Type::name`.
+    let mut path_index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    // Receiver-taking fns by bare name (for `.m()` resolution).
+    let mut method_index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    // Crate-root re-exports: crate → alias → absolute path segments.
+    let mut reexports: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+
+    for f in files {
+        let loc = locate(&f.rel, crates, &has_lib);
+        internal.insert(loc.crate_name.clone());
+        if loc.module.is_empty() {
+            // Crate root: record `pub use` re-exports for one-level
+            // lookup retries (`hisres::TopK` → `hisres::topk::TopK`).
+            let map = reexports.entry(loc.crate_name.clone()).or_default();
+            for u in f.ast.uses.iter().filter(|u| u.is_pub && !u.glob) {
+                let mut abs = u.path.clone();
+                if abs.first().map(String::as_str) == Some("crate")
+                    || abs.first().map(String::as_str) == Some("self")
+                {
+                    abs.remove(0);
+                }
+                map.insert(u.alias.clone(), abs);
+            }
+        }
+        for def in &f.ast.fns {
+            let mut module = loc.module.clone();
+            module.extend(def.module.iter().cloned());
+            let mut key = String::new();
+            key.push_str(&loc.crate_name);
+            for m in &module {
+                key.push_str("::");
+                key.push_str(m);
+            }
+            if let Some(ty) = &def.self_ty {
+                key.push_str("::");
+                key.push_str(ty);
+            }
+            key.push_str("::");
+            key.push_str(&def.name);
+            let idx = fns.len();
+            let mut def = def.clone();
+            def.is_test |= loc.is_test;
+            if def.has_receiver {
+                method_index.entry(def.name.clone()).or_default().push(idx);
+            }
+            // Free-fn path (methods are also reachable as Type::name).
+            let mut free_key = format!("{}::{}", loc.crate_name, module.join("::"))
+                .trim_end_matches("::")
+                .trim_end_matches(':')
+                .to_string();
+            if module.is_empty() {
+                free_key = loc.crate_name.clone();
+            }
+            match &def.self_ty {
+                None => {
+                    path_index
+                        .entry(format!("{free_key}::{}", def.name))
+                        .or_default()
+                        .push(idx);
+                }
+                Some(ty) => {
+                    path_index
+                        .entry(format!("{free_key}::{ty}::{}", def.name))
+                        .or_default()
+                        .push(idx);
+                }
+            }
+            fns.push(FnNode {
+                key,
+                crate_name: loc.crate_name.clone(),
+                module,
+                file: f.rel.clone(),
+                def,
+            });
+        }
+        file_ctxs.push(FileCtx { uses: &f.ast.uses, rel: &f.rel });
+    }
+
+    // ---- Pass 2: edges -------------------------------------------------
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+    let mut unresolved: Vec<UnresolvedCall> = Vec::new();
+    let mut stats = Stats { nodes: fns.len(), ..Stats::default() };
+
+    // Node indices grouped per file for caller lookup.
+    let mut nodes_by_file: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in fns.iter().enumerate() {
+        nodes_by_file.entry(n.file.as_str()).or_default().push(i);
+    }
+
+    for (fi, _f) in files.iter().enumerate() {
+        let ctx = &file_ctxs[fi];
+        let Some(node_ids) = nodes_by_file.get(ctx.rel) else { continue };
+        // Use map: alias → absolute-ish path segments.
+        let mut use_map: BTreeMap<&str, &UseDecl> = BTreeMap::new();
+        let mut globs: Vec<&UseDecl> = Vec::new();
+        for u in ctx.uses {
+            if u.glob {
+                globs.push(u);
+            } else {
+                use_map.insert(u.alias.as_str(), u);
+            }
+        }
+        // Parser flattens fns per file in source order; events belong to
+        // the node parsed from the same FnDef. Match by (name, line).
+        for &ni in node_ids {
+            let caller_module = fns[ni].module.clone();
+            let caller_crate = fns[ni].crate_name.clone();
+            // Clone events to end the borrow of fns[ni] during edge adds.
+            let events: Vec<Event> = fns[ni].def.events.clone();
+            for ev in &events {
+                match &ev.kind {
+                    EventKind::Call(segs) => {
+                        resolve_call(
+                            segs,
+                            &caller_crate,
+                            &caller_module,
+                            &use_map,
+                            &globs,
+                            &internal,
+                            &path_index,
+                            &reexports,
+                            ni,
+                            ev,
+                            &mut edges,
+                            &mut unresolved,
+                            &mut stats,
+                        );
+                    }
+                    EventKind::Method(name) => {
+                        if STD_METHODS.contains(&name.as_str()) {
+                            // Could be a std type's method — refuse to
+                            // guess even with one workspace candidate.
+                            if method_index.contains_key(name.as_str()) {
+                                stats.ambiguous += 1;
+                            } else {
+                                stats.external += 1;
+                            }
+                            continue;
+                        }
+                        match method_index.get(name.as_str()).map(Vec::as_slice) {
+                            Some([one]) => {
+                                edges[ni].push(Edge { to: *one, line: ev.line, col: ev.col });
+                                stats.edges += 1;
+                            }
+                            Some(_) => stats.ambiguous += 1,
+                            None => stats.external += 1,
+                        }
+                    }
+                    // Macros, indexing and `?` are rule sinks, not edges.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    Graph { fns, edges, unresolved, stats }
+}
+
+/// Names the std-distribution crates whose calls are classified external
+/// without further lookup.
+fn is_std(seg: &str) -> bool {
+    matches!(seg, "std" | "core" | "alloc" | "proc_macro")
+}
+
+/// Method names that std's own types answer (Option/Result/Vec/slice/
+/// str/Iterator/float/io/sync surfaces). A `.m(..)` with one of these
+/// names is never resolved to a workspace method even when exactly one
+/// exists — `opt.map(..)` must not become an edge to `NdArray::map`.
+/// Workspace methods that shadow a std name stay conservatively
+/// ambiguous, exactly like trait dispatch.
+const STD_METHODS: &[&str] = &[
+    // Option / Result
+    "map", "and_then", "or_else", "unwrap_or", "unwrap_or_else",
+    "unwrap_or_default", "ok", "err", "ok_or", "ok_or_else", "take",
+    "replace", "filter", "is_some", "is_none", "is_ok", "is_err",
+    "map_err", "as_deref", "as_deref_mut", "cloned", "copied", "flatten",
+    "get_or_insert_with", "zip", "transpose",
+    // collections / slices / strings
+    "len", "is_empty", "push", "pop", "insert", "remove", "clear", "get",
+    "get_mut", "contains", "contains_key", "iter", "iter_mut",
+    "into_iter", "keys", "values", "values_mut", "entry", "or_insert",
+    "or_insert_with", "or_default", "extend", "drain", "retain",
+    "truncate", "resize", "reserve", "split_off", "append", "first",
+    "last", "split_at", "split_at_mut", "chunks", "chunks_exact",
+    "chunks_mut", "windows", "swap", "fill", "sort", "sort_by",
+    "sort_by_key", "sort_unstable", "sort_unstable_by", "binary_search",
+    "binary_search_by", "copy_from_slice", "clone_from_slice", "concat",
+    "join", "to_vec", "as_slice", "as_mut_slice", "as_bytes", "as_str",
+    "as_ref", "as_mut", "as_ptr", "as_mut_ptr", "starts_with",
+    "ends_with", "trim", "trim_start", "trim_end", "split",
+    "split_whitespace", "splitn", "lines", "chars", "bytes", "find",
+    "rfind", "to_string", "to_owned", "to_lowercase", "to_uppercase",
+    "parse", "push_str", "repeat", "strip_prefix", "strip_suffix",
+    "char_indices", "make_ascii_lowercase", "swap_remove", "dedup",
+    "rotate_left", "rotate_right", "to_le_bytes", "to_be_bytes",
+    "leading_zeros", "trailing_zeros", "count_ones", "rem_euclid",
+    // Iterator
+    "next", "count", "sum", "product", "fold", "collect", "enumerate",
+    "skip", "step_by", "rev", "chain", "peekable", "peek", "all", "any",
+    "position", "min_by", "max_by", "min_by_key", "max_by_key",
+    "filter_map", "flat_map", "by_ref", "take_while", "skip_while",
+    "partition", "unzip", "last_mut", "nth", "cycle", "inspect",
+    // numerics
+    "min", "max", "abs", "sqrt", "powi", "powf", "exp", "ln", "log2",
+    "floor", "ceil", "round", "to_bits", "from_bits", "is_nan",
+    "is_finite", "is_infinite", "clamp", "signum", "recip", "hypot",
+    "mul_add", "checked_add", "checked_sub", "checked_mul", "checked_div",
+    "saturating_add", "saturating_sub", "saturating_mul", "wrapping_add",
+    "wrapping_sub", "wrapping_mul", "partial_cmp", "cmp", "eq", "ne",
+    "hash", "total_cmp",
+    // io / fs / net / time / sync / fmt
+    "read", "read_exact", "read_to_string", "read_to_end", "read_line",
+    "write", "write_all", "write_fmt", "flush", "seek", "rewind",
+    "set_len", "sync_all", "sync_data", "metadata", "set_nonblocking",
+    "set_nodelay", "set_read_timeout", "set_write_timeout", "shutdown",
+    "local_addr", "peer_addr", "accept", "incoming", "connect",
+    "try_clone", "elapsed", "duration_since", "checked_duration_since",
+    "as_secs", "as_secs_f64", "as_millis", "as_micros", "as_nanos",
+    "lock", "try_lock", "send", "recv", "try_recv", "recv_timeout",
+    "join_handle", "is_finished", "notify_one", "notify_all", "wait",
+    "wait_timeout", "load", "store", "fetch_add", "fetch_sub",
+    "compare_exchange", "fmt", "clone", "default", "drop", "finish",
+    "set", "get_ref", "get_mut_ref", "into_inner", "update",
+    // ops-trait / raw-pointer method names (`ptr.add(n)`, `Wrapping::mul`)
+    "add", "sub", "mul", "div", "neg", "offset", "wrapping_offset",
+    "to_str", "display", "exists", "is_dir", "is_file", "file_name",
+    "file_stem", "extension", "with_extension", "with_file_name",
+    "components", "strip_prefix_path", "canonicalize", "read_dir",
+    "path", "file_type", "set_extension", "borrow", "borrow_mut",
+    "try_into", "into", "from",
+];
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    segs: &[String],
+    caller_crate: &str,
+    caller_module: &[String],
+    use_map: &BTreeMap<&str, &UseDecl>,
+    globs: &[&UseDecl],
+    internal: &std::collections::BTreeSet<String>,
+    path_index: &BTreeMap<String, Vec<usize>>,
+    reexports: &BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    from: usize,
+    ev: &Event,
+    edges: &mut [Vec<Edge>],
+    unresolved: &mut Vec<UnresolvedCall>,
+    stats: &mut Stats,
+) {
+    // Expand the leading segment to an absolute `[crate, …]` path.
+    let mut candidates: Vec<Vec<String>> = Vec::new();
+    let first = segs[0].as_str();
+    let absolutize = |path: &[String], rest: &[String]| -> Vec<String> {
+        let mut abs: Vec<String> = Vec::new();
+        match path.first().map(String::as_str) {
+            Some("crate") => {
+                abs.push(caller_crate.to_string());
+                abs.extend(path[1..].iter().cloned());
+            }
+            Some("self") => {
+                abs.push(caller_crate.to_string());
+                abs.extend(caller_module.iter().cloned());
+                abs.extend(path[1..].iter().cloned());
+            }
+            Some("super") => {
+                abs.push(caller_crate.to_string());
+                let up = caller_module.len().saturating_sub(1);
+                abs.extend(caller_module[..up].iter().cloned());
+                abs.extend(path[1..].iter().cloned());
+            }
+            _ => abs.extend(path.iter().cloned()),
+        }
+        abs.extend(rest.iter().cloned());
+        abs
+    };
+    match first {
+        "crate" | "self" | "super" => candidates.push(absolutize(segs, &[])),
+        // A workspace crate named like a std crate (fixture trees use
+        // `crates/core`) shadows std, same as rustc's extern prelude.
+        _ if is_std(first) && !internal.contains(first) => {
+            stats.external += 1;
+            return;
+        }
+        _ => {
+            if let Some(u) = use_map.get(first) {
+                // Imported name: substitute the use path, then
+                // absolutize ITS leading crate/self/super.
+                candidates.push(absolutize(&u.path, &segs[1..]));
+            }
+            if internal.contains(first) {
+                // Spelled-out workspace crate path.
+                candidates.push(segs.to_vec());
+            }
+            // In-module reference (`helper()`, `LocalType::new()`).
+            let mut local: Vec<String> = vec![caller_crate.to_string()];
+            local.extend(caller_module.iter().cloned());
+            local.extend(segs.iter().cloned());
+            candidates.push(local);
+            // Crate-root reference for items pulled in by glob imports
+            // of our own crate root, plus each glob prefix.
+            for g in globs {
+                let mut p = absolutize(&g.path, &[]);
+                p.extend(segs.iter().cloned());
+                candidates.push(p);
+            }
+        }
+    }
+    // Try every candidate against the fn index.
+    for cand in &candidates {
+        let head = cand.first().map(String::as_str).unwrap_or("");
+        if !internal.contains(head) {
+            if is_std(head) {
+                stats.external += 1;
+                return;
+            }
+            continue;
+        }
+        if let Some(to) = lookup(cand, path_index, reexports) {
+            edges[from].push(Edge { to, line: ev.line, col: ev.col });
+            stats.edges += 1;
+            return;
+        }
+    }
+    // Classify the miss. Unresolved (reported) iff the call explicitly
+    // pointed into the workspace: a `crate::`/`self::`/`super::` path
+    // with more than one segment, a spelled-out workspace crate, or a
+    // multi-segment path through a `use` of a workspace crate. Bare
+    // names that match nothing are overwhelmingly std prelude items
+    // (`Some`, `Ok`, `String::from`) — classified external.
+    let via_use = use_map
+        .get(first)
+        .map(|u| {
+            let head = match u.path.first().map(String::as_str) {
+                Some("crate" | "self" | "super") => caller_crate,
+                Some(h) => h,
+                None => "",
+            };
+            internal.contains(head)
+        })
+        .unwrap_or(false);
+    let explicit = segs.len() > 1
+        && (matches!(first, "crate" | "self" | "super")
+            || internal.contains(first)
+            || via_use);
+    // `Value::Obj(..)` — a CamelCase final segment is an enum-variant or
+    // tuple-struct constructor, not a missing function.
+    let constructor_like = segs
+        .last()
+        .and_then(|s| s.chars().next())
+        .map(|c| c.is_ascii_uppercase())
+        .unwrap_or(false);
+    if (explicit || (segs.len() == 1 && via_use)) && !constructor_like {
+        unresolved.push(UnresolvedCall {
+            from,
+            path: segs.join("::"),
+            line: ev.line,
+            col: ev.col,
+        });
+        stats.unresolved += 1;
+    } else {
+        stats.external += 1;
+    }
+}
+
+/// Looks one absolute path up in the fn index, trying free-fn and
+/// `Type::method` shapes, then one level of crate-root re-export.
+fn lookup(
+    abs: &[String],
+    path_index: &BTreeMap<String, Vec<usize>>,
+    reexports: &BTreeMap<String, BTreeMap<String, Vec<String>>>,
+) -> Option<usize> {
+    let joined = abs.join("::");
+    if let Some(hits) = path_index.get(&joined) {
+        if let [one] = hits.as_slice() {
+            return Some(*one);
+        }
+        // cfg-duplicated definitions (unix/non-unix): same path, same
+        // semantics for reachability — take the first deterministically.
+        return hits.first().copied();
+    }
+    // Re-export retry: `cratename::Alias::rest…` where the crate root
+    // `pub use`s Alias from a submodule.
+    if abs.len() >= 2 {
+        if let Some(map) = reexports.get(&abs[0]) {
+            if let Some(target) = map.get(&abs[1]) {
+                let mut re: Vec<String> = vec![abs[0].clone()];
+                re.extend(target.iter().cloned());
+                re.extend(abs[2..].iter().cloned());
+                let joined = re.join("::");
+                if let Some(hits) = path_index.get(&joined) {
+                    return hits.first().copied();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Convenience used by tests and the engine: lex + parse every `.rs`
+/// file under `root` (same skip rules as [`crate::collect_rs_files`])
+/// into [`ParsedFile`]s. Files that fail to lex are skipped here — the
+/// token-rule pass already reports them as `lex-error`.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<ParsedFile>> {
+    let mut out = Vec::new();
+    for path in crate::collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path)?;
+        let Ok(tokens) = crate::lexer::lex(&source) else { continue };
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_code())
+            .map(|(i, _)| i)
+            .collect();
+        let ast = crate::parser::parse(&tokens, &code);
+        out.push(ParsedFile { rel, ast });
+    }
+    Ok(out)
+}

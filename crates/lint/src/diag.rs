@@ -36,6 +36,10 @@ pub struct Diagnostic {
     pub message: String,
     /// The trimmed source line containing the violation.
     pub snippet: String,
+    /// For graph rules: the offending call chain from an entry point to
+    /// the sink (`["hisres::serve::handle_line", "hisres_graph::cmp::neighbors",
+    /// ".unwrap()"]`). Empty for token rules.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -50,7 +54,11 @@ impl fmt::Display for Diagnostic {
             self.rule,
             self.message
         )?;
-        write!(f, "    | {}", self.snippet)
+        write!(f, "    | {}", self.snippet)?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    = chain: {}", self.chain.join(" → "))?;
+        }
+        Ok(())
     }
 }
 
@@ -64,6 +72,10 @@ impl Diagnostic {
             ("col".into(), Value::Num(self.col as f64)),
             ("message".into(), Value::Str(self.message.clone())),
             ("snippet".into(), Value::Str(self.snippet.clone())),
+            (
+                "chain".into(),
+                Value::Arr(self.chain.iter().map(|c| Value::Str(c.clone())).collect()),
+            ),
         ])
     }
 }

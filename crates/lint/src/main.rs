@@ -50,7 +50,13 @@ fn main() -> ExitCode {
 
     if list_rules {
         for r in hisres_lint::rules::config() {
-            println!("{:<22} {:<8} {}", r.id, r.severity.as_str(), r.description);
+            println!(
+                "{:<24} {:<6} {:<8} {}",
+                r.id,
+                r.kind,
+                r.severity.as_str(),
+                r.description
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -99,6 +105,8 @@ fn main() -> ExitCode {
             s.push_str(&d.to_string());
             s.push('\n');
         }
+        s.push_str(&report.graph_summary());
+        s.push('\n');
         s.push_str(&format!(
             "hisres-lint: {} file(s), {} diagnostic(s), {} suppressed{}",
             report.files_scanned,

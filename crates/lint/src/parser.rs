@@ -1,0 +1,1117 @@
+//! A recursive-descent parser over the [`crate::lexer`] token stream,
+//! producing the lightweight AST the call-graph and reachability rules
+//! need: items (modules, impls, traits, `use` declarations) and function
+//! bodies reduced to an ordered **event list** (calls, method calls,
+//! macro uses, index expressions, `?` operators) with enough context
+//! (test scope, guard scope, closure/unsafe nesting is flattened into
+//! the owning function) to drive whole-program analysis.
+//!
+//! This is deliberately not a full Rust grammar. What it does handle is
+//! every construct the real workspace uses:
+//!
+//! * nested generics with the `>>` ambiguity resolved parser-side (the
+//!   lexer emits `>>` as one shift token; angle-depth tracking counts it
+//!   as two closing brackets), including turbofish (`foo::<Vec<u8>>()`),
+//!   `Fn() -> Result<(), E>` bounds, and `impl Trait` arguments;
+//! * where-clauses, lifetimes, labeled breaks, raw strings (already one
+//!   token from the lexer), attributes and `#[cfg(test)]` gating;
+//! * `impl Type`, `impl Trait for Type`, trait blocks with default
+//!   methods, inline and file modules.
+//!
+//! The parser is *tolerant*: unknown constructs are skipped token by
+//! token instead of aborting, so a future syntax addition degrades to
+//! weaker analysis, never to a hard failure. Anything that parses
+//! suspiciously (an unclosed delimiter at EOF) is surfaced as a
+//! [`ParseNote`] which the engine reports as a `parse-error` diagnostic.
+
+use crate::lexer::{TokKind, Token};
+
+/// Identifier-like tokens appearing in an `if`/`while`/`for` header (or
+/// inside the index brackets themselves) that mark a slice index as
+/// bounds-guarded. Conservative: `v[i]` inside `if i < v.len() { … }`,
+/// `for i in 0..xs.len()`, or `&buf[..n.min(buf.len())]` does not count
+/// as a panic sink; a bare `v[i]` does.
+const GUARD_HINTS: &[&str] = &[
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "min",
+    "contains_key",
+    "binary_search",
+    "binary_search_by",
+    "binary_search_by_key",
+    "partition_point",
+    "checked_sub",
+];
+
+/// One `use` declaration, flattened: groups (`use a::{b, c as d}`) are
+/// expanded into one `UseDecl` per leaf.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Full path segments, e.g. `["hisres_util", "json", "Value"]`.
+    pub path: Vec<String>,
+    /// The name this import binds locally (last segment or `as` rename).
+    pub alias: String,
+    /// `use a::b::*` — `path` is the prefix, `alias` is empty.
+    pub glob: bool,
+    /// Re-export (`pub use`), consulted when resolving across crates.
+    pub is_pub: bool,
+    pub line: u32,
+}
+
+/// What a body event is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Free/path call: `foo(..)`, `a::b::foo(..)`, `Type::method(..)`.
+    /// Segments have generics/turbofish stripped.
+    Call(Vec<String>),
+    /// Method call `recv.name(..)` — receiver type unknown to the parser.
+    Method(String),
+    /// Macro invocation `name!(..)`; the delimiter group is scanned for
+    /// nested calls/methods but not for index/`?` events.
+    MacroUse(String),
+    /// Index expression `expr[..]`.
+    Index,
+    /// The `?` operator.
+    Try,
+}
+
+/// One event inside a function body, in source order.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    pub line: u32,
+    pub col: u32,
+    /// For [`EventKind::Index`]: lexically inside a bounds-checking
+    /// `if`/`while`/`for` block, or the brackets themselves mention a
+    /// guard hint (`.len()`, `.min(..)`, …).
+    pub guarded: bool,
+    /// Inside an `unsafe { … }` block (informational).
+    pub in_unsafe: bool,
+}
+
+/// One parsed function with its body reduced to events.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub self_ty: Option<String>,
+    /// Trait name when inside `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// Inline-module path *within the file* (file → module mapping is
+    /// the call-graph layer's job).
+    pub module: Vec<String>,
+    pub line: u32,
+    pub col: u32,
+    /// Takes `self`/`&self`/`&mut self` — a method.
+    pub has_receiver: bool,
+    /// Under `#[cfg(test)]`, `#[test]`, or an inline `mod tests`.
+    pub is_test: bool,
+    pub events: Vec<Event>,
+    /// Any identifier or string literal in the body mentions `tmp`/`temp`
+    /// — marks temp-file handling for the durability-order rule.
+    pub mentions_tmp: bool,
+    /// The body mentions bounds-checking vocabulary ([`GUARD_HINTS`])
+    /// anywhere — `len`, `get`, `min`, … Panic-free code validates with
+    /// early returns before indexing (`let have = buf.len() - pos; if n
+    /// > have { return Err(..) } … &buf[pos..pos+n]`), which no lexical
+    /// block scope can associate with the later index; a function that
+    /// shows *no* bounds vocabulary at all and still indexes is the
+    /// suspicious case the panic-reachability rule flags.
+    pub bounds_aware: bool,
+}
+
+/// Mutable per-body facts accumulated by the scanner.
+#[derive(Default)]
+struct BodyFacts {
+    mentions_tmp: bool,
+    bounds_aware: bool,
+}
+
+/// A tolerant-parse anomaly worth surfacing (unclosed delimiter, item
+/// that never terminated). Not fatal: the AST up to that point stands.
+#[derive(Debug, Clone)]
+pub struct ParseNote {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The per-file parse result.
+#[derive(Debug, Clone, Default)]
+pub struct Ast {
+    pub fns: Vec<FnDef>,
+    pub uses: Vec<UseDecl>,
+    pub notes: Vec<ParseNote>,
+}
+
+/// Parses one file's code-token stream (comments already filtered out by
+/// the caller via `code` indices into `tokens`).
+pub fn parse(tokens: &[Token], code: &[usize]) -> Ast {
+    let toks: Vec<&Token> = code.iter().map(|&i| &tokens[i]).collect();
+    let mut p = Parser { toks, pos: 0, ast: Ast::default() };
+    let mut module = Vec::new();
+    p.items(&mut module, None, None, false, false);
+    p.ast
+}
+
+struct Parser<'a> {
+    toks: Vec<&'a Token>,
+    pos: usize,
+    ast: Ast,
+}
+
+/// Attribute summary for one item.
+#[derive(Default)]
+struct Attrs {
+    /// `#[test]` directly on the item.
+    test: bool,
+    /// `#[cfg(test)]` / `#[cfg_attr(test, ..)]` on the item.
+    cfg_test: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self) -> &str {
+        self.toks.get(self.pos).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn text_at(&self, at: usize) -> &str {
+        self.toks.get(at).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn kind(&self) -> Option<TokKind> {
+        self.toks.get(self.pos).map(|t| t.kind)
+    }
+
+    fn kind_at(&self, at: usize) -> Option<TokKind> {
+        self.toks.get(at).map(|t| t.kind)
+    }
+
+    fn pos_of(&self, at: usize) -> (u32, u32) {
+        self.toks
+            .get(at)
+            .map(|t| (t.line, t.col))
+            .unwrap_or_else(|| {
+                self.toks
+                    .last()
+                    .map(|t| (t.line, t.col))
+                    .unwrap_or((1, 1))
+            })
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.text() == s
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.at(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn note(&mut self, message: &str) {
+        let (line, col) = self.pos_of(self.pos);
+        self.ast.notes.push(ParseNote { message: message.into(), line, col });
+    }
+
+    /// Skips a balanced `<…>` group starting at the current `<`. The
+    /// lexer emits `>>` (and `<<`, `>>=`) as single shift tokens; in type
+    /// position each counts as two angle brackets — this is the `>>`
+    /// split that makes `Vec<Vec<f32>>` parse.
+    fn skip_angles(&mut self) {
+        let mut depth: i32 = 0;
+        let start = self.pos;
+        while !self.done() {
+            match self.text() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ">>=" => depth -= 2, // pathological, but keep depth honest
+                // A stray `;` or `{` at depth > 0 means this `<` was a
+                // comparison after all — bail rather than eat the file.
+                ";" | "{" => {
+                    self.pos = start + 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+        self.pos = start + 1;
+    }
+
+    /// Skips a balanced delimiter group; `open`/`close` are `(`/`)`,
+    /// `[`/`]` or `{`/`}`. Current token must be `open`.
+    fn skip_group(&mut self, open: &str, close: &str) {
+        let mut depth = 0usize;
+        while !self.done() {
+            if self.at(open) {
+                depth += 1;
+            } else if self.at(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+        self.note(&format!("unclosed `{open}` at end of file"));
+    }
+
+    /// Parses any number of outer (`#[..]`) and inner (`#![..]`)
+    /// attributes, summarising test gating.
+    fn attrs(&mut self) -> Attrs {
+        let mut out = Attrs::default();
+        loop {
+            if self.at("#") && self.text_at(self.pos + 1) == "[" {
+                self.bump();
+                let attr_start = self.pos;
+                self.skip_group("[", "]");
+                let words: Vec<&str> = (attr_start..self.pos)
+                    .map(|i| self.text_at(i))
+                    .collect();
+                let head = words.get(1).copied().unwrap_or("");
+                if head == "test" {
+                    out.test = true;
+                }
+                if (head == "cfg" || head == "cfg_attr") && words.contains(&"test") {
+                    out.cfg_test = true;
+                }
+            } else if self.at("#")
+                && self.text_at(self.pos + 1) == "!"
+                && self.text_at(self.pos + 2) == "["
+            {
+                self.bump();
+                self.bump();
+                self.skip_group("[", "]");
+            } else {
+                return out;
+            }
+        }
+    }
+
+    /// Parses a sequence of items until EOF or (when `in_block`) the
+    /// closing `}` of the enclosing module/impl/trait body.
+    fn items(
+        &mut self,
+        module: &mut Vec<String>,
+        self_ty: Option<&str>,
+        trait_name: Option<&str>,
+        in_test: bool,
+        in_block: bool,
+    ) {
+        while !self.done() {
+            if in_block && self.at("}") {
+                return;
+            }
+            let attrs = self.attrs();
+            if self.done() || (in_block && self.at("}")) {
+                if in_block && !self.at("}") {
+                    self.note("item block never closed");
+                }
+                return;
+            }
+            let item_test = in_test || attrs.test || attrs.cfg_test;
+            // Visibility: `pub`, `pub(crate)`, `pub(in a::b)`.
+            if self.eat("pub") && self.at("(") {
+                self.skip_group("(", ")");
+            }
+            // Leading fn qualifiers. `const` only qualifies when `fn`,
+            // `unsafe`, `extern` follow — otherwise it's a const item.
+            loop {
+                match self.text() {
+                    "const"
+                        if matches!(
+                            self.text_at(self.pos + 1),
+                            "fn" | "unsafe" | "extern"
+                        ) =>
+                    {
+                        self.bump();
+                    }
+                    "async" => {
+                        self.bump();
+                    }
+                    "unsafe" if self.text_at(self.pos + 1) != "{" => {
+                        self.bump();
+                    }
+                    "extern" if self.kind_at(self.pos + 1) == Some(TokKind::Str) => {
+                        self.bump();
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.text() {
+                "use" => {
+                    self.bump();
+                    self.parse_use();
+                }
+                "mod" => {
+                    self.bump();
+                    let name = self.text().to_string();
+                    let is_tests_mod = name == "tests" || name == "test";
+                    self.bump();
+                    if self.eat("{") {
+                        module.push(name);
+                        self.items(
+                            module,
+                            None,
+                            None,
+                            item_test || is_tests_mod,
+                            true,
+                        );
+                        module.pop();
+                        if !self.eat("}") {
+                            self.note("module body never closed");
+                        }
+                    } else {
+                        self.eat(";");
+                    }
+                }
+                "fn" => {
+                    self.parse_fn(module, self_ty, trait_name, item_test);
+                }
+                "impl" => {
+                    self.parse_impl(module, item_test);
+                }
+                "trait" => {
+                    self.bump();
+                    let name = self.text().to_string();
+                    self.bump();
+                    if self.at("<") {
+                        self.skip_angles();
+                    }
+                    // Supertraits / where-clause: scan to the body.
+                    while !self.done() && !self.at("{") && !self.at(";") {
+                        if self.at("<") {
+                            self.skip_angles();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    if self.eat("{") {
+                        self.items(module, Some(&name), None, item_test, true);
+                        if !self.eat("}") {
+                            self.note("trait body never closed");
+                        }
+                    } else {
+                        self.eat(";");
+                    }
+                }
+                "struct" | "enum" | "union" => {
+                    self.bump(); // keyword
+                    self.bump(); // name
+                    if self.at("<") {
+                        self.skip_angles();
+                    }
+                    // Tuple struct `(..)`, then `;` or a brace body; a
+                    // where-clause may precede either.
+                    while !self.done() && !self.at("{") && !self.at(";") {
+                        if self.at("(") {
+                            self.skip_group("(", ")");
+                        } else if self.at("<") {
+                            self.skip_angles();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    if self.at("{") {
+                        self.skip_group("{", "}");
+                    } else {
+                        self.eat(";");
+                    }
+                }
+                "const" | "static" | "type" => {
+                    // Skip to the terminating `;`, balancing delimiters
+                    // (array types/initialisers may contain `;` inside).
+                    self.bump();
+                    while !self.done() && !self.at(";") {
+                        match self.text() {
+                            "(" => self.skip_group("(", ")"),
+                            "[" => self.skip_group("[", "]"),
+                            "{" => self.skip_group("{", "}"),
+                            "<" => self.skip_angles(),
+                            _ => self.bump(),
+                        }
+                    }
+                    self.eat(";");
+                }
+                "macro_rules" => {
+                    self.bump();
+                    self.eat("!");
+                    self.bump(); // macro name
+                    match self.text() {
+                        "{" => self.skip_group("{", "}"),
+                        "(" => self.skip_group("(", ")"),
+                        "[" => self.skip_group("[", "]"),
+                        _ => {}
+                    }
+                }
+                "extern" => {
+                    // `extern { … }` / `extern crate name;`
+                    self.bump();
+                    if self.at("{") {
+                        self.skip_group("{", "}");
+                    } else {
+                        while !self.done() && !self.eat(";") {
+                            self.bump();
+                        }
+                    }
+                }
+                _ => {
+                    // Item-level macro invocation `name!{..}` / `name!(..);`
+                    if self.kind() == Some(TokKind::Ident)
+                        && self.text_at(self.pos + 1) == "!"
+                    {
+                        self.bump();
+                        self.bump();
+                        match self.text() {
+                            "{" => self.skip_group("{", "}"),
+                            "(" => {
+                                self.skip_group("(", ")");
+                                self.eat(";");
+                            }
+                            "[" => {
+                                self.skip_group("[", "]");
+                                self.eat(";");
+                            }
+                            _ => {}
+                        }
+                    } else {
+                        // Tolerance: something we do not model — advance.
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses one `use` declaration (already past the `use` keyword),
+    /// flattening group trees into leaf `UseDecl`s.
+    fn parse_use(&mut self) {
+        let is_pub = self.pos >= 2 && self.text_at(self.pos - 2) == "pub";
+        let line = self.pos_of(self.pos).0;
+        let mut prefix = Vec::new();
+        self.use_tree(&mut prefix, is_pub, line);
+        self.eat(";");
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>, is_pub: bool, line: u32) {
+        let depth_here = prefix.len();
+        loop {
+            match self.text() {
+                "{" => {
+                    self.bump();
+                    loop {
+                        if self.at("}") || self.done() {
+                            break;
+                        }
+                        self.use_tree(prefix, is_pub, line);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    if !self.eat("}") {
+                        self.note("use group never closed");
+                    }
+                    break;
+                }
+                "*" => {
+                    self.bump();
+                    self.ast.uses.push(UseDecl {
+                        path: prefix.clone(),
+                        alias: String::new(),
+                        glob: true,
+                        is_pub,
+                        line,
+                    });
+                    break;
+                }
+                "self" if depth_here < prefix.len() || !prefix.is_empty() => {
+                    // `use a::b::{self, c}` — binds `b`.
+                    self.bump();
+                    let alias = if self.eat("as") {
+                        let a = self.text().to_string();
+                        self.bump();
+                        a
+                    } else {
+                        prefix.last().cloned().unwrap_or_default()
+                    };
+                    self.ast.uses.push(UseDecl {
+                        path: prefix.clone(),
+                        alias,
+                        glob: false,
+                        is_pub,
+                        line,
+                    });
+                    break;
+                }
+                _ if self.kind() == Some(TokKind::Ident) => {
+                    prefix.push(self.text().to_string());
+                    self.bump();
+                    if self.eat("::") {
+                        continue;
+                    }
+                    let alias = if self.eat("as") {
+                        let a = self.text().to_string();
+                        self.bump();
+                        a
+                    } else {
+                        prefix.last().cloned().unwrap_or_default()
+                    };
+                    self.ast.uses.push(UseDecl {
+                        path: prefix.clone(),
+                        alias,
+                        glob: false,
+                        is_pub,
+                        line,
+                    });
+                    break;
+                }
+                _ => break,
+            }
+        }
+        prefix.truncate(depth_here);
+    }
+
+    /// Parses `impl [<..>] Type {..}` or `impl [<..>] Trait for Type {..}`.
+    fn parse_impl(&mut self, module: &mut Vec<String>, in_test: bool) {
+        self.bump(); // impl
+        if self.at("<") {
+            self.skip_angles();
+        }
+        let first = self.impl_type_name();
+        let (ty, tr) = if self.eat("for") {
+            let ty = self.impl_type_name();
+            (ty, first)
+        } else {
+            (first, String::new())
+        };
+        // Where-clause before the body.
+        while !self.done() && !self.at("{") && !self.at(";") {
+            if self.at("<") {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        if self.eat("{") {
+            let trait_ref = if tr.is_empty() { None } else { Some(tr.as_str()) };
+            self.items(module, Some(&ty), trait_ref, in_test, true);
+            if !self.eat("}") {
+                self.note("impl body never closed");
+            }
+        } else {
+            self.eat(";");
+        }
+    }
+
+    /// Reads one type path in an impl header, returning its last
+    /// identifier (`fmt::Display` → `Display`, `FileCtx<'a>` → `FileCtx`,
+    /// `&mut [f32]` → the element type's name best-effort).
+    fn impl_type_name(&mut self) -> String {
+        let mut name = String::new();
+        loop {
+            match self.text() {
+                "&" | "mut" | "dyn" => {
+                    self.bump();
+                }
+                "(" => {
+                    self.skip_group("(", ")");
+                }
+                "[" => {
+                    self.skip_group("[", "]");
+                }
+                "<" => {
+                    self.skip_angles();
+                }
+                "::" => {
+                    self.bump();
+                }
+                "for" | "where" | "{" | ";" | "" => return name,
+                _ => {
+                    if self.kind() == Some(TokKind::Ident) {
+                        name = self.text().to_string();
+                        self.bump();
+                        if self.at("<") {
+                            self.skip_angles();
+                        }
+                        if !self.at("::") {
+                            return name;
+                        }
+                    } else {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses one `fn` item (already at the `fn` keyword).
+    fn parse_fn(
+        &mut self,
+        module: &[String],
+        self_ty: Option<&str>,
+        trait_name: Option<&str>,
+        is_test: bool,
+    ) {
+        self.bump(); // fn
+        let (line, col) = self.pos_of(self.pos);
+        let name = self.text().to_string();
+        self.bump();
+        if self.at("<") {
+            self.skip_angles();
+        }
+        // Parameter list; a leading `self` (after lifetimes/&/mut) marks
+        // a method.
+        let mut has_receiver = false;
+        if self.at("(") {
+            let params_start = self.pos;
+            self.skip_group("(", ")");
+            for i in params_start + 1..self.pos {
+                match self.text_at(i) {
+                    "self" => {
+                        has_receiver = true;
+                        break;
+                    }
+                    "&" | "mut" => continue,
+                    t if t.starts_with('\'') => continue,
+                    _ => break,
+                }
+            }
+        }
+        // Return type and where-clause up to the body (or `;` for a
+        // bodiless trait-method signature).
+        while !self.done() && !self.at("{") && !self.at(";") {
+            match self.text() {
+                "<" => self.skip_angles(),
+                "(" => self.skip_group("(", ")"),
+                "[" => self.skip_group("[", "]"),
+                _ => self.bump(),
+            }
+        }
+        if self.eat(";") {
+            return; // signature only — not a call target
+        }
+        if !self.at("{") {
+            self.note("fn body never found");
+            return;
+        }
+        let (events, facts) = self.body();
+        self.ast.fns.push(FnDef {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            trait_name: trait_name.map(str::to_string),
+            module: module.to_vec(),
+            line,
+            col,
+            has_receiver,
+            is_test,
+            events,
+            mentions_tmp: facts.mentions_tmp,
+            bounds_aware: facts.bounds_aware,
+        });
+    }
+
+    /// Scans one function body (current token is its `{`) into events.
+    fn body(&mut self) -> (Vec<Event>, BodyFacts) {
+        let mut events = Vec::new();
+        let mut facts = BodyFacts::default();
+        let mut depth = 0usize;
+        // Brace depths at which a bounds-guarded block starts.
+        let mut guard_stack: Vec<usize> = Vec::new();
+        // Brace depths at which an `unsafe` block starts.
+        let mut unsafe_stack: Vec<usize> = Vec::new();
+        // Set when an `if`/`while`/`for` header with a guard hint was
+        // scanned; applied to the next `{` at header paren depth 0.
+        let mut pending_guard = false;
+        let mut pending_unsafe = false;
+        self.scan_block(
+            &mut events,
+            &mut facts,
+            &mut depth,
+            &mut guard_stack,
+            &mut unsafe_stack,
+            &mut pending_guard,
+            &mut pending_unsafe,
+            false,
+        );
+        (events, facts)
+    }
+
+    /// The body scanner. When `in_macro` is set (scanning a macro's
+    /// delimiter group) only calls/method calls/macro uses are recorded —
+    /// index and `?` events inside macro arguments would double-report
+    /// the macro itself (`assert!(v[i] < n)`).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_block(
+        &mut self,
+        events: &mut Vec<Event>,
+        facts: &mut BodyFacts,
+        depth: &mut usize,
+        guard_stack: &mut Vec<usize>,
+        unsafe_stack: &mut Vec<usize>,
+        pending_guard: &mut bool,
+        pending_unsafe: &mut bool,
+        in_macro: bool,
+    ) {
+        if !self.at("{") && !(in_macro && (self.at("(") || self.at("["))) {
+            return;
+        }
+        let (open, close) = match self.text() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            _ => ("{", "}"),
+        };
+        let base = *depth;
+        loop {
+            if self.done() {
+                self.note("fn body never closed");
+                return;
+            }
+            let t = self.toks[self.pos];
+            let guarded_here = !guard_stack.is_empty();
+            let unsafe_here = !unsafe_stack.is_empty();
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, s) if s == open => {
+                    *depth += 1;
+                    if s == "{" {
+                        if *pending_guard {
+                            guard_stack.push(*depth);
+                            *pending_guard = false;
+                        }
+                        if *pending_unsafe {
+                            unsafe_stack.push(*depth);
+                            *pending_unsafe = false;
+                        }
+                    }
+                    self.bump();
+                }
+                (TokKind::Punct, s) if s == close => {
+                    if s == "}" {
+                        if guard_stack.last() == Some(depth) {
+                            guard_stack.pop();
+                        }
+                        if unsafe_stack.last() == Some(depth) {
+                            unsafe_stack.pop();
+                        }
+                    }
+                    *depth -= 1;
+                    self.bump();
+                    if *depth == base {
+                        return;
+                    }
+                }
+                // Braces of the *other* kinds nest freely inside.
+                (TokKind::Punct, "{") => {
+                    *depth += 1;
+                    if *pending_guard {
+                        guard_stack.push(*depth);
+                        *pending_guard = false;
+                    }
+                    if *pending_unsafe {
+                        unsafe_stack.push(*depth);
+                        *pending_unsafe = false;
+                    }
+                    self.bump();
+                }
+                (TokKind::Punct, "}") => {
+                    if guard_stack.last() == Some(depth) {
+                        guard_stack.pop();
+                    }
+                    if unsafe_stack.last() == Some(depth) {
+                        unsafe_stack.pop();
+                    }
+                    *depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                (TokKind::Punct, "#") if self.text_at(self.pos + 1) == "[" => {
+                    // Statement-level attribute (`#[cfg(..)] let x = ..;`).
+                    self.bump();
+                    self.skip_group("[", "]");
+                }
+                (TokKind::Ident, "if" | "while" | "for" | "loop") => {
+                    let kw = t.text.clone();
+                    if kw != "loop" {
+                        // Lookahead over the header up to its `{` at
+                        // bracket depth 0; guard hints there protect the
+                        // block's index expressions.
+                        let mut j = self.pos + 1;
+                        let mut d = 0usize;
+                        let mut hint = false;
+                        while j < self.toks.len() {
+                            let s = self.text_at(j);
+                            match s {
+                                "(" | "[" => d += 1,
+                                ")" | "]" => d = d.saturating_sub(1),
+                                "{" if d == 0 => break,
+                                ";" if d == 0 => break,
+                                _ => {
+                                    if GUARD_HINTS.contains(&s) {
+                                        hint = true;
+                                    }
+                                }
+                            }
+                            j += 1;
+                        }
+                        if hint {
+                            *pending_guard = true;
+                        }
+                    }
+                    self.bump();
+                }
+                (TokKind::Ident, "unsafe") if self.text_at(self.pos + 1) == "{" => {
+                    *pending_unsafe = true;
+                    self.bump();
+                }
+                (TokKind::Ident, _) => {
+                    if t.text.contains("tmp") || t.text.contains("temp") {
+                        facts.mentions_tmp = true;
+                    }
+                    if GUARD_HINTS.contains(&t.text.as_str()) {
+                        facts.bounds_aware = true;
+                    }
+                    self.scan_path_or_macro(
+                        events,
+                        facts,
+                        depth,
+                        guard_stack,
+                        unsafe_stack,
+                        pending_guard,
+                        pending_unsafe,
+                        in_macro,
+                        guarded_here,
+                        unsafe_here,
+                    );
+                }
+                (TokKind::Punct, ".") => {
+                    // `.name(` → method call; `.name::<..>(` → turbofish
+                    // method; `.0` → tuple field; `.await`, `.name` →
+                    // field access.
+                    let name_at = self.pos + 1;
+                    if self.kind_at(name_at) == Some(TokKind::Ident) {
+                        let mname = self.text_at(name_at).to_string();
+                        if mname.contains("tmp") || mname.contains("temp") {
+                            facts.mentions_tmp = true;
+                        }
+                        if GUARD_HINTS.contains(&mname.as_str()) {
+                            facts.bounds_aware = true;
+                        }
+                        let mut after = name_at + 1;
+                        if self.text_at(after) == "::" && self.text_at(after + 1) == "<" {
+                            // skip the turbofish with a local angle scan
+                            let save = self.pos;
+                            self.pos = after + 1;
+                            self.skip_angles();
+                            after = self.pos;
+                            self.pos = save;
+                        }
+                        if self.text_at(after) == "(" {
+                            let (line, col) = self.pos_of(name_at);
+                            events.push(Event {
+                                kind: EventKind::Method(mname),
+                                line,
+                                col,
+                                guarded: guarded_here,
+                                in_unsafe: unsafe_here,
+                            });
+                        }
+                        self.pos = after; // land on `(`/next token
+                    } else {
+                        self.bump();
+                        if self.kind() == Some(TokKind::Num) {
+                            self.bump(); // tuple index
+                        }
+                    }
+                }
+                (TokKind::Punct, "[") => {
+                    // Index expression when following a value-producing
+                    // token; array literal otherwise.
+                    let prev_is_value = self
+                        .pos
+                        .checked_sub(1)
+                        .map(|i| {
+                            matches!(
+                                self.kind_at(i),
+                                Some(
+                                    TokKind::Ident
+                                        | TokKind::Num
+                                        | TokKind::Str
+                                        | TokKind::RawStr
+                                )
+                            ) && !matches!(
+                                self.text_at(i),
+                                "in" | "return" | "else" | "match" | "if"
+                                    | "break" | "mut" | "as" | "let"
+                            ) || matches!(self.text_at(i), ")" | "]")
+                        })
+                        .unwrap_or(false);
+                    if prev_is_value && !in_macro {
+                        // Content guard: the brackets mention a hint, or
+                        // hold a single constant (`header[3]` into a
+                        // fixed just-validated buffer is infallible by
+                        // construction — computed indices are the risk),
+                        // or a single string literal (`v["config"]`:
+                        // map-style `Index` impls are total, returning
+                        // null/default for missing keys).
+                        let mut j = self.pos + 1;
+                        let mut d = 1usize;
+                        let mut content_hint = false;
+                        let mut content_toks = 0usize;
+                        let mut single_lit = false;
+                        while j < self.toks.len() && d > 0 {
+                            match self.text_at(j) {
+                                "[" => d += 1,
+                                "]" => d -= 1,
+                                s => {
+                                    if GUARD_HINTS.contains(&s) {
+                                        content_hint = true;
+                                    }
+                                }
+                            }
+                            if d > 0 {
+                                content_toks += 1;
+                                single_lit = content_toks == 1
+                                    && matches!(
+                                        self.kind_at(j),
+                                        Some(TokKind::Num | TokKind::Str)
+                                    );
+                            }
+                            j += 1;
+                        }
+                        let (line, col) = self.pos_of(self.pos);
+                        events.push(Event {
+                            kind: EventKind::Index,
+                            line,
+                            col,
+                            guarded: guarded_here || content_hint || single_lit,
+                            in_unsafe: unsafe_here,
+                        });
+                    }
+                    self.bump(); // scan bracket contents normally
+                }
+                (TokKind::Punct, "?") => {
+                    if !in_macro && self.text_at(self.pos + 1) != "Sized" {
+                        let (line, col) = self.pos_of(self.pos);
+                        events.push(Event {
+                            kind: EventKind::Try,
+                            line,
+                            col,
+                            guarded: guarded_here,
+                            in_unsafe: unsafe_here,
+                        });
+                    }
+                    self.bump();
+                }
+                (TokKind::Str | TokKind::RawStr, _) => {
+                    if t.text.contains("tmp") || t.text.contains("temp") {
+                        facts.mentions_tmp = true;
+                    }
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// At an identifier inside a body: a macro use (`name!`), a path call
+    /// (`a::b::f(`, `Type::method(`, turbofish included), or a plain
+    /// expression identifier.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_path_or_macro(
+        &mut self,
+        events: &mut Vec<Event>,
+        facts: &mut BodyFacts,
+        depth: &mut usize,
+        guard_stack: &mut Vec<usize>,
+        unsafe_stack: &mut Vec<usize>,
+        pending_guard: &mut bool,
+        pending_unsafe: &mut bool,
+        _in_macro: bool,
+        guarded: bool,
+        in_unsafe: bool,
+    ) {
+        let start = self.pos;
+        let (line, col) = self.pos_of(start);
+        let mut segs = vec![self.text().to_string()];
+        self.bump();
+        // Macro invocation?
+        if self.at("!") && self.text_at(self.pos + 1) != "=" {
+            let peek = self.text_at(self.pos + 1);
+            if matches!(peek, "(" | "[" | "{") {
+                events.push(Event {
+                    kind: EventKind::MacroUse(segs[0].clone()),
+                    line,
+                    col,
+                    guarded,
+                    in_unsafe,
+                });
+                self.bump(); // !
+                // Scan the macro group for nested calls (not sinks).
+                let before = *depth;
+                self.scan_block(
+                    events,
+                    facts,
+                    depth,
+                    guard_stack,
+                    unsafe_stack,
+                    pending_guard,
+                    pending_unsafe,
+                    true,
+                );
+                *depth = before;
+                return;
+            }
+            // `!` as negation of the next expression — leave it.
+            return;
+        }
+        // Path: `::` segments with optional turbofish groups.
+        loop {
+            if self.at("::") {
+                let after = self.pos + 1;
+                if self.text_at(after) == "<" {
+                    self.bump(); // ::
+                    self.skip_angles();
+                    continue;
+                }
+                if self.kind_at(after) == Some(TokKind::Ident) {
+                    self.bump(); // ::
+                    let seg = self.text().to_string();
+                    if seg.contains("tmp") || seg.contains("temp") {
+                        facts.mentions_tmp = true;
+                    }
+                    segs.push(seg);
+                    self.bump();
+                    continue;
+                }
+            }
+            break;
+        }
+        if self.at("(") {
+            events.push(Event {
+                kind: EventKind::Call(segs),
+                line,
+                col,
+                guarded,
+                in_unsafe,
+            });
+        }
+    }
+}

@@ -37,7 +37,12 @@ pub struct RuleConfig {
     pub id: &'static str,
     pub severity: Severity,
     pub description: &'static str,
+    /// `"token"` rules run per-file over the token stream here;
+    /// `"graph"` rules run over the workspace call graph in
+    /// [`crate::graph_rules`]. Both share this config for reporting.
+    pub kind: &'static str,
     /// Only paths starting with one of these prefixes are checked.
+    /// For graph rules this names the *entry zone*, not the scan scope.
     pub include: &'static [&'static str],
     /// Paths starting with one of these prefixes are never checked.
     pub exclude: &'static [&'static str],
@@ -45,10 +50,6 @@ pub struct RuleConfig {
     pub skip_test_code: bool,
 }
 
-/// Methods whose call reintroduces a panic on the serving/checkpoint path.
-const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
-/// Macros that abort instead of returning a typed error.
-const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
 /// Macros that smell like debugging leftovers in library code.
 const DEBUG_MACROS: &[&str] = &["dbg", "eprintln", "eprint"];
 /// Iteration-order-sensitive std types banned from deterministic modules.
@@ -76,40 +77,18 @@ const GRAD_PATH: &[&str] = &[
     "crates/core/src/trainer.rs",
     "crates/core/src/multistep.rs",
 ];
-/// The allocation-free no-grad serving kernels: steady-state calls promise
-/// zero heap allocations (pinned by `crates/core/tests/alloc_free.rs`), so
-/// ad-hoc `Vec` construction here is a latent per-call regression.
-const HOT_ALLOC_PATHS: &[&str] = &[
-    "crates/nn/src/fastpath.rs",
-    "crates/core/src/topk.rs",
-];
-
 /// The shipped rule set. Order here is the order rules run and report.
+/// The old `panic-free-zone` and `no-hot-alloc` token rules are
+/// superseded by the transitive `panic-reachability` and
+/// `no-hot-alloc-reachable` graph rules below.
 pub fn config() -> Vec<RuleConfig> {
     vec![
-        RuleConfig {
-            id: "panic-free-zone",
-            severity: Severity::Error,
-            description: "no .unwrap()/.expect()/panic-family macros in the \
-                          serving loop, the durability layer (atomic writes, \
-                          WAL, ingest), the wire protocol, or the distributed \
-                          trainer",
-            include: &[
-                "crates/core/src/serve.rs",
-                "crates/core/src/ingest.rs",
-                "crates/util/src/fsio.rs",
-                "crates/util/src/wal.rs",
-                "crates/comms/src/",
-                "crates/core/src/dist.rs",
-            ],
-            exclude: &[],
-            skip_test_code: true,
-        },
         RuleConfig {
             id: "atomic-writes-only",
             severity: Severity::Error,
             description: "fs::write/File::create are not crash-safe; all \
                           persistent writes go through hisres_util::fsio::atomic_write",
+            kind: "token",
             include: &[],
             // fsio *is* the atomic-write helper; the WAL is the one other
             // file allowed to own its durability story (append + fsync is
@@ -122,6 +101,7 @@ pub fn config() -> Vec<RuleConfig> {
             severity: Severity::Error,
             description: "thread::spawn outside the worker pool breaks the \
                           deterministic data-parallel contract",
+            kind: "token",
             include: &[],
             exclude: &["crates/util/src/pool.rs"],
             skip_test_code: true,
@@ -132,6 +112,7 @@ pub fn config() -> Vec<RuleConfig> {
             description: "Instant::now/SystemTime::now and HashMap/HashSet \
                           are banned on the gradient path (training \
                           trajectories must be bit-reproducible)",
+            kind: "token",
             include: GRAD_PATH,
             exclude: &[],
             skip_test_code: true,
@@ -141,18 +122,8 @@ pub fn config() -> Vec<RuleConfig> {
             severity: Severity::Warning,
             description: "dbg!/eprintln! in library crates is debug output \
                           that should be removed or routed through a caller",
+            kind: "token",
             include: LIBRARY_SRC,
-            exclude: &[],
-            skip_test_code: true,
-        },
-        RuleConfig {
-            id: "no-hot-alloc",
-            severity: Severity::Error,
-            description: "Vec::new/vec!/.to_vec() on the allocation-free \
-                          serving kernels; take buffers from the Scratch \
-                          arena, or annotate construction-time allocation \
-                          with a reasoned lint:allow",
-            include: HOT_ALLOC_PATHS,
             exclude: &[],
             skip_test_code: true,
         },
@@ -161,9 +132,55 @@ pub fn config() -> Vec<RuleConfig> {
             severity: Severity::Error,
             description: "== / != against a float literal is almost always \
                           an epsilon bug outside tests",
+            kind: "token",
             include: &[],
             exclude: &[],
             skip_test_code: true,
+        },
+        RuleConfig {
+            id: "panic-reachability",
+            severity: Severity::Error,
+            description: "no function transitively reachable from the \
+                          serving/durability/distributed entry set may \
+                          unwrap/expect, invoke a panic or assert macro, or \
+                          index a slice without a bounds guard",
+            kind: "graph",
+            include: crate::graph_rules::PANIC_ZONE,
+            exclude: &[],
+            skip_test_code: true,
+        },
+        RuleConfig {
+            id: "no-hot-alloc-reachable",
+            severity: Severity::Error,
+            description: "Vec::new/vec!/.to_vec() anywhere reachable from \
+                          the steady-state serving kernels (forward_nograd*, \
+                          score_topk, advance_encoder_state); take buffers \
+                          from the Scratch arena",
+            kind: "graph",
+            include: crate::graph_rules::HOT_ENTRY_FILES,
+            exclude: &[],
+            skip_test_code: true,
+        },
+        RuleConfig {
+            id: "durability-order",
+            severity: Severity::Error,
+            description: "in the WAL/fsio/ingest layer a write_all must be \
+                          fsynced before any ack leaves the function, and \
+                          temp-file writes must reach fs::rename",
+            kind: "graph",
+            include: crate::graph_rules::DURABILITY_FILES,
+            exclude: &[],
+            skip_test_code: true,
+        },
+        RuleConfig {
+            id: "unused-suppression",
+            severity: Severity::Warning,
+            description: "a lint:allow comment whose rule no longer fires on \
+                          that line is stale and must be deleted",
+            kind: "graph",
+            include: &[],
+            exclude: &[],
+            skip_test_code: false,
         },
     ]
 }
@@ -221,14 +238,17 @@ impl<'a> FileCtx<'a> {
         })
     }
 
-    fn snippet(&self, line: u32) -> String {
+    /// The trimmed source line at `line` (1-based), for diagnostics.
+    pub fn snippet(&self, line: u32) -> String {
         self.lines
             .get(line.saturating_sub(1) as usize)
             .map(|l| l.trim().to_string())
             .unwrap_or_default()
     }
 
-    fn in_test_code(&self, line: u32) -> bool {
+    /// Whether `line` is inside test code (`tests/` tree, `#[cfg(test)]`
+    /// module, or `#[test]` fn).
+    pub fn in_test_code(&self, line: u32) -> bool {
         self.file_is_test || self.test_ranges.iter().any(|&(a, b)| line >= a && line <= b)
     }
 }
@@ -333,6 +353,11 @@ fn find_allows(tokens: &[Token]) -> Vec<Allow> {
         if t.kind != TokKind::LineComment {
             continue;
         }
+        // Doc comments (`///`, `//!`) describe the syntax; only plain
+        // `//` comments carry live suppressions.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
         let Some(at) = t.text.find("lint:allow(") else {
             continue;
         };
@@ -371,22 +396,29 @@ fn applies(cfg: &RuleConfig, path: &str) -> bool {
     included && !excluded
 }
 
-/// Runs every configured rule over one file. Diagnostics suppressed by a
-/// well-formed `lint:allow` are counted in `suppressed` instead of
-/// returned; malformed allows produce `lint-allow-syntax` diagnostics.
-pub fn check_file(ctx: &FileCtx, rules: &[RuleConfig], suppressed: &mut usize) -> Vec<Diagnostic> {
+/// Runs every configured **token** rule over one file (graph rules run
+/// in [`crate::graph_rules`] after the call graph is built). Diagnostics
+/// suppressed by a well-formed `lint:allow` are counted in `suppressed`
+/// instead of returned; malformed allows produce `lint-allow-syntax`
+/// diagnostics. Per-rule wall-clock is accumulated into `timings`
+/// (milliseconds, keyed by rule id) for the v2 report.
+pub fn check_file(
+    ctx: &FileCtx,
+    rules: &[RuleConfig],
+    suppressed: &mut usize,
+    timings: &mut std::collections::BTreeMap<&'static str, f64>,
+) -> Vec<Diagnostic> {
     let mut raw = Vec::new();
     for cfg in rules {
-        if !applies(cfg, ctx.path) {
+        if cfg.kind != "token" || !applies(cfg, ctx.path) {
             continue;
         }
+        let t0 = std::time::Instant::now();
         match cfg.id {
-            "panic-free-zone" => check_panic_free(ctx, cfg, &mut raw),
             "atomic-writes-only" => check_atomic_writes(ctx, cfg, &mut raw),
             "pool-only-threading" => check_pool_threading(ctx, cfg, &mut raw),
             "determinism" => check_determinism(ctx, cfg, &mut raw),
             "no-debug-leftovers" => check_debug_leftovers(ctx, cfg, &mut raw),
-            "no-hot-alloc" => check_hot_alloc(ctx, cfg, &mut raw),
             "float-eq" => check_float_eq(ctx, cfg, &mut raw),
             other => raw.push(Diagnostic {
                 rule: "lint-config",
@@ -396,8 +428,10 @@ pub fn check_file(ctx: &FileCtx, rules: &[RuleConfig], suppressed: &mut usize) -
                 col: 1,
                 message: format!("rule {other:?} has no implementation"),
                 snippet: String::new(),
+                chain: Vec::new(),
             }),
         }
+        *timings.entry(cfg.id).or_insert(0.0) += t0.elapsed().as_secs_f64() * 1e3;
     }
     // Apply suppressions, then report malformed / unused allows.
     let mut out = Vec::new();
@@ -424,6 +458,7 @@ pub fn check_file(ctx: &FileCtx, rules: &[RuleConfig], suppressed: &mut usize) -
                         d.rule, d.rule
                     ),
                     snippet: d.snippet.clone(),
+                    chain: Vec::new(),
                 });
             }
             None => out.push(d),
@@ -439,6 +474,7 @@ pub fn check_file(ctx: &FileCtx, rules: &[RuleConfig], suppressed: &mut usize) -
                 col: 1,
                 message: "malformed lint:allow — expected `lint:allow(<rule>): <reason>`".into(),
                 snippet: ctx.snippet(a.line),
+                chain: Vec::new(),
             });
         }
     }
@@ -464,34 +500,8 @@ fn emit(
         col: tok.col,
         message,
         snippet: ctx.snippet(tok.line),
+        chain: Vec::new(),
     });
-}
-
-/// `.unwrap()` / `.expect(` method calls and `panic!`-family macros.
-fn check_panic_free(ctx: &FileCtx, cfg: &RuleConfig, out: &mut Vec<Diagnostic>) {
-    let toks = &ctx.tokens;
-    let code = &ctx.code;
-    for w in code.windows(3) {
-        let (a, b, c) = (&toks[w[0]], &toks[w[1]], &toks[w[2]]);
-        if a.text == "." && PANIC_METHODS.contains(&b.text.as_str()) && c.text == "(" {
-            emit(
-                ctx,
-                cfg,
-                b,
-                format!(".{}() panics; return a typed error instead", b.text),
-                out,
-            );
-        }
-        if b.text == "!" && PANIC_MACROS.contains(&a.text.as_str()) && a.kind == TokKind::Ident {
-            emit(
-                ctx,
-                cfg,
-                a,
-                format!("{}! aborts the panic-free zone; map the failure to a typed error", a.text),
-                out,
-            );
-        }
-    }
 }
 
 /// `fs::write` / `File::create` outside the atomic-write helper.
@@ -579,46 +589,6 @@ fn check_debug_leftovers(ctx: &FileCtx, cfg: &RuleConfig, out: &mut Vec<Diagnost
                 cfg,
                 a,
                 format!("{}! in library code looks like a debugging leftover", a.text),
-                out,
-            );
-        }
-    }
-}
-
-/// `Vec::new` / `vec![` / `.to_vec()` in the allocation-free kernel files.
-fn check_hot_alloc(ctx: &FileCtx, cfg: &RuleConfig, out: &mut Vec<Diagnostic>) {
-    let toks = &ctx.tokens;
-    for w in ctx.code.windows(2) {
-        let (a, b) = (&toks[w[0]], &toks[w[1]]);
-        if a.kind == TokKind::Ident && a.text == "vec" && b.text == "!" {
-            emit(
-                ctx,
-                cfg,
-                a,
-                "vec! allocates on the hot path; take a buffer from the Scratch arena".into(),
-                out,
-            );
-        }
-    }
-    for w in ctx.code.windows(3) {
-        let (a, b, c) = (&toks[w[0]], &toks[w[1]], &toks[w[2]]);
-        if a.text == "Vec" && b.text == "::" && c.text == "new" {
-            emit(
-                ctx,
-                cfg,
-                a,
-                "Vec::new on the hot path grows by reallocating; reuse a caller-owned buffer"
-                    .into(),
-                out,
-            );
-        }
-        if a.text == "." && b.text == "to_vec" && c.text == "(" {
-            emit(
-                ctx,
-                cfg,
-                b,
-                ".to_vec() copies into a fresh allocation; write into a Scratch buffer instead"
-                    .into(),
                 out,
             );
         }

@@ -1,0 +1,106 @@
+//! Cross-crate call-graph tests over the two-crate `xcrate` fixture
+//! workspace: manifest-driven crate naming, `use … as` renames, glob
+//! imports, crate-root re-exports, conservative method dispatch, and
+//! the resolved/ambiguous/unresolved/external classification — pinned
+//! as exact edge sets.
+
+use hisres_lint::callgraph::{build, crate_names, load_workspace, Graph};
+use std::path::PathBuf;
+
+fn xcrate() -> Graph {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/xcrate");
+    let files = load_workspace(&root).expect("fixture workspace loads");
+    build(&files, &crate_names(&root))
+}
+
+/// `(caller, callee, line)` triples, sorted, for exact comparison.
+fn edge_set(g: &Graph) -> Vec<(String, String, u32)> {
+    let mut v: Vec<_> = g
+        .edges
+        .iter()
+        .enumerate()
+        .flat_map(|(from, es)| {
+            es.iter()
+                .map(move |e| (from, e))
+                .collect::<Vec<_>>()
+        })
+        .map(|(from, e)| (g.fns[from].key.clone(), g.fns[e.to].key.clone(), e.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn manifest_lib_names_win_over_package_names() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/xcrate");
+    let names = crate_names(&root);
+    // `alpha-pkg` has `[lib] name = "alpha"`; `beta-link` has only the
+    // package name, with `-` mapped to `_`.
+    assert_eq!(names.get("crates/alpha").map(String::as_str), Some("alpha"));
+    assert_eq!(names.get("crates/beta").map(String::as_str), Some("beta_link"));
+}
+
+#[test]
+fn cross_crate_edges_resolve_through_renames_globs_and_reexports() {
+    let g = xcrate();
+    assert_eq!(
+        edge_set(&g),
+        vec![
+            // Intra-file free call inside alpha's `geom` module.
+            ("alpha::geom::area".into(), "alpha::geom::scale".into(), 3),
+            // `grid.cells()` — exactly one workspace candidate, not a
+            // std method name, so it resolves.
+            ("beta_link::cells_of".into(), "alpha::Grid::cells".into(), 25),
+            // `g::area(..)` through `use alpha::geom as g`.
+            ("beta_link::total".into(), "alpha::geom::area".into(), 18),
+            // Bare `area(..)` through `use alpha::geom::*`.
+            ("beta_link::total".into(), "alpha::geom::area".into(), 19),
+            // `alpha::area(..)` through the crate-root `pub use`.
+            ("beta_link::total".into(), "alpha::geom::area".into(), 20),
+        ]
+    );
+}
+
+#[test]
+fn ambiguous_dispatch_is_counted_not_guessed() {
+    let g = xcrate();
+    // `resolve` has two receiver-taking candidates (Grid and Plan):
+    // both calls are classified ambiguous and produce NO edge.
+    assert_eq!(g.stats.ambiguous, 2);
+    let dispatch = g.find_by_name("ambiguous_dispatch");
+    assert_eq!(dispatch.len(), 1);
+    assert!(g.edges[dispatch[0]].is_empty(), "no edges may be guessed");
+}
+
+#[test]
+fn unresolved_workspace_paths_are_reported_std_is_external() {
+    let g = xcrate();
+    // `alpha::gone::forever()` points into the workspace but matches no
+    // definition — reported, not dropped.
+    assert_eq!(g.unresolved.len(), 1);
+    let u = &g.unresolved[0];
+    assert_eq!(u.path, "alpha::gone::forever");
+    assert_eq!(g.fns[u.from].key, "beta_link::missing");
+    assert_eq!((u.line, u.col), (33, 5));
+    // `std::process::id()` is external, silent.
+    assert_eq!(g.stats.external, 1);
+}
+
+#[test]
+fn stats_account_for_every_call_event() {
+    let g = xcrate();
+    assert_eq!(g.stats.nodes, 10);
+    assert_eq!(g.stats.edges, 5);
+    assert_eq!(g.stats.unresolved, 1);
+    assert_eq!(g.stats.ambiguous, 2);
+    assert_eq!(g.stats.external, 1);
+}
+
+#[test]
+fn find_by_name_locates_methods_across_crates() {
+    let g = xcrate();
+    let hits = g.find_by_name("resolve");
+    let mut keys: Vec<_> = hits.iter().map(|&i| g.fns[i].key.clone()).collect();
+    keys.sort();
+    assert_eq!(keys, vec!["alpha::Grid::resolve", "beta_link::Plan::resolve"]);
+}

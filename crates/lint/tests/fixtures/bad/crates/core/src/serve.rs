@@ -1,10 +1,10 @@
-// Fixture: one panic-free-zone violation (line 4) and one malformed
+// Fixture: one panic-reachability violation (line 4) and one malformed
 // suppression (line 7). Everything else here must stay silent.
 pub fn handle(input: Option<u32>) -> u32 {
     let v = input.unwrap();
     // A suppression without a reason is itself an error:
     let w = match input {
-        None => panic!("no input"), // lint:allow(panic-free-zone)
+        None => panic!("no input"), // lint:allow(panic-reachability)
         Some(w) => w,
     };
     v + w

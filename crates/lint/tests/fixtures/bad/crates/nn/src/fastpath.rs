@@ -1,8 +1,8 @@
-// Fixture: three no-hot-alloc violations (lines 3, 4, 5).
+// Fixture: three no-hot-alloc-reachable violations (lines 3, 4, 5).
 pub fn forward_hot(n: usize, xs: &[f32]) -> Vec<f32> {
     let mut buf = vec![0.0f32; n];
     let copy = xs.to_vec();
-    let mut spare: Vec<f32> = Vec::new();
+    let mut spare: Vec<f32> = Vec::with_capacity(4);
     spare.extend_from_slice(&copy);
     buf.extend_from_slice(&spare);
     buf

@@ -1,0 +1,11 @@
+// Fixture: writes the temp file but never renames it into place, so
+// the "atomic replace" is a torn copy waiting to happen.
+use std::io::Write;
+
+pub fn atomic_write(dir: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp_path = dir.join("snapshot.tmp");
+    let mut f = std::fs::File::create(&tmp_path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,11 @@
+// Fixture: acknowledges a write that was never fsynced — the reply on
+// line 7 races the page cache; a crash after the ack loses the record.
+use std::io::Write;
+
+pub fn append(f: &mut std::fs::File, rec: &[u8]) -> std::io::Result<()> {
+    f.write_all(rec)?;
+    reply(rec.len());
+    Ok(())
+}
+
+fn reply(_n: usize) {}

@@ -1,0 +1,11 @@
+// Fixture: the allocation hides one hop below the hot entry point.
+// `forward_nograd` itself allocates nothing; the chain
+// forward_nograd → scratch::grow → vec! is only visible to the graph.
+use crate::scratch;
+
+pub fn forward_nograd(xs: &[f32], out: &mut [f32]) {
+    let scale = scratch::grow(xs.len());
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = *x * scale[0];
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: not a hot-path file by name — `grow` is only a finding
+// because `fastpath::forward_nograd` reaches it.
+pub fn grow(n: usize) -> Vec<f32> {
+    vec![1.0f32; n]
+}
+
+pub fn cold_setup(n: usize) -> Vec<f32> {
+    vec![0.0f32; n]
+}

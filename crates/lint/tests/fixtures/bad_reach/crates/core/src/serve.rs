@@ -1,0 +1,15 @@
+// Fixture: the panic sink lives two crates away — the serving entry
+// point is clean at token level and only the call graph can see the
+// unguarded index it reaches through `graph::cmp::pick`.
+use graph::cmp;
+
+pub fn handle(q: u32, table: &[u32]) -> u32 {
+    let shifted = local::widen(q);
+    cmp::pick(shifted, table)
+}
+
+mod local {
+    pub fn widen(q: u32) -> usize {
+        q as usize
+    }
+}

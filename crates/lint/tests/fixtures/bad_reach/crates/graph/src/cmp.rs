@@ -1,0 +1,10 @@
+// Fixture: not a panic-zone file itself — `pick` only becomes a finding
+// because `core::serve::handle` reaches it. The index has no guard
+// vocabulary anywhere in the body, so it is an unguarded-slice sink.
+pub fn pick(q: usize, table: &[u32]) -> u32 {
+    table[q]
+}
+
+pub fn unreached(table: &[u32]) -> u32 {
+    table[7]
+}

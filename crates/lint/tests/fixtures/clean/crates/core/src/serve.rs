@@ -21,7 +21,7 @@ pub fn lifetimes<'a>(x: &'a str) -> &'a str {
 
 /// A justified suppression: silenced, and counted as suppressed.
 pub fn justified(input: Option<u32>) -> u32 {
-    input.unwrap() // lint:allow(panic-free-zone): fixture proves a reasoned allow is honoured
+    input.unwrap() // lint:allow(panic-reachability): fixture proves a reasoned allow is honoured
 }
 
 #[cfg(test)]

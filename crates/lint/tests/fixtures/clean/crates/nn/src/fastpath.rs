@@ -1,5 +1,5 @@
 // Fixture: construction-time allocation in a hot-alloc-scoped file, with a
 // reasoned allow — the rule fires, is silenced, and counts as suppressed.
 pub fn warmup_buffer(n: usize) -> Vec<f32> {
-    vec![0.0f32; n] // lint:allow(no-hot-alloc): warmup-only construction, not the per-call path
+    vec![0.0f32; n] // lint:allow(no-hot-alloc-reachable): warmup-only construction, not the per-call path
 }

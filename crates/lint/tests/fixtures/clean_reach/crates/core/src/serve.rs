@@ -1,0 +1,8 @@
+// Fixture: same shape as bad_reach, but the edge into `graph::cmp` is
+// suppressed with a reason AT THE CALL SITE — the sink file itself is
+// untouched, proving a per-edge allow cuts the whole subtree.
+use graph::cmp;
+
+pub fn handle(q: u32, table: &[u32]) -> u32 {
+    cmp::pick(q as usize, table) // lint:allow(panic-reachability): q is validated at the session boundary
+}

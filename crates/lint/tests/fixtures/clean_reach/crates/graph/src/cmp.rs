@@ -1,0 +1,5 @@
+// Fixture: carries the unguarded index; must stay diagnostic-free
+// because the only path reaching it is suppressed at the caller.
+pub fn pick(q: usize, table: &[u32]) -> u32 {
+    table[q]
+}

@@ -1,0 +1,8 @@
+// Fixture module with an intra-file free-fn edge (area → scale).
+pub fn area(w: u32, h: u32) -> u32 {
+    scale(w) * h
+}
+
+fn scale(w: u32) -> u32 {
+    w * 2
+}

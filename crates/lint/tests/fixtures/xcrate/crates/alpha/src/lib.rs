@@ -1,0 +1,18 @@
+// Fixture crate `alpha`: a file module, a crate-root re-export, and two
+// inherent methods (one unique workspace-wide, one shared with `beta`).
+pub mod geom;
+pub use geom::area;
+
+pub struct Grid {
+    pub w: u32,
+}
+
+impl Grid {
+    pub fn cells(&self) -> u32 {
+        self.w
+    }
+
+    pub fn resolve(&self) -> u32 {
+        self.w + 1
+    }
+}

@@ -1,0 +1,38 @@
+// Fixture crate `beta_link`: exercises every cross-crate resolution
+// path — `use … as` rename, glob import, crate-root re-export, unique
+// vs. ambiguous method dispatch, a workspace path that resolves to
+// nothing (unresolved, reported), and a std call (external, silent).
+use alpha::geom as g;
+use alpha::geom::*;
+use alpha::Grid;
+
+pub struct Plan;
+
+impl Plan {
+    pub fn resolve(&self) -> u32 {
+        9
+    }
+}
+
+pub fn total(w: u32, h: u32) -> u32 {
+    let a = g::area(w, h);
+    let b = area(h, w);
+    let c = alpha::area(w, h);
+    a + b + c
+}
+
+pub fn cells_of(grid: &Grid) -> u32 {
+    grid.cells()
+}
+
+pub fn ambiguous_dispatch(grid: &Grid, plan: &Plan) -> u32 {
+    grid.resolve() + plan.resolve()
+}
+
+pub fn missing() -> u32 {
+    alpha::gone::forever()
+}
+
+pub fn outside() -> u32 {
+    std::process::id()
+}

@@ -1,0 +1,146 @@
+//! Graph-rule tests over dedicated fixture trees: each rule has a tree
+//! where the violation is invisible at token level and only the call
+//! graph can pin it, with exact `file:line:col` positions and the full
+//! entry-to-sink chain asserted.
+
+use hisres_lint::diag::{Diagnostic, Severity};
+use hisres_lint::{run, Options, Report};
+use std::path::PathBuf;
+
+fn lint(name: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    run(&root, &Options { deny_all: true }).expect("fixture tree lints")
+}
+
+fn only_diag(r: &Report) -> &Diagnostic {
+    assert_eq!(r.diagnostics.len(), 1, "exactly one diagnostic: {:?}", keys(r));
+    &r.diagnostics[0]
+}
+
+fn keys(r: &Report) -> Vec<(String, String, u32, u32)> {
+    let mut v: Vec<_> = r
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.to_string(), d.file.clone(), d.line, d.col))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn panic_reachability_crosses_crates_and_reports_the_chain() {
+    let report = lint("bad_reach");
+    let d = only_diag(&report);
+    assert_eq!(d.rule, "panic-reachability");
+    assert_eq!(d.severity, Severity::Error);
+    // The sink is pinned in the NON-zone file the entry point reaches.
+    assert_eq!((d.file.as_str(), d.line, d.col), ("crates/graph/src/cmp.rs", 5, 10));
+    assert_eq!(d.snippet, "table[q]");
+    assert_eq!(
+        d.chain,
+        vec![
+            "core::serve::handle".to_string(),
+            "graph::cmp::pick".to_string(),
+            "slice-index-without-guard".to_string(),
+        ]
+    );
+    // `unreached` has the same unguarded index but no path from an
+    // entry point — reachability, not file scoping, decides.
+    assert!(report.has_errors());
+}
+
+#[test]
+fn per_edge_allow_cuts_the_whole_subtree() {
+    let report = lint("clean_reach");
+    assert_eq!(keys(&report), vec![], "suppressed at the call site");
+    // The rule DID fire and was silenced by the reasoned allow on the
+    // edge — the sink file itself carries no annotation.
+    assert_eq!(report.suppressed, 1);
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn hot_alloc_reachability_follows_the_call_graph() {
+    let report = lint("bad_hot");
+    let d = only_diag(&report);
+    assert_eq!(d.rule, "no-hot-alloc-reachable");
+    // The vec! lives in scratch.rs — not a hot-path file by name.
+    assert_eq!((d.file.as_str(), d.line, d.col), ("crates/nn/src/scratch.rs", 4, 5));
+    assert_eq!(
+        d.chain,
+        vec![
+            "nn::fastpath::forward_nograd".to_string(),
+            "nn::scratch::grow".to_string(),
+            "vec!".to_string(),
+        ]
+    );
+    // `cold_setup` allocates identically but is unreachable from the
+    // hot entry set: exactly one diagnostic proves it stayed silent.
+}
+
+#[test]
+fn durability_order_pins_ack_before_sync_and_missing_rename() {
+    let report = lint("bad_durability");
+    assert_eq!(
+        keys(&report),
+        vec![
+            ("durability-order".into(), "crates/util/src/fsio.rs".into(), 8, 7),
+            ("durability-order".into(), "crates/util/src/wal.rs".into(), 7, 5),
+        ]
+    );
+    let rename = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file.ends_with("fsio.rs"))
+        .unwrap();
+    assert!(
+        rename.message.contains("never reaches fs::rename"),
+        "{}",
+        rename.message
+    );
+    assert_eq!(
+        rename.chain,
+        vec![
+            "util::fsio::atomic_write".to_string(),
+            "write_all@8".to_string(),
+            "∅ rename".to_string(),
+        ]
+    );
+    let ack = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file.ends_with("wal.rs"))
+        .unwrap();
+    assert!(
+        ack.message.contains("before the write at line 6 is fsynced"),
+        "{}",
+        ack.message
+    );
+    assert_eq!(
+        ack.chain,
+        vec![
+            "util::wal::append".to_string(),
+            "write_all@6".to_string(),
+            "reply@7".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn graph_stats_and_timings_reach_the_report() {
+    let report = lint("bad_reach");
+    assert_eq!(report.graph.nodes, 4);
+    assert_eq!(report.graph.edges, 2);
+    // Every graph rule (and the shared parse+callgraph pass) reports a
+    // wall-clock entry.
+    for key in ["parse+callgraph", "panic-reachability", "no-hot-alloc-reachable", "durability-order"]
+    {
+        assert!(
+            report.timings.contains_key(key),
+            "missing timing for {key}: {:?}",
+            report.timings.keys().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Adversarial parser fixtures: every construct that once confused the
+//! token-level linter (the `>>` shift/close ambiguity above all) is
+//! pinned here against the AST the parser must produce.
+
+use hisres_lint::lexer::lex;
+use hisres_lint::parser::{parse, Ast, EventKind, FnDef};
+
+fn parse_src(src: &str) -> Ast {
+    let tokens = lex(src).expect("fixture lexes");
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_code())
+        .map(|(i, _)| i)
+        .collect();
+    parse(&tokens, &code)
+}
+
+fn only_fn<'a>(ast: &'a Ast, name: &str) -> &'a FnDef {
+    let hits: Vec<_> = ast.fns.iter().filter(|f| f.name == name).collect();
+    assert_eq!(hits.len(), 1, "exactly one fn named {name}");
+    hits[0]
+}
+
+fn calls(f: &FnDef) -> Vec<String> {
+    f.events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Call(segs) => Some(segs.join("::")),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn nested_generics_shift_ambiguity() {
+    // `Vec<Vec<f32>>` ends with a `>>` token the lexer emits as one
+    // shift; the parser must count it as two closing angles and still
+    // find the function and its body events.
+    let ast = parse_src(
+        r#"
+pub fn transpose(rows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let mut out: Vec<Vec<f32>> = make();
+    out
+}
+"#,
+    );
+    assert!(ast.notes.is_empty(), "no parse notes: {:?}", ast.notes);
+    let f = only_fn(&ast, "transpose");
+    assert_eq!(calls(f), vec!["make"]);
+}
+
+#[test]
+fn shift_operator_is_not_a_generic_close() {
+    // Real right-shifts in expression position must not unbalance the
+    // angle tracking that nested generics rely on.
+    let ast = parse_src(
+        r#"
+pub fn mix(seed: u64) -> u64 {
+    let x = seed >> 33;
+    let y: Vec<Vec<u64>> = split(x >> 1);
+    y.len() as u64 ^ x
+}
+"#,
+    );
+    assert!(ast.notes.is_empty(), "no parse notes: {:?}", ast.notes);
+    let f = only_fn(&ast, "mix");
+    assert_eq!(calls(f), vec!["split"]);
+}
+
+#[test]
+fn fn_trait_bounds_with_result_return() {
+    // `F: Fn() -> Result<(), E>` in a where-clause: the arrow and the
+    // generic Result must not be mistaken for the fn's own signature.
+    let ast = parse_src(
+        r#"
+pub fn retry<F, E>(times: usize, op: F) -> Result<(), E>
+where
+    F: Fn() -> Result<(), E>,
+{
+    for _ in 0..times {
+        op()?;
+    }
+    finish()
+}
+"#,
+    );
+    assert!(ast.notes.is_empty(), "no parse notes: {:?}", ast.notes);
+    let f = only_fn(&ast, "retry");
+    assert_eq!(calls(f), vec!["op", "finish"]);
+    assert!(
+        f.events.iter().any(|e| e.kind == EventKind::Try),
+        "the `?` inside the loop is a Try event"
+    );
+}
+
+#[test]
+fn turbofish_segments_are_stripped() {
+    // `collect::<Vec<Vec<u8>>>()` and `Foo::<T>::new()` keep their path
+    // segments but drop the generic arguments.
+    let ast = parse_src(
+        r#"
+pub fn gather(xs: &[u8]) -> Vec<Vec<u8>> {
+    let grouped = xs.iter().map(|b| vec![*b]).collect::<Vec<Vec<u8>>>();
+    let built = Builder::<Vec<u8>>::new();
+    consume(built);
+    grouped
+}
+"#,
+    );
+    assert!(ast.notes.is_empty(), "no parse notes: {:?}", ast.notes);
+    let f = only_fn(&ast, "gather");
+    assert_eq!(calls(f), vec!["Builder::new", "consume"]);
+    assert!(
+        f.events
+            .iter()
+            .any(|e| e.kind == EventKind::Method("collect".into())),
+        "turbofish method call still recorded as a method event"
+    );
+}
+
+#[test]
+fn labeled_breaks_are_not_lifetimes_or_chars() {
+    let ast = parse_src(
+        r#"
+pub fn drain<'a>(grid: &'a [Vec<u8>]) -> usize {
+    let mut n = 0;
+    'outer: for row in grid {
+        for b in row {
+            if *b == 0 {
+                break 'outer;
+            }
+            n += step(n);
+        }
+    }
+    n
+}
+"#,
+    );
+    assert!(ast.notes.is_empty(), "no parse notes: {:?}", ast.notes);
+    let f = only_fn(&ast, "drain");
+    assert_eq!(calls(f), vec!["step"]);
+}
+
+#[test]
+fn impl_trait_arguments_and_returns() {
+    let ast = parse_src(
+        r#"
+pub fn pipeline(src: impl Iterator<Item = Vec<Vec<f32>>>) -> impl Fn() -> usize {
+    let staged = stage(src);
+    move || staged
+}
+"#,
+    );
+    assert!(ast.notes.is_empty(), "no parse notes: {:?}", ast.notes);
+    let f = only_fn(&ast, "pipeline");
+    assert_eq!(calls(f), vec!["stage"]);
+}
+
+#[test]
+fn index_guard_classification() {
+    let ast = parse_src(
+        r#"
+pub fn bare(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+pub fn literal(header: &[u8]) -> u8 {
+    header[3]
+}
+
+pub fn scoped(v: &[u32], i: usize) -> u32 {
+    if i < v.len() {
+        v[i]
+    } else {
+        0
+    }
+}
+"#,
+    );
+    let idx = |name: &str| -> Vec<bool> {
+        only_fn(&ast, name)
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Index)
+            .map(|e| e.guarded)
+            .collect()
+    };
+    // A bare `v[i]` with no bounds vocabulary anywhere is unguarded …
+    assert_eq!(idx("bare"), vec![false]);
+    assert!(!only_fn(&ast, "bare").bounds_aware);
+    // … a constant index is total by inspection …
+    assert_eq!(idx("literal"), vec![true]);
+    // … and an index under an `i < v.len()` check is guarded, with the
+    // whole body marked bounds-aware.
+    assert_eq!(idx("scoped"), vec![true]);
+    assert!(only_fn(&ast, "scoped").bounds_aware);
+}
+
+#[test]
+fn cfg_test_functions_are_marked() {
+    let ast = parse_src(
+        r#"
+pub fn shipped() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercised() {
+        super::shipped();
+    }
+}
+"#,
+    );
+    assert!(!only_fn(&ast, "shipped").is_test);
+    assert!(only_fn(&ast, "exercised").is_test);
+}
+
+#[test]
+fn use_groups_renames_and_globs_flatten() {
+    let ast = parse_src(
+        r#"
+pub use crate::geom::{area, scale as resize};
+use std::collections::BTreeMap;
+use crate::kernels::*;
+"#,
+    );
+    let mut decls: Vec<(String, String, bool, bool)> = ast
+        .uses
+        .iter()
+        .map(|u| (u.path.join("::"), u.alias.clone(), u.glob, u.is_pub))
+        .collect();
+    decls.sort();
+    assert_eq!(
+        decls,
+        vec![
+            ("crate::geom::area".into(), "area".into(), false, true),
+            ("crate::geom::scale".into(), "resize".into(), false, true),
+            ("crate::kernels".into(), String::new(), true, false),
+            ("std::collections::BTreeMap".into(), "BTreeMap".into(), false, false),
+        ]
+    );
+}
+
+#[test]
+fn unclosed_delimiter_degrades_to_a_note_not_a_crash() {
+    let ast = parse_src("pub fn broken(v: Vec<Vec<u8>) -> usize {\n    v.len()\n");
+    assert!(
+        !ast.notes.is_empty(),
+        "an unbalanced file must surface a parse note"
+    );
+}

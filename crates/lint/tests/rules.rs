@@ -40,14 +40,14 @@ fn bad_tree_reports_one_violation_per_rule_with_exact_positions() {
             ("float-eq".into(), "crates/graph/src/cmp.rs".into(), 3),
             ("lint-allow-syntax".into(), "crates/core/src/serve.rs".into(), 7),
             ("no-debug-leftovers".into(), "crates/nn/src/debug.rs".into(), 3),
-            ("no-hot-alloc".into(), "crates/nn/src/fastpath.rs".into(), 3),
-            ("no-hot-alloc".into(), "crates/nn/src/fastpath.rs".into(), 4),
-            ("no-hot-alloc".into(), "crates/nn/src/fastpath.rs".into(), 5),
-            ("panic-free-zone".into(), "crates/comms/src/frame.rs".into(), 4),
-            ("panic-free-zone".into(), "crates/core/src/dist.rs".into(), 4),
-            ("panic-free-zone".into(), "crates/core/src/ingest.rs".into(), 4),
-            ("panic-free-zone".into(), "crates/core/src/serve.rs".into(), 4),
-            ("panic-free-zone".into(), "crates/util/src/wal.rs".into(), 4),
+            ("no-hot-alloc-reachable".into(), "crates/nn/src/fastpath.rs".into(), 3),
+            ("no-hot-alloc-reachable".into(), "crates/nn/src/fastpath.rs".into(), 4),
+            ("no-hot-alloc-reachable".into(), "crates/nn/src/fastpath.rs".into(), 5),
+            ("panic-reachability".into(), "crates/comms/src/frame.rs".into(), 4),
+            ("panic-reachability".into(), "crates/core/src/dist.rs".into(), 4),
+            ("panic-reachability".into(), "crates/core/src/ingest.rs".into(), 4),
+            ("panic-reachability".into(), "crates/core/src/serve.rs".into(), 4),
+            ("panic-reachability".into(), "crates/util/src/wal.rs".into(), 4),
             ("pool-only-threading".into(), "crates/core/src/worker.rs".into(), 3),
         ]
     );
@@ -75,8 +75,8 @@ fn diagnostics_carry_snippets_and_columns() {
     let unwrap = report
         .diagnostics
         .iter()
-        .find(|d| d.rule == "panic-free-zone" && d.file == "crates/core/src/serve.rs")
-        .expect("panic-free-zone diagnostic");
+        .find(|d| d.rule == "panic-reachability" && d.file == "crates/core/src/serve.rs")
+        .expect("panic-reachability diagnostic");
     assert_eq!(unwrap.snippet, "let v = input.unwrap();");
     assert!(unwrap.col > 0);
     let spawn = report
@@ -127,11 +127,27 @@ fn json_report_round_trips_through_the_schema_checker() {
 fn schema_checker_rejects_malformed_reports() {
     assert!(check_report("not json at all").is_err());
     assert!(check_report(r#"{"schema":"something-else/v9"}"#).is_err());
-    // Right schema tag but missing required fields.
+    // The previous schema generation is rejected by tag, not silently read.
     assert!(check_report(r#"{"schema":"hisres-lint/v1"}"#).is_err());
+    // Right schema tag but missing required fields.
+    assert!(check_report(r#"{"schema":"hisres-lint/v2"}"#).is_err());
+    // v2 requires graph stats and per-rule kind/time_ms.
+    let no_graph = r#"{"schema":"hisres-lint/v2","root":".","files_scanned":1,
+        "suppressed":0,"elapsed_ms":1.0,
+        "rules":[{"id":"x","severity":"error","kind":"token","description":"d","time_ms":0.1}],
+        "diagnostics":[]}"#;
+    assert!(check_report(no_graph).unwrap_err().contains("graph"));
+    let bad_kind = r#"{"schema":"hisres-lint/v2","root":".","files_scanned":1,
+        "suppressed":0,"elapsed_ms":1.0,
+        "graph":{"nodes":0,"edges":0,"unresolved":0,"ambiguous":0,"external":0},
+        "rules":[{"id":"x","severity":"error","kind":"regex","description":"d","time_ms":0.1}],
+        "diagnostics":[]}"#;
+    assert!(check_report(bad_kind).unwrap_err().contains("token|graph"));
     // A diagnostic with a wrong-typed line.
-    let bad = r#"{"schema":"hisres-lint/v1","root":".","files_scanned":1,
-        "suppressed":0,"rules":[{"id":"x","severity":"error","description":"d"}],
+    let bad = r#"{"schema":"hisres-lint/v2","root":".","files_scanned":1,
+        "suppressed":0,"elapsed_ms":1.0,
+        "graph":{"nodes":0,"edges":0,"unresolved":0,"ambiguous":0,"external":0},
+        "rules":[{"id":"x","severity":"error","kind":"token","description":"d","time_ms":0.1}],
         "diagnostics":[{"rule":"x","severity":"error","file":"f.rs",
         "line":"three","col":1,"message":"m","snippet":"s"}]}"#;
     assert!(check_report(bad).is_err());

@@ -33,7 +33,7 @@ fn seed_matmul(a: &NdArray, b: &NdArray) -> NdArray {
     for i in 0..n {
         for kk in 0..k {
             let av = a.get(i, kk);
-            if skip_zeros && av == 0.0 { // lint:allow(float-eq): replicates the kernel's bitwise zero-skip
+            if skip_zeros && av == 0.0 {
                 continue;
             }
             let brow = b.row(kk);

@@ -106,8 +106,8 @@ impl Pool {
     /// of 0 is treated as 1; 1 spawns nothing and runs everything inline.
     pub fn new(threads: usize) -> Pool {
         let threads = threads.max(1);
-        let mut senders = Vec::with_capacity(threads - 1);
-        let mut handles = Vec::with_capacity(threads - 1);
+        let mut senders = Vec::with_capacity(threads - 1); // lint:allow(no-hot-alloc-reachable): pool construction happens once per process; current() caches it
+        let mut handles = Vec::with_capacity(threads - 1); // lint:allow(no-hot-alloc-reachable): pool construction happens once per process; current() caches it
         for i in 0..threads - 1 {
             let (tx, rx) = channel::<Msg>();
             let handle = std::thread::Builder::new()
@@ -217,7 +217,7 @@ impl Pool {
             return;
         }
         let per_task = total_units.div_ceil(tasks);
-        let mut boxed: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(tasks);
+        let mut boxed: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(tasks); // lint:allow(no-hot-alloc-reachable): one boxed task per worker thread, bounded by core count not data size
         let mut rest = data;
         let mut offset = 0usize;
         let f = &f;

@@ -115,10 +115,18 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
     buf
 }
 
+/// Total read: a short slice yields 0 rather than panicking, so a torn
+/// header can never abort replay (the caller's length/CRC checks reject
+/// the record instead).
 fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
-    let mut b = [0u8; 8];
-    b.copy_from_slice(&bytes[at..at + 8]);
-    u64::from_le_bytes(b)
+    match bytes.get(at..at + 8) {
+        Some(s) => {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            u64::from_le_bytes(b)
+        }
+        None => 0,
+    }
 }
 
 fn injected(msg: &str) -> io::Error {

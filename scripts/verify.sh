@@ -49,24 +49,37 @@ smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
 
 # ---- workspace invariant lint ----------------------------------------------
-# hisres-lint replaces the old grep guards (bare fs::write, unwrap/expect in
-# serve.rs) with token-aware rules: it lexes every workspace .rs file, so
-# matches inside comments/strings are impossible and #[cfg(test)] code is
-# exempted structurally. --deny-all escalates warnings; the tree must be
-# clean. Safe uses are annotated in-source: // lint:allow(<rule>): <reason>.
-cargo run -q --release -p hisres-lint --offline -- --deny-all
-echo "invariant lint: OK (hisres-lint --deny-all clean)"
+# hisres-lint v2: a lexer + recursive-descent parser + workspace call graph.
+# Token rules still police per-line invariants (atomic writes, determinism,
+# float-eq, pool-only threading); the graph rules (panic-reachability,
+# no-hot-alloc-reachable, durability-order) follow calls across crates from
+# the serving/ingest/distributed entry set to the actual sink. --deny-all
+# escalates warnings; the tree must be clean AND every lint:allow must still
+# be load-bearing (stale suppressions are diagnostics too). The whole
+# analysis — lex, parse, call graph, reachability — has a 10 s budget.
+lint=target/release/hisres-lint
+lint_start=$(date +%s)
+"$lint" --deny-all
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -gt 10 ]; then
+    echo "ERROR: hisres-lint took ${lint_elapsed}s — over the 10s budget" >&2
+    exit 1
+fi
+echo "invariant lint: OK (hisres-lint --deny-all clean in ${lint_elapsed}s, budget 10s)"
 
 # The JSON rendering is a stable schema for downstream tooling (mirrors the
 # BENCH_kernels.json pattern): emit a report, then re-validate it.
-cargo run -q --release -p hisres-lint --offline -- --deny-all --json --out "$smoke/lint.json"
-cargo run -q --release -p hisres-lint --offline -- --check "$smoke/lint.json"
-echo "invariant lint JSON: OK (schema-checked report)"
+"$lint" --deny-all --json --out "$smoke/lint.json"
+"$lint" --check "$smoke/lint.json"
+if ! grep -qF '"schema":"hisres-lint/v2"' "$smoke/lint.json"; then
+    echo "ERROR: lint report does not carry the hisres-lint/v2 schema tag" >&2
+    exit 1
+fi
+echo "invariant lint JSON: OK (schema-checked hisres-lint/v2 report)"
 
 # The lint must actually catch violations: the bad fixture tree carries one
 # violation per rule and must fail with exact file:line diagnostics.
-if bad_out=$(cargo run -q --release -p hisres-lint --offline -- \
-        --root crates/lint/tests/fixtures/bad --deny-all 2>&1); then
+if bad_out=$("$lint" --root crates/lint/tests/fixtures/bad --deny-all 2>&1); then
     echo "ERROR: hisres-lint passed the bad fixture tree — rules are dead" >&2
     exit 1
 fi
@@ -80,8 +93,8 @@ for needle in \
     'crates/nn/src/fastpath.rs:3:' \
     'crates/nn/src/fastpath.rs:4:' \
     'crates/nn/src/fastpath.rs:5:' \
-    'panic-free-zone' \
-    'no-hot-alloc' \
+    'panic-reachability' \
+    'no-hot-alloc-reachable' \
     'atomic-writes-only' \
     'pool-only-threading' \
     'determinism' \
@@ -95,6 +108,38 @@ for needle in \
     fi
 done
 echo "invariant lint fixtures: OK (bad tree fails with per-rule diagnostics)"
+
+# Each graph rule has its own fixture tree where the violation is invisible
+# at token level: the sink sits in a different file (or crate) than the
+# entry point and only the call graph connects them. Every tree must fail
+# with the exact diagnostic position AND the entry-to-sink chain.
+check_graph_fixture() {
+    local tree=$1; shift
+    local out
+    if out=$("$lint" --root "crates/lint/tests/fixtures/$tree" --deny-all 2>&1); then
+        echo "ERROR: hisres-lint passed the $tree fixture tree — the graph rule is dead" >&2
+        exit 1
+    fi
+    for needle in "$@"; do
+        if ! grep -qF "$needle" <<<"$out"; then
+            echo "ERROR: $tree lint output is missing $needle:" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+    done
+}
+check_graph_fixture bad_reach \
+    'crates/graph/src/cmp.rs:5:10: error[panic-reachability]' \
+    'chain: core::serve::handle → graph::cmp::pick → slice-index-without-guard'
+check_graph_fixture bad_hot \
+    'crates/nn/src/scratch.rs:4:5: error[no-hot-alloc-reachable]' \
+    'chain: nn::fastpath::forward_nograd → nn::scratch::grow → vec!'
+check_graph_fixture bad_durability \
+    'crates/util/src/wal.rs:7:5: error[durability-order]' \
+    'chain: util::wal::append → write_all@6 → reply@7' \
+    'crates/util/src/fsio.rs:8:7: error[durability-order]' \
+    'chain: util::fsio::atomic_write → write_all@8 → ∅ rename'
+echo "invariant lint graph fixtures: OK (each graph rule fails its tree with a pinned chain)"
 
 # ---- crash-resume smoke test -----------------------------------------------
 # Train 2 epochs saving training state, then resume for 2 more; the final
